@@ -1,0 +1,197 @@
+package leonardo
+
+// The bench harness regenerates every table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md). Each bench
+// runs the corresponding experiment from internal/exp at a reduced
+// effort level and reports domain metrics through testing.B; the full
+// report is produced by cmd/experiments.
+
+import (
+	"testing"
+
+	"leonardo/internal/exp"
+	"leonardo/internal/gap"
+	"leonardo/internal/stats"
+)
+
+// benchCfg keeps the per-iteration cost of a bench moderate; the
+// experiment functions themselves run many seeded evolutions.
+func benchCfg() exp.Config { return exp.Config{Runs: 10, BaseSeed: 1} }
+
+func BenchmarkE1_PaperParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.E1Parameters(benchCfg())
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE2_GenerationsToMax(b *testing.B) {
+	var sample []float64
+	for i := 0; i < b.N; i++ {
+		res, err := Evolve(PaperParams(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("run did not converge")
+		}
+		sample = append(sample, float64(res.Generations))
+	}
+	s := stats.Summarize(sample)
+	b.ReportMetric(s.Mean, "generations/run")
+	b.ReportMetric(float64(gap.PaperTiming().RunDuration(int(s.Mean+0.5)).Milliseconds()), "ms@1MHz/run")
+}
+
+func BenchmarkE3_TimeVsExhaustive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.E3Time(benchCfg())
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(gap.PaperTiming().Speedup(111, 36), "speedup-vs-exhaustive")
+}
+
+func BenchmarkE4_ResourceUsage(b *testing.B) {
+	var clbs int
+	for i := 0; i < b.N; i++ {
+		r, err := Synthesize(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clbs = r.TotalCLBs
+	}
+	b.ReportMetric(float64(clbs), "CLBs")
+}
+
+func BenchmarkE5_WalkQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Evolve(PaperParams(uint64(i + 100)))
+		if err != nil || !res.Converged {
+			b.Fatal("evolution failed")
+		}
+		m := Walk(res.Best.Packed(), 5)
+		b.ReportMetric(m.DistanceMM, "mm/champion")
+		b.ReportMetric(float64(m.Stumbles), "stumbles/champion")
+	}
+}
+
+func BenchmarkF3_ClosedLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.F3ClosedLoop(exp.Config{Runs: 3, BaseSeed: 1})
+		if len(tb.Rows) < 2 {
+			b.Fatal("closed loop produced no checkpoints")
+		}
+	}
+}
+
+func BenchmarkF4_Controller(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.F4Controller(benchCfg())
+		if len(tb.Rows) != 6 {
+			b.Fatal("controller trace wrong")
+		}
+	}
+}
+
+func BenchmarkF5_GAPPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.F5Pipeline(exp.Config{Runs: 3, BaseSeed: 1})
+		if len(tb.Rows) != 3 {
+			b.Fatal("pipeline table wrong")
+		}
+	}
+	seq := gap.PaperTiming()
+	pipe := seq
+	pipe.Pipelined = true
+	b.ReportMetric(float64(seq.CyclesPerGeneration()), "cycles/gen-sequential")
+	b.ReportMetric(float64(pipe.CyclesPerGeneration()), "cycles/gen-pipelined")
+}
+
+func BenchmarkA1_RuleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A1RuleAblation(exp.Config{Runs: 3, BaseSeed: 1})
+		if len(tb.Rows) != 7 {
+			b.Fatal("ablation table wrong")
+		}
+	}
+}
+
+func BenchmarkA2_Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A2Baselines(exp.Config{Runs: 3, BaseSeed: 1})
+		if len(tb.Rows) != 6 {
+			b.Fatal("baseline table wrong")
+		}
+	}
+}
+
+func BenchmarkA3_ParamSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A3ParamSweep(exp.Config{Runs: 2, BaseSeed: 1})
+		if len(tb.Rows) == 0 {
+			b.Fatal("sweep produced nothing")
+		}
+	}
+}
+
+func BenchmarkA4_DistanceFitness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A4DistanceFitness(exp.Config{Runs: 2, BaseSeed: 1})
+		if len(tb.Rows) != 2 {
+			b.Fatal("distance-fitness table wrong")
+		}
+	}
+}
+
+func BenchmarkA5_Processor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A5Processor(exp.Config{Runs: 2, BaseSeed: 1})
+		if len(tb.Rows) != 2 {
+			b.Fatal("processor table wrong")
+		}
+	}
+}
+
+func BenchmarkA6_FaultRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.A6FaultRecovery(exp.Config{Runs: 1, BaseSeed: 1})
+		if len(tb.Rows) != 4 {
+			b.Fatal("fault-recovery table wrong")
+		}
+	}
+}
+
+func BenchmarkX1_BigGenome(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := exp.X1BigGenome(exp.Config{Runs: 2, BaseSeed: 1})
+		if len(tb.Rows) == 0 {
+			b.Fatal("big-genome table wrong")
+		}
+	}
+}
+
+// BenchmarkOnChipGeneration measures the cost of simulating one
+// hardware generation gate by gate.
+func BenchmarkOnChipGeneration(b *testing.B) {
+	chip, err := NewOnChip(PaperParams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := chip.RunGenerations(1); err != nil {
+		b.Fatal(err)
+	}
+	start := chip.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chip.RunGenerations(2 + i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(chip.Cycles()-start)/float64(b.N), "clock-cycles/gen")
+	}
+}

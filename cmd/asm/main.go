@@ -1,0 +1,70 @@
+// Command asm assembles and runs a program on the simulated processor
+// board (the Khepera-derived control card of §2), printing registers,
+// selected memory, and the cycle count. The board's RNG is the same
+// cellular automaton the FPGA uses.
+//
+// Usage:
+//
+//	asm [-seed N] [-mem WORDS] [-dump LO:HI] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"leonardo/internal/carng"
+	"leonardo/internal/mcu"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	memWords := flag.Int("mem", 256, "memory size in words")
+	dump := flag.String("dump", "", "memory range to print, LO:HI")
+	maxCycles := flag.Uint64("maxcycles", 50_000_000, "cycle guard")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asm [-seed N] [-mem WORDS] [-dump LO:HI] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asm:", err)
+		os.Exit(1)
+	}
+	prog, err := mcu.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asm:", err)
+		os.Exit(1)
+	}
+	cpu := mcu.New(prog, *memWords, carng.NewDefault(*seed))
+	cpu.MaxCycles = *maxCycles
+	if err := cpu.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asm: run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("halted after %d cycles (%d instructions assembled)\n", cpu.Cycles(), len(prog))
+	for r := 1; r < mcu.NumRegs; r++ {
+		if v := cpu.Reg(r); v != 0 {
+			fmt.Printf("  r%-2d = %d (0x%x)\n", r, v, v)
+		}
+	}
+	if *dump != "" {
+		parts := strings.SplitN(*dump, ":", 2)
+		lo, err1 := strconv.Atoi(parts[0])
+		hi := lo
+		var err2 error
+		if len(parts) == 2 {
+			hi, err2 = strconv.Atoi(parts[1])
+		}
+		if err1 != nil || err2 != nil || lo < 0 || hi >= *memWords || lo > hi {
+			fmt.Fprintln(os.Stderr, "asm: bad -dump range")
+			os.Exit(2)
+		}
+		for a := lo; a <= hi; a++ {
+			fmt.Printf("  mem[%3d] = %d (0x%x)\n", a, cpu.Mem(a), cpu.Mem(a))
+		}
+	}
+}

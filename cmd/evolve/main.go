@@ -1,0 +1,84 @@
+// Command evolve runs the Discipulus Simplex genetic algorithm
+// processor (behavioural model) and reports the evolved gait.
+//
+// Usage:
+//
+//	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N] [-curve]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leonardo/internal/gait"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+	"leonardo/internal/stats"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed for the cellular-automaton generator")
+	pop := flag.Int("pop", 32, "population size (even)")
+	sel := flag.Float64("sel", 0.8, "tournament selection threshold")
+	xov := flag.Float64("xov", 0.7, "crossover threshold")
+	mut := flag.Int("mut", 15, "single-bit mutations per generation")
+	maxGen := flag.Int("maxgen", gap.DefaultMaxGenerations, "generation cap")
+	steps := flag.Int("steps", 2, "walk steps per genome (2 = paper; more = future-work layout)")
+	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
+	flag.Parse()
+
+	p := gap.PaperParams(*seed)
+	p.PopulationSize = *pop
+	p.SelectionThreshold = *sel
+	p.CrossoverThreshold = *xov
+	p.MutationsPerGeneration = *mut
+	p.MaxGenerations = *maxGen
+	p.Layout = genome.Layout{Steps: *steps, Legs: genome.Legs}
+	p.RecordHistory = *curve
+
+	g, err := gap.New(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evolve:", err)
+		os.Exit(1)
+	}
+	res := g.Run()
+
+	fmt.Printf("converged: %v after %d generations (best fitness %d/%d)\n",
+		res.Converged, res.Generations, res.BestFitness, res.MaxFitness)
+	timing := gap.PaperTiming()
+	timing.Bits = p.Layout.Bits()
+	timing.Population = p.PopulationSize
+	timing.Mutations = p.MutationsPerGeneration
+	timing.CrossoverRate = p.CrossoverThreshold
+	fmt.Printf("on-chip time at 1 MHz: %v (%s)\n", timing.RunDuration(res.Generations), timing)
+	fmt.Printf("random draws consumed: %d\n\n", res.Draws)
+
+	if p.Layout == genome.PaperLayout {
+		champ := res.Best.Packed()
+		fmt.Println("champion genome:")
+		fmt.Println(" ", champ)
+		fmt.Println(champ.Describe())
+		fmt.Println()
+		fmt.Println("gait diagram (2 cycles):")
+		fmt.Print(gait.Diagram(res.Best, 2))
+		m := robot.Walk(res.Best, robot.Trial{Cycles: 5})
+		fmt.Println("\nsimulated walk (5 cycles):", m)
+	} else {
+		fmt.Println("gait diagram (1 cycle):")
+		fmt.Print(gait.Diagram(res.Best, 1))
+		m := robot.Walk(res.Best, robot.Trial{Cycles: 5})
+		fmt.Println("\nsimulated walk (5 cycles):", m)
+	}
+
+	if *curve && len(res.History) > 0 {
+		var s stats.Series
+		s.Name = "best fitness"
+		for _, h := range res.History {
+			s.Add(float64(h.Generation), float64(h.BestFitness))
+		}
+		fmt.Println()
+		fmt.Print(s.Render(12, 72))
+	}
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates every table, figure, and in-text
+// claim of the paper's evaluation (the per-experiment index in
+// DESIGN.md) and prints the paper-versus-measured record.
+//
+// Usage:
+//
+//	experiments [-quick] [-runs N] [-only ID[,ID...]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leonardo/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at smoke effort (20 runs per point)")
+	runs := flag.Int("runs", 0, "override runs per data point")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4)")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			wanted[id] = true
+		}
+	}
+
+	type entry struct {
+		id  string
+		run func(exp.Config) exp.Table
+	}
+	all := []entry{
+		{"E1", exp.E1Parameters},
+		{"E2", exp.E2Generations},
+		{"E3", exp.E3Time},
+		{"E4", exp.E4Resources},
+		{"E5", exp.E5WalkQuality},
+		{"F3", exp.F3ClosedLoop},
+		{"F4", exp.F4Controller},
+		{"F5", exp.F5Pipeline},
+		{"A1", exp.A1RuleAblation},
+		{"A2", exp.A2Baselines},
+		{"A3", exp.A3ParamSweep},
+		{"A4", exp.A4DistanceFitness},
+		{"A5", exp.A5Processor},
+		{"A6", exp.A6FaultRecovery},
+		{"X1", exp.X1BigGenome},
+	}
+	ran := 0
+	for _, e := range all {
+		if len(wanted) > 0 && !wanted[e.id] {
+			continue
+		}
+		start := time.Now()
+		tb := e.run(cfg)
+		fmt.Print(tb)
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing matched -only")
+		os.Exit(2)
+	}
+}

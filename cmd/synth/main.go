@@ -1,0 +1,78 @@
+// Command synth builds the complete Discipulus Simplex netlist (GAP +
+// fitness module + walking controller + PWM) and maps it onto the
+// XC4000 device models, reproducing the paper's resource-usage
+// experiment (E4).
+//
+// Usage:
+//
+//	synth [-regfile] [-device XC4036EX|XC4013E] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leonardo/internal/fpga"
+	"leonardo/internal/gap"
+	"leonardo/internal/gapcirc"
+)
+
+func main() {
+	regfile := flag.Bool("regfile", false, "store populations in flip-flops instead of CLB RAM")
+	device := flag.String("device", "XC4036EX", "target device (XC4036EX or XC4013E)")
+	showStats := flag.Bool("stats", false, "print raw netlist statistics")
+	both := flag.Bool("both", false, "map both storage variants (the E4 bracket)")
+	verilog := flag.String("verilog", "", "also write the netlist as structural Verilog to this file")
+	flag.Parse()
+
+	var dev fpga.Device
+	switch *device {
+	case "XC4036EX":
+		dev = fpga.XC4036EX
+	case "XC4013E":
+		dev = fpga.XC4013E
+	default:
+		fmt.Fprintf(os.Stderr, "synth: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	variants := []bool{*regfile}
+	if *both {
+		variants = []bool{false, true}
+	}
+	for _, rf := range variants {
+		name := "CLB-RAM population storage"
+		if rf {
+			name = "register-file population storage"
+		}
+		sys, err := gapcirc.BuildSystem(gap.PaperParams(1), gapcirc.BuildOpts{RegisterFile: rf}, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synth:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- Discipulus Simplex, %s ---\n", name)
+		if *showStats {
+			fmt.Println("netlist:", sys.Core.Circuit.Stats())
+		}
+		fmt.Print(fpga.Map(sys.Core.Circuit, dev))
+		fmt.Println()
+		if *verilog != "" && !rf {
+			f, err := os.Create(*verilog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synth:", err)
+				os.Exit(1)
+			}
+			if err := sys.Core.Circuit.ExportVerilog(f, "discipulus_simplex"); err != nil {
+				fmt.Fprintln(os.Stderr, "synth:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "synth:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("structural Verilog written to %s\n\n", *verilog)
+		}
+	}
+	fmt.Println("paper: 1244 CLBs on the XC4036EX (96% of 1296)")
+}

@@ -1,0 +1,84 @@
+// Command trace simulates the gate-level Discipulus Simplex and dumps
+// a VCD waveform of its key signals (FSM state, generation counter,
+// best-fitness register, CA cells, PWM outputs), viewable in any
+// waveform viewer (GTKWave etc.).
+//
+// Usage:
+//
+//	trace [-seed N] [-pop N] [-cycles N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leonardo/internal/gap"
+	"leonardo/internal/gapcirc"
+	"leonardo/internal/logic"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed")
+	pop := flag.Int("pop", 8, "population size (power of two)")
+	cycles := flag.Int("cycles", 2000, "clock cycles to capture")
+	out := flag.String("o", "discipulus.vcd", "output VCD file")
+	flag.Parse()
+
+	p := gap.PaperParams(*seed)
+	p.PopulationSize = *pop
+	sys, err := gapcirc.BuildSystem(p, gapcirc.BuildOpts{}, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	sim, err := sys.Core.Circuit.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+
+	signals := map[string]logic.Signal{}
+	for i, s := range sys.Core.State {
+		signals[fmt.Sprintf("state%d", i)] = s
+	}
+	for i, s := range sys.Core.BestFit {
+		signals[fmt.Sprintf("bestfit%d", i)] = s
+	}
+	for i, s := range sys.Core.Gen[:6] {
+		signals[fmt.Sprintf("gen%d", i)] = s
+	}
+	signals["bank"] = sys.Core.Bank
+	signals["bestvalid"] = sys.Core.BestValid
+	for i, s := range sys.Core.CA.State[:8] {
+		signals[fmt.Sprintf("ca%d", i)] = s
+	}
+	for i, s := range sys.Controller.PWM[:4] {
+		signals[fmt.Sprintf("pwm%d", i)] = s
+	}
+
+	rec := logic.NewVCDRecorder(sim, signals)
+	rec.Sample()
+	for i := 0; i < *cycles; i++ {
+		sim.Step()
+		rec.Sample()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	if err := rec.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	g, fit := sys.Core.BestOf(sim)
+	fmt.Printf("captured %d cycles (%d value changes) to %s\n", *cycles, rec.Changes(), *out)
+	fmt.Printf("chip state: generation %d, best fitness %d, best genome %v\n",
+		sim.GetBus(sys.Core.Gen), fit, g)
+}

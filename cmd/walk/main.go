@@ -1,0 +1,78 @@
+// Command walk plays a gait genome on the simulated Leonardo robot:
+// it decodes the genome, renders the gait diagram, and reports the
+// walking metrics.
+//
+// Usage:
+//
+//	walk [-cycles N] [-obstacle MM] [-articulation DEG] tripod|wave|ripple|turnleft|turnright|<36-bit binary genome>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func main() {
+	cycles := flag.Int("cycles", 5, "gait cycles to simulate")
+	obstacle := flag.Float64("obstacle", 0, "obstacle distance in mm (0 = none)")
+	articulation := flag.Float64("articulation", 0, "body-joint bend in degrees (+ = left)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr,
+			"usage: walk [-cycles N] [-obstacle MM] [-articulation DEG] tripod|wave|ripple|turnleft|turnright|<binary genome>")
+		os.Exit(2)
+	}
+
+	var x genome.Extended
+	switch flag.Arg(0) {
+	case "tripod":
+		x = genome.FromGenome(gait.Tripod())
+	case "wave":
+		x = gait.Wave()
+	case "ripple":
+		x = gait.Ripple()
+	case "turnleft":
+		x = genome.FromGenome(gait.TurnLeft())
+	case "turnright":
+		x = genome.FromGenome(gait.TurnRight())
+	default:
+		g, err := genome.Parse(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "walk:", err)
+			os.Exit(1)
+		}
+		x = genome.FromGenome(g)
+	}
+
+	if x.Layout == genome.PaperLayout {
+		g := x.Packed()
+		e := fitness.New()
+		fmt.Println("genome:", g)
+		fmt.Println(g.Describe())
+		fmt.Printf("rule fitness: %d/%d (%s)\n\n", e.Score(g), e.Max(), e.Breakdown(g))
+	} else {
+		fmt.Printf("extended genome: %d steps x %d legs\n\n", x.Layout.Steps, x.Layout.Legs)
+	}
+
+	fmt.Println("gait diagram (2 cycles):")
+	fmt.Print(gait.Diagram(x, 2))
+	a := gait.Analyze(x)
+	fmt.Printf("\nmean duty factor %.2f, max simultaneous swing %d\n\n",
+		a.MeanDuty, a.MaxSimultaneousSwing)
+
+	m := robot.Walk(x, robot.Trial{Cycles: *cycles, ObstacleAt: *obstacle, ArticulationDeg: *articulation})
+	fmt.Printf("walk (%d cycles): %s\n", *cycles, m)
+	if m.HeadingDeg != 0 {
+		fmt.Printf("final heading %.1f°, path length %.0f mm, net displacement %.0f mm\n",
+			m.HeadingDeg, m.PathLengthMM, m.DisplacementMM)
+	}
+	if m.HitObstacle {
+		fmt.Println("obstacle sensors asserted: robot stopped at the wall")
+	}
+}

@@ -1,0 +1,60 @@
+package leonardo_test
+
+import (
+	"fmt"
+
+	"leonardo"
+)
+
+// The canonical gait: inspect the tripod and its rule fitness.
+func ExampleFitness() {
+	g := leonardo.Tripod()
+	fmt.Println(leonardo.Fitness(g), "/", leonardo.MaxFitness())
+	fmt.Println(leonardo.FitnessBreakdown(g))
+	// Output:
+	// 26 / 26
+	// eq 8/8 sym 6/6 coh 12/12
+}
+
+// Walking the tripod for five gait cycles in the kinematic simulator.
+func ExampleWalk() {
+	m := leonardo.Walk(leonardo.Tripod(), 5)
+	fmt.Printf("%.0f mm, %d stumbles\n", m.DistanceMM, m.Stumbles)
+	// Output:
+	// 360 mm, 0 stumbles
+}
+
+// Decoding a genome into its per-leg movement plan.
+func ExampleDescribe() {
+	fmt.Println(leonardo.Describe(leonardo.Tripod()))
+	// Output:
+	// step 1:  L1 U>D  L2 D<D  L3 U>D  R1 D<D  R2 U>D  R3 D<D
+	// step 2:  L1 D<D  L2 U>D  L3 D<D  R1 U>D  R2 D<D  R3 U>D
+	// fitness 26/26 (eq 8/8 sym 6/6 coh 12/12)
+}
+
+// Evolving a gait with the paper's exact parameters. The run is
+// deterministic for a fixed seed.
+func ExampleEvolve() {
+	res, err := leonardo.Evolve(leonardo.PaperParams(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("fitness:", res.BestFitness, "/", res.MaxFitness)
+	// Output:
+	// converged: true
+	// fitness: 26 / 26
+}
+
+// The gait diagram of one tripod cycle: '#' stance, '.' swing.
+func ExampleGaitDiagram() {
+	fmt.Print(leonardo.GaitDiagram(leonardo.Tripod(), 1))
+	// Output:
+	// L1   ..####
+	// L2   ###..#
+	// L3   ..####
+	// R1   ###..#
+	// R2   ..####
+	// R3   ###..#
+}

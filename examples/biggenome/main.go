@@ -1,0 +1,55 @@
+// Biggenome explores the paper's future-work direction: "use the same
+// kind of evolvable system in order to solve problems which deal with
+// bigger genomes". It evolves 4-step (72-bit) and 6-step (108-bit)
+// gaits — search spaces of 2^72 and 2^108 — with the unchanged GAP,
+// and compares the champions with the classical multi-step gaits.
+package main
+
+import (
+	"fmt"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/gait"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func main() {
+	for _, steps := range []int{2, 4, 6} {
+		ly := genome.Layout{Steps: steps, Legs: genome.Legs}
+		p := gap.PaperParams(42)
+		p.Layout = ly
+		p.MaxGenerations = 100000
+		g, err := gap.New(p)
+		if err != nil {
+			panic(err)
+		}
+		res := g.Run()
+		m := robot.Walk(res.Best, robot.Trial{Cycles: 4})
+		fmt.Printf("%d-step genome (%d bits, search space 2^%d):\n", steps, ly.Bits(), ly.Bits())
+		fmt.Printf("  converged=%v in %d generations, fitness %d/%d\n",
+			res.Converged, res.Generations, res.BestFitness, res.MaxFitness)
+		fmt.Printf("  champion walk: %s\n", m)
+		fmt.Print(gait.Diagram(res.Best, 1))
+		fmt.Println()
+	}
+
+	// Reference points: classical multi-step gaits under the same
+	// generalized rule fitness.
+	fmt.Println("classical gaits under the generalized rule fitness:")
+	for _, c := range []struct {
+		name string
+		x    genome.Extended
+	}{
+		{"wave (6-step)", gait.Wave()},
+		{"ripple (3-step)", gait.Ripple()},
+	} {
+		e := fitness.Evaluator{Layout: c.x.Layout, Weights: fitness.DefaultWeights}
+		m := robot.Walk(c.x, robot.Trial{Cycles: 4})
+		fmt.Printf("  %-16s fitness %d/%d, walk %s\n", c.name, e.ScoreExtended(c.x), e.Max(), m)
+	}
+	fmt.Println("\nnote: the wave gait does not maximize the generalized symmetry rule —")
+	fmt.Println("rule fitness and walking quality diverge as genomes grow, the regime the")
+	fmt.Println("paper's future work (problems 'where the final solution is not known') targets.")
+}

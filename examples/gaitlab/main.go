@@ -1,0 +1,65 @@
+// Gaitlab compares the classical hexapod gaits (tripod, ripple, wave)
+// against an evolved champion in the kinematic simulator — the
+// workload the paper's introduction motivates: learning to walk
+// without knowing the solution. It also demonstrates the robot's
+// contact sensors on an obstacle course.
+package main
+
+import (
+	"fmt"
+
+	"leonardo"
+	"leonardo/internal/controller"
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func main() {
+	res, err := leonardo.Evolve(leonardo.PaperParams(7))
+	if err != nil {
+		panic(err)
+	}
+
+	gaits := []struct {
+		name string
+		x    genome.Extended
+	}{
+		{"tripod (best known)", genome.FromGenome(gait.Tripod())},
+		{"ripple (3-step)", gait.Ripple()},
+		{"wave (6-step)", gait.Wave()},
+		{"evolved champion", res.Best},
+	}
+
+	fmt.Println("gait comparison over 6 gait cycles:")
+	fmt.Printf("%-22s %9s %8s %6s %8s %8s\n",
+		"gait", "dist(mm)", "mm/s", "stumbles", "slip(mm)", "margin")
+	for _, g := range gaits {
+		m := robot.Walk(g.x, robot.Trial{Cycles: 6})
+		a := gait.Analyze(g.x)
+		fmt.Printf("%-22s %9.0f %8.1f %6d %8.0f %8.1f   (duty %.2f)\n",
+			g.name, m.DistanceMM, m.SpeedMMPerSec(), m.Stumbles, m.SlipMM, m.MeanMargin, a.MeanDuty)
+	}
+
+	fmt.Println("\ngait diagrams (1 cycle each):")
+	for _, g := range gaits[:3] {
+		fmt.Println(g.name + ":")
+		fmt.Print(gait.Diagram(g.x, 1))
+		fmt.Println()
+	}
+
+	// Obstacle course: walk the tripod toward a wall 300 mm ahead and
+	// watch the front contact sensors assert.
+	wall := robot.BodyLength/2 + robot.StrideHalf + 300
+	m := robot.Walk(genome.FromGenome(gait.Tripod()), robot.Trial{Cycles: 20, ObstacleAt: wall})
+	fmt.Printf("obstacle course: wall at %.0f mm -> walked %.0f mm, hit=%v\n",
+		wall, m.DistanceMM, m.HitObstacle)
+
+	r := robot.New(controller.New(gait.Tripod()))
+	for i := 0; i < 20*6; i++ {
+		r.Step(wall)
+	}
+	s := r.Sensors()
+	fmt.Printf("front obstacle sensors: L1=%v R1=%v; ground contacts: %v\n",
+		s.Obstacle[genome.L1], s.Obstacle[genome.R1], s.Ground)
+}

@@ -1,0 +1,127 @@
+// Navigate drives Leonardo through a course of waypoints using both of
+// the robot's steering mechanisms:
+//
+//   - large bearing errors: the walking controller is reconfigured
+//     on-line with a turn-in-place genome (the same genome-swap
+//     mechanism the GAP uses to install evolved gaits);
+//   - small errors: the tripod keeps walking and the body articulation
+//     (Fig. 1a) trims the heading.
+//
+// It finishes by walking at a wall and stopping on the front contact
+// sensors.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"leonardo/internal/controller"
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+const (
+	captureMM  = 80.0 // waypoint reached within this radius
+	gain       = 1.0  // articulation degrees per degree of bearing error
+	maxBend    = 30.0
+	pivotEnter = 50.0 // |bearing error| that switches to a pivot gait
+	pivotExit  = 10.0
+)
+
+func main() {
+	waypoints := []robot.Vec2{
+		{X: 500, Y: 0},
+		{X: 800, Y: 400},
+		{X: 400, Y: 700},
+	}
+
+	tripod := genome.FromGenome(gait.Tripod())
+	left := genome.FromGenome(gait.TurnLeft())
+	right := genome.FromGenome(gait.TurnRight())
+
+	ctl := controller.New(gait.Tripod())
+	r := robot.New(ctl)
+	mode := "walk"
+	fmt.Println("navigating", len(waypoints), "waypoints (pivot gaits + articulation trim)")
+
+	wp := 0
+	phase := 0
+	for ; phase < 6000 && wp < len(waypoints); phase++ {
+		pose := r.Pose()
+		target := waypoints[wp]
+		dx, dy := target.X-pose.X, target.Y-pose.Y
+		if math.Hypot(dx, dy) < captureMM {
+			fmt.Printf("  waypoint %d reached at phase %4d, pose (%5.0f, %5.0f) heading %4.0f°\n",
+				wp+1, phase, pose.X, pose.Y, normDeg(pose.HeadingDeg()))
+			wp++
+			continue
+		}
+		errDeg := normDeg(math.Atan2(dy, dx)*180/math.Pi - pose.HeadingDeg())
+
+		// Pick the desired mode with hysteresis; reconfigure the
+		// controller only when the mode actually changes (a
+		// reconfiguration restarts the gait cycle).
+		want := mode
+		switch {
+		case mode != "pivotL" && mode != "pivotR" && math.Abs(errDeg) > pivotEnter:
+			if errDeg > 0 {
+				want = "pivotL"
+			} else {
+				want = "pivotR"
+			}
+		case (mode == "pivotL" || mode == "pivotR") && math.Abs(errDeg) < pivotExit:
+			want = "walk"
+		case mode == "pivotL" && errDeg < -pivotExit:
+			want = "pivotR"
+		case mode == "pivotR" && errDeg > pivotExit:
+			want = "pivotL"
+		}
+		if want != mode {
+			mode = want
+			switch mode {
+			case "pivotL":
+				r.SetArticulation(0)
+				ctl.Reconfigure(left)
+			case "pivotR":
+				r.SetArticulation(0)
+				ctl.Reconfigure(right)
+			default:
+				ctl.Reconfigure(tripod)
+			}
+		}
+		if mode == "walk" {
+			r.SetArticulation(math.Max(-maxBend, math.Min(maxBend, gain*errDeg)))
+		}
+		r.Step(0)
+	}
+	if wp == len(waypoints) {
+		fmt.Printf("course complete in %d phases (%.0f s at 0.4 s/phase)\n",
+			phase, float64(phase)*controller.DefaultPhaseSeconds)
+	} else {
+		fmt.Println("course incomplete")
+	}
+
+	// Walk straight at a wall and stop on the contact sensors.
+	r2 := robot.New(controller.New(gait.Tripod()))
+	wall := robot.BodyLength/2 + robot.StrideHalf + 400
+	for i := 0; i < 600; i++ {
+		r2.Step(wall)
+		s := r2.Sensors()
+		if s.Obstacle[genome.L1] || s.Obstacle[genome.R1] {
+			fmt.Printf("obstacle: front contact sensors fired at x = %.0f mm (wall at %.0f)\n",
+				r2.Position(), wall)
+			break
+		}
+	}
+}
+
+func normDeg(d float64) float64 {
+	for d > 180 {
+		d -= 360
+	}
+	for d < -180 {
+		d += 360
+	}
+	return d
+}

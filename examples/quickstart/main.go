@@ -1,0 +1,32 @@
+// Quickstart: evolve a walking gait for Leonardo exactly as the
+// paper's chip does — population 32, 36-bit genomes, tournament
+// selection 0.8, crossover 0.7, 15 mutations per generation — then
+// inspect and walk the champion.
+package main
+
+import (
+	"fmt"
+
+	"leonardo"
+)
+
+func main() {
+	res, err := leonardo.Evolve(leonardo.PaperParams(2026))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("evolved to fitness %d/%d in %d generations (%v on the 1 MHz chip)\n\n",
+		res.BestFitness, res.MaxFitness, res.Generations, leonardo.RunTime(res))
+
+	champion := res.Best.Packed()
+	fmt.Println(leonardo.Describe(champion))
+	fmt.Println()
+	fmt.Println("gait diagram:")
+	fmt.Print(leonardo.GaitDiagram(champion, 2))
+
+	metrics := leonardo.Walk(champion, 5)
+	fmt.Println("\nsimulated walk:", metrics)
+	fmt.Println("\nfor reference, the canonical tripod:", leonardo.Walk(leonardo.Tripod(), 5))
+	fmt.Printf("\nexhaustive search over all 2^36 genomes would take %v at 1 MHz\n",
+		leonardo.ExhaustiveTime())
+}

@@ -1,0 +1,3 @@
+module leonardo
+
+go 1.22

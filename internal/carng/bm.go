@@ -1,0 +1,50 @@
+package carng
+
+// BerlekampMassey computes the minimal connection polynomial of a
+// binary sequence over GF(2): the lowest-degree polynomial
+// C(x) = 1 + c_1 x + ... + c_L x^L such that
+// s_j = c_1 s_{j-1} + ... + c_L s_{j-L} for all j >= L.
+// The returned polynomial is the reciprocal characteristic polynomial
+// of the shortest LFSR generating the sequence; its degree is the
+// sequence's linear complexity.
+//
+// It is used in tests to recover, from observed output bits alone, the
+// feedback polynomial of the package's generators and check it for
+// primitivity — verifying maximal period from behaviour rather than
+// from construction.
+func BerlekampMassey(s []bool) Poly {
+	c := PolyFromCoeffs(0) // C(x) = 1
+	b := PolyFromCoeffs(0) // B(x) = 1
+	var l, m int
+	m = -1
+	for n := 0; n < len(s); n++ {
+		// Discrepancy d = s_n + sum c_i s_{n-i}.
+		d := s[n]
+		for i := 1; i <= l; i++ {
+			if c.Bit(i) && s[n-i] {
+				d = !d
+			}
+		}
+		if !d {
+			continue
+		}
+		t := c
+		c = c.Add(b.ShiftLeft(n - m))
+		if 2*l <= n {
+			l = n + 1 - l
+			b = t
+			m = n
+		}
+	}
+	return c
+}
+
+// LinearComplexity returns the linear complexity of the sequence: the
+// length of the shortest LFSR that generates it.
+func LinearComplexity(s []bool) int {
+	d := BerlekampMassey(s).Degree()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

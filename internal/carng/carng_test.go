@@ -1,0 +1,272 @@
+package carng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRulesArePrimitive(t *testing.T) {
+	p := CharPoly(DefaultRules37, DefaultCells)
+	if p.Degree() != DefaultCells {
+		t.Fatalf("charpoly degree = %d", p.Degree())
+	}
+	if !Primitive(p) {
+		t.Fatal("DefaultRules37 characteristic polynomial is not primitive")
+	}
+}
+
+func TestCAStepMatchesScalarDefinition(t *testing.T) {
+	// Word-parallel Step must agree with the cell-by-cell definition
+	// next_i = s_{i-1} XOR s_{i+1} XOR (rule150_i AND s_i).
+	f := func(rules, seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%63
+		ca := NewCA(n, rules, seed)
+		s := ca.State()
+		ca.Step()
+		got := ca.State()
+		var want uint64
+		for i := 0; i < n; i++ {
+			var left, right, self uint64
+			if i > 0 {
+				left = s >> uint(i-1) & 1
+			}
+			if i < n-1 {
+				right = s >> uint(i+1) & 1
+			}
+			if ca.Rules()>>uint(i)&1 != 0 {
+				self = s >> uint(i) & 1
+			}
+			want |= (left ^ right ^ self) << uint(i)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCASmallMaximalPeriods(t *testing.T) {
+	// For small n, find a maximal rule vector and verify the period
+	// exhaustively — cross-validating the algebraic primitivity test
+	// against brute force.
+	for n := 3; n <= 14; n++ {
+		rules := FindMaximalRules(n)
+		ca := NewCA(n, rules, 1)
+		want := uint64(1)<<uint(n) - 1
+		if got := ca.Period(); got != want {
+			t.Errorf("n=%d rules=%#x: period %d, want %d", n, rules, got, want)
+		}
+	}
+}
+
+func TestCANonMaximalPeriodDetected(t *testing.T) {
+	// All-rule-90 with even n is famously non-maximal; brute force and
+	// algebra must agree that it is not maximal.
+	n := 8
+	ca := NewCA(n, 0, 1)
+	if ca.Period() == 1<<uint(n)-1 {
+		t.Fatal("all-rule-90 n=8 unexpectedly maximal")
+	}
+	if Primitive(CharPoly(0, n)) {
+		t.Fatal("algebra disagrees with brute force")
+	}
+}
+
+func TestCAZeroSeedAvoided(t *testing.T) {
+	ca := NewCA(8, 0x5a, 0)
+	if ca.State() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+	ca.Step()
+	if ca.State() == 0 {
+		t.Fatal("state reached zero from nonzero seed (impossible for linear map with primitive charpoly)")
+	}
+}
+
+func TestCAOutputLinearComplexity(t *testing.T) {
+	// The single-cell output sequence of the default CA must have full
+	// linear complexity 37 with a primitive minimal polynomial —
+	// maximality verified from behaviour alone.
+	ca := NewDefault(0xDEADBEEF)
+	var seq []bool
+	for i := 0; i < 3*DefaultCells; i++ {
+		seq = append(seq, ca.Word()>>18&1 != 0)
+	}
+	mp := BerlekampMassey(seq)
+	if mp.Degree() != DefaultCells {
+		t.Fatalf("linear complexity = %d, want %d", mp.Degree(), DefaultCells)
+	}
+	if !Primitive(mp) {
+		t.Fatal("minimal polynomial of CA output is not primitive")
+	}
+}
+
+func TestBitsRange(t *testing.T) {
+	ca := NewDefault(1)
+	for k := 1; k <= 16; k++ {
+		for i := 0; i < 100; i++ {
+			v := ca.Bits(k)
+			if v >= 1<<uint(k) {
+				t.Fatalf("Bits(%d) = %d out of range", k, v)
+			}
+		}
+	}
+}
+
+func TestIntnBoundsAndCoverage(t *testing.T) {
+	ca := NewDefault(99)
+	for _, n := range []int{1, 2, 3, 32, 36, 100, 1152} {
+		seen := map[int]bool{}
+		for i := 0; i < 200*n; i++ {
+			v := ca.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+			seen[v] = true
+		}
+		if n <= 36 && len(seen) != n {
+			t.Errorf("Intn(%d) covered only %d values", n, len(seen))
+		}
+	}
+}
+
+func TestCoinFrequency(t *testing.T) {
+	ca := NewDefault(123456)
+	const trials = 20000
+	for _, p := range []float64{0.8, 0.7, 0.5} {
+		th := Threshold8(p)
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if ca.Coin(th) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := float64(th) / 256
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Coin(%v): frequency %.4f, want ~%.4f", p, got, want)
+		}
+	}
+}
+
+func TestThreshold8(t *testing.T) {
+	cases := map[float64]uint8{
+		0:    0,
+		1:    255,
+		-0.5: 0,
+		2:    255,
+		0.5:  128,
+		0.8:  205, // 0.8*256 = 204.8 -> 205
+		0.7:  179, // 0.7*256 = 179.2 -> 179
+	}
+	for p, want := range cases {
+		if got := Threshold8(p); got != want {
+			t.Errorf("Threshold8(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestMonobitBalance(t *testing.T) {
+	// Frequency test over the word stream: the fraction of ones over a
+	// long run must be 0.5 within a generous tolerance.
+	ca := NewDefault(42)
+	ones, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		w := ca.Word()
+		for b := 0; b < DefaultCells; b++ {
+			if w>>uint(b)&1 != 0 {
+				ones++
+			}
+			total++
+		}
+	}
+	frac := float64(ones) / float64(total)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("ones fraction = %.4f, want ~0.5", frac)
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// Successive samples from the spaced-site extractor must be nearly
+	// uncorrelated.
+	ca := NewDefault(7)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(ca.Bits(8))
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var num, den float64
+	for i := 0; i+1 < n; i++ {
+		num += (xs[i] - mean) * (xs[i+1] - mean)
+	}
+	for _, x := range xs {
+		den += (x - mean) * (x - mean)
+	}
+	r := num / den
+	if math.Abs(r) > 0.03 {
+		t.Errorf("lag-1 autocorrelation = %.4f, want ~0", r)
+	}
+}
+
+func TestSourceAdapter(t *testing.T) {
+	src := Source{CA: NewDefault(5)}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		v := src.Uint64()
+		if seen[v] {
+			t.Fatalf("repeated Uint64 %#x within 100 draws", v)
+		}
+		seen[v] = true
+		if src.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+	src.Seed(77)
+	a := src.Uint64()
+	src.Seed(77)
+	if src.Uint64() != a {
+		t.Fatal("Seed not reproducible")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewDefault(31337), NewDefault(31337)
+	for i := 0; i < 1000; i++ {
+		if a.Word() != b.Word() {
+			t.Fatal("same-seed CAs diverged")
+		}
+	}
+}
+
+func TestNewCAPanics(t *testing.T) {
+	for _, n := range []int{0, 65, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCA(%d,...) should panic", n)
+				}
+			}()
+			NewCA(n, 0, 1)
+		}()
+	}
+}
+
+func TestBitsPanics(t *testing.T) {
+	ca := NewCA(8, 0x17, 1)
+	for _, k := range []int{0, 33, 5} { // 5 needs 10 cells > 8
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bits(%d) on 8-cell CA should panic", k)
+				}
+			}()
+			ca.Bits(k)
+		}()
+	}
+}

@@ -1,0 +1,164 @@
+package carng
+
+import "sort"
+
+// Factorize returns the distinct prime factors of n (n >= 2) in
+// ascending order, using trial division for small factors and
+// Pollard's rho with Brent's cycle detection for the rest. It is used
+// to test primitivity of characteristic polynomials, where n = 2^k - 1
+// for k up to 63.
+func Factorize(n uint64) []uint64 {
+	set := map[uint64]bool{}
+	var rec func(uint64)
+	rec = func(m uint64) {
+		for m%2 == 0 {
+			set[2] = true
+			m /= 2
+		}
+		for p := uint64(3); p <= 1000 && p*p <= m; p += 2 {
+			for m%p == 0 {
+				set[p] = true
+				m /= p
+			}
+		}
+		if m == 1 {
+			return
+		}
+		if isPrime(m) {
+			set[m] = true
+			return
+		}
+		d := pollardRho(m)
+		rec(d)
+		rec(m / d)
+	}
+	if n >= 2 {
+		rec(n)
+	}
+	out := make([]uint64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mulmod computes a*b mod m without overflow using 128-bit
+// intermediate arithmetic via math/bits-free doubling when needed.
+func mulmod(a, b, m uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a < 1<<32 && b < 1<<32 {
+		return a * b % m
+	}
+	// Russian-peasant multiplication mod m.
+	a %= m
+	var r uint64
+	for b > 0 {
+		if b&1 != 0 {
+			r += a
+			if r >= m || r < a {
+				r -= m
+			}
+		}
+		b >>= 1
+		if b != 0 {
+			d := a
+			a += a
+			if a >= m || a < d {
+				a -= m
+			}
+		}
+	}
+	return r % m
+}
+
+func powmod(a, e, m uint64) uint64 {
+	r := uint64(1 % m)
+	a %= m
+	for e > 0 {
+		if e&1 != 0 {
+			r = mulmod(r, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return r
+}
+
+// isPrime is a deterministic Miller-Rabin test valid for all uint64
+// values, using the known sufficient witness set.
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	// Deterministic witnesses for n < 3.3e24 (covers uint64).
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// pollardRho returns a non-trivial factor of composite odd n.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 {
+			return (mulmod(x, x, n) + c) % n
+		}
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if y > x {
+				diff = y - x
+			}
+			if diff == 0 {
+				break // cycle without factor; retry with new c
+			}
+			d = gcd(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,320 @@
+// Package carng implements the pseudo-random number generator of the
+// Genetic Algorithm Processor: a one-dimensional cellular machine built
+// from XOR gates, as described in §3.2 of the paper ("It is implemented
+// as a one-dimensional cellular machine (XOR system)").
+//
+// The concrete construction is the standard hardware choice for such
+// machines: a null-boundary hybrid cellular automaton in which each
+// cell applies either rule 90 (next = left XOR right) or rule 150
+// (next = left XOR self XOR right). With a suitable rule vector the
+// automaton's state transition matrix has a primitive characteristic
+// polynomial over GF(2) and the state sequence has the maximal period
+// 2^n - 1. This package includes the GF(2) machinery to *verify*
+// maximality rather than trust a table: the characteristic polynomial
+// of the tridiagonal transition matrix is computed by a three-term
+// recurrence and tested for primitivity by modular exponentiation.
+//
+// A linear-feedback shift register is provided as a comparator, since
+// an LFSR is the other classic single-chip PRNG the designers could
+// have used.
+package carng
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Poly is a polynomial over GF(2), stored with coefficient i in bit i
+// of word i/64. The zero value is the zero polynomial.
+type Poly struct {
+	w []uint64
+}
+
+// PolyFromCoeffs builds a polynomial from the exponents of its nonzero
+// terms, e.g. PolyFromCoeffs(3, 1, 0) = x^3 + x + 1.
+func PolyFromCoeffs(exps ...int) Poly {
+	var p Poly
+	for _, e := range exps {
+		p.setBit(e)
+	}
+	return p
+}
+
+func (p *Poly) setBit(i int) {
+	word := i / 64
+	for len(p.w) <= word {
+		p.w = append(p.w, 0)
+	}
+	p.w[word] ^= 1 << (uint(i) % 64)
+}
+
+// Bit returns coefficient i.
+func (p Poly) Bit(i int) bool {
+	word := i / 64
+	if word >= len(p.w) {
+		return false
+	}
+	return p.w[word]>>(uint(i)%64)&1 != 0
+}
+
+// Degree returns the degree of the polynomial, or -1 for the zero
+// polynomial.
+func (p Poly) Degree() int {
+	for i := len(p.w) - 1; i >= 0; i-- {
+		if p.w[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(p.w[i])
+		}
+	}
+	return -1
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.Degree() < 0 }
+
+// Add returns p + q (XOR of coefficients).
+func (p Poly) Add(q Poly) Poly {
+	n := len(p.w)
+	if len(q.w) > n {
+		n = len(q.w)
+	}
+	r := Poly{w: make([]uint64, n)}
+	copy(r.w, p.w)
+	for i, v := range q.w {
+		r.w[i] ^= v
+	}
+	return r.trim()
+}
+
+func (p Poly) trim() Poly {
+	n := len(p.w)
+	for n > 0 && p.w[n-1] == 0 {
+		n--
+	}
+	p.w = p.w[:n]
+	return p
+}
+
+// ShiftLeft returns p * x^k.
+func (p Poly) ShiftLeft(k int) Poly {
+	if p.IsZero() || k == 0 {
+		if k == 0 {
+			return p.clone()
+		}
+	}
+	words, rem := k/64, uint(k%64)
+	r := Poly{w: make([]uint64, len(p.w)+words+1)}
+	for i, v := range p.w {
+		r.w[i+words] |= v << rem
+		if rem != 0 {
+			r.w[i+words+1] |= v >> (64 - rem)
+		}
+	}
+	return r.trim()
+}
+
+func (p Poly) clone() Poly {
+	r := Poly{w: make([]uint64, len(p.w))}
+	copy(r.w, p.w)
+	return r
+}
+
+// Equal reports whether p and q have the same coefficients.
+func (p Poly) Equal(q Poly) bool {
+	p, q = p.trim(), q.trim()
+	if len(p.w) != len(q.w) {
+		return false
+	}
+	for i := range p.w {
+		if p.w[i] != q.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns p * q over GF(2).
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	r := Poly{w: make([]uint64, len(p.w)+len(q.w))}
+	for i := 0; i <= q.Degree(); i++ {
+		if q.Bit(i) {
+			s := p.ShiftLeft(i)
+			for j, v := range s.w {
+				r.w[j] ^= v
+			}
+		}
+	}
+	return r.trim()
+}
+
+// Mod returns p mod m over GF(2). m must be nonzero.
+func (p Poly) Mod(m Poly) Poly {
+	dm := m.Degree()
+	if dm < 0 {
+		panic("carng: polynomial division by zero")
+	}
+	r := p.clone()
+	for {
+		dr := r.Degree()
+		if dr < dm {
+			return r.trim()
+		}
+		r = r.Add(m.ShiftLeft(dr - dm))
+	}
+}
+
+// MulMod returns p*q mod m over GF(2).
+func (p Poly) MulMod(q, m Poly) Poly { return p.Mul(q).Mod(m) }
+
+// ExpMod returns x^e mod m over GF(2) using square-and-multiply with a
+// big-endian exponent walk. e is given as a uint64.
+func ExpMod(e uint64, m Poly) Poly {
+	result := PolyFromCoeffs(0) // 1
+	if e == 0 {
+		return result.Mod(m)
+	}
+	x := PolyFromCoeffs(1).Mod(m)
+	for i := 63 - bits.LeadingZeros64(e); i >= 0; i-- {
+		result = result.MulMod(result, m)
+		if e>>uint(i)&1 != 0 {
+			result = result.MulMod(x, m)
+		}
+	}
+	return result
+}
+
+// String renders the polynomial in conventional form, e.g.
+// "x^3 + x + 1"; the zero polynomial renders as "0".
+func (p Poly) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	s := ""
+	for i := d; i >= 0; i-- {
+		if !p.Bit(i) {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		switch i {
+		case 0:
+			s += "1"
+		case 1:
+			s += "x"
+		default:
+			s += fmt.Sprintf("x^%d", i)
+		}
+	}
+	return s
+}
+
+// CharPoly computes the characteristic polynomial of the null-boundary
+// hybrid 90/150 cellular automaton with the given rule vector (bit i of
+// rules set means cell i applies rule 150). The CA transition matrix is
+// tridiagonal with ones on the sub- and super-diagonals and the rule
+// bits on the diagonal, so the characteristic polynomial obeys the
+// three-term recurrence
+//
+//	p_0 = 1
+//	p_1 = x + d_1
+//	p_k = (x + d_k) p_{k-1} + p_{k-2}
+//
+// over GF(2), where d_k is the k-th diagonal (rule) bit.
+func CharPoly(rules uint64, n int) Poly {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("carng: CharPoly supports 1..64 cells, got %d", n))
+	}
+	pPrev := PolyFromCoeffs(0) // p_0 = 1
+	var p Poly                 // p_1 below
+	d1 := PolyFromCoeffs(1)
+	if rules&1 != 0 {
+		d1 = d1.Add(PolyFromCoeffs(0))
+	}
+	p = d1
+	for k := 2; k <= n; k++ {
+		term := PolyFromCoeffs(1)
+		if rules>>(uint(k)-1)&1 != 0 {
+			term = term.Add(PolyFromCoeffs(0))
+		}
+		p, pPrev = term.Mul(p).Add(pPrev), p
+	}
+	return p
+}
+
+// Irreducible reports whether p (degree n >= 1) is irreducible over
+// GF(2), using the standard test: x^(2^n) = x mod p, and
+// gcd-style order checks x^(2^(n/q)) != x mod p for every prime q
+// dividing n.
+func Irreducible(p Poly) bool {
+	n := p.Degree()
+	if n < 1 {
+		return false
+	}
+	if !p.Bit(0) {
+		// Divisible by x.
+		return n == 1
+	}
+	// x^(2^n) mod p must equal x.
+	if !frobenius(p, n).Equal(PolyFromCoeffs(1).Mod(p)) {
+		return false
+	}
+	for _, q := range primeFactorsInt(n) {
+		if frobenius(p, n/q).Equal(PolyFromCoeffs(1).Mod(p)) {
+			return false
+		}
+	}
+	return true
+}
+
+// frobenius computes x^(2^k) mod p by repeated squaring of x.
+func frobenius(p Poly, k int) Poly {
+	x := PolyFromCoeffs(1).Mod(p)
+	for i := 0; i < k; i++ {
+		x = x.MulMod(x, p)
+	}
+	return x
+}
+
+// Primitive reports whether p (irreducible, degree n, 1 <= n <= 63) is
+// primitive over GF(2): the multiplicative order of x modulo p is
+// exactly 2^n - 1. It factorizes 2^n - 1 internally.
+func Primitive(p Poly) bool {
+	n := p.Degree()
+	if n < 1 || n > 63 {
+		return false
+	}
+	if !Irreducible(p) {
+		return false
+	}
+	order := uint64(1)<<uint(n) - 1
+	one := PolyFromCoeffs(0).Mod(p)
+	if !ExpMod(order, p).Equal(one) {
+		return false
+	}
+	for _, q := range Factorize(order) {
+		if ExpMod(order/q, p).Equal(one) {
+			return false
+		}
+	}
+	return true
+}
+
+func primeFactorsInt(n int) []int {
+	var fs []int
+	for q := 2; q*q <= n; q++ {
+		if n%q == 0 {
+			fs = append(fs, q)
+			for n%q == 0 {
+				n /= q
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

@@ -1,0 +1,312 @@
+package carng
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyBasics(t *testing.T) {
+	p := PolyFromCoeffs(3, 1, 0)
+	if p.String() != "x^3 + x + 1" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Degree() != 3 {
+		t.Errorf("Degree = %d", p.Degree())
+	}
+	if !p.Bit(0) || !p.Bit(1) || p.Bit(2) || !p.Bit(3) || p.Bit(100) {
+		t.Error("Bit readout wrong")
+	}
+	var zero Poly
+	if !zero.IsZero() || zero.Degree() != -1 || zero.String() != "0" {
+		t.Error("zero polynomial misbehaves")
+	}
+	// Duplicate exponents cancel over GF(2).
+	if !PolyFromCoeffs(2, 2).IsZero() {
+		t.Error("x^2 + x^2 should be 0")
+	}
+}
+
+func TestPolyAddSelfInverse(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := polyFromUint(uint64(a))
+		q := polyFromUint(uint64(b))
+		return p.Add(q).Add(q).Equal(p) && p.Add(p).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func polyFromUint(v uint64) Poly {
+	var exps []int
+	for i := 0; i < 64; i++ {
+		if v>>uint(i)&1 != 0 {
+			exps = append(exps, i)
+		}
+	}
+	return PolyFromCoeffs(exps...)
+}
+
+func TestPolyMulDistributes(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		p, q, r := polyFromUint(uint64(a)), polyFromUint(uint64(b)), polyFromUint(uint64(c))
+		lhs := p.Mul(q.Add(r))
+		rhs := p.Mul(q).Add(p.Mul(r))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyMulCommutesAndDegree(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p, q := polyFromUint(uint64(a)), polyFromUint(uint64(b))
+		pq := p.Mul(q)
+		if !pq.Equal(q.Mul(p)) {
+			return false
+		}
+		if p.IsZero() || q.IsZero() {
+			return pq.IsZero()
+		}
+		return pq.Degree() == p.Degree()+q.Degree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyModIdentity(t *testing.T) {
+	// (p*m + r) mod m == r mod m.
+	f := func(a, b, c uint16) bool {
+		m := polyFromUint(uint64(a) | 0x100) // ensure nonzero, degree >= 8
+		p := polyFromUint(uint64(b))
+		r := polyFromUint(uint64(c))
+		lhs := p.Mul(m).Add(r).Mod(m)
+		return lhs.Equal(r.Mod(m))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyShiftLeft(t *testing.T) {
+	p := PolyFromCoeffs(2, 0)
+	if !p.ShiftLeft(70).Equal(PolyFromCoeffs(72, 70)) {
+		t.Error("ShiftLeft across word boundary wrong")
+	}
+	if !p.ShiftLeft(0).Equal(p) {
+		t.Error("ShiftLeft(0) changed value")
+	}
+}
+
+func TestExpMod(t *testing.T) {
+	m := PolyFromCoeffs(4, 1, 0) // x^4 + x + 1, primitive
+	// x^15 mod m must be 1 (order of x is 15).
+	if !ExpMod(15, m).Equal(PolyFromCoeffs(0)) {
+		t.Error("x^15 != 1 mod x^4+x+1")
+	}
+	// x^5 mod m must not be 1.
+	if ExpMod(5, m).Equal(PolyFromCoeffs(0)) {
+		t.Error("x^5 == 1 mod x^4+x+1, order too small")
+	}
+	if !ExpMod(0, m).Equal(PolyFromCoeffs(0)) {
+		t.Error("x^0 != 1")
+	}
+	// Exponent laws: x^(a+b) = x^a * x^b mod m.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a, b := uint64(rng.Intn(1000)), uint64(rng.Intn(1000))
+		lhs := ExpMod(a+b, m)
+		rhs := ExpMod(a, m).MulMod(ExpMod(b, m), m)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("x^(%d+%d) != x^%d * x^%d mod m", a, b, a, b)
+		}
+	}
+}
+
+func TestIrreducibleKnownCases(t *testing.T) {
+	irr := []Poly{
+		PolyFromCoeffs(1, 0),          // x + 1
+		PolyFromCoeffs(2, 1, 0),       // x^2 + x + 1
+		PolyFromCoeffs(3, 1, 0),       // x^3 + x + 1
+		PolyFromCoeffs(4, 1, 0),       // x^4 + x + 1
+		PolyFromCoeffs(8, 4, 3, 1, 0), // AES polynomial
+	}
+	for _, p := range irr {
+		if !Irreducible(p) {
+			t.Errorf("%v should be irreducible", p)
+		}
+	}
+	red := []Poly{
+		PolyFromCoeffs(2, 0),       // x^2 + 1 = (x+1)^2
+		PolyFromCoeffs(4, 0),       // x^4 + 1
+		PolyFromCoeffs(4, 3, 1, 0), // divisible by x+1 (even weight incl. const)
+		PolyFromCoeffs(3, 2, 1),    // divisible by x
+	}
+	for _, p := range red {
+		if Irreducible(p) {
+			t.Errorf("%v should be reducible", p)
+		}
+	}
+}
+
+func TestPrimitiveKnownCases(t *testing.T) {
+	prim := []Poly{
+		PolyFromCoeffs(2, 1, 0),
+		PolyFromCoeffs(3, 1, 0),
+		PolyFromCoeffs(4, 1, 0),
+		PolyFromCoeffs(5, 2, 0),
+		PolyFromCoeffs(16, 5, 3, 2, 0),
+	}
+	for _, p := range prim {
+		if !Primitive(p) {
+			t.Errorf("%v should be primitive", p)
+		}
+	}
+	// x^4 + x^3 + x^2 + x + 1 is irreducible but has order 5, not 15.
+	notPrim := PolyFromCoeffs(4, 3, 2, 1, 0)
+	if !Irreducible(notPrim) {
+		t.Fatal("x^4+x^3+x^2+x+1 should be irreducible")
+	}
+	if Primitive(notPrim) {
+		t.Error("x^4+x^3+x^2+x+1 should not be primitive (order 5)")
+	}
+	if Primitive(PolyFromCoeffs(2, 0)) {
+		t.Error("reducible polynomial reported primitive")
+	}
+}
+
+func TestCharPolyAgainstBruteForce(t *testing.T) {
+	// For small automata, check Cayley-Hamilton behaviourally: the
+	// characteristic polynomial applied to the transition map must
+	// annihilate every state.
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 8; trial++ {
+			rules := uint64(trial*2654435761) & (1<<uint(n) - 1)
+			p := CharPoly(rules, n)
+			if p.Degree() != n {
+				t.Fatalf("n=%d rules=%#x: degree %d", n, rules, p.Degree())
+			}
+			for s0 := uint64(1); s0 < 1<<uint(n); s0++ {
+				// Compute sum over set coefficients of A^i s0.
+				var acc uint64
+				state := s0
+				for i := 0; i <= n; i++ {
+					if p.Bit(i) {
+						acc ^= state
+					}
+					// advance state by one CA step
+					ca := &CA{n: n, mask: 1<<uint(n) - 1, rules: rules, state: state}
+					ca.Step()
+					state = ca.state
+				}
+				if acc != 0 {
+					t.Fatalf("n=%d rules=%#x: charpoly does not annihilate state %#x", n, rules, s0)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:            {2},
+		12:           {2, 3},
+		97:           {97},
+		1<<16 - 1:    {3, 5, 17, 257},
+		1<<31 - 1:    {2147483647},
+		1<<36 - 1:    {3, 5, 7, 13, 19, 37, 73, 109},
+		1<<37 - 1:    {223, 616318177},
+		600851475143: {71, 839, 1471, 6857},
+		1<<61 - 1:    {2305843009213693951},
+	}
+	for n, want := range cases {
+		got := Factorize(n)
+		if len(got) != len(want) {
+			t.Errorf("Factorize(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Factorize(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestFactorizeProductRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		n := uint64(rng.Int63n(1 << 40))
+		if n < 2 {
+			continue
+		}
+		for _, p := range Factorize(n) {
+			if n%p != 0 {
+				t.Fatalf("Factorize(%d) returned non-factor %d", n, p)
+			}
+			if !isPrime(p) {
+				t.Fatalf("Factorize(%d) returned composite %d", n, p)
+			}
+		}
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{}
+	sieve := make([]bool, 2000)
+	for i := 2; i < 2000; i++ {
+		if !sieve[i] {
+			primes[uint64(i)] = true
+			for j := i * i; j < 2000; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	for n := uint64(0); n < 2000; n++ {
+		if isPrime(n) != primes[n] {
+			t.Errorf("isPrime(%d) = %v", n, isPrime(n))
+		}
+	}
+}
+
+func TestMulmodMatchesBigValues(t *testing.T) {
+	// Against 128-bit reference via splitting.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		m := rng.Uint64() | 1<<63
+		got := mulmod(a, b, m)
+		want := slowMulmod(a, b, m)
+		if got != want {
+			t.Fatalf("mulmod(%d,%d,%d) = %d, want %d", a, b, m, got, want)
+		}
+	}
+}
+
+func slowMulmod(a, b, m uint64) uint64 {
+	var r uint64
+	a %= m
+	for b > 0 {
+		if b&1 != 0 {
+			r = addmod(r, a, m)
+		}
+		b >>= 1
+		if b != 0 {
+			a = addmod(a, a, m)
+		}
+	}
+	return r
+}
+
+func addmod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a >= m-b {
+		return a - (m - b)
+	}
+	return a + b
+}

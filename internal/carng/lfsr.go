@@ -1,0 +1,92 @@
+package carng
+
+import "fmt"
+
+// LFSR is a Galois linear-feedback shift register over GF(2), the
+// classic alternative to a cellular-automaton PRNG in single-chip
+// designs. It is included as a comparator for the CA generator: same
+// hardware cost class (n flip-flops plus XORs), same maximal period
+// 2^n - 1 when the feedback polynomial is primitive.
+type LFSR struct {
+	n     int
+	mask  uint64
+	taps  uint64 // feedback polynomial without the x^n term, bit i = coeff of x^i
+	state uint64
+}
+
+// Poly37 is the default tap mask for the 37-bit register. The Galois
+// recurrence it induces has the primitive minimal polynomial
+// x^37 + x^5 + x^4 + x^3 + x^2 + x + 1 (recovered behaviourally by
+// Berlekamp-Massey and re-verified by the package tests), giving the
+// maximal period 2^37 - 1.
+const Poly37 uint64 = 0x1f
+
+// NewLFSR creates an n-bit Galois LFSR (1..63) with the given tap mask
+// (coefficients of the feedback polynomial below x^n; the x^n and
+// constant terms are implied). A zero seed is replaced by 1.
+func NewLFSR(n int, taps, seed uint64) *LFSR {
+	if n < 1 || n > 63 {
+		panic(fmt.Sprintf("carng: LFSR width %d out of range [1,63]", n))
+	}
+	mask := uint64(1)<<uint(n) - 1
+	s := seed & mask
+	if s == 0 {
+		s = 1
+	}
+	return &LFSR{n: n, mask: mask, taps: taps & mask, state: s}
+}
+
+// NewLFSR37 creates the default 37-bit comparator register.
+func NewLFSR37(seed uint64) *LFSR { return NewLFSR(37, Poly37, seed) }
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Step advances the register one clock: shift right, and if the bit
+// shifted out was 1, XOR the tap mask into the state (Galois form).
+func (l *LFSR) Step() {
+	out := l.state & 1
+	l.state >>= 1
+	if out != 0 {
+		l.state ^= l.taps | 1<<uint(l.n-1)
+		l.state &= l.mask
+	}
+}
+
+// Word steps the register and returns the new state.
+func (l *LFSR) Word() uint64 {
+	l.Step()
+	return l.state
+}
+
+// Period returns the orbit length from the current state by brute
+// force; for tests on small registers.
+func (l *LFSR) Period() uint64 {
+	start := l.state
+	var n uint64
+	for {
+		l.Step()
+		n++
+		if l.state == start {
+			return n
+		}
+	}
+}
+
+// FeedbackPoly returns the characteristic polynomial of the register's
+// output recurrence. Unrolling the Galois update gives
+//
+//	o(t) = T_0 o(t-1) + T_1 o(t-2) + ... + T_{n-2} o(t-n+1) + o(t-n)
+//
+// so the polynomial is x^n + T_0 x^(n-1) + ... + T_{n-2} x + 1. The
+// register has maximal period iff this polynomial (equivalently its
+// reciprocal, which Berlekamp-Massey recovers) is primitive.
+func (l *LFSR) FeedbackPoly() Poly {
+	p := PolyFromCoeffs(l.n, 0)
+	for i := 0; i <= l.n-2; i++ {
+		if l.taps>>uint(i)&1 != 0 {
+			p = p.Add(PolyFromCoeffs(l.n - 1 - i))
+		}
+	}
+	return p
+}

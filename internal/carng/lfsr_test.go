@@ -1,0 +1,134 @@
+package carng
+
+import "testing"
+
+func TestLFSR37Primitive(t *testing.T) {
+	l := NewLFSR37(1)
+	p := l.FeedbackPoly()
+	if p.Degree() != 37 {
+		t.Fatalf("feedback degree = %d", p.Degree())
+	}
+	if !Primitive(p) {
+		t.Fatal("default LFSR feedback polynomial not primitive")
+	}
+}
+
+func TestLFSRFeedbackPolyMatchesBerlekampMassey(t *testing.T) {
+	// The constructed characteristic polynomial and the behaviourally
+	// recovered minimal polynomial must be reciprocals of each other
+	// (Berlekamp-Massey returns the connection polynomial).
+	l := NewLFSR37(1)
+	var seq []bool
+	for i := 0; i < 3*37; i++ {
+		seq = append(seq, l.Word()&1 != 0)
+	}
+	mp := BerlekampMassey(seq)
+	fp := NewLFSR37(1).FeedbackPoly()
+	if !reciprocal(fp).Equal(mp) {
+		t.Fatalf("feedback poly %v is not reciprocal of minimal poly %v", fp, mp)
+	}
+}
+
+func reciprocal(p Poly) Poly {
+	d := p.Degree()
+	var exps []int
+	for i := 0; i <= d; i++ {
+		if p.Bit(i) {
+			exps = append(exps, d-i)
+		}
+	}
+	return PolyFromCoeffs(exps...)
+}
+
+func TestLFSRSmallPeriods(t *testing.T) {
+	// Known primitive taps for small widths; verify full period by
+	// brute force AND via the constructed polynomial.
+	cases := []struct {
+		n    int
+		taps uint64
+	}{
+		{3, 0b011}, // o(t)=o(t-1)+o(t-2)+o(t-3): x^3+x^2+x+1? need check via machinery below
+		{4, 0b0011},
+		{5, 0b00101},
+	}
+	for _, c := range cases {
+		l := NewLFSR(c.n, c.taps, 1)
+		p := l.FeedbackPoly()
+		maximal := Primitive(p)
+		got := NewLFSR(c.n, c.taps, 1).Period()
+		want := uint64(1)<<uint(c.n) - 1
+		if maximal != (got == want) {
+			t.Errorf("n=%d taps=%#b: primitivity says %v but period=%d (max=%d)",
+				c.n, c.taps, maximal, got, want)
+		}
+	}
+}
+
+func TestLFSRZeroSeedAvoided(t *testing.T) {
+	l := NewLFSR(8, 0x1d, 0)
+	if l.State() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestLFSRDeterminism(t *testing.T) {
+	a, b := NewLFSR37(55), NewLFSR37(55)
+	for i := 0; i < 500; i++ {
+		if a.Word() != b.Word() {
+			t.Fatal("same-seed LFSRs diverged")
+		}
+	}
+}
+
+func TestLFSRPanics(t *testing.T) {
+	for _, n := range []int{0, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLFSR(%d) should panic", n)
+				}
+			}()
+			NewLFSR(n, 1, 1)
+		}()
+	}
+}
+
+func TestBerlekampMasseyKnownSequence(t *testing.T) {
+	// Fibonacci LFSR x^3 + x + 1 generates 0010111 repeating from a
+	// suitable seed; linear complexity must be 3.
+	seq := []bool{false, false, true, false, true, true, true,
+		false, false, true, false, true, true, true}
+	c := BerlekampMassey(seq)
+	if c.Degree() != 3 {
+		t.Fatalf("linear complexity = %d, want 3", c.Degree())
+	}
+	if LinearComplexity(seq) != 3 {
+		t.Fatal("LinearComplexity disagrees")
+	}
+}
+
+func TestBerlekampMasseyEdgeCases(t *testing.T) {
+	if LinearComplexity(nil) != 0 {
+		t.Error("empty sequence complexity != 0")
+	}
+	if LinearComplexity([]bool{false, false, false}) != 0 {
+		t.Error("zero sequence complexity != 0")
+	}
+	if LinearComplexity([]bool{false, false, true}) != 3 {
+		t.Error("000...1 prefix should need full-length register")
+	}
+}
+
+func BenchmarkCAWord(b *testing.B) {
+	ca := NewDefault(1)
+	for i := 0; i < b.N; i++ {
+		ca.Word()
+	}
+}
+
+func BenchmarkLFSRWord(b *testing.B) {
+	l := NewLFSR37(1)
+	for i := 0; i < b.N; i++ {
+		l.Word()
+	}
+}

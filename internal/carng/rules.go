@@ -1,0 +1,6 @@
+package carng
+
+// defaultRules37 was produced by FindMaximalRules(37): the first rule
+// vector in the deterministic golden-ratio scan whose characteristic
+// polynomial is primitive over GF(2). Re-verified by the package tests.
+const defaultRules37 uint64 = 0x17f4a7c150

@@ -1,0 +1,227 @@
+package controller
+
+import (
+	"testing"
+
+	"leonardo/internal/genome"
+	"leonardo/internal/servo"
+)
+
+// upForwardDown is the coherent swing gene: raise, move forward, lower.
+var upForwardDown = genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: false}
+
+// downBackDown is the coherent stance gene: stay down, propel backward.
+var downBackDown = genome.LegGene{}
+
+func swingStepGenome() genome.Genome {
+	var steps [genome.StepsPerGenome][genome.Legs]genome.LegGene
+	for l := 0; l < genome.Legs; l++ {
+		steps[0][l] = upForwardDown
+		steps[1][l] = downBackDown
+	}
+	return genome.New(steps)
+}
+
+func TestPhaseSequence(t *testing.T) {
+	c := New(swingStepGenome())
+	if c.CyclePhases() != 6 {
+		t.Fatalf("CyclePhases = %d, want 6", c.CyclePhases())
+	}
+	wantMoves := []MicroMove{MoveVertical1, MoveHorizontal, MoveVertical2,
+		MoveVertical1, MoveHorizontal, MoveVertical2}
+	wantSteps := []int{0, 0, 0, 1, 1, 1}
+	for i := 0; i < 12; i++ {
+		if c.Move() != wantMoves[i%6] || c.Step() != wantSteps[i%6] {
+			t.Fatalf("phase %d: move %v step %d", i, c.Move(), c.Step())
+		}
+		c.Advance()
+	}
+	if c.Phase() != 0 {
+		t.Fatalf("phase after two cycles = %d", c.Phase())
+	}
+}
+
+func TestMicroMovementApplication(t *testing.T) {
+	c := New(swingStepGenome())
+	// Initial posture: all legs down, back.
+	p := c.Posture()
+	for l := 0; l < genome.Legs; l++ {
+		if p.Up[l] || p.Forward[l] {
+			t.Fatal("initial posture should be down/back")
+		}
+	}
+	// Step 1, V1: all legs rise (gene raiseFirst=1).
+	p = c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if !p.Up[l] {
+			t.Fatal("V1 should raise legs")
+		}
+		if p.Forward[l] {
+			t.Fatal("V1 must not move horizontally")
+		}
+	}
+	// Step 1, H: all legs move forward, stay up.
+	p = c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if !p.Up[l] || !p.Forward[l] {
+			t.Fatal("H should move forward while up")
+		}
+	}
+	// Step 1, V2: all legs lower, stay forward.
+	p = c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if p.Up[l] || !p.Forward[l] {
+			t.Fatal("V2 should lower legs in place")
+		}
+	}
+	// Step 2 (all-zero genes): V1 keeps legs down, H moves them back.
+	p = c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if p.Up[l] {
+			t.Fatal("step 2 V1 should keep legs down")
+		}
+	}
+	p = c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if p.Forward[l] {
+			t.Fatal("step 2 H should pull legs back (propulsion)")
+		}
+	}
+}
+
+func TestPostureHeldAcrossPhases(t *testing.T) {
+	// A leg's horizontal position must persist through vertical moves
+	// and vice versa.
+	g := genome.Genome(0).WithGene(0, genome.L1, upForwardDown)
+	c := New(g)
+	c.Advance()      // V1
+	c.Advance()      // H: L1 forward
+	p := c.Advance() // V2
+	if !p.Forward[0] {
+		t.Fatal("L1 horizontal position lost during V2")
+	}
+	// Other legs keep all-zero behaviour.
+	if p.Forward[1] || p.Up[1] {
+		t.Fatal("L2 moved without being commanded")
+	}
+}
+
+func TestServoPulses(t *testing.T) {
+	c := New(swingStepGenome())
+	pulses := c.ServoPulses()
+	if len(pulses) != 12 {
+		t.Fatalf("%d servo channels, want 12", len(pulses))
+	}
+	// All down/back initially.
+	wantElev := servo.AngleToPulse(ElevationDownDeg)
+	wantProp := servo.AngleToPulse(PropulsionBackDeg)
+	for l := 0; l < genome.Legs; l++ {
+		if pulses[2*l] != wantElev || pulses[2*l+1] != wantProp {
+			t.Fatalf("leg %d pulses = %d/%d", l, pulses[2*l], pulses[2*l+1])
+		}
+	}
+	c.Advance() // all rise
+	pulses = c.ServoPulses()
+	wantElevUp := servo.AngleToPulse(ElevationUpDeg)
+	for l := 0; l < genome.Legs; l++ {
+		if pulses[2*l] != wantElevUp {
+			t.Fatalf("leg %d elevation pulse = %d, want %d", l, pulses[2*l], wantElevUp)
+		}
+	}
+	// All pulses must be electrically valid.
+	for i, p := range pulses {
+		if p < servo.MinPulse || p > servo.MaxPulse {
+			t.Fatalf("channel %d pulse %d out of range", i, p)
+		}
+	}
+}
+
+func TestRunCycle(t *testing.T) {
+	c := New(swingStepGenome())
+	trace := c.RunCycle(2)
+	if len(trace) != 12 {
+		t.Fatalf("trace length %d, want 12", len(trace))
+	}
+	for i, s := range trace {
+		if s.Phase != i%6 {
+			t.Fatalf("trace[%d].Phase = %d", i, s.Phase)
+		}
+	}
+	// Posture snapshots must be independent copies.
+	trace[0].Posture.Up[0] = !trace[0].Posture.Up[0]
+	if trace[6].Posture.Up[0] == trace[0].Posture.Up[0] &&
+		&trace[0].Posture.Up[0] == &trace[6].Posture.Up[0] {
+		t.Fatal("trace postures share storage")
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	c := New(swingStepGenome())
+	c.Advance()
+	c.Advance() // legs up and forward
+	before := c.Posture()
+	c.Reconfigure(genome.FromGenome(0))
+	if c.Phase() != 0 {
+		t.Fatal("phase not reset")
+	}
+	after := c.Posture()
+	for l := 0; l < genome.Legs; l++ {
+		if after.Up[l] != before.Up[l] || after.Forward[l] != before.Forward[l] {
+			t.Fatal("reconfiguration must not teleport the mechanics")
+		}
+	}
+	// Next V1 drives from the new genome (all-zero: legs go down).
+	p := c.Advance()
+	for l := 0; l < genome.Legs; l++ {
+		if p.Up[l] {
+			t.Fatal("new genome not in effect")
+		}
+	}
+}
+
+func TestReconfigureLayoutMismatchPanics(t *testing.T) {
+	c := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("layout mismatch should panic")
+		}
+	}()
+	c.Reconfigure(genome.NewExtended(genome.Layout{Steps: 4, Legs: 6}))
+}
+
+func TestExtendedLayoutCycle(t *testing.T) {
+	ly := genome.Layout{Steps: 4, Legs: 6}
+	c := NewExtended(genome.NewExtended(ly))
+	if c.CyclePhases() != 12 {
+		t.Fatalf("CyclePhases = %d, want 12", c.CyclePhases())
+	}
+	trace := c.RunCycle(1)
+	if len(trace) != 12 || trace[11].Step != 3 {
+		t.Fatalf("4-step trace wrong: len %d last step %d", len(trace), trace[11].Step)
+	}
+}
+
+func TestMicroMoveString(t *testing.T) {
+	if MoveVertical1.String() != "V1" || MoveHorizontal.String() != "H" || MoveVertical2.String() != "V2" {
+		t.Fatal("MicroMove strings")
+	}
+	if MicroMove(9).String() == "" {
+		t.Fatal("out-of-range MicroMove string")
+	}
+}
+
+func TestControllerDoesNotAliasGenome(t *testing.T) {
+	x := genome.FromGenome(swingStepGenome())
+	c := NewExtended(x)
+	x.Bits.Flip(0)
+	// The controller's behaviour must be unaffected.
+	c2 := New(swingStepGenome())
+	for i := 0; i < 6; i++ {
+		pa, pb := c.Advance(), c2.Advance()
+		for l := 0; l < genome.Legs; l++ {
+			if pa.Up[l] != pb.Up[l] || pa.Forward[l] != pb.Forward[l] {
+				t.Fatal("controller aliased caller's genome storage")
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package core couples the three subsystems of Discipulus Simplex —
+// the Genetic Algorithm Processor, the configurable walking
+// controller, and the (simulated) robot — on a single 1 MHz timeline:
+// the autonomous scenario of the paper's Fig. 3, where Leonardo learns
+// to walk while walking.
+//
+// The GAP and the robot share the clock: every walking phase
+// (controller.DefaultPhaseSeconds of wall time) buys the GAP a budget
+// of clock cycles, which it spends on generations at a configurable
+// cycle cost. Whenever the best-individual register improves, the
+// walking controller is reconfigured on the fly — without resetting
+// the robot's mechanical posture, exactly as a genome swap on the real
+// chip would behave.
+package core
+
+import (
+	"fmt"
+
+	"leonardo/internal/controller"
+	"leonardo/internal/gap"
+	"leonardo/internal/robot"
+)
+
+// Config parameterizes a lifetime simulation.
+type Config struct {
+	// Params configures the GAP (paper layout required: the walking
+	// controller is six-legged).
+	Params gap.Params
+	// CyclesPerGeneration is the GAP's generation cost in clock
+	// cycles. Zero means the measured gate-level figure
+	// (gap.PaperTiming); use gap.PaperCyclesPerGeneration() for the
+	// paper's implied 300k.
+	CyclesPerGeneration uint64
+	// PhaseSeconds is the walking micro-movement period (zero =
+	// controller.DefaultPhaseSeconds).
+	PhaseSeconds float64
+}
+
+// Point is one walking phase of the timeline.
+type Point struct {
+	TimeSeconds float64
+	Generation  int
+	BestFitness int
+	// Reconfigured is true if the controller received a new genome
+	// just before this phase.
+	Reconfigured bool
+	// Distance is the cumulative body displacement in mm.
+	Distance float64
+	Stumbled bool
+}
+
+// Timeline is the recorded lifetime.
+type Timeline struct {
+	Points []Point
+	// Converged reports whether the GAP reached maximum fitness.
+	Converged bool
+	// DistanceMM is the total displacement over the lifetime.
+	DistanceMM float64
+	// Reconfigurations counts genome swaps into the controller.
+	Reconfigurations int
+}
+
+// System is a running Leonardo lifetime.
+type System struct {
+	cfg     Config
+	gap     *gap.GAP
+	ctl     *controller.Controller
+	robot   *robot.Robot
+	bestFit int
+	cycles  uint64 // unspent GAP cycle budget
+	time    float64
+	dist    float64
+	reconf  int
+}
+
+// New assembles the system. The initial controller runs the GAP's
+// initial best individual.
+func New(cfg Config) (*System, error) {
+	if cfg.Params.Layout.Legs != 6 {
+		return nil, fmt.Errorf("core: the walking controller needs six legs, layout has %d",
+			cfg.Params.Layout.Legs)
+	}
+	g, err := gap.New(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	best, fit := g.Best()
+	ctl := controller.NewExtended(best)
+	return &System{
+		cfg:     cfg,
+		gap:     g,
+		ctl:     ctl,
+		robot:   robot.New(ctl),
+		bestFit: fit,
+	}, nil
+}
+
+func (s *System) cyclesPerGen() uint64 {
+	if s.cfg.CyclesPerGeneration != 0 {
+		return s.cfg.CyclesPerGeneration
+	}
+	t := gap.PaperTiming()
+	t.Bits = s.cfg.Params.Layout.Bits()
+	t.Population = s.cfg.Params.PopulationSize
+	t.Mutations = s.cfg.Params.MutationsPerGeneration
+	t.CrossoverRate = s.cfg.Params.CrossoverThreshold
+	return t.CyclesPerGeneration()
+}
+
+func (s *System) phaseSeconds() float64 {
+	if s.cfg.PhaseSeconds != 0 {
+		return s.cfg.PhaseSeconds
+	}
+	return controller.DefaultPhaseSeconds
+}
+
+// RunSeconds advances the lifetime by the given wall time and returns
+// the timeline segment it produced.
+func (s *System) RunSeconds(seconds float64) Timeline {
+	var tl Timeline
+	phaseSec := s.phaseSeconds()
+	phaseCycles := uint64(phaseSec * gap.ClockHz)
+	phases := int(seconds / phaseSec)
+	for i := 0; i < phases; i++ {
+		// The GAP spends this phase's cycle budget on generations.
+		s.cycles += phaseCycles
+		for s.cycles >= s.cyclesPerGen() && !s.gap.Converged() {
+			s.gap.Generation()
+			s.cycles -= s.cyclesPerGen()
+		}
+		// Reconfigure the controller when the best register improved.
+		reconf := false
+		if best, fit := s.gap.Best(); fit > s.bestFit {
+			s.ctl.Reconfigure(best)
+			s.bestFit = fit
+			s.reconf++
+			reconf = true
+		}
+		// One walking phase.
+		res := s.robot.Step(0)
+		s.dist += res.Displacement
+		s.time += phaseSec
+		tl.Points = append(tl.Points, Point{
+			TimeSeconds:  s.time,
+			Generation:   s.gap.GenerationNumber(),
+			BestFitness:  s.bestFit,
+			Reconfigured: reconf,
+			Distance:     s.dist,
+			Stumbled:     res.Stumbled,
+		})
+	}
+	tl.Converged = s.gap.Converged()
+	tl.DistanceMM = s.dist
+	tl.Reconfigurations = s.reconf
+	return tl
+}
+
+// BestFitness returns the current best fitness.
+func (s *System) BestFitness() int { return s.bestFit }
+
+// Generation returns the GAP's generation counter.
+func (s *System) Generation() int { return s.gap.GenerationNumber() }
+
+// DistanceMM returns the robot's cumulative displacement.
+func (s *System) DistanceMM() float64 { return s.dist }

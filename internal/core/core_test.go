@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+)
+
+func TestLifetimeLearnsWhileWalking(t *testing.T) {
+	// At the paper's implied 300k cycles/generation, a 10-minute
+	// lifetime runs ~2000 generations; we simulate 200 s which buys
+	// ~666 generations — plenty for our fitness landscape.
+	s, err := New(Config{
+		Params:              gap.PaperParams(4),
+		CyclesPerGeneration: gap.PaperCyclesPerGeneration(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.RunSeconds(200)
+	if len(tl.Points) != int(200/0.4) {
+		t.Fatalf("points = %d", len(tl.Points))
+	}
+	if !tl.Converged {
+		t.Fatalf("did not converge in lifetime (gen %d, fit %d)", s.Generation(), s.BestFitness())
+	}
+	if s.BestFitness() != fitness.New().Max() {
+		t.Fatalf("best fitness %d", s.BestFitness())
+	}
+	if tl.Reconfigurations == 0 {
+		t.Fatal("controller never reconfigured")
+	}
+	// Fitness along the timeline is monotone.
+	prev := 0
+	for _, p := range tl.Points {
+		if p.BestFitness < prev {
+			t.Fatalf("fitness regressed at t=%.1f", p.TimeSeconds)
+		}
+		prev = p.BestFitness
+	}
+	// The robot must end up ahead of where it started.
+	if tl.DistanceMM <= 0 {
+		t.Fatalf("lifetime distance = %.0f mm", tl.DistanceMM)
+	}
+	// Late walking (converged gait) outpaces early walking.
+	mid := tl.Points[len(tl.Points)/2]
+	lateRate := (tl.DistanceMM - mid.Distance) / (200 - mid.TimeSeconds)
+	earlyRate := mid.Distance / mid.TimeSeconds
+	if lateRate <= earlyRate {
+		t.Logf("warning: late rate %.2f <= early rate %.2f (possible with an early lucky genome)",
+			lateRate, earlyRate)
+	}
+}
+
+func TestLifetimeIncrementalRuns(t *testing.T) {
+	s, err := New(Config{Params: gap.PaperParams(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.RunSeconds(2)
+	b := s.RunSeconds(2)
+	if len(a.Points) != 5 || len(b.Points) != 5 {
+		t.Fatalf("segments %d/%d points", len(a.Points), len(b.Points))
+	}
+	if b.Points[0].TimeSeconds <= a.Points[len(a.Points)-1].TimeSeconds {
+		t.Fatal("time did not advance across segments")
+	}
+	if b.DistanceMM < a.DistanceMM {
+		t.Fatal("cumulative distance regressed")
+	}
+}
+
+func TestLifetimeDefaultCycleModel(t *testing.T) {
+	// With the measured 286 cycles/generation, evolution finishes
+	// almost instantly relative to walking.
+	s, err := New(Config{Params: gap.PaperParams(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.RunSeconds(4)
+	if !tl.Converged {
+		t.Fatalf("lean GAP should converge within seconds of chip time (gen %d)", s.Generation())
+	}
+}
+
+func TestNewRejectsWrongLegCount(t *testing.T) {
+	p := gap.PaperParams(1)
+	p.Layout = genome.Layout{Steps: 2, Legs: 4}
+	if _, err := New(Config{Params: p}); err == nil {
+		t.Fatal("4-legged layout accepted")
+	}
+	p = gap.PaperParams(1)
+	p.PopulationSize = 0
+	if _, err := New(Config{Params: p}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestBigGenomeLifetime(t *testing.T) {
+	p := gap.PaperParams(3)
+	p.Layout = genome.Layout{Steps: 4, Legs: 6}
+	s, err := New(Config{Params: p, CyclesPerGeneration: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.RunSeconds(20)
+	if len(tl.Points) == 0 {
+		t.Fatal("no timeline")
+	}
+	if s.DistanceMM() < 0 && tl.DistanceMM < 0 {
+		t.Log("big-genome lifetime walked backward (allowed, early phase)")
+	}
+}

@@ -1,0 +1,66 @@
+package evolve
+
+import (
+	"math"
+	"math/rand"
+
+	"leonardo/internal/genome"
+)
+
+// AnnealConfig parameterizes simulated annealing over bit-flip moves.
+type AnnealConfig struct {
+	// T0 is the initial temperature in fitness units; Cooling the
+	// geometric decay per step; Restarts the number of independent
+	// chains.
+	T0      float64
+	Cooling float64
+	// StepsPerChain bounds one chain; the evaluation budget is shared
+	// across chains.
+	StepsPerChain int
+	Seed          int64
+}
+
+// DefaultAnnealConfig cools from two fitness points over ~25k steps.
+func DefaultAnnealConfig(seed int64) AnnealConfig {
+	return AnnealConfig{T0: 2.0, Cooling: 0.9998, StepsPerChain: 25000, Seed: seed}
+}
+
+// SimulatedAnnealing searches by single-bit moves accepted with the
+// Metropolis rule, restarting from a fresh random genome when a chain
+// exhausts its steps. It is the classic single-solution comparator
+// between hill climbing (T=0) and random search (T=inf) for
+// experiment A2.
+func SimulatedAnnealing(f Fitness, target, maxEvals int, cfg AnnealConfig) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	res.BestFitness = -1
+	record := func(g genome.Genome, v int) bool {
+		if v > res.BestFitness {
+			res.Best, res.BestFitness = g, v
+		}
+		return res.BestFitness >= target
+	}
+	for res.Evaluations < maxEvals {
+		cur := genome.Genome(rng.Uint64()) & genome.Mask
+		res.Evaluations++
+		curFit := f(cur)
+		if record(cur, curFit) {
+			break
+		}
+		temp := cfg.T0
+		for step := 0; step < cfg.StepsPerChain && res.Evaluations < maxEvals; step++ {
+			cand := cur.FlipBit(rng.Intn(genome.Bits))
+			res.Evaluations++
+			v := f(cand)
+			if record(cand, v) {
+				return finish(res, target)
+			}
+			d := float64(v - curFit)
+			if d >= 0 || rng.Float64() < math.Exp(d/math.Max(temp, 1e-9)) {
+				cur, curFit = cand, v
+			}
+			temp *= cfg.Cooling
+		}
+	}
+	return finish(res, target)
+}

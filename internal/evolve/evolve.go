@@ -1,0 +1,400 @@
+// Package evolve is a conventional software genetic-algorithm library
+// over 36-bit gait genomes, plus non-evolutionary baselines (random
+// search, hill climbing, exhaustive scan). It is the comparator for
+// the hardware-constrained GAP (experiment A2 in DESIGN.md): the GAP
+// gives up roulette selection, real-valued rates, and elitism because
+// they are expensive in logic; this package measures what those
+// concessions cost.
+package evolve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"leonardo/internal/genome"
+)
+
+// Fitness scores a genome; higher is better. Scores must be
+// non-negative for roulette selection.
+type Fitness func(genome.Genome) int
+
+// Result reports the outcome of any search.
+type Result struct {
+	Best        genome.Genome
+	BestFitness int
+	Evaluations int
+	Generations int
+	Converged   bool
+}
+
+// Selector chooses a parent index given the population's fitness
+// values.
+type Selector interface {
+	Select(rng *rand.Rand, fits []int) int
+	fmt.Stringer
+}
+
+// Tournament selection: draw Size individuals, keep the best with
+// probability PBest, otherwise a uniformly random one of the drawn.
+type Tournament struct {
+	Size  int
+	PBest float64
+}
+
+// Select implements Selector.
+func (t Tournament) Select(rng *rand.Rand, fits []int) int {
+	best := rng.Intn(len(fits))
+	drawn := []int{best}
+	for i := 1; i < t.Size; i++ {
+		c := rng.Intn(len(fits))
+		drawn = append(drawn, c)
+		if fits[c] > fits[best] {
+			best = c
+		}
+	}
+	if rng.Float64() < t.PBest {
+		return best
+	}
+	return drawn[rng.Intn(len(drawn))]
+}
+
+func (t Tournament) String() string { return fmt.Sprintf("tournament(k=%d,p=%.2f)", t.Size, t.PBest) }
+
+// Roulette (fitness-proportionate) selection.
+type Roulette struct{}
+
+// Select implements Selector.
+func (Roulette) Select(rng *rand.Rand, fits []int) int {
+	total := 0
+	for _, f := range fits {
+		if f < 0 {
+			panic("evolve: roulette selection needs non-negative fitness")
+		}
+		total += f
+	}
+	if total == 0 {
+		return rng.Intn(len(fits))
+	}
+	r := rng.Intn(total)
+	for i, f := range fits {
+		r -= f
+		if r < 0 {
+			return i
+		}
+	}
+	return len(fits) - 1
+}
+
+func (Roulette) String() string { return "roulette" }
+
+// Rank selection: probability proportional to fitness rank (worst = 1).
+type Rank struct{}
+
+// Select implements Selector.
+func (Rank) Select(rng *rand.Rand, fits []int) int {
+	n := len(fits)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return fits[idx[a]] < fits[idx[b]] })
+	total := n * (n + 1) / 2
+	r := rng.Intn(total)
+	for rank := 1; rank <= n; rank++ {
+		r -= rank
+		if r < 0 {
+			return idx[rank-1]
+		}
+	}
+	return idx[n-1]
+}
+
+func (Rank) String() string { return "rank" }
+
+// Truncation selection: uniform over the best Fraction of the
+// population.
+type Truncation struct{ Fraction float64 }
+
+// Select implements Selector.
+func (t Truncation) Select(rng *rand.Rand, fits []int) int {
+	n := len(fits)
+	k := int(float64(n) * t.Fraction)
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return fits[idx[a]] > fits[idx[b]] })
+	return idx[rng.Intn(k)]
+}
+
+func (t Truncation) String() string { return fmt.Sprintf("truncation(%.2f)", t.Fraction) }
+
+// Crossover recombines two parents into two children.
+type Crossover interface {
+	Cross(rng *rand.Rand, a, b genome.Genome) (genome.Genome, genome.Genome)
+	fmt.Stringer
+}
+
+// SinglePoint crossover (the GAP's operator).
+type SinglePoint struct{}
+
+// Cross implements Crossover.
+func (SinglePoint) Cross(rng *rand.Rand, a, b genome.Genome) (genome.Genome, genome.Genome) {
+	return genome.Crossover(a, b, 1+rng.Intn(genome.Bits-1))
+}
+
+func (SinglePoint) String() string { return "1-point" }
+
+// TwoPoint crossover swaps the segment between two cut points.
+type TwoPoint struct{}
+
+// Cross implements Crossover.
+func (TwoPoint) Cross(rng *rand.Rand, a, b genome.Genome) (genome.Genome, genome.Genome) {
+	p := 1 + rng.Intn(genome.Bits-1)
+	q := 1 + rng.Intn(genome.Bits-1)
+	if p > q {
+		p, q = q, p
+	}
+	if p == q {
+		return a, b
+	}
+	c1, c2 := genome.Crossover(a, b, p)
+	c1, c2 = genome.Crossover(c1, c2, q)
+	return c1, c2
+}
+
+func (TwoPoint) String() string { return "2-point" }
+
+// Uniform crossover exchanges each bit independently with probability
+// 1/2.
+type Uniform struct{}
+
+// Cross implements Crossover.
+func (Uniform) Cross(rng *rand.Rand, a, b genome.Genome) (genome.Genome, genome.Genome) {
+	mask := genome.Genome(rng.Uint64()) & genome.Mask
+	return a&mask | b&^mask&genome.Mask, b&mask | a&^mask&genome.Mask
+}
+
+func (Uniform) String() string { return "uniform" }
+
+// Config parameterizes the software GA.
+type Config struct {
+	PopulationSize int
+	Selection      Selector
+	Crossover      Crossover
+	// CrossoverRate is the probability a selected pair is recombined.
+	CrossoverRate float64
+	// MutationRate is the per-bit flip probability applied to every
+	// offspring.
+	MutationRate float64
+	// Elitism copies the best n individuals unchanged into the next
+	// generation.
+	Elitism int
+	// MaxEvaluations caps total fitness evaluations (0 = 10^7).
+	MaxEvaluations int
+	Seed           int64
+}
+
+// DefaultConfig is a reasonable textbook GA at the paper's population
+// size.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		PopulationSize: 32,
+		Selection:      Tournament{Size: 2, PBest: 0.8},
+		Crossover:      SinglePoint{},
+		CrossoverRate:  0.7,
+		MutationRate:   1.0 / genome.Bits,
+		Elitism:        1,
+		Seed:           seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PopulationSize < 2 {
+		return fmt.Errorf("evolve: population %d too small", c.PopulationSize)
+	}
+	if c.Selection == nil || c.Crossover == nil {
+		return fmt.Errorf("evolve: selection and crossover are required")
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 || c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("evolve: rates out of [0,1]")
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopulationSize {
+		return fmt.Errorf("evolve: elitism %d out of range", c.Elitism)
+	}
+	return nil
+}
+
+const defaultMaxEvals = 10_000_000
+
+// Run executes the GA until the target fitness is found or the
+// evaluation budget is exhausted.
+func Run(f Fitness, target int, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	maxEvals := cfg.MaxEvaluations
+	if maxEvals == 0 {
+		maxEvals = defaultMaxEvals
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := make([]genome.Genome, cfg.PopulationSize)
+	fits := make([]int, cfg.PopulationSize)
+	var res Result
+	res.BestFitness = -1
+	eval := func(g genome.Genome) int {
+		res.Evaluations++
+		v := f(g)
+		if v > res.BestFitness {
+			res.Best, res.BestFitness = g, v
+		}
+		return v
+	}
+	for i := range pop {
+		pop[i] = genome.Genome(rng.Uint64()) & genome.Mask
+		fits[i] = eval(pop[i])
+	}
+	for res.BestFitness < target && res.Evaluations < maxEvals {
+		next := make([]genome.Genome, 0, cfg.PopulationSize)
+		// Elites survive unchanged.
+		if cfg.Elitism > 0 {
+			idx := make([]int, len(pop))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return fits[idx[a]] > fits[idx[b]] })
+			for i := 0; i < cfg.Elitism; i++ {
+				next = append(next, pop[idx[i]])
+			}
+		}
+		for len(next) < cfg.PopulationSize {
+			a := pop[cfg.Selection.Select(rng, fits)]
+			b := pop[cfg.Selection.Select(rng, fits)]
+			if rng.Float64() < cfg.CrossoverRate {
+				a, b = cfg.Crossover.Cross(rng, a, b)
+			}
+			next = append(next, mutate(rng, a, cfg.MutationRate))
+			if len(next) < cfg.PopulationSize {
+				next = append(next, mutate(rng, b, cfg.MutationRate))
+			}
+		}
+		pop = next
+		for i := range pop {
+			fits[i] = eval(pop[i])
+		}
+		res.Generations++
+	}
+	res.Converged = res.BestFitness >= target
+	return res, nil
+}
+
+func mutate(rng *rand.Rand, g genome.Genome, rate float64) genome.Genome {
+	if rate <= 0 {
+		return g
+	}
+	for i := 0; i < genome.Bits; i++ {
+		if rng.Float64() < rate {
+			g = g.FlipBit(i)
+		}
+	}
+	return g
+}
+
+// RandomSearch evaluates uniform random genomes until the target is
+// found or the budget runs out.
+func RandomSearch(f Fitness, target, maxEvals int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	res.BestFitness = -1
+	for res.Evaluations < maxEvals {
+		g := genome.Genome(rng.Uint64()) & genome.Mask
+		res.Evaluations++
+		if v := f(g); v > res.BestFitness {
+			res.Best, res.BestFitness = g, v
+			if v >= target {
+				break
+			}
+		}
+	}
+	res.Converged = res.BestFitness >= target
+	return res
+}
+
+// HillClimber runs restarted first-improvement bit-flip hill climbing:
+// from a random genome, repeatedly scan bits in random order and take
+// the first strictly improving flip; restart at a local optimum.
+func HillClimber(f Fitness, target, maxEvals int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	res.BestFitness = -1
+	record := func(g genome.Genome, v int) bool {
+		if v > res.BestFitness {
+			res.Best, res.BestFitness = g, v
+		}
+		return res.BestFitness >= target
+	}
+	for res.Evaluations < maxEvals && res.BestFitness < target {
+		cur := genome.Genome(rng.Uint64()) & genome.Mask
+		res.Evaluations++
+		curFit := f(cur)
+		if record(cur, curFit) {
+			break
+		}
+		improved := true
+		for improved && res.Evaluations < maxEvals {
+			improved = false
+			for _, i := range rng.Perm(genome.Bits) {
+				cand := cur.FlipBit(i)
+				res.Evaluations++
+				v := f(cand)
+				if record(cand, v) {
+					return finish(res, target)
+				}
+				if v > curFit {
+					cur, curFit = cand, v
+					improved = true
+					break
+				}
+				if res.Evaluations >= maxEvals {
+					break
+				}
+			}
+		}
+	}
+	return finish(res, target)
+}
+
+func finish(res Result, target int) Result {
+	res.Converged = res.BestFitness >= target
+	return res
+}
+
+// ExhaustiveSearch scans genomes in a fixed pseudo-random permutation
+// order (a Weyl sequence over the 36-bit space) up to the evaluation
+// budget. Scanning all 2^36 genomes is the paper's 19-hour baseline;
+// the budget cap makes partial scans measurable.
+func ExhaustiveSearch(f Fitness, target, maxEvals int) Result {
+	var res Result
+	res.BestFitness = -1
+	// Odd multiplier => full-period permutation of Z/2^36.
+	const stride = 0x9E3779B97&uint64(genome.Mask)*2 + 1
+	g := uint64(0)
+	for res.Evaluations < maxEvals {
+		cand := genome.Genome(g) & genome.Mask
+		res.Evaluations++
+		if v := f(cand); v > res.BestFitness {
+			res.Best, res.BestFitness = cand, v
+			if v >= target {
+				break
+			}
+		}
+		g = (g + stride) & uint64(genome.Mask)
+	}
+	res.Converged = res.BestFitness >= target
+	return res
+}

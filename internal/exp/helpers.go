@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+
+	"leonardo/internal/controller"
+	"leonardo/internal/genome"
+)
+
+// newTraceController steps a walking controller through the gait
+// cycle and reports, for each phase index queried in order, the step,
+// the micro-movement, the raised legs, and the commanded pulse-width
+// range across the twelve servo channels.
+func newTraceController(x genome.Extended) func(phase int) (step int, move string, ups string, lo, hi int) {
+	ctl := controller.NewExtended(x)
+	return func(int) (int, string, string, int, int) {
+		step := ctl.Step()
+		move := ctl.Move().String()
+		posture := ctl.Advance()
+		var raised []string
+		for l := 0; l < x.Layout.Legs; l++ {
+			if posture.Up[l] {
+				raised = append(raised, genome.Leg(l).String())
+			}
+		}
+		ups := strings.Join(raised, " ")
+		if ups == "" {
+			ups = "(none)"
+		}
+		pulses := ctl.ServoPulses()
+		lo, hi := pulses[0], pulses[0]
+		for _, p := range pulses {
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		return step, move, ups, lo, hi
+	}
+}

@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// mapSeeds evaluates f(0), ..., f(n-1) concurrently — each index is an
+// independent seeded run — and returns the results in index order, so
+// reports stay deterministic regardless of scheduling. Concurrency is
+// bounded by GOMAXPROCS.
+func mapSeeds[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

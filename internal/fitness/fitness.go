@@ -1,0 +1,210 @@
+// Package fitness implements the fitness module of Discipulus Simplex.
+//
+// The paper rejects measuring fitness on the physical robot (a genome
+// needs ~5 s of walking to be judged) and instead defines fitness
+// purely in terms of logic computations, from three high-level physical
+// rules that contain no knowledge of the solution genome:
+//
+//  1. equilibrium — three legs raised on the same side make the robot
+//     stumble and fall;
+//  2. symmetry — a leg that goes forward in the first step should go
+//     backward in the next, as observed in walking animals;
+//  3. coherence — a leg must be up before it moves forward (the swing
+//     happens in the air) and down before it moves backward (propulsion
+//     needs ground contact).
+//
+// Each rule contributes an integer sub-score; the fitness is their
+// weighted sum, so it is computable by a small combinational circuit
+// and comparable with a plain magnitude comparator — no real numbers or
+// divisions, exactly the constraint the paper's logic system imposes.
+package fitness
+
+import (
+	"fmt"
+
+	"leonardo/internal/genome"
+)
+
+// Weights scales the three rule sub-scores. A zero weight disables the
+// rule, which is how the rule-ablation experiment (A1 in DESIGN.md) is
+// expressed.
+type Weights struct {
+	Equilibrium int
+	Symmetry    int
+	Coherence   int
+}
+
+// DefaultWeights weighs the three rules equally, giving a maximum
+// fitness of 26 for the paper's 36-bit genome (8 equilibrium checks +
+// 6 symmetry checks + 12 coherence checks).
+var DefaultWeights = Weights{Equilibrium: 1, Symmetry: 1, Coherence: 1}
+
+// Breakdown reports the per-rule raw scores (number of satisfied
+// checks) and their maxima for one genome.
+type Breakdown struct {
+	Equilibrium, EquilibriumMax int
+	Symmetry, SymmetryMax       int
+	Coherence, CoherenceMax     int
+}
+
+// String renders the breakdown as "eq 7/8 sym 6/6 coh 12/12".
+func (b Breakdown) String() string {
+	return fmt.Sprintf("eq %d/%d sym %d/%d coh %d/%d",
+		b.Equilibrium, b.EquilibriumMax, b.Symmetry, b.SymmetryMax,
+		b.Coherence, b.CoherenceMax)
+}
+
+// Evaluator scores gait genomes of a fixed layout.
+type Evaluator struct {
+	Layout  genome.Layout
+	Weights Weights
+}
+
+// New returns the paper's evaluator: 2-step 6-leg genomes, equal rule
+// weights.
+func New() Evaluator {
+	return Evaluator{Layout: genome.PaperLayout, Weights: DefaultWeights}
+}
+
+// Score evaluates a packed 36-bit genome. It requires the paper
+// layout.
+func (e Evaluator) Score(g genome.Genome) int {
+	return e.ScoreExtended(genome.FromGenome(g))
+}
+
+// Breakdown evaluates a packed 36-bit genome and reports per-rule
+// detail.
+func (e Evaluator) Breakdown(g genome.Genome) Breakdown {
+	return e.BreakdownExtended(genome.FromGenome(g))
+}
+
+// ScoreExtended evaluates a genome of any layout.
+func (e Evaluator) ScoreExtended(x genome.Extended) int {
+	b := e.BreakdownExtended(x)
+	return e.Weights.Equilibrium*b.Equilibrium +
+		e.Weights.Symmetry*b.Symmetry +
+		e.Weights.Coherence*b.Coherence
+}
+
+// Max returns the highest attainable fitness for the evaluator's
+// layout and weights. The maximum is attainable: the alternating
+// tripod family satisfies all checks simultaneously (proved in the
+// package tests).
+func (e Evaluator) Max() int {
+	b := e.maxima()
+	return e.Weights.Equilibrium*b.EquilibriumMax +
+		e.Weights.Symmetry*b.SymmetryMax +
+		e.Weights.Coherence*b.CoherenceMax
+}
+
+func (e Evaluator) maxima() Breakdown {
+	steps, legs := e.Layout.Steps, e.Layout.Legs
+	return Breakdown{
+		EquilibriumMax: steps * 2 * sideCount(legs),
+		SymmetryMax:    symmetryPairs(steps) * legs,
+		CoherenceMax:   steps * legs,
+	}
+}
+
+// sideCount returns how many sides have at least three legs; the
+// equilibrium rule is only meaningful for a side with three or more
+// legs, matching Leonardo's 3+3 arrangement.
+func sideCount(legs int) int {
+	n := 0
+	if leftLegs(legs) >= 3 {
+		n++
+	}
+	if legs-leftLegs(legs) >= 3 {
+		n++
+	}
+	return n
+}
+
+// leftLegs returns how many of the layout's legs are on the left side:
+// the first half (rounded up), mirroring genome leg order L1..L3 R1..R3.
+func leftLegs(legs int) int { return (legs + 1) / 2 }
+
+// symmetryPairs returns the number of adjacent-step alternation checks
+// per leg. The walk is cyclic, so step s is compared with step
+// (s+1) mod N; for N == 2 the two comparisons coincide and are counted
+// once (the paper's 6 checks), and a single-step genome has none.
+func symmetryPairs(steps int) int {
+	switch {
+	case steps < 2:
+		return 0
+	case steps == 2:
+		return 1
+	default:
+		return steps
+	}
+}
+
+// BreakdownExtended evaluates a genome of any layout with per-rule
+// detail.
+func (e Evaluator) BreakdownExtended(x genome.Extended) Breakdown {
+	if x.Layout != e.Layout {
+		panic(fmt.Sprintf("fitness: genome layout %+v does not match evaluator layout %+v",
+			x.Layout, e.Layout))
+	}
+	b := e.maxima()
+	steps, legs := e.Layout.Steps, e.Layout.Legs
+	nl := leftLegs(legs)
+
+	// Rule 1 — equilibrium. The leg's elevation during a step has two
+	// stable phases: after the first vertical move (and throughout the
+	// horizontal move), and after the final vertical move. In each
+	// phase, on each (3+ legged) side, at most two legs may be raised.
+	for s := 0; s < steps; s++ {
+		for phase := 0; phase < 2; phase++ {
+			raised := func(leg int) bool {
+				g := x.Gene(s, leg)
+				if phase == 0 {
+					return g.RaiseFirst
+				}
+				return g.RaiseAfter
+			}
+			if nl >= 3 && !allRaised(raised, 0, nl) {
+				b.Equilibrium++
+			}
+			if legs-nl >= 3 && !allRaised(raised, nl, legs) {
+				b.Equilibrium++
+			}
+		}
+	}
+
+	// Rule 2 — symmetry. A leg moving forward in one step must move
+	// backward in the next (cyclically).
+	for p := 0; p < symmetryPairs(steps); p++ {
+		next := (p + 1) % steps
+		for leg := 0; leg < legs; leg++ {
+			if x.Gene(p, leg).Forward != x.Gene(next, leg).Forward {
+				b.Symmetry++
+			}
+		}
+	}
+
+	// Rule 3 — coherence. Up before forward, down before backward.
+	for s := 0; s < steps; s++ {
+		for leg := 0; leg < legs; leg++ {
+			if x.Gene(s, leg).Coherent() {
+				b.Coherence++
+			}
+		}
+	}
+	return b
+}
+
+func allRaised(raised func(int) bool, lo, hi int) bool {
+	for leg := lo; leg < hi; leg++ {
+		if !raised(leg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Func adapts the evaluator to the plain fitness-function signature
+// used by the GA machinery.
+func (e Evaluator) Func() func(genome.Genome) int {
+	return func(g genome.Genome) int { return e.Score(g) }
+}

@@ -1,0 +1,248 @@
+// Package fpga models the Xilinx XC4000-family device the paper
+// targets and maps logic netlists onto it. The paper's resource claim
+// — "The complete system implemented in the XC4036EX FPGA uses 96
+// percent of the available CLBs, i.e. 1244 CLBs" — is reproduced by
+// technology-mapping the structural Discipulus Simplex netlist into
+// 4-input LUTs, packing LUTs and flip-flops into CLBs, and counting
+// CLB-as-RAM blocks, against the same device model.
+//
+// XC4000 architecture facts used here: each CLB holds two independent
+// 4-input function generators (F and G), a third 3-input combiner (H),
+// and two flip-flops; in memory mode a CLB provides two 16x1 RAMs
+// (32 bits). The XC4036EX has a 36 x 36 CLB array (1296 CLBs).
+package fpga
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"leonardo/internal/logic"
+)
+
+// Device describes an XC4000-family part.
+type Device struct {
+	Name string
+	// Rows x Cols CLB array.
+	Rows, Cols int
+	// RAMBitsPerCLB is the memory-mode capacity (two 16x1 per CLB).
+	RAMBitsPerCLB int
+	// LUTsPerCLB and FFsPerCLB are the logic-mode capacities.
+	LUTsPerCLB, FFsPerCLB int
+	// LUTInputs is the function-generator arity (K = 4).
+	LUTInputs int
+}
+
+// CLBs returns the device's CLB count.
+func (d Device) CLBs() int { return d.Rows * d.Cols }
+
+// XC4036EX is the paper's device: a 36x36 CLB array.
+var XC4036EX = Device{
+	Name: "XC4036EX", Rows: 36, Cols: 36,
+	RAMBitsPerCLB: 32, LUTsPerCLB: 2, FFsPerCLB: 2, LUTInputs: 4,
+}
+
+// XC4013E is a smaller family member (24x24), useful to show when the
+// design does not fit.
+var XC4013E = Device{
+	Name: "XC4013E", Rows: 24, Cols: 24,
+	RAMBitsPerCLB: 32, LUTsPerCLB: 2, FFsPerCLB: 2, LUTInputs: 4,
+}
+
+// Report is the result of mapping a circuit onto a device.
+type Report struct {
+	Device Device
+	// LUTs is the number of K-input LUTs after cone mapping; FFs the
+	// flip-flop count; RAMBits the total memory bits.
+	LUTs, FFs, RAMBits int
+	// LogicCLBs, RAMCLBs and TotalCLBs are the packed CLB counts.
+	LogicCLBs, RAMCLBs, TotalCLBs int
+	// GateEquivalents is the pre-mapping gate-count estimate (the
+	// paper reports the design "represents around N logic gates").
+	GateEquivalents int
+	// Fits reports whether TotalCLBs <= device capacity.
+	Fits bool
+}
+
+// Utilization returns TotalCLBs as a fraction of the device capacity.
+func (r Report) Utilization() float64 {
+	return float64(r.TotalCLBs) / float64(r.Device.CLBs())
+}
+
+// String renders the report in the style of a place-and-route summary.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Device: %s (%dx%d = %d CLBs)\n",
+		r.Device.Name, r.Device.Rows, r.Device.Cols, r.Device.CLBs())
+	fmt.Fprintf(&sb, "  4-LUTs:       %5d\n", r.LUTs)
+	fmt.Fprintf(&sb, "  Flip-flops:   %5d\n", r.FFs)
+	fmt.Fprintf(&sb, "  RAM bits:     %5d\n", r.RAMBits)
+	fmt.Fprintf(&sb, "  Logic CLBs:   %5d\n", r.LogicCLBs)
+	fmt.Fprintf(&sb, "  RAM CLBs:     %5d\n", r.RAMCLBs)
+	fmt.Fprintf(&sb, "  Total CLBs:   %5d / %d (%.0f%%)\n",
+		r.TotalCLBs, r.Device.CLBs(), 100*r.Utilization())
+	fmt.Fprintf(&sb, "  Gate estimate: ~%d gates\n", r.GateEquivalents)
+	if !r.Fits {
+		sb.WriteString("  DOES NOT FIT\n")
+	}
+	return sb.String()
+}
+
+// Map technology-maps a circuit onto the device: greedy cone-based
+// K-LUT covering of the combinational network, then CLB packing, then
+// CLB-as-RAM accounting for the memory blocks.
+func Map(c *logic.Circuit, d Device) Report {
+	luts := CountLUTs(c, d.LUTInputs)
+	st := c.Stats()
+
+	logicCLBs := maxInt(ceilDiv(luts, d.LUTsPerCLB), ceilDiv(st.DFFs, d.FFsPerCLB))
+	ramCLBs := 0
+	for _, r := range c.RAMs() {
+		ramCLBs += ceilDiv(r.Words*r.Width, d.RAMBitsPerCLB)
+	}
+	total := logicCLBs + ramCLBs
+	return Report{
+		Device:          d,
+		LUTs:            luts,
+		FFs:             st.DFFs,
+		RAMBits:         st.RAMBits,
+		LogicCLBs:       logicCLBs,
+		RAMCLBs:         ramCLBs,
+		TotalCLBs:       total,
+		GateEquivalents: st.GateEquivalents,
+		Fits:            total <= d.CLBs(),
+	}
+}
+
+// CountLUTs covers the combinational network with K-input LUTs using a
+// greedy cone heuristic: a gate becomes a LUT root when it drives a
+// sequential element, a RAM port, a primary output, or more than one
+// fanout; other gates are absorbed into their (single) consumer's cone
+// as long as the cone's leaf set stays within K.
+func CountLUTs(c *logic.Circuit, k int) int {
+	n := c.NumNodes()
+	fanout := make([]int, n)
+	isGate := make([]bool, n)
+	for i := 0; i < n; i++ {
+		s := logic.Signal(i)
+		isGate[i] = c.Class(s) == logic.ClassGate
+		for _, f := range c.Fanins(s) {
+			fanout[f]++
+		}
+	}
+	// Sinks sampled at the clock edge or exported also pin their
+	// drivers as roots.
+	pinned := make([]bool, n)
+	pin := func(s logic.Signal) {
+		if isGate[s] {
+			pinned[s] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := logic.Signal(i)
+		if c.Class(s) == logic.ClassDFF || c.Class(s) == logic.ClassRAMOut {
+			for _, f := range c.Fanins(s) {
+				pin(f)
+			}
+		}
+	}
+	for _, s := range c.RAMDataFanins() {
+		pin(s)
+	}
+	for _, s := range c.Outputs() {
+		pin(s)
+	}
+
+	// Structural roots: pinned gates and gates with multiple fanouts.
+	structRoot := make([]bool, n)
+	var work []int
+	inWork := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if isGate[i] && (pinned[i] || fanout[i] > 1) {
+			structRoot[i] = true
+			work = append(work, i)
+			inWork[i] = true
+		}
+	}
+	// Grow each root's cone by iterative leaf expansion: replace an
+	// absorbable leaf (single-fanout, non-root gate) with its own
+	// fanins while the leaf set stays within K. Absorbable leaves left
+	// unexpanded are promoted to roots of their own. Leaves are always
+	// expanded in ascending signal order so the count is deterministic.
+	promoted := make([]bool, n)
+	absorbable := func(s logic.Signal) bool {
+		i := int(s)
+		return isGate[i] && !structRoot[i] && !promoted[i]
+	}
+	luts := 0
+	for len(work) > 0 {
+		root := work[len(work)-1]
+		work = work[:len(work)-1]
+		luts++
+
+		leaves := map[logic.Signal]bool{}
+		addLeaf := func(s logic.Signal) {
+			if c.Class(s) != logic.ClassConst { // constants are free
+				leaves[s] = true
+			}
+		}
+		for _, f := range c.Fanins(logic.Signal(root)) {
+			addLeaf(f)
+		}
+		for {
+			expanded := false
+			for _, leaf := range sortedLeaves(leaves) {
+				if !absorbable(leaf) {
+					continue
+				}
+				next := map[logic.Signal]bool{}
+				for l := range leaves {
+					if l != leaf {
+						next[l] = true
+					}
+				}
+				for _, f := range c.Fanins(leaf) {
+					if c.Class(f) != logic.ClassConst {
+						next[f] = true
+					}
+				}
+				if len(next) <= k {
+					leaves = next
+					expanded = true
+					break
+				}
+			}
+			if !expanded {
+				break
+			}
+		}
+		// Whatever absorbable gates remain as leaves need LUTs of
+		// their own.
+		for _, leaf := range sortedLeaves(leaves) {
+			if absorbable(leaf) && !inWork[leaf] {
+				promoted[leaf] = true
+				work = append(work, int(leaf))
+				inWork[leaf] = true
+			}
+		}
+	}
+	return luts
+}
+
+func sortedLeaves(m map[logic.Signal]bool) []logic.Signal {
+	out := make([]logic.Signal, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+// Package gait provides canonical hexapod gaits expressed as
+// Discipulus Simplex genomes, plus analysis and rendering tools (gait
+// diagrams, duty factors). It connects the paper's genome encoding to
+// the classical gait literature: the alternating tripod is exactly
+// representable in the paper's 2-step genome, while wave and ripple
+// gaits need the multi-step extended layout of the paper's future-work
+// direction.
+package gait
+
+import (
+	"fmt"
+	"strings"
+
+	"leonardo/internal/controller"
+	"leonardo/internal/genome"
+)
+
+// SwingGene is the coherent swing movement: raise, move forward,
+// lower.
+var SwingGene = genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: false}
+
+// StanceGene is the coherent propulsion movement: stay down, move
+// backward.
+var StanceGene = genome.LegGene{}
+
+// TripodA lists the legs of the first tripod: front-left, rear-left,
+// middle-right. Their hulls always contain the body centre while the
+// other tripod swings.
+var TripodA = []genome.Leg{genome.L1, genome.L3, genome.R2}
+
+// TripodB lists the complementary tripod.
+var TripodB = []genome.Leg{genome.L2, genome.R1, genome.R3}
+
+// Tripod returns the canonical alternating tripod gait in the paper's
+// 36-bit encoding: tripod A swings in step 1 while tripod B propels,
+// then the roles swap. It attains maximal rule fitness.
+func Tripod() genome.Genome {
+	inA := map[genome.Leg]bool{}
+	for _, l := range TripodA {
+		inA[l] = true
+	}
+	var steps [genome.StepsPerGenome][genome.Legs]genome.LegGene
+	for _, l := range genome.AllLegs() {
+		if inA[l] {
+			steps[0][l], steps[1][l] = SwingGene, StanceGene
+		} else {
+			steps[0][l], steps[1][l] = StanceGene, SwingGene
+		}
+	}
+	return genome.New(steps)
+}
+
+// TripodExtended returns the alternating tripod in an N-step layout
+// (N even): tripods alternate every step.
+func TripodExtended(steps int) genome.Extended {
+	if steps < 2 || steps%2 != 0 {
+		panic(fmt.Sprintf("gait: tripod needs an even step count, got %d", steps))
+	}
+	ly := genome.Layout{Steps: steps, Legs: genome.Legs}
+	x := genome.NewExtended(ly)
+	inA := map[int]bool{}
+	for _, l := range TripodA {
+		inA[int(l)] = true
+	}
+	for s := 0; s < steps; s++ {
+		for l := 0; l < genome.Legs; l++ {
+			if inA[l] == (s%2 == 0) {
+				x.SetGene(s, l, SwingGene)
+			} else {
+				x.SetGene(s, l, StanceGene)
+			}
+		}
+	}
+	return x
+}
+
+// Wave returns the classical wave (metachronal) gait in a 6-step
+// layout: exactly one leg swings per step, back to front on each side,
+// left side then right. Five-sixths duty factor — the slowest, most
+// stable hexapod gait.
+func Wave() genome.Extended {
+	order := []genome.Leg{genome.L3, genome.L2, genome.L1, genome.R3, genome.R2, genome.R1}
+	ly := genome.Layout{Steps: len(order), Legs: genome.Legs}
+	x := genome.NewExtended(ly)
+	for s := 0; s < ly.Steps; s++ {
+		for l := 0; l < ly.Legs; l++ {
+			if genome.Leg(l) == order[s] {
+				x.SetGene(s, l, SwingGene)
+			} else {
+				x.SetGene(s, l, StanceGene)
+			}
+		}
+	}
+	return x
+}
+
+// Ripple returns a 3-step ripple gait: diagonal leg pairs swing in
+// successive steps ((L1,R2), (L2,R3), (L3,R1)); duty factor 2/3.
+func Ripple() genome.Extended {
+	pairs := [][]genome.Leg{
+		{genome.L1, genome.R2},
+		{genome.L2, genome.R3},
+		{genome.L3, genome.R1},
+	}
+	ly := genome.Layout{Steps: len(pairs), Legs: genome.Legs}
+	x := genome.NewExtended(ly)
+	for s := 0; s < ly.Steps; s++ {
+		swing := map[genome.Leg]bool{}
+		for _, l := range pairs[s] {
+			swing[l] = true
+		}
+		for l := 0; l < ly.Legs; l++ {
+			if swing[genome.Leg(l)] {
+				x.SetGene(s, l, SwingGene)
+			} else {
+				x.SetGene(s, l, StanceGene)
+			}
+		}
+	}
+	return x
+}
+
+// Analysis summarizes a gait's structure over one cycle.
+type Analysis struct {
+	// DutyFactor is the per-leg fraction of phases spent grounded.
+	DutyFactor []float64
+	// MaxSimultaneousSwing is the largest number of legs in the air in
+	// any phase.
+	MaxSimultaneousSwing int
+	// MeanDuty is the average duty factor across legs.
+	MeanDuty float64
+}
+
+// Analyze runs one gait cycle through the walking controller and
+// summarizes it.
+func Analyze(x genome.Extended) Analysis {
+	ctl := controller.NewExtended(x)
+	trace := ctl.RunCycle(1)
+	legs := x.Layout.Legs
+	grounded := make([]int, legs)
+	maxSwing := 0
+	for _, snap := range trace {
+		swing := 0
+		for l := 0; l < legs; l++ {
+			if snap.Posture.Up[l] {
+				swing++
+			} else {
+				grounded[l]++
+			}
+		}
+		if swing > maxSwing {
+			maxSwing = swing
+		}
+	}
+	a := Analysis{
+		DutyFactor:           make([]float64, legs),
+		MaxSimultaneousSwing: maxSwing,
+	}
+	total := float64(len(trace))
+	for l := 0; l < legs; l++ {
+		a.DutyFactor[l] = float64(grounded[l]) / total
+		a.MeanDuty += a.DutyFactor[l]
+	}
+	a.MeanDuty /= float64(legs)
+	return a
+}
+
+// Diagram renders the classical gait diagram over n cycles: one row
+// per leg, '#' for stance and '.' for swing, one column per
+// controller phase.
+func Diagram(x genome.Extended, cycles int) string {
+	ctl := controller.NewExtended(x)
+	trace := ctl.RunCycle(cycles)
+	legs := x.Layout.Legs
+	var sb strings.Builder
+	for l := 0; l < legs; l++ {
+		name := fmt.Sprintf("leg%d", l)
+		if legs == genome.Legs {
+			name = genome.Leg(l).String()
+		}
+		fmt.Fprintf(&sb, "%-4s ", name)
+		for _, snap := range trace {
+			if snap.Posture.Up[l] {
+				sb.WriteByte('.')
+			} else {
+				sb.WriteByte('#')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package gait
+
+import (
+	"strings"
+	"testing"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func TestTripodMaximalFitness(t *testing.T) {
+	e := fitness.New()
+	if got := e.Score(Tripod()); got != e.Max() {
+		t.Fatalf("tripod fitness %d != max %d", got, e.Max())
+	}
+}
+
+func TestTripodPartition(t *testing.T) {
+	seen := map[genome.Leg]bool{}
+	for _, l := range append(append([]genome.Leg{}, TripodA...), TripodB...) {
+		if seen[l] {
+			t.Fatalf("leg %v in both tripods", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != genome.Legs {
+		t.Fatalf("tripods cover %d legs", len(seen))
+	}
+}
+
+func TestTripodExtendedMatchesPacked(t *testing.T) {
+	x := TripodExtended(2)
+	if x.Packed() != Tripod() {
+		t.Fatal("2-step extended tripod differs from packed tripod")
+	}
+}
+
+func TestTripodExtendedPanicsOnOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd step count should panic")
+		}
+	}()
+	TripodExtended(3)
+}
+
+func TestWaveStructure(t *testing.T) {
+	w := Wave()
+	if w.Layout.Steps != 6 {
+		t.Fatalf("wave steps = %d", w.Layout.Steps)
+	}
+	a := Analyze(w)
+	if a.MaxSimultaneousSwing != 1 {
+		t.Fatalf("wave max simultaneous swing = %d, want 1", a.MaxSimultaneousSwing)
+	}
+	for l, d := range a.DutyFactor {
+		// One leg swings for 2 of 18 phases (V1 raises it, V2 lowers
+		// it within its step).
+		if d < 0.8 {
+			t.Fatalf("wave leg %d duty factor %.2f too low", l, d)
+		}
+	}
+}
+
+func TestRippleStructure(t *testing.T) {
+	r := Ripple()
+	if r.Layout.Steps != 3 {
+		t.Fatalf("ripple steps = %d", r.Layout.Steps)
+	}
+	a := Analyze(r)
+	if a.MaxSimultaneousSwing != 2 {
+		t.Fatalf("ripple max simultaneous swing = %d, want 2", a.MaxSimultaneousSwing)
+	}
+}
+
+func TestTripodAnalysis(t *testing.T) {
+	a := Analyze(genome.FromGenome(Tripod()))
+	if a.MaxSimultaneousSwing != 3 {
+		t.Fatalf("tripod max simultaneous swing = %d, want 3", a.MaxSimultaneousSwing)
+	}
+	// Tripod duty factor: each leg swings 2 of 6 phases.
+	for l, d := range a.DutyFactor {
+		if d < 0.5 || d > 0.8 {
+			t.Fatalf("tripod leg %d duty factor %.2f", l, d)
+		}
+	}
+	if a.MeanDuty <= 0.5 {
+		t.Fatalf("tripod mean duty %.2f", a.MeanDuty)
+	}
+}
+
+func TestAllGaitsWalkStably(t *testing.T) {
+	cases := map[string]genome.Extended{
+		"tripod": genome.FromGenome(Tripod()),
+		"wave":   Wave(),
+		"ripple": Ripple(),
+	}
+	for name, x := range cases {
+		m := robot.Walk(x, robot.Trial{Cycles: 3})
+		if m.Stumbles != 0 {
+			t.Errorf("%s gait fell %d times", name, m.Stumbles)
+		}
+		if m.DistanceMM <= 0 {
+			t.Errorf("%s gait distance %v", name, m.DistanceMM)
+		}
+	}
+}
+
+func TestGaitSpeedOrdering(t *testing.T) {
+	// Classical result: tripod is the fastest, wave the slowest.
+	tripod := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 6}).SpeedMMPerSec()
+	wave := robot.Walk(Wave(), robot.Trial{Cycles: 2}).SpeedMMPerSec()
+	ripple := robot.Walk(Ripple(), robot.Trial{Cycles: 4}).SpeedMMPerSec()
+	if !(tripod > ripple && ripple >= wave) {
+		t.Fatalf("speed ordering violated: tripod %.1f, ripple %.1f, wave %.1f",
+			tripod, ripple, wave)
+	}
+}
+
+func TestGaitStabilityOrdering(t *testing.T) {
+	// Wave (5 grounded legs) should have a larger stability margin
+	// than tripod (3 grounded legs).
+	tripod := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 4}).MeanMargin
+	wave := robot.Walk(Wave(), robot.Trial{Cycles: 2}).MeanMargin
+	if wave <= tripod {
+		t.Fatalf("wave margin %.1f <= tripod margin %.1f", wave, tripod)
+	}
+}
+
+func TestDiagram(t *testing.T) {
+	d := Diagram(genome.FromGenome(Tripod()), 1)
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("diagram rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "L1") || !strings.Contains(lines[0], ".") || !strings.Contains(lines[0], "#") {
+		t.Fatalf("diagram row malformed: %q", lines[0])
+	}
+	// Complementary tripods: L1 and L2 patterns must differ.
+	p1 := strings.TrimSpace(strings.TrimPrefix(lines[0], "L1"))
+	p2 := strings.TrimSpace(strings.TrimPrefix(lines[1], "L2"))
+	if p1 == p2 {
+		t.Fatal("tripod legs L1/L2 have identical diagrams")
+	}
+}
+
+func TestWaveDoesNotMaximizeTwoStepSymmetry(t *testing.T) {
+	// Documented limitation: the generalized symmetry rule (forward
+	// direction alternates step to step) is not satisfied by the wave
+	// gait, whose legs propel across many consecutive steps. The rule
+	// fitness of the wave gait is therefore below maximum.
+	e := fitness.Evaluator{Layout: Wave().Layout, Weights: fitness.DefaultWeights}
+	if e.ScoreExtended(Wave()) >= e.Max() {
+		t.Fatal("wave gait unexpectedly maximizes the rule fitness")
+	}
+}

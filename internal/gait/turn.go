@@ -1,0 +1,45 @@
+package gait
+
+import "leonardo/internal/genome"
+
+// Turning gaits. The paper's robot turns with its body articulation
+// (Fig. 1a); turning can also be expressed in the genome itself by
+// giving the two sides opposite propulsion directions. Such genomes
+// necessarily violate the coherence rule on one side (a foot pushing
+// "forward" while grounded), so the paper's fitness — by design —
+// never evolves them: on-chip evolution seeks straight walking, and
+// steering is left to the articulation joint.
+
+// TurnRight returns a tripod-pattern gait that rotates the robot
+// clockwise roughly in place: grounded left feet sweep backward while
+// grounded right feet sweep forward, with swing legs recovering in the
+// opposite direction.
+func TurnRight() genome.Genome { return turn(false) }
+
+// TurnLeft returns the mirror gait (counterclockwise).
+func TurnLeft() genome.Genome { return turn(true) }
+
+func turn(left bool) genome.Genome {
+	inA := map[genome.Leg]bool{}
+	for _, l := range TripodA {
+		inA[l] = true
+	}
+	var steps [genome.StepsPerGenome][genome.Legs]genome.LegGene
+	for _, l := range genome.AllLegs() {
+		// Stance push direction: to turn right, left feet push
+		// backward (foot moves to the rear) and right feet push
+		// forward; mirrored for a left turn.
+		pushForward := !l.Left()
+		if left {
+			pushForward = l.Left()
+		}
+		stance := genome.LegGene{Forward: pushForward}
+		swing := genome.LegGene{RaiseFirst: true, Forward: !pushForward}
+		if inA[l] {
+			steps[0][l], steps[1][l] = swing, stance
+		} else {
+			steps[0][l], steps[1][l] = stance, swing
+		}
+	}
+	return genome.New(steps)
+}

@@ -1,0 +1,104 @@
+package gait
+
+import (
+	"math"
+	"testing"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func TestTurnGaitsRotate(t *testing.T) {
+	right := robot.Walk(genome.FromGenome(TurnRight()), robot.Trial{Cycles: 4})
+	left := robot.Walk(genome.FromGenome(TurnLeft()), robot.Trial{Cycles: 4})
+	if right.HeadingDeg >= 0 {
+		t.Fatalf("TurnRight heading = %.1f°, want negative (clockwise)", right.HeadingDeg)
+	}
+	if left.HeadingDeg <= 0 {
+		t.Fatalf("TurnLeft heading = %.1f°, want positive", left.HeadingDeg)
+	}
+	// Mirror symmetry.
+	if math.Abs(right.HeadingDeg+left.HeadingDeg) > 1e-9 {
+		t.Fatalf("turn gaits not mirrored: %.2f vs %.2f", right.HeadingDeg, left.HeadingDeg)
+	}
+	// Substantial rotation: at least 45 degrees over 4 cycles.
+	if math.Abs(right.HeadingDeg) < 45 {
+		t.Fatalf("turn too weak: %.1f° in 4 cycles", right.HeadingDeg)
+	}
+	// Roughly in place: world displacement small compared to the path
+	// a straight walk of the same duration covers.
+	straight := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 4})
+	if right.DisplacementMM > straight.DisplacementMM/2 {
+		t.Fatalf("turn-in-place drifted %.0f mm", right.DisplacementMM)
+	}
+}
+
+func TestTurnGaitsViolateCoherence(t *testing.T) {
+	// Documented property: steering through the genome costs coherence
+	// points, so the paper's fitness never selects it.
+	e := fitness.New()
+	b := e.Breakdown(TurnRight())
+	if b.Coherence == b.CoherenceMax {
+		t.Fatal("turn gait unexpectedly coherent")
+	}
+	if e.Score(TurnRight()) >= e.Max() {
+		t.Fatal("turn gait must score below maximum")
+	}
+	// But it stays balanced and symmetric (tripod pattern, alternating
+	// directions).
+	if b.Equilibrium != b.EquilibriumMax {
+		t.Fatalf("turn gait unbalanced: %v", b)
+	}
+	if b.Symmetry != b.SymmetryMax {
+		t.Fatalf("turn gait asymmetric: %v", b)
+	}
+}
+
+func TestStraightTripodDoesNotTurn(t *testing.T) {
+	m := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 5})
+	if m.HeadingDeg != 0 {
+		t.Fatalf("tripod heading = %.3f°, want 0", m.HeadingDeg)
+	}
+	// Displacement equals forward distance when not turning.
+	if math.Abs(m.DisplacementMM-m.DistanceMM) > 1e-9 {
+		t.Fatalf("displacement %.1f != distance %.1f on a straight walk",
+			m.DisplacementMM, m.DistanceMM)
+	}
+}
+
+func TestArticulationSteersTheTripod(t *testing.T) {
+	// The paper's turning mechanism: bend the body joint and keep the
+	// straight gait. The robot then walks a curve.
+	left := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 6, ArticulationDeg: 25})
+	right := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 6, ArticulationDeg: -25})
+	if left.HeadingDeg <= 0 {
+		t.Fatalf("positive articulation heading = %.2f°, want positive", left.HeadingDeg)
+	}
+	if right.HeadingDeg >= 0 {
+		t.Fatalf("negative articulation heading = %.2f°, want negative", right.HeadingDeg)
+	}
+	// Approximately mirrored: the tripod split (two left legs in
+	// tripod A, one in B) is itself left-right asymmetric, so exact
+	// mirror symmetry is not expected.
+	if math.Abs(left.HeadingDeg+right.HeadingDeg) > 0.1*math.Abs(left.HeadingDeg) {
+		t.Fatalf("articulation steering too asymmetric: %.2f vs %.2f",
+			left.HeadingDeg, right.HeadingDeg)
+	}
+	// Still makes forward progress along its curved path.
+	if left.PathLengthMM <= 0 || left.DistanceMM <= 0 {
+		t.Fatalf("articulated walk made no progress: %+v", left)
+	}
+	// No stumbles: the tripod stays a tripod.
+	if left.Stumbles != 0 {
+		t.Fatalf("articulated tripod stumbled %d times", left.Stumbles)
+	}
+}
+
+func TestArticulationZeroMatchesStraight(t *testing.T) {
+	a := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 4})
+	b := robot.Walk(genome.FromGenome(Tripod()), robot.Trial{Cycles: 4, ArticulationDeg: 0})
+	if a.DistanceMM != b.DistanceMM || a.HeadingDeg != b.HeadingDeg {
+		t.Fatal("zero articulation changed the walk")
+	}
+}

@@ -1,0 +1,425 @@
+// Package gap implements the Genetic Algorithm Processor (GAP) of
+// Discipulus Simplex as a behavioural model: the exact operators,
+// operator order, populations, and random-number discipline of the
+// paper's hardware, expressed in Go. The structural (gate-level)
+// implementation in internal/gapcirc is kept lock-step-equivalent to
+// this model.
+//
+// Per §3.2 of the paper, the GAP contains an initialisation unit, a
+// free-running cellular-automaton random generator, two populations
+// (basis and intermediate), a best-individual register, and the four
+// operators — fitness, selection, crossover, mutation — run in a fixed
+// order each generation, with selection and crossover pipelined:
+//
+//   - tournament selection: draw two individuals, keep the fitter one
+//     with a threshold probability (0.8), implemented as an 8-bit
+//     magnitude comparison against the random stream;
+//   - single-point crossover, applied to a selected pair with a
+//     threshold probability (0.7);
+//   - single-bit mutation: a fixed number of randomly chosen bits
+//     (15) flipped across the whole intermediate population (1152
+//     bits for 32 x 36);
+//   - fitness from the three physical rules (internal/fitness).
+package gap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"leonardo/internal/carng"
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+)
+
+// Objective is what the GAP maximizes. fitness.Evaluator satisfies it;
+// other objectives model the paper's future-work scenario where the
+// final solution is not known (use an unreachable Max and rely on the
+// generation cap).
+type Objective interface {
+	// ScoreExtended evaluates one genome.
+	ScoreExtended(genome.Extended) int
+	// Max is the target fitness: a run converges when the best
+	// individual reaches it.
+	Max() int
+}
+
+// Params configures a GAP run. The zero value is not valid; use
+// PaperParams as the baseline and override fields as needed.
+type Params struct {
+	// Layout is the genome shape; PaperLayout unless exploring bigger
+	// genomes.
+	Layout genome.Layout
+	// PopulationSize is the number of individuals (paper: 32). It must
+	// be even and at least 2.
+	PopulationSize int
+	// SelectionThreshold is the probability that a tournament keeps
+	// the fitter individual (paper: 0.8). Realized as an 8-bit
+	// comparator constant, so it is quantized to multiples of 1/256.
+	SelectionThreshold float64
+	// CrossoverThreshold is the probability that a selected pair is
+	// recombined (paper: 0.7); otherwise the parents pass through.
+	CrossoverThreshold float64
+	// MutationsPerGeneration is the exact number of single-bit
+	// mutations applied to the intermediate population each
+	// generation (paper: 15 over the 1152 population bits).
+	MutationsPerGeneration int
+	// MaxGenerations caps a run (0 means DefaultMaxGenerations).
+	MaxGenerations int
+	// Seed seeds the cellular-automaton random generator.
+	Seed uint64
+	// Objective is the fitness to maximize; nil means the paper's
+	// three-rule evaluator for Layout.
+	Objective Objective
+	// RecordHistory enables per-generation statistics in the Result.
+	RecordHistory bool
+	// InitialPopulation warm-starts the run: the first len() basis
+	// slots are seeded with these individuals instead of random ones
+	// (the rest stay random). This is the on-line scenario where
+	// evolution resumes from the incumbent solution — e.g. re-adapting
+	// after a hardware fault.
+	InitialPopulation []genome.Extended
+}
+
+// DefaultMaxGenerations bounds runs whose objective is never reached.
+// The paper reports ~2000 generations on average; 100x that is a
+// generous cap.
+const DefaultMaxGenerations = 200000
+
+// PaperParams returns the parameter set of §3.3 of the paper:
+// population 32, genome 36 bits, selection threshold 0.8, crossover
+// threshold 0.7, 15 mutations per generation.
+func PaperParams(seed uint64) Params {
+	return Params{
+		Layout:                 genome.PaperLayout,
+		PopulationSize:         32,
+		SelectionThreshold:     0.8,
+		CrossoverThreshold:     0.7,
+		MutationsPerGeneration: 15,
+		Seed:                   seed,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Layout.Validate(); err != nil {
+		return err
+	}
+	if p.PopulationSize < 2 || p.PopulationSize%2 != 0 {
+		return fmt.Errorf("gap: population size %d must be even and >= 2", p.PopulationSize)
+	}
+	if p.PopulationSize > 1<<16 {
+		return fmt.Errorf("gap: population size %d too large", p.PopulationSize)
+	}
+	if p.SelectionThreshold < 0 || p.SelectionThreshold > 1 {
+		return fmt.Errorf("gap: selection threshold %v out of [0,1]", p.SelectionThreshold)
+	}
+	if p.CrossoverThreshold < 0 || p.CrossoverThreshold > 1 {
+		return fmt.Errorf("gap: crossover threshold %v out of [0,1]", p.CrossoverThreshold)
+	}
+	if p.MutationsPerGeneration < 0 {
+		return fmt.Errorf("gap: negative mutation count %d", p.MutationsPerGeneration)
+	}
+	if p.Layout.Bits() < 2 {
+		return fmt.Errorf("gap: genome of %d bits cannot be crossed over", p.Layout.Bits())
+	}
+	if len(p.InitialPopulation) > p.PopulationSize {
+		return fmt.Errorf("gap: %d seed individuals exceed population size %d",
+			len(p.InitialPopulation), p.PopulationSize)
+	}
+	for i, ind := range p.InitialPopulation {
+		if ind.Layout != p.Layout {
+			return fmt.Errorf("gap: seed individual %d has layout %+v, want %+v",
+				i, ind.Layout, p.Layout)
+		}
+	}
+	return nil
+}
+
+// GenStats is one generation's telemetry.
+type GenStats struct {
+	Generation  int
+	BestFitness int
+	MeanFitness float64
+	BestEver    int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Converged is true if the objective's Max was reached.
+	Converged bool
+	// Generations is the number of generations executed.
+	Generations int
+	// Best is the best individual ever evaluated (the paper's
+	// best-individual register, which feeds the walking controller).
+	Best genome.Extended
+	// BestFitness is Best's score; MaxFitness is the objective's Max.
+	BestFitness, MaxFitness int
+	// Draws is the number of random values consumed from the cellular
+	// automaton, including rejection-sampling retries.
+	Draws uint64
+	// History holds per-generation stats if requested.
+	History []GenStats
+}
+
+// GAP is the behavioural Genetic Algorithm Processor. Create with New;
+// step with Generation or drive to completion with Run.
+type GAP struct {
+	p     Params
+	obj   Objective
+	rng   *carng.CA
+	selT  uint8
+	xovT  uint8
+	basis []genome.Extended
+	inter []genome.Extended
+	fit   []int
+
+	gen      int
+	best     genome.Extended
+	bestFit  int
+	haveBest bool
+	draws    uint64
+	history  []GenStats
+	ops      OpStats
+
+	idxBits int // bits needed to draw an individual index
+	pntBits int // bits needed to draw a crossover offset
+	bitBits int // bits needed to draw a bit position within a genome
+}
+
+// New builds a GAP, generates the initial random population (the
+// paper's initialisation unit), and evaluates it.
+func New(p Params) (*GAP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxGenerations == 0 {
+		p.MaxGenerations = DefaultMaxGenerations
+	}
+	obj := p.Objective
+	if obj == nil {
+		obj = fitness.Evaluator{Layout: p.Layout, Weights: fitness.DefaultWeights}
+	}
+	g := &GAP{
+		p:    p,
+		obj:  obj,
+		rng:  carng.NewDefault(p.Seed),
+		selT: carng.Threshold8(p.SelectionThreshold),
+		xovT: carng.Threshold8(p.CrossoverThreshold),
+	}
+	b := p.Layout.Bits()
+	g.idxBits = bits.Len(uint(p.PopulationSize - 1))
+	g.pntBits = bits.Len(uint(b - 2))
+	g.bitBits = bits.Len(uint(b - 1))
+	g.basis = make([]genome.Extended, p.PopulationSize)
+	g.inter = make([]genome.Extended, p.PopulationSize)
+	g.fit = make([]int, p.PopulationSize)
+	for i := range g.basis {
+		g.basis[i] = g.randomIndividual()
+		g.inter[i] = genome.NewExtended(p.Layout)
+	}
+	for i, ind := range p.InitialPopulation {
+		g.basis[i] = ind.Clone()
+	}
+	g.evaluate()
+	return g, nil
+}
+
+// randomIndividual fills a genome from the random stream, one word of
+// CA state per 32 bits, mirroring the hardware initialiser.
+func (g *GAP) randomIndividual() genome.Extended {
+	x := genome.NewExtended(g.p.Layout)
+	n := x.Bits.Len()
+	for base := 0; base < n; base += 32 {
+		w := g.word()
+		for i := 0; i < 32 && base+i < n; i++ {
+			x.Bits.Set(base+i, w>>uint(i)&1 != 0)
+		}
+	}
+	return x
+}
+
+// --- random draws (every helper counts one CA step per sample) ---
+
+func (g *GAP) word() uint64 {
+	g.draws++
+	return g.rng.Word()
+}
+
+func (g *GAP) sample(k int) uint32 {
+	g.draws++
+	return g.rng.Bits(k)
+}
+
+// coin returns true with probability threshold/256.
+func (g *GAP) coin(threshold uint8) bool {
+	return uint8(g.sample(8)) < threshold
+}
+
+// drawBelow returns a uniform value in [0, n) by rejection over k-bit
+// samples.
+func (g *GAP) drawBelow(n, k int) int {
+	for {
+		v := int(g.sample(k))
+		if v < n {
+			return v
+		}
+	}
+}
+
+func (g *GAP) drawIndex() int { return g.drawBelow(g.p.PopulationSize, g.idxBits) }
+
+// drawPoint returns a crossover point in [1, bits-1].
+func (g *GAP) drawPoint() int {
+	return 1 + g.drawBelow(g.p.Layout.Bits()-1, g.pntBits)
+}
+
+// drawMutation picks the mutation target as the paper describes it —
+// "randomly flips a bit in an individual's genome": first the
+// individual, then the bit position, each by rejection-free or
+// rejection-sampled draws.
+func (g *GAP) drawMutation() (individual, bit int) {
+	individual = g.drawIndex()
+	bit = g.drawBelow(g.p.Layout.Bits(), g.bitBits)
+	return individual, bit
+}
+
+// --- operators ---
+
+// evaluate runs the fitness operator over the basis population and
+// updates the best-individual register.
+func (g *GAP) evaluate() {
+	for i, ind := range g.basis {
+		g.fit[i] = g.obj.ScoreExtended(ind)
+		g.ops.Evaluations++
+		if !g.haveBest || g.fit[i] > g.bestFit {
+			g.best = ind.Clone()
+			g.bestFit = g.fit[i]
+			g.haveBest = true
+		}
+	}
+}
+
+// OpStats counts realized operator events, the observable ground
+// truth for the paper's parameter table (experiment E1): how often
+// tournaments kept the fitter individual, how often pairs were
+// recombined, how many bits were flipped.
+type OpStats struct {
+	Tournaments, KeptBetter int
+	Pairs, Crossed          int
+	Mutations               int
+	Evaluations             int
+}
+
+// Ops returns the realized operator counts so far.
+func (g *GAP) Ops() OpStats { return g.ops }
+
+// tournament draws two individuals and keeps the fitter with the
+// selection probability; ties favour the first draw, matching the
+// hardware comparator (a >= b selects a as "better").
+func (g *GAP) tournament() int {
+	a := g.drawIndex()
+	b := g.drawIndex()
+	better, worse := a, b
+	if g.fit[b] > g.fit[a] {
+		better, worse = b, a
+	}
+	g.ops.Tournaments++
+	if g.coin(g.selT) {
+		g.ops.KeptBetter++
+		return better
+	}
+	return worse
+}
+
+// Generation runs one full GA cycle: selection and crossover filling
+// the intermediate population, mutation over its bits, population
+// swap, then fitness evaluation of the new basis population.
+func (g *GAP) Generation() {
+	// Selection + crossover, pipelined pair by pair.
+	for pair := 0; pair < g.p.PopulationSize/2; pair++ {
+		pa := g.basis[g.tournament()]
+		pb := g.basis[g.tournament()]
+		g.ops.Pairs++
+		var ca, cb genome.BitString
+		if g.coin(g.xovT) {
+			g.ops.Crossed++
+			ca, cb = genome.CrossoverBits(pa.Bits, pb.Bits, g.drawPoint())
+		} else {
+			ca, cb = pa.Bits.Clone(), pb.Bits.Clone()
+		}
+		g.inter[2*pair] = genome.Extended{Layout: g.p.Layout, Bits: ca}
+		g.inter[2*pair+1] = genome.Extended{Layout: g.p.Layout, Bits: cb}
+	}
+	// Mutation: exactly MutationsPerGeneration single-bit flips over
+	// the intermediate population.
+	for m := 0; m < g.p.MutationsPerGeneration; m++ {
+		ind, bit := g.drawMutation()
+		g.inter[ind].Bits.Flip(bit)
+		g.ops.Mutations++
+	}
+	g.basis, g.inter = g.inter, g.basis
+	g.gen++
+	g.evaluate()
+	if g.p.RecordHistory {
+		g.history = append(g.history, g.snapshot())
+	}
+}
+
+func (g *GAP) snapshot() GenStats {
+	best := g.fit[0]
+	sum := 0
+	for _, f := range g.fit {
+		if f > best {
+			best = f
+		}
+		sum += f
+	}
+	return GenStats{
+		Generation:  g.gen,
+		BestFitness: best,
+		MeanFitness: float64(sum) / float64(len(g.fit)),
+		BestEver:    g.bestFit,
+	}
+}
+
+// GenerationNumber returns how many generations have run.
+func (g *GAP) GenerationNumber() int { return g.gen }
+
+// Best returns the best-individual register and its fitness.
+func (g *GAP) Best() (genome.Extended, int) { return g.best, g.bestFit }
+
+// Population returns a snapshot of the current basis population and
+// fitness values (copies; safe to retain).
+func (g *GAP) Population() ([]genome.Extended, []int) {
+	pop := make([]genome.Extended, len(g.basis))
+	fit := make([]int, len(g.fit))
+	for i := range g.basis {
+		pop[i] = g.basis[i].Clone()
+	}
+	copy(fit, g.fit)
+	return pop, fit
+}
+
+// Converged reports whether the best individual has reached the
+// objective's maximum.
+func (g *GAP) Converged() bool { return g.bestFit >= g.obj.Max() }
+
+// Run executes generations until convergence or the generation cap and
+// returns the result.
+func (g *GAP) Run() Result {
+	for !g.Converged() && g.gen < g.p.MaxGenerations {
+		g.Generation()
+	}
+	return Result{
+		Converged:   g.Converged(),
+		Generations: g.gen,
+		Best:        g.best.Clone(),
+		BestFitness: g.bestFit,
+		MaxFitness:  g.obj.Max(),
+		Draws:       g.draws,
+		History:     g.history,
+	}
+}
+
+// Draws returns the number of random samples consumed so far.
+func (g *GAP) Draws() uint64 { return g.draws }

@@ -1,0 +1,375 @@
+package gap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := PaperParams(1).Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []Params{
+		{Layout: genome.PaperLayout, PopulationSize: 0},
+		{Layout: genome.PaperLayout, PopulationSize: 33},
+		{Layout: genome.PaperLayout, PopulationSize: 1 << 17},
+		func() Params { p := PaperParams(1); p.SelectionThreshold = 1.5; return p }(),
+		func() Params { p := PaperParams(1); p.CrossoverThreshold = -0.1; return p }(),
+		func() Params { p := PaperParams(1); p.MutationsPerGeneration = -1; return p }(),
+		func() Params { p := PaperParams(1); p.Layout = genome.Layout{}; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestInitialPopulation(t *testing.T) {
+	g, err := New(PaperParams(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, fit := g.Population()
+	if len(pop) != 32 || len(fit) != 32 {
+		t.Fatalf("population size %d/%d", len(pop), len(fit))
+	}
+	e := fitness.New()
+	distinct := map[string]bool{}
+	for i, ind := range pop {
+		if ind.Bits.Len() != genome.Bits {
+			t.Fatalf("individual %d has %d bits", i, ind.Bits.Len())
+		}
+		if fit[i] != e.ScoreExtended(ind) {
+			t.Fatalf("individual %d fitness mismatch", i)
+		}
+		distinct[ind.Bits.String()] = true
+	}
+	if len(distinct) < 30 {
+		t.Errorf("only %d distinct individuals in random init", len(distinct))
+	}
+	// Best register is consistent with the population maximum.
+	_, bestFit := g.Best()
+	max := fit[0]
+	for _, f := range fit {
+		if f > max {
+			max = f
+		}
+	}
+	if bestFit != max {
+		t.Errorf("best register %d != population max %d", bestFit, max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(PaperParams(7))
+	b, _ := New(PaperParams(7))
+	for i := 0; i < 50; i++ {
+		a.Generation()
+		b.Generation()
+	}
+	ba, fa := a.Best()
+	bb, fb := b.Best()
+	if fa != fb || !ba.Bits.Equal(bb.Bits) {
+		t.Fatal("same-seed runs diverged")
+	}
+	if a.Draws() != b.Draws() {
+		t.Fatal("draw counts diverged")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := New(PaperParams(1))
+	b, _ := New(PaperParams(2))
+	pa, _ := a.Population()
+	pb, _ := b.Population()
+	same := true
+	for i := range pa {
+		if !pa[i].Bits.Equal(pb[i].Bits) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical initial populations")
+	}
+}
+
+func TestBestMonotone(t *testing.T) {
+	g, _ := New(PaperParams(3))
+	_, prev := g.Best()
+	for i := 0; i < 200; i++ {
+		g.Generation()
+		_, cur := g.Best()
+		if cur < prev {
+			t.Fatalf("best-ever register regressed: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestConvergesToMaxFitness(t *testing.T) {
+	// The headline behaviour: the GAP finds a maximum-fitness gait.
+	// Use a handful of seeds; each should converge well within the
+	// cap (paper: ~2000 generations on average).
+	for seed := uint64(1); seed <= 3; seed++ {
+		p := PaperParams(seed)
+		p.MaxGenerations = 50000
+		g, _ := New(p)
+		res := g.Run()
+		if !res.Converged {
+			t.Fatalf("seed %d: did not converge in %d generations (best %d/%d)",
+				seed, res.Generations, res.BestFitness, res.MaxFitness)
+		}
+		if res.BestFitness != fitness.New().Max() {
+			t.Fatalf("seed %d: converged with fitness %d", seed, res.BestFitness)
+		}
+		// The champion must satisfy all three rules exactly.
+		b := fitness.New().BreakdownExtended(res.Best)
+		if b.Equilibrium != b.EquilibriumMax || b.Symmetry != b.SymmetryMax || b.Coherence != b.CoherenceMax {
+			t.Fatalf("seed %d: champion breakdown %v not maximal", seed, b)
+		}
+	}
+}
+
+func TestRunRespectsGenerationCap(t *testing.T) {
+	p := PaperParams(1)
+	p.MaxGenerations = 5
+	// Impossible objective: max fitness + 1.
+	p.Objective = unreachable{fitness.New()}
+	g, _ := New(p)
+	res := g.Run()
+	if res.Converged {
+		t.Fatal("converged on unreachable objective")
+	}
+	if res.Generations != 5 {
+		t.Fatalf("ran %d generations, want 5", res.Generations)
+	}
+}
+
+type unreachable struct{ e fitness.Evaluator }
+
+func (u unreachable) ScoreExtended(x genome.Extended) int { return u.e.ScoreExtended(x) }
+func (u unreachable) Max() int                            { return u.e.Max() + 1 }
+
+func TestHistoryRecording(t *testing.T) {
+	p := PaperParams(5)
+	p.RecordHistory = true
+	p.MaxGenerations = 20
+	p.Objective = unreachable{fitness.New()}
+	g, _ := New(p)
+	res := g.Run()
+	if len(res.History) != 20 {
+		t.Fatalf("history length %d, want 20", len(res.History))
+	}
+	for i, h := range res.History {
+		if h.Generation != i+1 {
+			t.Fatalf("history[%d].Generation = %d", i, h.Generation)
+		}
+		if h.BestFitness < 0 || float64(h.BestFitness) < h.MeanFitness {
+			t.Fatalf("gen %d: best %d < mean %.1f", h.Generation, h.BestFitness, h.MeanFitness)
+		}
+		if h.BestEver < h.BestFitness-26 {
+			t.Fatalf("gen %d: implausible best-ever", h.Generation)
+		}
+	}
+}
+
+func TestMutationCountZero(t *testing.T) {
+	p := PaperParams(9)
+	p.MutationsPerGeneration = 0
+	p.MaxGenerations = 10
+	p.Objective = unreachable{fitness.New()}
+	g, _ := New(p)
+	res := g.Run()
+	if res.Generations != 10 {
+		t.Fatal("run with zero mutations failed")
+	}
+}
+
+func TestSelectionPressureOrdering(t *testing.T) {
+	// Higher selection threshold must not make evolution slower on
+	// average by a large factor; more usefully: threshold 1.0 must
+	// reach a higher mean population fitness after a fixed budget than
+	// threshold 0.0 (which selects the worse individual always).
+	mean := func(sel float64, seed uint64) float64 {
+		p := PaperParams(seed)
+		p.SelectionThreshold = sel
+		p.MaxGenerations = 150
+		p.Objective = unreachable{fitness.New()}
+		g, _ := New(p)
+		g.Run()
+		_, fit := g.Population()
+		sum := 0
+		for _, f := range fit {
+			sum += f
+		}
+		return float64(sum) / float64(len(fit))
+	}
+	var hi, lo float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		hi += mean(1.0, seed)
+		lo += mean(0.0, seed)
+	}
+	if hi <= lo {
+		t.Fatalf("selection pressure inverted: mean fitness %.2f (sel=1.0) <= %.2f (sel=0.0)", hi/5, lo/5)
+	}
+}
+
+func TestBiggerGenomeLayout(t *testing.T) {
+	// Future-work scenario: 4-step, 72-bit genomes.
+	p := PaperParams(11)
+	p.Layout = genome.Layout{Steps: 4, Legs: 6}
+	p.MaxGenerations = 30000
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run()
+	e := fitness.Evaluator{Layout: p.Layout, Weights: fitness.DefaultWeights}
+	if res.MaxFitness != e.Max() {
+		t.Fatalf("max fitness %d, want %d", res.MaxFitness, e.Max())
+	}
+	if res.BestFitness < e.Max()*3/4 {
+		t.Fatalf("72-bit run reached only %d/%d", res.BestFitness, e.Max())
+	}
+}
+
+func TestPopulationSnapshotIsCopy(t *testing.T) {
+	g, _ := New(PaperParams(2))
+	pop, _ := g.Population()
+	pop[0].Bits.Flip(0)
+	pop2, _ := g.Population()
+	if pop[0].Bits.Equal(pop2[0].Bits) {
+		t.Fatal("Population returned aliased storage")
+	}
+}
+
+func TestDrawsCounted(t *testing.T) {
+	g, _ := New(PaperParams(1))
+	d0 := g.Draws()
+	if d0 == 0 {
+		t.Fatal("initialisation should consume draws")
+	}
+	g.Generation()
+	if g.Draws() <= d0 {
+		t.Fatal("generation consumed no draws")
+	}
+}
+
+func TestOpStatsRates(t *testing.T) {
+	p := PaperParams(13)
+	p.MaxGenerations = 200
+	p.Objective = unreachable{fitness.New()}
+	g, _ := New(p)
+	g.Run()
+	ops := g.Ops()
+	if ops.Pairs != 200*16 {
+		t.Fatalf("pairs = %d, want 3200", ops.Pairs)
+	}
+	if ops.Tournaments != 2*ops.Pairs {
+		t.Fatalf("tournaments = %d", ops.Tournaments)
+	}
+	if ops.Mutations != 200*15 {
+		t.Fatalf("mutations = %d", ops.Mutations)
+	}
+	if ops.Evaluations != 32*201 { // init + 200 generations
+		t.Fatalf("evaluations = %d", ops.Evaluations)
+	}
+	// Realized rates near the thresholds (8-bit quantized: 205/256,
+	// 179/256).
+	keep := float64(ops.KeptBetter) / float64(ops.Tournaments)
+	if keep < 0.76 || keep < 0 || keep > 0.84 {
+		t.Fatalf("realized selection rate %.3f, want ~0.80", keep)
+	}
+	xov := float64(ops.Crossed) / float64(ops.Pairs)
+	if xov < 0.66 || xov > 0.74 {
+		t.Fatalf("realized crossover rate %.3f, want ~0.70", xov)
+	}
+}
+
+func TestWarmStartPopulation(t *testing.T) {
+	seed := genome.FromGenome(genome.Genome(0x123456789))
+	p := PaperParams(1)
+	p.InitialPopulation = []genome.Extended{seed}
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, _ := g.Population()
+	if !pop[0].Bits.Equal(seed.Bits) {
+		t.Fatal("seed individual not installed")
+	}
+	// Validation failures.
+	p.InitialPopulation = make([]genome.Extended, 33)
+	for i := range p.InitialPopulation {
+		p.InitialPopulation[i] = genome.NewExtended(genome.PaperLayout)
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("oversized seed population accepted")
+	}
+	p.InitialPopulation = []genome.Extended{genome.NewExtended(genome.Layout{Steps: 4, Legs: 6})}
+	if err := p.Validate(); err == nil {
+		t.Fatal("wrong-layout seed accepted")
+	}
+}
+
+func TestWarmStartBestNeverBelowSeed(t *testing.T) {
+	// The best register starts at least at the seed's fitness.
+	e := fitness.New()
+	seedG := genome.FromGenome(genome.Genome(0))
+	want := e.ScoreExtended(seedG)
+	p := PaperParams(9)
+	p.InitialPopulation = []genome.Extended{seedG}
+	g, _ := New(p)
+	if _, best := g.Best(); best < want {
+		t.Fatalf("best %d below seed fitness %d", best, want)
+	}
+}
+
+func TestGenerationInvariantsQuick(t *testing.T) {
+	// Property: for arbitrary valid parameters, a few generations
+	// preserve every structural invariant.
+	f := func(seed uint64, popExp, muts, selRaw, xovRaw uint8) bool {
+		p := Params{
+			Layout:                 genome.PaperLayout,
+			PopulationSize:         2 << (popExp % 5), // 2..32
+			SelectionThreshold:     float64(selRaw%101) / 100,
+			CrossoverThreshold:     float64(xovRaw%101) / 100,
+			MutationsPerGeneration: int(muts % 40),
+			Seed:                   seed,
+		}
+		g, err := New(p)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			g.Generation()
+		}
+		pop, fit := g.Population()
+		if len(pop) != p.PopulationSize || len(fit) != p.PopulationSize {
+			return false
+		}
+		e := fitness.New()
+		maxFit := 0
+		for i, ind := range pop {
+			if ind.Bits.Len() != genome.Bits {
+				return false
+			}
+			if fit[i] != e.ScoreExtended(ind) {
+				return false
+			}
+			if fit[i] > maxFit {
+				maxFit = fit[i]
+			}
+		}
+		_, best := g.Best()
+		return best >= maxFit && g.GenerationNumber() == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

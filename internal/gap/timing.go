@@ -1,0 +1,146 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// ClockHz is the paper's system clock: the GAP runs at 1 MHz.
+const ClockHz = 1_000_000
+
+// Timing models the clock-cycle cost of one GAP generation for the
+// word-parallel datapath implemented in internal/gapcirc (genomes move
+// 36 bits at a time between the population RAMs and the operator
+// logic; one random draw per cycle). The structural simulation is the
+// ground truth: the gapcirc tests verify this formula against measured
+// cycle counts.
+//
+// The paper's own in-text arithmetic (~2000 generations in ~10 minutes
+// at 1 MHz, i.e. ~300k cycles/generation — see
+// PaperCyclesPerGeneration) corresponds to a much less aggressive
+// design, plausibly serialized down to single bits with long settling
+// intervals; both views are reported by the E3 experiment.
+type Timing struct {
+	// Bits is the genome length; Population the number of
+	// individuals; Mutations the per-generation mutation count.
+	Bits, Population, Mutations int
+	// CrossoverRate is the probability a pair is recombined; it
+	// gates the crossover-point draw.
+	CrossoverRate float64
+	// Pipelined models the paper's arrangement in which selection and
+	// crossover overlap ("To decrease computation time by a factor of
+	// about two, we ran the selection and crossover operators in a
+	// pipeline"). The gapcirc FSM is sequential (Pipelined = false);
+	// the pipelined figure quantifies what the overlap would save.
+	Pipelined bool
+}
+
+// PaperTiming returns the timing model at the paper's parameters,
+// matching the sequential gapcirc FSM.
+func PaperTiming() Timing {
+	return Timing{Bits: 36, Population: 32, Mutations: 15, CrossoverRate: 0.7}
+}
+
+// Per-stage cycle costs of the gapcirc FSM.
+const (
+	// cyclesTournament: index draw, index draw, candidate-1 read,
+	// candidate-2 read + coin + parent latch.
+	cyclesTournament = 4
+	// cyclesXovFixed: crossover coin plus the two child writes.
+	cyclesXovFixed = 3
+	// cyclesMutFixed: individual-index draw plus the write-back.
+	cyclesMutFixed = 2
+)
+
+// expectedTries returns the expected number of rejection-sampling
+// draws to land below n using k-bit samples.
+func expectedTries(n, k int) float64 {
+	return float64(uint64(1)<<uint(k)) / float64(n)
+}
+
+// selectionCycles returns the expected per-pair selection cost.
+func (t Timing) selectionCycles() float64 { return 2 * cyclesTournament }
+
+// crossoverCycles returns the expected per-pair crossover cost,
+// including the rejection-sampled point draw when the pair is
+// recombined.
+func (t Timing) crossoverCycles() float64 {
+	ptBits := bits.Len(uint(t.Bits - 2))
+	return cyclesXovFixed + t.CrossoverRate*expectedTries(t.Bits-1, ptBits)
+}
+
+// CyclesPerGeneration returns the expected cycle count of one
+// generation (rounded).
+func (t Timing) CyclesPerGeneration() uint64 {
+	return uint64(math.Round(t.cycles()))
+}
+
+func (t Timing) cycles() float64 {
+	pairs := float64(t.Population / 2)
+	eval := float64(t.Population)
+	sel, xov := t.selectionCycles(), t.crossoverCycles()
+
+	var pairCost float64
+	if t.Pipelined {
+		// Selection of pair k+1 overlaps crossover of pair k; the
+		// longer stage dominates, plus one drain of the shorter.
+		pairCost = pairs*math.Max(sel, xov) + math.Min(sel, xov)
+	} else {
+		pairCost = pairs * (sel + xov)
+	}
+
+	bitBits := bits.Len(uint(t.Bits - 1))
+	mut := float64(t.Mutations) * (cyclesMutFixed + expectedTries(t.Bits, bitBits))
+
+	const swap = 1
+	return eval + pairCost + mut + swap
+}
+
+// GenerationDuration converts one generation to wall time at the
+// paper's 1 MHz clock.
+func (t Timing) GenerationDuration() time.Duration {
+	return time.Duration(t.cycles() / ClockHz * float64(time.Second))
+}
+
+// RunDuration converts a run of n generations to wall time at 1 MHz.
+func (t Timing) RunDuration(generations int) time.Duration {
+	return time.Duration(float64(generations) * t.cycles() / ClockHz * float64(time.Second))
+}
+
+// ExhaustiveDuration is the paper's comparison point: testing all 2^36
+// genomes at one genome per microsecond takes "about 19 hours at
+// 1 MHz". The same convention (one evaluation per clock) is used here.
+func ExhaustiveDuration(genomeBits int) time.Duration {
+	genomes := math.Pow(2, float64(genomeBits))
+	return time.Duration(genomes/float64(ClockHz)*float64(time.Second) + 0.5)
+}
+
+// PaperCyclesPerGeneration back-derives the per-generation cycle count
+// implied by the paper's in-text numbers: ~2000 generations in ~10
+// minutes at 1 MHz.
+func PaperCyclesPerGeneration() uint64 {
+	const tenMinutes = 600 * ClockHz
+	return uint64(tenMinutes / 2000)
+}
+
+// Speedup returns how many times faster a GA run of the given
+// generation count is than exhaustive search, under this timing model.
+func (t Timing) Speedup(generations, genomeBits int) float64 {
+	ga := t.RunDuration(generations)
+	if ga <= 0 {
+		return math.Inf(1)
+	}
+	return float64(ExhaustiveDuration(genomeBits)) / float64(ga)
+}
+
+// String summarizes the model.
+func (t Timing) String() string {
+	mode := "sequential"
+	if t.Pipelined {
+		mode = "pipelined"
+	}
+	return fmt.Sprintf("word-parallel %s GAP: %d cycles/generation (%v at 1 MHz)",
+		mode, t.CyclesPerGeneration(), t.GenerationDuration())
+}

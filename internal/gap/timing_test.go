@@ -1,0 +1,115 @@
+package gap
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPipelineSavesCycles(t *testing.T) {
+	seq := PaperTiming()
+	pi := seq
+	pi.Pipelined = true
+	cp, cs := pi.CyclesPerGeneration(), seq.CyclesPerGeneration()
+	if cp >= cs {
+		t.Fatalf("pipelined %d >= sequential %d", cp, cs)
+	}
+	// The paper says the pipeline decreases computation time "by a
+	// factor of about two" for the selection+crossover stage; check
+	// the stage-level saving is the min of the two stages.
+	saved := cs - cp
+	if saved == 0 {
+		t.Fatal("no pipeline saving")
+	}
+}
+
+func TestExhaustiveDurationMatchesPaper(t *testing.T) {
+	// "about 19 hours at 1 MHz" for 2^36 genomes.
+	d := ExhaustiveDuration(36)
+	if d < 18*time.Hour || d > 20*time.Hour {
+		t.Fatalf("exhaustive duration = %v, want ~19h", d)
+	}
+}
+
+func TestPaperCyclesPerGeneration(t *testing.T) {
+	// 10 minutes / 2000 generations at 1 MHz = 300k cycles.
+	if got := PaperCyclesPerGeneration(); got != 300000 {
+		t.Fatalf("PaperCyclesPerGeneration = %d, want 300000", got)
+	}
+}
+
+func TestRunDurationScalesLinearly(t *testing.T) {
+	ti := PaperTiming()
+	got := ti.RunDuration(2000)
+	want := 2000 * ti.GenerationDuration()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Sub-microsecond rounding differences are fine.
+	if diff > 2000*time.Nanosecond*2000 {
+		t.Fatalf("RunDuration(2000) = %v, want ~%v", got, want)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	// The core claim of E3: a ~2000-generation GA run beats exhaustive
+	// search by at least two orders of magnitude under any sane cycle
+	// model (ours or the paper's own 300k cycles/generation).
+	ti := PaperTiming()
+	if s := ti.Speedup(2000, 36); s < 100 {
+		t.Fatalf("modelled speedup %.1fx < 100x", s)
+	}
+	paperGA := time.Duration(2000*PaperCyclesPerGeneration()) * time.Second / ClockHz
+	if paperGA < 9*time.Minute || paperGA > 11*time.Minute {
+		t.Fatalf("paper-derived GA time = %v, want ~10min", paperGA)
+	}
+	paperSpeedup := float64(ExhaustiveDuration(36)) / float64(paperGA)
+	if paperSpeedup < 100 || paperSpeedup > 130 {
+		t.Fatalf("paper speedup = %.1fx, want ~114x", paperSpeedup)
+	}
+}
+
+func TestTimingString(t *testing.T) {
+	s := PaperTiming().String()
+	if !strings.Contains(s, "sequential") || !strings.Contains(s, "cycles/generation") {
+		t.Errorf("String = %q", s)
+	}
+	pi := PaperTiming()
+	pi.Pipelined = true
+	if !strings.Contains(pi.String(), "pipelined") {
+		t.Errorf("String = %q", pi.String())
+	}
+}
+
+func TestCyclesPositive(t *testing.T) {
+	for _, ti := range []Timing{
+		PaperTiming(),
+		{Bits: 72, Population: 32, Mutations: 15, CrossoverRate: 0.7, Pipelined: true},
+		{Bits: 36, Population: 2, Mutations: 0},
+	} {
+		if ti.CyclesPerGeneration() == 0 {
+			t.Errorf("%+v: zero cycles", ti)
+		}
+	}
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	g, err := New(PaperParams(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generation()
+	}
+}
+
+func BenchmarkFullRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := PaperParams(uint64(i + 1))
+		p.MaxGenerations = 50000
+		g, _ := New(p)
+		g.Run()
+	}
+}

@@ -1,0 +1,68 @@
+package gapcirc
+
+import (
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+)
+
+// FitnessBits is the width of the fitness bus: the paper-layout
+// maximum is 26, which needs 5 bits.
+const FitnessBits = 5
+
+// BuildFitness builds the combinational fitness module for a 36-bit
+// genome bus: the three physical rules of the paper evaluated as pure
+// logic, summed by a population-count adder tree. It is the circuit
+// twin of fitness.Evaluator with default weights; the package tests
+// check them against each other over random genomes.
+//
+// The genome bus uses the packed bit layout of genome.Genome: bit
+// (step*6+leg)*3+k is bit k of the gene for (step, leg).
+func BuildFitness(c *logic.Circuit, g logic.Bus) logic.Bus {
+	if len(g) != genome.Bits {
+		panic("gapcirc: fitness circuit needs a 36-bit genome bus")
+	}
+	geneBit := func(step int, leg genome.Leg, k int) logic.Signal {
+		return g[(step*genome.Legs+int(leg))*genome.BitsPerLegStep+k]
+	}
+	var checks logic.Bus
+
+	// Rule 1 — equilibrium: per step, per phase, per side, NOT all
+	// three legs raised. Phase 0 reads the RaiseFirst bits (k=0),
+	// phase 1 the RaiseAfter bits (k=2).
+	sides := [2][3]genome.Leg{
+		{genome.L1, genome.L2, genome.L3},
+		{genome.R1, genome.R2, genome.R3},
+	}
+	for step := 0; step < genome.StepsPerGenome; step++ {
+		for _, k := range []int{0, 2} {
+			for _, side := range sides {
+				allUp := c.And(
+					geneBit(step, side[0], k),
+					geneBit(step, side[1], k),
+					geneBit(step, side[2], k),
+				)
+				checks = append(checks, c.Not(allUp))
+			}
+		}
+	}
+
+	// Rule 2 — symmetry: per leg, the Forward bits (k=1) of the two
+	// steps differ.
+	for _, leg := range genome.AllLegs() {
+		checks = append(checks, c.Xor(geneBit(0, leg, 1), geneBit(1, leg, 1)))
+	}
+
+	// Rule 3 — coherence: per leg-step, RaiseFirst equals Forward.
+	for step := 0; step < genome.StepsPerGenome; step++ {
+		for _, leg := range genome.AllLegs() {
+			checks = append(checks, c.Xnor(geneBit(step, leg, 0), geneBit(step, leg, 1)))
+		}
+	}
+
+	sum := c.Popcount(checks)
+	// The popcount of 26 inputs is exactly 5 bits wide.
+	for len(sum) < FitnessBits {
+		sum = append(sum, logic.Const0)
+	}
+	return sum[:FitnessBits]
+}

@@ -1,0 +1,266 @@
+package gapcirc
+
+import (
+	"math/rand"
+	"testing"
+
+	"leonardo/internal/carng"
+	"leonardo/internal/fitness"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+)
+
+func TestCACircuitMatchesBehavioural(t *testing.T) {
+	c := logic.New()
+	en := c.Input("en")
+	ca := BuildCA(c, carng.DefaultCells, carng.DefaultRules37, 0xBEEF, en)
+	s := c.MustCompile()
+	ref := carng.NewCA(carng.DefaultCells, carng.DefaultRules37, 0xBEEF)
+	if got := s.GetBus(ca.State); got != ref.State() {
+		t.Fatalf("power-on state %#x != %#x", got, ref.State())
+	}
+	s.Set(en, true)
+	for i := 0; i < 200; i++ {
+		// Next bus previews the post-step state.
+		wantNext := *ref
+		wantNext.Step()
+		if got := s.GetBus(ca.Next); got != wantNext.State() {
+			t.Fatalf("cycle %d: next %#x != %#x", i, got, wantNext.State())
+		}
+		s.Step()
+		ref.Step()
+		if got := s.GetBus(ca.State); got != ref.State() {
+			t.Fatalf("cycle %d: state diverged", i)
+		}
+	}
+	// Enable gating freezes the automaton.
+	s.Set(en, false)
+	frozen := s.GetBus(ca.State)
+	s.StepN(5)
+	if s.GetBus(ca.State) != frozen {
+		t.Fatal("CA advanced with enable low")
+	}
+}
+
+func TestCACircuitZeroSeedRemapped(t *testing.T) {
+	c := logic.New()
+	ca := BuildCA(c, 8, 0x5A, 0, logic.Const1)
+	s := c.MustCompile()
+	if s.GetBus(ca.State) == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
+
+func TestSampleBitsMatchBehavioural(t *testing.T) {
+	// One circuit cycle with enable high is one behavioural draw: the
+	// k-bit gathers on the Next bus must equal what carng.CA.Bits
+	// extracts from the post-step state.
+	c := logic.New()
+	ca := BuildDefaultCA(c, 7, logic.Const1)
+	s5 := ca.SampleBits(5)
+	s8 := ca.SampleBits(8)
+	s := c.MustCompile()
+	ref := carng.NewDefault(7)
+	gather := func(st uint64, k int) uint64 {
+		var v uint64
+		for i := 0; i < k; i++ {
+			v |= st >> (1 + 2*uint(i)) & 1 << uint(i)
+		}
+		return v
+	}
+	for i := 0; i < 100; i++ {
+		ref.Step()
+		st := ref.State()
+		if got := s.GetBus(s5); got != gather(st, 5) {
+			t.Fatalf("cycle %d: 5-bit sample %d != %d", i, got, gather(st, 5))
+		}
+		if got := s.GetBus(s8); got != gather(st, 8) {
+			t.Fatalf("cycle %d: 8-bit sample %d != %d", i, got, gather(st, 8))
+		}
+		s.Step()
+	}
+}
+
+func TestFitnessCircuitMatchesEvaluator(t *testing.T) {
+	c := logic.New()
+	g := c.InputBus("g", genome.Bits)
+	fit := BuildFitness(c, g)
+	s := c.MustCompile()
+	e := fitness.New()
+	rng := rand.New(rand.NewSource(42))
+	check := func(gen genome.Genome) {
+		s.SetBus(g, uint64(gen))
+		if got, want := int(s.GetBus(fit)), e.Score(gen); got != want {
+			t.Fatalf("genome %v: circuit fitness %d != %d (%v)",
+				gen, got, want, e.Breakdown(gen))
+		}
+	}
+	check(0)
+	check(genome.Mask)
+	// The tripod (max fitness).
+	var steps [genome.StepsPerGenome][genome.Legs]genome.LegGene
+	swing := genome.LegGene{RaiseFirst: true, Forward: true}
+	inA := map[genome.Leg]bool{genome.L1: true, genome.L3: true, genome.R2: true}
+	for _, l := range genome.AllLegs() {
+		if inA[l] {
+			steps[0][l] = swing
+		} else {
+			steps[1][l] = swing
+		}
+	}
+	check(genome.New(steps))
+	for i := 0; i < 3000; i++ {
+		check(genome.Genome(rng.Uint64()) & genome.Mask)
+	}
+}
+
+// lockstep runs the behavioural and structural GAPs side by side and
+// compares populations and best registers after every generation.
+func lockstep(t *testing.T, p gap.Params, generations int) {
+	t.Helper()
+	ref, err := gap.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen <= generations; gen++ {
+		if gen > 0 {
+			ref.Generation()
+		}
+		if _, err := core.RunGenerations(sim, gen, 0); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		// Populations must match exactly.
+		wantPop, wantFit := ref.Population()
+		gotPop := core.ReadBasis(sim)
+		for i := range wantPop {
+			if got, want := gotPop[i], wantPop[i].Packed(); got != want {
+				t.Fatalf("gen %d individual %d:\n circuit %v\n model   %v",
+					gen, i, got, want)
+			}
+			_ = wantFit
+		}
+		// Best registers must match.
+		wantBest, wantBestFit := ref.Best()
+		gotBest, gotBestFit := core.BestOf(sim)
+		if gotBest != wantBest.Packed() || gotBestFit != wantBestFit {
+			t.Fatalf("gen %d: best %v/%d != %v/%d",
+				gen, gotBest, gotBestFit, wantBest.Packed(), wantBestFit)
+		}
+	}
+}
+
+func TestLockstepSmallPopulation(t *testing.T) {
+	p := gap.PaperParams(1234)
+	p.PopulationSize = 8
+	lockstep(t, p, 12)
+}
+
+func TestLockstepPaperPopulation(t *testing.T) {
+	lockstep(t, gap.PaperParams(99), 4)
+}
+
+func TestLockstepNoMutation(t *testing.T) {
+	p := gap.PaperParams(5)
+	p.PopulationSize = 8
+	p.MutationsPerGeneration = 0
+	lockstep(t, p, 6)
+}
+
+func TestLockstepExtremeThresholds(t *testing.T) {
+	p := gap.PaperParams(17)
+	p.PopulationSize = 8
+	p.SelectionThreshold = 1.0
+	p.CrossoverThreshold = 0.0
+	lockstep(t, p, 6)
+}
+
+func TestLockstepDifferentSeeds(t *testing.T) {
+	for _, seed := range []uint64{2, 3} {
+		p := gap.PaperParams(seed)
+		p.PopulationSize = 8
+		lockstep(t, p, 5)
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	p := gap.PaperParams(1)
+	p.PopulationSize = 24 // not a power of two
+	if _, err := Build(p); err == nil {
+		t.Fatal("non-power-of-two population accepted")
+	}
+	p = gap.PaperParams(1)
+	p.Layout = genome.Layout{Steps: 4, Legs: 6}
+	if _, err := Build(p); err == nil {
+		t.Fatal("non-paper layout accepted")
+	}
+	p = gap.PaperParams(1)
+	p.PopulationSize = 0
+	if _, err := Build(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestMeasuredCyclesPerGeneration(t *testing.T) {
+	p := gap.PaperParams(7)
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Circuit.MustCompile()
+	if _, err := core.RunGenerations(sim, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	const gens = 10
+	start := sim.Cycles()
+	if _, err := core.RunGenerations(sim, 1+gens, 0); err != nil {
+		t.Fatal(err)
+	}
+	total = sim.Cycles() - start
+	perGen := float64(total) / gens
+	model := gap.PaperTiming()
+	modelled := float64(model.CyclesPerGeneration())
+	if perGen < modelled*0.8 || perGen > modelled*1.25 {
+		t.Fatalf("measured %.0f cycles/generation vs modelled %.0f (>25%% off)",
+			perGen, modelled)
+	}
+}
+
+func TestCircuitBestFitnessImprovesOverGenerations(t *testing.T) {
+	p := gap.PaperParams(21)
+	p.PopulationSize = 16
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Circuit.MustCompile()
+	if _, err := core.RunGenerations(sim, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, f0 := core.BestOf(sim)
+	if _, err := core.RunGenerations(sim, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, f30 := core.BestOf(sim)
+	if f30 < f0 {
+		t.Fatalf("best fitness regressed: %d -> %d", f0, f30)
+	}
+	if f30 <= f0 {
+		t.Logf("warning: no improvement in 30 generations (start %d)", f0)
+	}
+	e := fitness.New()
+	bg, bf := core.BestOf(sim)
+	if e.Score(bg) != bf {
+		t.Fatalf("best register inconsistent: genome scores %d, register says %d",
+			e.Score(bg), bf)
+	}
+}

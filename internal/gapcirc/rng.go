@@ -1,0 +1,87 @@
+// Package gapcirc is the structural implementation of Discipulus
+// Simplex: the Genetic Algorithm Processor, its cellular-automaton
+// random generator, the rule-based fitness module, and the evolvable
+// walking controller, all built as gate-level netlists on
+// internal/logic.
+//
+// The GAP core is kept lock-step equivalent to the behavioural model
+// in internal/gap: it consumes exactly the same sequence of random
+// samples and therefore computes bit-identical populations, which the
+// package tests verify generation by generation. Mapping the full
+// system onto the XC4036EX device model (internal/fpga) reproduces the
+// paper's resource-usage claim (experiment E4).
+package gapcirc
+
+import (
+	"leonardo/internal/carng"
+	"leonardo/internal/logic"
+)
+
+// CACircuit is the gate-level 90/150 hybrid cellular automaton: n
+// flip-flops plus one XOR tree per cell. The register advances only
+// when its enable is high; the Next bus carries the post-step state
+// combinationally, so a consumer that asserts enable and registers
+// Next in the same cycle sees exactly what the behavioural
+// carng.CA.Word returns.
+type CACircuit struct {
+	// State is the current cell state (DFF outputs).
+	State logic.Bus
+	// Next is the combinational next state.
+	Next logic.Bus
+}
+
+// BuildCA instantiates the automaton with the given rule vector and
+// power-on seed (transformed exactly like carng.NewCA: masked, zero
+// mapped to 1), clock-enabled by enable.
+func BuildCA(c *logic.Circuit, cells int, rules, seed uint64, enable logic.Signal) CACircuit {
+	mask := ^uint64(0)
+	if cells < 64 {
+		mask = uint64(1)<<uint(cells) - 1
+	}
+	init := seed & mask
+	if init == 0 {
+		init = 1
+	}
+	// Declare the state flops first, then build the next-state XORs
+	// and close the feedback.
+	state := make(logic.Bus, cells)
+	for i := range state {
+		state[i] = c.FeedbackDFF(enable, logic.Const0, init>>uint(i)&1 != 0)
+	}
+	next := make(logic.Bus, cells)
+	for i := 0; i < cells; i++ {
+		var terms []logic.Signal
+		if i > 0 {
+			terms = append(terms, state[i-1])
+		}
+		if i < cells-1 {
+			terms = append(terms, state[i+1])
+		}
+		if rules>>uint(i)&1 != 0 {
+			terms = append(terms, state[i])
+		}
+		next[i] = c.Xor(terms...)
+	}
+	// Close the feedback.
+	for i := range state {
+		c.ConnectD(state[i], next[i])
+	}
+	return CACircuit{State: state, Next: next}
+}
+
+// BuildDefaultCA instantiates the GAP's default generator (37 cells,
+// verified maximal rule vector).
+func BuildDefaultCA(c *logic.Circuit, seed uint64, enable logic.Signal) CACircuit {
+	return BuildCA(c, carng.DefaultCells, carng.DefaultRules37, seed, enable)
+}
+
+// SampleBits returns k sample bits gathered from the Next state with
+// the same site spacing as carng.CA.Bits: bit i comes from cell
+// 1 + 2*i.
+func (ca CACircuit) SampleBits(k int) logic.Bus {
+	out := make(logic.Bus, k)
+	for i := 0; i < k; i++ {
+		out[i] = ca.Next[1+2*i]
+	}
+	return out
+}

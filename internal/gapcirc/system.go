@@ -1,0 +1,159 @@
+package gapcirc
+
+import (
+	"leonardo/internal/controller"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+	"leonardo/internal/servo"
+)
+
+// PhaseCycles is the micro-movement period of the walking controller
+// in clock cycles at 1 MHz (0.4 s, matching
+// controller.DefaultPhaseSeconds).
+const PhaseCycles = 400_000
+
+// ControllerCircuit is the structural evolvable walking controller
+// (Fig. 4): the genome-configured state machine plus the twelve
+// servo-control PWM channels.
+type ControllerCircuit struct {
+	// Up and Forward are the posture registers, one per leg.
+	Up, Forward logic.Bus
+	// PWM carries the twelve servo signals (channel 2*leg =
+	// elevation, 2*leg+1 = propulsion).
+	PWM logic.Bus
+	// Phase is the 3-bit micro-movement phase (0..5).
+	Phase logic.Bus
+	// Tick pulses once per phase boundary.
+	Tick logic.Signal
+}
+
+// BuildController attaches the walking controller to a circuit, driven
+// by a 36-bit genome bus (in the complete system: the GAP's
+// best-individual register, realizing the on-line reconfiguration of
+// the evolvable state machine). phaseCycles sets the micro-movement
+// period; 0 means PhaseCycles.
+func BuildController(c *logic.Circuit, gen logic.Bus, phaseCycles int) ControllerCircuit {
+	if len(gen) != genome.Bits {
+		panic("gapcirc: controller needs a 36-bit genome bus")
+	}
+	if phaseCycles == 0 {
+		phaseCycles = PhaseCycles
+	}
+
+	// Phase timer: divide the clock to the micro-movement rate.
+	divBits := 1
+	for 1<<uint(divBits) < phaseCycles {
+		divBits++
+	}
+	tickCnt := make(logic.Bus, divBits)
+	for i := range tickCnt {
+		tickCnt[i] = c.FeedbackDFF(logic.Const1, logic.Const0, false)
+	}
+	tick := c.EqConst(tickCnt, uint64(phaseCycles-1))
+	nextCnt, _ := c.Inc(tickCnt)
+	zero := c.ConstBus(0, divBits)
+	for i := range tickCnt {
+		c.ConnectD(tickCnt[i], c.Mux(tick, nextCnt[i], zero[i]))
+	}
+
+	// Phase counter 0..5 (two steps x three micro-movements).
+	phase := make(logic.Bus, 3)
+	for i := range phase {
+		phase[i] = c.FeedbackDFF(tick, logic.Const0, false)
+	}
+	lastPhase := c.EqConst(phase, 5)
+	nextPhase, _ := c.Inc(phase)
+	zero3 := c.ConstBus(0, 3)
+	for i := range phase {
+		c.ConnectD(phase[i], c.Mux(lastPhase, nextPhase[i], zero3[i]))
+	}
+
+	// Micro-movement decode: phase 0..2 = step 1 (V1, H, V2),
+	// phase 3..5 = step 2.
+	isV1 := c.Or(c.EqConst(phase, 0), c.EqConst(phase, 3))
+	isH := c.Or(c.EqConst(phase, 1), c.EqConst(phase, 4))
+	isV2 := c.Or(c.EqConst(phase, 2), c.EqConst(phase, 5))
+	step2 := c.Or(c.EqConst(phase, 3), c.EqConst(phase, 4), c.EqConst(phase, 5))
+
+	geneBit := func(step, leg, k int) logic.Signal {
+		return gen[(step*genome.Legs+leg)*genome.BitsPerLegStep+k]
+	}
+
+	up := make(logic.Bus, genome.Legs)
+	fwd := make(logic.Bus, genome.Legs)
+	for leg := 0; leg < genome.Legs; leg++ {
+		v1 := c.Mux(step2, geneBit(0, leg, 0), geneBit(1, leg, 0))
+		v2 := c.Mux(step2, geneBit(0, leg, 2), geneBit(1, leg, 2))
+		h := c.Mux(step2, geneBit(0, leg, 1), geneBit(1, leg, 1))
+		upD := c.Mux(isV1, v2, v1)
+		up[leg] = c.DFF(upD, c.And(tick, c.Or(isV1, isV2)), logic.Const0)
+		fwd[leg] = c.DFF(h, c.And(tick, isH), logic.Const0)
+	}
+
+	// PWM: one shared frame counter, one comparator per channel, the
+	// width muxed between the two mechanical positions of the axis.
+	frameBits := 1
+	for 1<<uint(frameBits) < servo.FrameCycles {
+		frameBits++
+	}
+	frame := make(logic.Bus, frameBits)
+	for i := range frame {
+		frame[i] = c.FeedbackDFF(logic.Const1, logic.Const0, false)
+	}
+	frameEnd := c.EqConst(frame, servo.FrameCycles-1)
+	nextFrame, _ := c.Inc(frame)
+	zf := c.ConstBus(0, frameBits)
+	for i := range frame {
+		c.ConnectD(frame[i], c.Mux(frameEnd, nextFrame[i], zf[i]))
+	}
+
+	upWidth := uint64(servo.AngleToPulse(controller.ElevationUpDeg))
+	downWidth := uint64(servo.AngleToPulse(controller.ElevationDownDeg))
+	fwdWidth := uint64(servo.AngleToPulse(controller.PropulsionFwdDeg))
+	backWidth := uint64(servo.AngleToPulse(controller.PropulsionBackDeg))
+
+	pwm := make(logic.Bus, 2*genome.Legs)
+	for leg := 0; leg < genome.Legs; leg++ {
+		elevW := c.MuxBus(up[leg], c.ConstBus(downWidth, frameBits), c.ConstBus(upWidth, frameBits))
+		propW := c.MuxBus(fwd[leg], c.ConstBus(backWidth, frameBits), c.ConstBus(fwdWidth, frameBits))
+		pwm[2*leg] = c.Lt(frame, elevW)
+		pwm[2*leg+1] = c.Lt(frame, propW)
+	}
+
+	return ControllerCircuit{Up: up, Forward: fwd, PWM: pwm, Phase: phase, Tick: tick}
+}
+
+// System is the complete Discipulus Simplex chip (Fig. 3): the GAP,
+// the fitness module (inside the GAP core), and the configurable
+// walking controller driving the twelve servo signals.
+type System struct {
+	Core       *Core
+	Controller ControllerCircuit
+}
+
+// BuildSystem assembles the full chip. phaseCycles parameterizes the
+// walking rate (0 = the real 0.4 s per micro-movement; tests use small
+// values to keep simulations short).
+func BuildSystem(p gap.Params, opts BuildOpts, phaseCycles int) (*System, error) {
+	core, err := BuildWith(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := core.Circuit
+	ctl := BuildController(c, core.Best, phaseCycles)
+	for i, s := range ctl.PWM {
+		c.Output(pwmName(i), s)
+	}
+	c.OutputBus("phase", ctl.Phase)
+	return &System{Core: core, Controller: ctl}, nil
+}
+
+func pwmName(i int) string {
+	leg := genome.Leg(i / 2).String()
+	kind := "elev"
+	if i%2 == 1 {
+		kind = "prop"
+	}
+	return "pwm_" + leg + "_" + kind
+}

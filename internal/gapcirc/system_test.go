@@ -1,0 +1,288 @@
+package gapcirc
+
+import (
+	"testing"
+
+	"leonardo/internal/controller"
+	"leonardo/internal/fitness"
+	"leonardo/internal/fpga"
+	"leonardo/internal/gait"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+	"leonardo/internal/servo"
+)
+
+// buildStandaloneController wires a controller to a constant genome
+// for direct testing, with a tiny phase period.
+func buildStandaloneController(g genome.Genome, phaseCycles int) (*logic.Circuit, ControllerCircuit) {
+	c := logic.New()
+	bus := c.ConstBus(uint64(g), genome.Bits)
+	ctl := BuildController(c, bus, phaseCycles)
+	return c, ctl
+}
+
+func TestControllerCircuitMatchesBehavioural(t *testing.T) {
+	// Drive the circuit controller through two full gait cycles and
+	// compare postures phase by phase with the behavioural model.
+	for _, g := range []genome.Genome{gait.Tripod(), 0, genome.Mask, 0x123456789} {
+		const phaseCycles = 8
+		c, ctl := buildStandaloneController(g&genome.Mask, phaseCycles)
+		sim := c.MustCompile()
+		ref := controller.New(g & genome.Mask)
+		for phase := 0; phase < 12; phase++ {
+			want := ref.Advance()
+			// Run the circuit to the end of this phase: tick fires at
+			// the phase boundary and the posture registers load on
+			// that edge.
+			sim.StepN(phaseCycles)
+			for leg := 0; leg < genome.Legs; leg++ {
+				if sim.Get(ctl.Up[leg]) != want.Up[leg] {
+					t.Fatalf("genome %v phase %d leg %d: up %v != %v",
+						g, phase, leg, sim.Get(ctl.Up[leg]), want.Up[leg])
+				}
+				if sim.Get(ctl.Forward[leg]) != want.Forward[leg] {
+					t.Fatalf("genome %v phase %d leg %d: fwd mismatch", g, phase, leg)
+				}
+			}
+		}
+	}
+}
+
+func TestControllerPWMWidths(t *testing.T) {
+	// With an all-ones genome every leg is up+forward after one
+	// phase; measure a PWM frame and check the pulse width.
+	c, ctl := buildStandaloneController(genome.Mask, 4)
+	sim := c.MustCompile()
+	sim.StepN(8) // two phases: V1 raises, H moves forward
+	// Align to the start of a PWM frame: frame counter position is
+	// known (cycles mod FrameCycles), so instead just count high
+	// cycles over one full frame starting anywhere.
+	high := map[int]int{}
+	for i := 0; i < servo.FrameCycles; i++ {
+		for ch := 0; ch < 2; ch++ {
+			if sim.Get(ctl.PWM[ch]) {
+				high[ch]++
+			}
+		}
+		sim.Step()
+	}
+	wantElev := servo.AngleToPulse(controller.ElevationUpDeg)
+	wantProp := servo.AngleToPulse(controller.PropulsionFwdDeg)
+	if high[0] != wantElev {
+		t.Fatalf("elevation pulse %d us, want %d", high[0], wantElev)
+	}
+	if high[1] != wantProp {
+		t.Fatalf("propulsion pulse %d us, want %d", high[1], wantProp)
+	}
+}
+
+func TestControllerPhaseWraps(t *testing.T) {
+	c, ctl := buildStandaloneController(0, 2)
+	sim := c.MustCompile()
+	seen := map[uint64]bool{}
+	for i := 0; i < 30; i++ {
+		seen[sim.GetBus(ctl.Phase)] = true
+		if got := sim.GetBus(ctl.Phase); got > 5 {
+			t.Fatalf("phase %d out of range", got)
+		}
+		sim.StepN(2)
+	}
+	for p := uint64(0); p < 6; p++ {
+		if !seen[p] {
+			t.Fatalf("phase %d never reached", p)
+		}
+	}
+}
+
+func TestRegisterFileLockstep(t *testing.T) {
+	// The register-file storage variant must be behaviourally
+	// identical to the RAM variant (both against the behavioural
+	// model).
+	p := gap.PaperParams(42)
+	p.PopulationSize = 8
+	ref, err := gap.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := BuildWith(p, BuildOpts{RegisterFile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Circuit.MustCompile()
+	for gen := 0; gen <= 5; gen++ {
+		if gen > 0 {
+			ref.Generation()
+		}
+		if _, err := core.RunGenerations(sim, gen, 0); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		wantPop, _ := ref.Population()
+		gotPop := core.ReadBasis(sim)
+		for i := range wantPop {
+			if gotPop[i] != wantPop[i].Packed() {
+				t.Fatalf("gen %d individual %d mismatch (register-file variant)", gen, i)
+			}
+		}
+	}
+}
+
+func TestFullSystemBuildsAndMaps(t *testing.T) {
+	sys, err := BuildSystem(gap.PaperParams(1), BuildOpts{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fpga.Map(sys.Core.Circuit, fpga.XC4036EX)
+	if !r.Fits {
+		t.Fatalf("RAM-storage system does not fit the XC4036EX:\n%s", r)
+	}
+	if r.RAMBits != 2*32*36 {
+		t.Fatalf("RAM bits = %d, want 2304", r.RAMBits)
+	}
+	if r.TotalCLBs == 0 || r.LUTs == 0 || r.FFs == 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	t.Logf("RAM-variant mapping:\n%s", r)
+}
+
+func TestRegisterFileVariantResourceBracket(t *testing.T) {
+	// The register-file variant must cost far more CLBs than the
+	// CLB-RAM variant; the two bracket the paper's 1244-CLB figure
+	// from below and above (see EXPERIMENTS.md E4).
+	ramSys, err := BuildSystem(gap.PaperParams(1), BuildOpts{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regSys, err := BuildSystem(gap.PaperParams(1), BuildOpts{RegisterFile: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram := fpga.Map(ramSys.Core.Circuit, fpga.XC4036EX)
+	reg := fpga.Map(regSys.Core.Circuit, fpga.XC4036EX)
+	if reg.TotalCLBs <= ram.TotalCLBs {
+		t.Fatalf("register file (%d CLBs) not costlier than RAM (%d CLBs)",
+			reg.TotalCLBs, ram.TotalCLBs)
+	}
+	if reg.FFs < 2*32*36 {
+		t.Fatalf("register-file variant has only %d FFs", reg.FFs)
+	}
+	t.Logf("bracket: RAM variant %d CLBs (%.0f%%), register variant %d CLBs (%.0f%%), paper 1244 (96%%)",
+		ram.TotalCLBs, 100*ram.Utilization(), reg.TotalCLBs, 100*reg.Utilization())
+}
+
+func TestSystemPWMOutputsNamed(t *testing.T) {
+	sys, err := BuildSystem(gap.PaperParams(3), BuildOpts{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := sys.Core.Circuit.Outputs()
+	for _, name := range []string{"pwm_L1_elev", "pwm_R3_prop", "gen[0]", "best[35]"} {
+		if _, ok := outs[name]; !ok {
+			t.Errorf("missing output %q", name)
+		}
+	}
+}
+
+func TestFreeRunningRNGVariant(t *testing.T) {
+	// The paper's free-running generator draws different values than
+	// the gated lock-step variant but still evolves: after the same
+	// number of generations the populations differ while the best
+	// fitness is sane in both.
+	p := gap.PaperParams(8)
+	p.PopulationSize = 8
+	gated, err := BuildWith(p, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := BuildWith(p, BuildOpts{FreeRunningRNG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simG := gated.Circuit.MustCompile()
+	simF := free.Circuit.MustCompile()
+	if _, err := gated.RunGenerations(simG, 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := free.RunGenerations(simF, 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	pg, pf := gated.ReadBasis(simG), free.ReadBasis(simF)
+	same := true
+	for i := range pg {
+		if pg[i] != pf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("free-running RNG produced the identical trajectory (suspicious)")
+	}
+	_, fg := gated.BestOf(simG)
+	_, ff := free.BestOf(simF)
+	if fg < 15 || ff < 15 {
+		t.Fatalf("evolution ineffective: gated best %d, free best %d", fg, ff)
+	}
+}
+
+func TestSingleEventUpsetRecovery(t *testing.T) {
+	// Failure injection: flip random population RAM bits mid-run (the
+	// radiation scenario the evolvable-hardware literature cares
+	// about). The GAP must keep operating — the FSM keeps cycling,
+	// corrupted individuals simply become material for selection —
+	// and the best register keeps improving or holding.
+	p := gap.PaperParams(33)
+	p.PopulationSize = 16
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Circuit.MustCompile()
+	if _, err := core.RunGenerations(sim, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, before := core.BestOf(sim)
+
+	// 40 upsets spread over both banks.
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 40; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		name := "ram0"
+		if seed>>20&1 == 1 {
+			name = "ram1"
+		}
+		sim.FlipRAMBit(name, int(seed>>32%16), int(seed>>8%36))
+		sim.StepN(50)
+	}
+	if _, err := core.RunGenerations(sim, 40, 0); err != nil {
+		t.Fatalf("GAP livelocked after upsets: %v", err)
+	}
+	bg, after := core.BestOf(sim)
+	if after < before {
+		t.Fatalf("best register regressed %d -> %d (it is not stored in the upset RAMs)", before, after)
+	}
+	// The register must still hold a genome consistent with its
+	// fitness claim.
+	if fitness.New().Score(bg) != after {
+		t.Fatalf("best register corrupted: genome scores %d, register claims %d",
+			fitness.New().Score(bg), after)
+	}
+}
+
+func TestStateRegisterUpsetDoesNotHang(t *testing.T) {
+	// Flip an FSM state bit: the controller lands in some state and
+	// must keep making progress (every state has a successor).
+	p := gap.PaperParams(3)
+	p.PopulationSize = 8
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Circuit.MustCompile()
+	if _, err := core.RunGenerations(sim, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	sim.FlipDFF(core.State[1])
+	if _, err := core.RunGenerations(sim, 6, 0); err != nil {
+		t.Fatalf("FSM hung after a state-bit upset: %v", err)
+	}
+}

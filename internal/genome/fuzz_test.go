@@ -1,0 +1,56 @@
+package genome
+
+import "testing"
+
+// FuzzParse checks that arbitrary strings never panic the parser and
+// that everything it accepts round-trips exactly.
+func FuzzParse(f *testing.F) {
+	f.Add("000000000000000000000000000000000000")
+	f.Add("011 000 011 000 011 000 000 011 000 011 000 011")
+	f.Add("")
+	f.Add("1x0")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !g.Valid() {
+			t.Fatalf("Parse(%q) returned invalid genome %v", s, g)
+		}
+		back, err := Parse(g.String())
+		if err != nil || back != g {
+			t.Fatalf("round trip failed for %q -> %v", s, g)
+		}
+	})
+}
+
+// FuzzCrossover checks structural invariants for arbitrary parents and
+// points.
+func FuzzCrossover(f *testing.F) {
+	f.Add(uint64(0), uint64(0), 1)
+	f.Add(^uint64(0), uint64(0x123456789), 35)
+	f.Fuzz(func(t *testing.T, ra, rb uint64, p int) {
+		a, b := Genome(ra)&Mask, Genome(rb)&Mask
+		point := 1 + absInt(p)%(Bits-1)
+		c, d := Crossover(a, b, point)
+		if !c.Valid() || !d.Valid() {
+			t.Fatal("invalid child")
+		}
+		// Bit conservation per position.
+		for i := 0; i < Bits; i++ {
+			if (a.Bit(i) != b.Bit(i)) != (c.Bit(i) != d.Bit(i)) {
+				t.Fatalf("bit %d not conserved", i)
+			}
+		}
+	})
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		if v == -v { // MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

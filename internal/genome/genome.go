@@ -1,0 +1,277 @@
+// Package genome implements the gait genome of Discipulus Simplex.
+//
+// The paper encodes one individual as a 36-bit bit-stream: two steps,
+// six legs per step, three bits per leg-step. The three bits encode the
+// micro-movement sequence a leg performs during one step:
+//
+//	bit 0: whether the leg first goes up (1) or down (0),
+//	bit 1: whether the leg then goes forward (1) or backward (0),
+//	bit 2: whether the leg goes up (1) or down (0) after the
+//	       horizontal move.
+//
+// The search space is therefore 2^36 ~ 68.7 billion genomes.
+//
+// The package also provides the generalized N-step genome used by the
+// paper's future-work direction ("bigger genomes ... where the final
+// solution is not known"); the 2-step, 6-leg case is the paper's.
+package genome
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Structural constants of the paper's encoding.
+const (
+	// Legs is the number of legs of Leonardo.
+	Legs = 6
+	// StepsPerGenome is the number of walk steps one genome encodes.
+	StepsPerGenome = 2
+	// BitsPerLegStep is the number of bits encoding one leg's movement
+	// during one step.
+	BitsPerLegStep = 3
+	// Bits is the total genome length in bits: 2 steps x 6 legs x 3 bits.
+	Bits = StepsPerGenome * Legs * BitsPerLegStep
+	// SearchSpace is the size of the paper's search space, 2^36.
+	SearchSpace = uint64(1) << Bits
+)
+
+// Leg identifies one of Leonardo's six legs. Legs are numbered front to
+// rear on each side: L1, L2, L3 on the left and R1, R2, R3 on the right.
+type Leg int
+
+// Leg identifiers, front to rear.
+const (
+	L1 Leg = iota // left front
+	L2            // left middle
+	L3            // left rear
+	R1            // right front
+	R2            // right middle
+	R3            // right rear
+)
+
+// String returns the conventional short name of the leg (e.g. "L1").
+func (l Leg) String() string {
+	if l < 0 || l >= Legs {
+		return fmt.Sprintf("Leg(%d)", int(l))
+	}
+	side := "L"
+	if l >= R1 {
+		side = "R"
+	}
+	return fmt.Sprintf("%s%d", side, int(l)%3+1)
+}
+
+// Left reports whether the leg is on the robot's left side.
+func (l Leg) Left() bool { return l <= L3 }
+
+// AllLegs lists the legs in genome order.
+func AllLegs() [Legs]Leg { return [Legs]Leg{L1, L2, L3, R1, R2, R3} }
+
+// LegGene is the decoded 3-bit movement plan for one leg during one step.
+// The leg performs three micro-movements in order: a vertical move
+// (RaiseFirst), a horizontal move (Forward), and a final vertical move
+// (RaiseAfter).
+type LegGene struct {
+	// RaiseFirst is true if the leg goes up before the horizontal
+	// move, false if it goes (or stays) down.
+	RaiseFirst bool
+	// Forward is true if the leg moves forward during the horizontal
+	// phase, false if it moves backward (propulsion when on the
+	// ground).
+	Forward bool
+	// RaiseAfter is true if the leg goes up after the horizontal move,
+	// false if it goes down.
+	RaiseAfter bool
+}
+
+// Bits packs the gene into its 3-bit encoding.
+func (g LegGene) Bits() uint64 {
+	var b uint64
+	if g.RaiseFirst {
+		b |= 1
+	}
+	if g.Forward {
+		b |= 2
+	}
+	if g.RaiseAfter {
+		b |= 4
+	}
+	return b
+}
+
+// LegGeneFromBits decodes a 3-bit value into a LegGene.
+func LegGeneFromBits(b uint64) LegGene {
+	return LegGene{
+		RaiseFirst: b&1 != 0,
+		Forward:    b&2 != 0,
+		RaiseAfter: b&4 != 0,
+	}
+}
+
+// Coherent reports whether the gene respects the paper's third fitness
+// rule: the leg must be up before going forward (a swing happens in the
+// air) and down before going backward (propulsion needs ground contact).
+func (g LegGene) Coherent() bool { return g.RaiseFirst == g.Forward }
+
+// String renders the gene as a compact three-symbol mnemonic, e.g.
+// "U>D" for up, forward, down.
+func (g LegGene) String() string {
+	var sb strings.Builder
+	if g.RaiseFirst {
+		sb.WriteByte('U')
+	} else {
+		sb.WriteByte('D')
+	}
+	if g.Forward {
+		sb.WriteByte('>')
+	} else {
+		sb.WriteByte('<')
+	}
+	if g.RaiseAfter {
+		sb.WriteByte('U')
+	} else {
+		sb.WriteByte('D')
+	}
+	return sb.String()
+}
+
+// Genome is the paper's 36-bit individual, stored in the low bits of a
+// uint64. Bit layout: bit index (step*Legs + leg)*BitsPerLegStep + k
+// holds bit k of the gene for that leg in that step, with legs in
+// AllLegs order.
+type Genome uint64
+
+// Mask keeps only the valid genome bits.
+const Mask = Genome(SearchSpace - 1)
+
+// New assembles a genome from its per-step, per-leg genes.
+func New(steps [StepsPerGenome][Legs]LegGene) Genome {
+	var g Genome
+	for s := 0; s < StepsPerGenome; s++ {
+		for l := 0; l < Legs; l++ {
+			g |= Genome(steps[s][l].Bits()) << geneShift(s, Leg(l))
+		}
+	}
+	return g
+}
+
+func geneShift(step int, leg Leg) uint {
+	return uint((step*Legs + int(leg)) * BitsPerLegStep)
+}
+
+// Gene extracts the decoded gene for one leg in one step.
+// Step must be 0 or 1; leg must be a valid Leg.
+func (g Genome) Gene(step int, leg Leg) LegGene {
+	return LegGeneFromBits(uint64(g>>geneShift(step, leg)) & 7)
+}
+
+// WithGene returns a copy of the genome with one leg-step gene replaced.
+func (g Genome) WithGene(step int, leg Leg, gene LegGene) Genome {
+	sh := geneShift(step, leg)
+	return (g &^ (7 << sh)) | Genome(gene.Bits())<<sh
+}
+
+// Bit returns bit i of the genome (0 <= i < Bits).
+func (g Genome) Bit(i int) bool { return g>>uint(i)&1 != 0 }
+
+// FlipBit returns a copy of the genome with bit i flipped. Flipping a
+// single bit is the paper's mutation operator.
+func (g Genome) FlipBit(i int) Genome { return g ^ 1<<uint(i) }
+
+// Crossover performs the paper's single-point crossover: both genomes
+// are cut after bit position point (0 < point < Bits) and the high
+// parts are swapped, producing two offspring.
+func Crossover(a, b Genome, point int) (Genome, Genome) {
+	low := Genome(1)<<uint(point) - 1
+	high := Mask &^ low
+	return a&low | b&high, b&low | a&high
+}
+
+// HammingDistance counts the bit positions at which a and b differ.
+func HammingDistance(a, b Genome) int {
+	x := uint64((a ^ b) & Mask)
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Steps decodes the whole genome into its per-step, per-leg genes.
+func (g Genome) Steps() [StepsPerGenome][Legs]LegGene {
+	var out [StepsPerGenome][Legs]LegGene
+	for s := 0; s < StepsPerGenome; s++ {
+		for l := 0; l < Legs; l++ {
+			out[s][l] = g.Gene(s, Leg(l))
+		}
+	}
+	return out
+}
+
+// String renders the genome as a binary string, most significant bit
+// first, grouped by leg-step genes for readability.
+func (g Genome) String() string {
+	var sb strings.Builder
+	for i := Bits - 1; i >= 0; i-- {
+		if g.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+		if i != 0 && i%BitsPerLegStep == 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// Describe renders a human-readable, per-step movement table such as
+//
+//	step 1: L1 U>D  L2 D<D  ...
+//	step 2: ...
+func (g Genome) Describe() string {
+	var sb strings.Builder
+	for s := 0; s < StepsPerGenome; s++ {
+		fmt.Fprintf(&sb, "step %d:", s+1)
+		for _, l := range AllLegs() {
+			fmt.Fprintf(&sb, "  %s %s", l, g.Gene(s, l))
+		}
+		if s != StepsPerGenome-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses a genome from a binary string as produced by String.
+// Spaces and underscores are ignored. The string must contain exactly
+// Bits binary digits.
+func Parse(s string) (Genome, error) {
+	var g Genome
+	n := 0
+	for _, r := range s {
+		switch r {
+		case ' ', '_':
+			continue
+		case '0':
+			g <<= 1
+		case '1':
+			g = g<<1 | 1
+		default:
+			return 0, fmt.Errorf("genome: invalid character %q in %q", r, s)
+		}
+		n++
+		if n > Bits {
+			return 0, fmt.Errorf("genome: too many bits in %q (want %d)", s, Bits)
+		}
+	}
+	if n != Bits {
+		return 0, fmt.Errorf("genome: got %d bits in %q, want %d", n, s, Bits)
+	}
+	return g, nil
+}
+
+// Valid reports whether the value uses only the genome's 36 bits.
+func (g Genome) Valid() bool { return g&^Mask == 0 }

@@ -1,0 +1,253 @@
+package genome
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if Bits != 36 {
+		t.Fatalf("Bits = %d, want 36 (paper: 2 steps x 6 legs x 3 bits)", Bits)
+	}
+	if SearchSpace != 1<<36 {
+		t.Fatalf("SearchSpace = %d, want 2^36", SearchSpace)
+	}
+}
+
+func TestLegString(t *testing.T) {
+	want := map[Leg]string{L1: "L1", L2: "L2", L3: "L3", R1: "R1", R2: "R2", R3: "R3"}
+	for leg, name := range want {
+		if got := leg.String(); got != name {
+			t.Errorf("Leg(%d).String() = %q, want %q", int(leg), got, name)
+		}
+	}
+	if got := Leg(9).String(); got != "Leg(9)" {
+		t.Errorf("out-of-range leg String() = %q", got)
+	}
+}
+
+func TestLegSides(t *testing.T) {
+	for _, l := range []Leg{L1, L2, L3} {
+		if !l.Left() {
+			t.Errorf("%v should be left", l)
+		}
+	}
+	for _, l := range []Leg{R1, R2, R3} {
+		if l.Left() {
+			t.Errorf("%v should be right", l)
+		}
+	}
+}
+
+func TestLegGeneRoundTrip(t *testing.T) {
+	for b := uint64(0); b < 8; b++ {
+		g := LegGeneFromBits(b)
+		if got := g.Bits(); got != b {
+			t.Errorf("LegGeneFromBits(%d).Bits() = %d", b, got)
+		}
+	}
+}
+
+func TestLegGeneString(t *testing.T) {
+	cases := map[LegGene]string{
+		{RaiseFirst: true, Forward: true, RaiseAfter: false}:  "U>D",
+		{RaiseFirst: false, Forward: false, RaiseAfter: true}: "D<U",
+		{}: "D<D",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", g, got, want)
+		}
+	}
+}
+
+func TestLegGeneCoherent(t *testing.T) {
+	// Coherent: swing (forward) in the air, propulsion (backward) on
+	// the ground.
+	coherent := []LegGene{
+		{RaiseFirst: true, Forward: true},
+		{RaiseFirst: false, Forward: false},
+	}
+	incoherent := []LegGene{
+		{RaiseFirst: false, Forward: true},
+		{RaiseFirst: true, Forward: false},
+	}
+	for _, g := range coherent {
+		if !g.Coherent() {
+			t.Errorf("%v should be coherent", g)
+		}
+	}
+	for _, g := range incoherent {
+		if g.Coherent() {
+			t.Errorf("%v should be incoherent", g)
+		}
+	}
+}
+
+func TestGeneRoundTripAllPositions(t *testing.T) {
+	for s := 0; s < StepsPerGenome; s++ {
+		for _, l := range AllLegs() {
+			for b := uint64(0); b < 8; b++ {
+				gene := LegGeneFromBits(b)
+				g := Genome(0).WithGene(s, l, gene)
+				if got := g.Gene(s, l); got != gene {
+					t.Fatalf("step %d leg %v: got %v want %v", s, l, got, gene)
+				}
+				// No other position may be disturbed.
+				for s2 := 0; s2 < StepsPerGenome; s2++ {
+					for _, l2 := range AllLegs() {
+						if s2 == s && l2 == l {
+							continue
+						}
+						if got := g.Gene(s2, l2); got != (LegGene{}) {
+							t.Fatalf("WithGene(%d,%v) disturbed (%d,%v): %v", s, l, s2, l2, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewMatchesWithGene(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		var steps [StepsPerGenome][Legs]LegGene
+		var want Genome
+		for s := 0; s < StepsPerGenome; s++ {
+			for l := 0; l < Legs; l++ {
+				steps[s][l] = LegGeneFromBits(uint64(rng.Intn(8)))
+				want = want.WithGene(s, Leg(l), steps[s][l])
+			}
+		}
+		if got := New(steps); got != want {
+			t.Fatalf("New = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStepsRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		g := Genome(raw) & Mask
+		return New(g.Steps()) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		g := Genome(raw) & Mask
+		parsed, err := Parse(g.String())
+		return err == nil && parsed == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"01",
+		strings.Repeat("0", 35),
+		strings.Repeat("0", 37),
+		strings.Repeat("0", 35) + "x",
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+	// Separators are ignored.
+	g, err := Parse(strings.Repeat("000 ", 11) + "0_01")
+	if err != nil {
+		t.Fatalf("Parse with separators: %v", err)
+	}
+	if g != 1 {
+		t.Fatalf("Parse with separators = %v, want 1", g)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	f := func(raw uint64, i uint8) bool {
+		g := Genome(raw) & Mask
+		bit := int(i) % Bits
+		h := g.FlipBit(bit)
+		// Exactly one bit differs, and double flip restores.
+		return HammingDistance(g, h) == 1 && h.FlipBit(bit) == g && h.Bit(bit) != g.Bit(bit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossoverProperties(t *testing.T) {
+	f := func(ra, rb uint64, p uint8) bool {
+		a, b := Genome(ra)&Mask, Genome(rb)&Mask
+		point := 1 + int(p)%(Bits-1)
+		c, d := Crossover(a, b, point)
+		if !c.Valid() || !d.Valid() {
+			return false
+		}
+		// Offspring bits come from the right parent on each side of
+		// the cut.
+		for i := 0; i < Bits; i++ {
+			if i < point {
+				if c.Bit(i) != a.Bit(i) || d.Bit(i) != b.Bit(i) {
+					return false
+				}
+			} else {
+				if c.Bit(i) != b.Bit(i) || d.Bit(i) != a.Bit(i) {
+					return false
+				}
+			}
+		}
+		// Crossing the offspring back at the same point restores the
+		// parents.
+		e, f2 := Crossover(c, d, point)
+		return e == a && f2 == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if d := HammingDistance(0, Mask); d != Bits {
+		t.Errorf("HammingDistance(0, all-ones) = %d, want %d", d, Bits)
+	}
+	if d := HammingDistance(5, 5); d != 0 {
+		t.Errorf("HammingDistance(x, x) = %d, want 0", d)
+	}
+	f := func(ra, rb uint64) bool {
+		a, b := Genome(ra)&Mask, Genome(rb)&Mask
+		return HammingDistance(a, b) == HammingDistance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := Genome(0).WithGene(0, L1, LegGene{RaiseFirst: true, Forward: true})
+	d := g.Describe()
+	if !strings.Contains(d, "step 1:") || !strings.Contains(d, "step 2:") {
+		t.Errorf("Describe missing step headers: %q", d)
+	}
+	if !strings.Contains(d, "L1 U>D") {
+		t.Errorf("Describe missing L1 gene: %q", d)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Genome(Mask).Valid() {
+		t.Error("Mask should be valid")
+	}
+	if Genome(SearchSpace).Valid() {
+		t.Error("2^36 should be invalid")
+	}
+}

@@ -1,0 +1,99 @@
+package logic
+
+// This file exposes read-only structural accessors used by the FPGA
+// technology mapper (internal/fpga), which needs to walk the netlist.
+
+// NodeClass is a coarse structural classification of a node.
+type NodeClass int
+
+// Node classes, as seen by the technology mapper.
+const (
+	ClassConst NodeClass = iota
+	ClassInput
+	ClassGate // NOT/AND/OR/XOR/MUX
+	ClassDFF
+	ClassRAMOut
+)
+
+// Class returns the node's structural class.
+func (c *Circuit) Class(s Signal) NodeClass {
+	switch c.kinds[s] {
+	case kConst:
+		return ClassConst
+	case kInput:
+		return ClassInput
+	case kDFF:
+		return ClassDFF
+	case kRAMOut:
+		return ClassRAMOut
+	default:
+		return ClassGate
+	}
+}
+
+// KindName returns the node's concrete kind name ("and", "dff", ...).
+func (c *Circuit) KindName(s Signal) string { return c.kinds[s].String() }
+
+// Fanins returns the signals a node reads. For a DFF these are its D,
+// enable, and reset inputs; for a RAM output, the address bus.
+func (c *Circuit) Fanins(s Signal) []Signal {
+	switch c.kinds[s] {
+	case kConst, kInput:
+		return nil
+	case kNot:
+		return []Signal{c.fa[s]}
+	case kAnd, kOr, kXor:
+		return []Signal{c.fa[s], c.fb[s]}
+	case kMux, kDFF:
+		return []Signal{c.fa[s], c.fb[s], c.fc[s]}
+	case kRAMOut:
+		return append([]Signal(nil), c.rams[c.ramIdx[s]].addr...)
+	default:
+		return nil
+	}
+}
+
+// RAMInfo describes one RAM block for resource accounting.
+type RAMInfo struct {
+	Name         string
+	Words, Width int
+	Addr, Din    Bus
+	WriteEnable  Signal
+}
+
+// RAMs lists the circuit's RAM blocks.
+func (c *Circuit) RAMs() []RAMInfo {
+	out := make([]RAMInfo, len(c.rams))
+	for i, r := range c.rams {
+		out[i] = RAMInfo{
+			Name:        r.name,
+			Words:       r.words,
+			Width:       r.width,
+			Addr:        append(Bus(nil), r.addr...),
+			Din:         append(Bus(nil), r.din...),
+			WriteEnable: r.we,
+		}
+	}
+	return out
+}
+
+// Outputs returns a copy of the named-output table.
+func (c *Circuit) Outputs() map[string]Signal {
+	out := make(map[string]Signal, len(c.outputs))
+	for k, v := range c.outputs {
+		out[k] = v
+	}
+	return out
+}
+
+// RAMDataFanins returns, for every RAM, the signals sampled at the
+// clock edge (din bits and write enable); the mapper treats these,
+// like DFF inputs, as cone roots.
+func (c *Circuit) RAMDataFanins() []Signal {
+	var out []Signal
+	for _, r := range c.rams {
+		out = append(out, r.din...)
+		out = append(out, r.we)
+	}
+	return out
+}

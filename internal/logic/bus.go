@@ -1,0 +1,235 @@
+package logic
+
+import "fmt"
+
+// Bus is an ordered group of signals, least-significant bit first.
+type Bus []Signal
+
+// InputBus declares n named input bits "name[0]".."name[n-1]".
+func (c *Circuit) InputBus(name string, n int) Bus {
+	b := make(Bus, n)
+	for i := range b {
+		b[i] = c.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return b
+}
+
+// OutputBus names each bit of a bus "name[i]".
+func (c *Circuit) OutputBus(name string, b Bus) {
+	for i, s := range b {
+		c.Output(fmt.Sprintf("%s[%d]", name, i), s)
+	}
+}
+
+// ConstBus returns an n-bit bus holding the constant v.
+func (c *Circuit) ConstBus(v uint64, n int) Bus {
+	b := make(Bus, n)
+	for i := range b {
+		if v>>uint(i)&1 != 0 {
+			b[i] = Const1
+		} else {
+			b[i] = Const0
+		}
+	}
+	return b
+}
+
+// NotBus negates every bit.
+func (c *Circuit) NotBus(a Bus) Bus {
+	out := make(Bus, len(a))
+	for i, s := range a {
+		out[i] = c.Not(s)
+	}
+	return out
+}
+
+// AndBus returns the bitwise AND of equal-width buses.
+func (c *Circuit) AndBus(a, b Bus) Bus {
+	return c.zip(a, b, func(x, y Signal) Signal { return c.And(x, y) })
+}
+
+// OrBus returns the bitwise OR of equal-width buses.
+func (c *Circuit) OrBus(a, b Bus) Bus {
+	return c.zip(a, b, func(x, y Signal) Signal { return c.Or(x, y) })
+}
+
+// XorBus returns the bitwise XOR of equal-width buses.
+func (c *Circuit) XorBus(a, b Bus) Bus {
+	return c.zip(a, b, func(x, y Signal) Signal { return c.Xor(x, y) })
+}
+
+func (c *Circuit) zip(a, b Bus, f func(Signal, Signal) Signal) Bus {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("logic: bus width mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = f(a[i], b[i])
+	}
+	return out
+}
+
+// MuxBus returns sel ? hi : lo bitwise over equal-width buses.
+func (c *Circuit) MuxBus(sel Signal, lo, hi Bus) Bus {
+	return c.zip(lo, hi, func(x, y Signal) Signal { return c.Mux(sel, x, y) })
+}
+
+// Adder returns a+b+carryIn as (sum, carryOut), ripple-carry.
+func (c *Circuit) Adder(a, b Bus, carryIn Signal) (Bus, Signal) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("logic: adder width mismatch %d vs %d", len(a), len(b)))
+	}
+	sum := make(Bus, len(a))
+	carry := carryIn
+	for i := range a {
+		axb := c.Xor(a[i], b[i])
+		sum[i] = c.Xor(axb, carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(axb, carry))
+	}
+	return sum, carry
+}
+
+// Inc returns a+1 as (sum, carryOut).
+func (c *Circuit) Inc(a Bus) (Bus, Signal) {
+	return c.Adder(a, c.ConstBus(0, len(a)), Const1)
+}
+
+// EqConst returns a == v over the bus width.
+func (c *Circuit) EqConst(a Bus, v uint64) Signal {
+	terms := make([]Signal, len(a))
+	for i, s := range a {
+		if v>>uint(i)&1 != 0 {
+			terms[i] = s
+		} else {
+			terms[i] = c.Not(s)
+		}
+	}
+	return c.And(terms...)
+}
+
+// Eq returns a == b for equal-width buses.
+func (c *Circuit) Eq(a, b Bus) Signal {
+	x := c.XorBus(a, b)
+	return c.Not(c.Or(x...))
+}
+
+// Lt returns the unsigned comparison a < b for equal-width buses,
+// built as a ripple comparator from the most significant bit down.
+func (c *Circuit) Lt(a, b Bus) Signal {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("logic: comparator width mismatch %d vs %d", len(a), len(b)))
+	}
+	lt := Const0
+	eq := Const1
+	for i := len(a) - 1; i >= 0; i-- {
+		bitLt := c.And(c.Not(a[i]), b[i])
+		lt = c.Or(lt, c.And(eq, bitLt))
+		eq = c.And(eq, c.Xnor(a[i], b[i]))
+	}
+	return lt
+}
+
+// LtConst returns a < v for a constant bound.
+func (c *Circuit) LtConst(a Bus, v uint64) Signal {
+	return c.Lt(a, c.ConstBus(v, len(a)))
+}
+
+// Gt returns a > b unsigned.
+func (c *Circuit) Gt(a, b Bus) Signal { return c.Lt(b, a) }
+
+// Ge returns a >= b unsigned.
+func (c *Circuit) Ge(a, b Bus) Signal { return c.Not(c.Lt(a, b)) }
+
+// RegisterBus adds a DFF per bit with shared enable and reset.
+func (c *Circuit) RegisterBus(d Bus, enable, reset Signal) Bus {
+	out := make(Bus, len(d))
+	for i, s := range d {
+		out[i] = c.DFF(s, enable, reset)
+	}
+	return out
+}
+
+// RegisterBusInit is RegisterBus with a power-on/reset constant.
+func (c *Circuit) RegisterBusInit(d Bus, enable, reset Signal, init uint64) Bus {
+	out := make(Bus, len(d))
+	for i, s := range d {
+		out[i] = c.DFFInit(s, enable, reset, init>>uint(i)&1 != 0)
+	}
+	return out
+}
+
+// Counter builds an n-bit up-counter with enable and synchronous
+// reset, returning its state bus. The count wraps at 2^n.
+func (c *Circuit) Counter(n int, enable, reset Signal) Bus {
+	// The register feeds its own incrementer: a feedback structure.
+	state := make(Bus, n)
+	for i := range state {
+		state[i] = c.FeedbackDFF(enable, reset, false)
+	}
+	next, _ := c.Inc(state)
+	for i := range state {
+		c.ConnectD(state[i], next[i])
+	}
+	return state
+}
+
+// Decoder returns 2^len(a) one-hot outputs; output i is high when the
+// bus value equals i.
+func (c *Circuit) Decoder(a Bus) Bus {
+	n := 1 << uint(len(a))
+	out := make(Bus, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.EqConst(a, uint64(i))
+	}
+	return out
+}
+
+// Select returns the signal sel-indexed from options (a one-bit
+// multiplexer tree); options length must be a power of two matching
+// sel width.
+func (c *Circuit) Select(sel Bus, options Bus) Signal {
+	if len(options) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("logic: Select needs %d options, got %d", 1<<uint(len(sel)), len(options)))
+	}
+	layer := append(Bus(nil), options...)
+	for _, s := range sel {
+		next := make(Bus, len(layer)/2)
+		for i := range next {
+			next[i] = c.Mux(s, layer[2*i], layer[2*i+1])
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// Popcount returns a bus wide enough to hold the number of high bits
+// among the inputs, built from a ripple-adder tree.
+func (c *Circuit) Popcount(in Bus) Bus {
+	if len(in) == 0 {
+		return Bus{Const0}
+	}
+	// Pairwise adder tree over 1-bit values widened as needed.
+	groups := make([]Bus, len(in))
+	for i, s := range in {
+		groups[i] = Bus{s}
+	}
+	for len(groups) > 1 {
+		var next []Bus
+		for i := 0; i+1 < len(groups); i += 2 {
+			a, b := groups[i], groups[i+1]
+			for len(a) < len(b) {
+				a = append(a, Const0)
+			}
+			for len(b) < len(a) {
+				b = append(b, Const0)
+			}
+			sum, carry := c.Adder(a, b, Const0)
+			next = append(next, append(sum, carry))
+		}
+		if len(groups)%2 == 1 {
+			next = append(next, groups[len(groups)-1])
+		}
+		groups = next
+	}
+	return groups[0]
+}

@@ -1,0 +1,226 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdderExhaustive(t *testing.T) {
+	c := New()
+	a := c.InputBus("a", 6)
+	b := c.InputBus("b", 6)
+	cin := c.Input("cin")
+	sum, cout := c.Adder(a, b, cin)
+	s := c.MustCompile()
+	for av := uint64(0); av < 64; av += 3 {
+		for bv := uint64(0); bv < 64; bv += 5 {
+			for _, cv := range []uint64{0, 1} {
+				s.SetBus(a, av)
+				s.SetBus(b, bv)
+				s.Set(cin, cv == 1)
+				want := av + bv + cv
+				got := s.GetBus(sum)
+				if got != want&63 {
+					t.Fatalf("%d+%d+%d: sum %d", av, bv, cv, got)
+				}
+				if s.Get(cout) != (want >= 64) {
+					t.Fatalf("%d+%d+%d: carry", av, bv, cv)
+				}
+			}
+		}
+	}
+}
+
+func TestIncAndCounter(t *testing.T) {
+	c := New()
+	en, rst := c.Input("en"), c.Input("rst")
+	cnt := c.Counter(4, en, rst)
+	s := c.MustCompile()
+	s.Set(en, true)
+	for i := 1; i <= 20; i++ {
+		s.Step()
+		if got := s.GetBus(cnt); got != uint64(i%16) {
+			t.Fatalf("cycle %d: counter = %d", i, got)
+		}
+	}
+	// Hold with enable low.
+	s.Set(en, false)
+	before := s.GetBus(cnt)
+	s.StepN(3)
+	if s.GetBus(cnt) != before {
+		t.Fatal("counter moved with enable low")
+	}
+	// Sync reset.
+	s.Set(rst, true)
+	s.Step()
+	if s.GetBus(cnt) != 0 {
+		t.Fatal("counter did not reset")
+	}
+}
+
+func TestComparators(t *testing.T) {
+	c := New()
+	a := c.InputBus("a", 5)
+	b := c.InputBus("b", 5)
+	lt := c.Lt(a, b)
+	gt := c.Gt(a, b)
+	ge := c.Ge(a, b)
+	eq := c.Eq(a, b)
+	s := c.MustCompile()
+	for av := uint64(0); av < 32; av++ {
+		for bv := uint64(0); bv < 32; bv++ {
+			s.SetBus(a, av)
+			s.SetBus(b, bv)
+			if s.Get(lt) != (av < bv) || s.Get(gt) != (av > bv) ||
+				s.Get(ge) != (av >= bv) || s.Get(eq) != (av == bv) {
+				t.Fatalf("compare %d vs %d wrong", av, bv)
+			}
+		}
+	}
+}
+
+func TestEqLtConst(t *testing.T) {
+	c := New()
+	a := c.InputBus("a", 6)
+	eq35 := c.EqConst(a, 35)
+	lt35 := c.LtConst(a, 35)
+	s := c.MustCompile()
+	for av := uint64(0); av < 64; av++ {
+		s.SetBus(a, av)
+		if s.Get(eq35) != (av == 35) || s.Get(lt35) != (av < 35) {
+			t.Fatalf("const compare at %d", av)
+		}
+	}
+}
+
+func TestBitwiseBuses(t *testing.T) {
+	c := New()
+	a := c.InputBus("a", 8)
+	b := c.InputBus("b", 8)
+	and := c.AndBus(a, b)
+	or := c.OrBus(a, b)
+	xor := c.XorBus(a, b)
+	not := c.NotBus(a)
+	mux := c.MuxBus(c.Input("sel"), a, b)
+	s := c.MustCompile()
+	f := func(av, bv, sel uint8) bool {
+		s.SetBus(a, uint64(av))
+		s.SetBus(b, uint64(bv))
+		s.SetByName("sel", sel&1 != 0)
+		m := uint64(av)
+		if sel&1 != 0 {
+			m = uint64(bv)
+		}
+		return s.GetBus(and) == uint64(av&bv) &&
+			s.GetBus(or) == uint64(av|bv) &&
+			s.GetBus(xor) == uint64(av^bv) &&
+			s.GetBus(not) == uint64(^av) &&
+			s.GetBus(mux) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	c := New()
+	a := c.InputBus("a", 4)
+	b := c.InputBus("b", 5)
+	for name, fn := range map[string]func(){
+		"AndBus": func() { c.AndBus(a, b) },
+		"Adder":  func() { c.Adder(a, b, Const0) },
+		"Lt":     func() { c.Lt(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s width mismatch should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDecoderAndSelect(t *testing.T) {
+	c := New()
+	sel := c.InputBus("sel", 3)
+	dec := c.Decoder(sel)
+	opts := c.InputBus("opt", 8)
+	out := c.Select(sel, opts)
+	s := c.MustCompile()
+	s.SetBus(opts, 0b10110010)
+	for v := uint64(0); v < 8; v++ {
+		s.SetBus(sel, v)
+		if s.GetBus(dec) != 1<<v {
+			t.Fatalf("decoder at %d: %b", v, s.GetBus(dec))
+		}
+		if s.Get(out) != (0b10110010>>v&1 != 0) {
+			t.Fatalf("select at %d", v)
+		}
+	}
+}
+
+func TestSelectPanicsOnBadWidth(t *testing.T) {
+	c := New()
+	sel := c.InputBus("sel", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select with 3 options should panic")
+		}
+	}()
+	c.Select(sel, c.InputBus("o", 3))
+}
+
+func TestPopcount(t *testing.T) {
+	c := New()
+	in := c.InputBus("in", 9)
+	pc := c.Popcount(in)
+	s := c.MustCompile()
+	for v := uint64(0); v < 512; v++ {
+		s.SetBus(in, v)
+		ones := uint64(0)
+		for i := 0; i < 9; i++ {
+			ones += v >> uint(i) & 1
+		}
+		if got := s.GetBus(pc); got != ones {
+			t.Fatalf("popcount(%b) = %d, want %d", v, got, ones)
+		}
+	}
+	// Empty bus edge case.
+	c2 := New()
+	if got := c2.Popcount(nil); len(got) != 1 || got[0] != Const0 {
+		t.Fatal("empty popcount")
+	}
+}
+
+func TestRegisterBus(t *testing.T) {
+	c := New()
+	d := c.InputBus("d", 8)
+	en, rst := c.Input("en"), c.Input("rst")
+	q := c.RegisterBusInit(d, en, rst, 0xA5)
+	s := c.MustCompile()
+	if s.GetBus(q) != 0xA5 {
+		t.Fatal("init value")
+	}
+	s.SetBus(d, 0x3C)
+	s.Set(en, true)
+	s.Step()
+	if s.GetBus(q) != 0x3C {
+		t.Fatal("load")
+	}
+	s.Set(rst, true)
+	s.Step()
+	if s.GetBus(q) != 0xA5 {
+		t.Fatal("reset to init")
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	c := New()
+	b := c.ConstBus(0b1010, 4)
+	s := c.MustCompile()
+	if s.GetBus(b) != 0b1010 {
+		t.Fatal("ConstBus value")
+	}
+}

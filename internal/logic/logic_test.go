@@ -1,0 +1,395 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	c := New()
+	s := c.MustCompile()
+	if s.Get(Const0) || !s.Get(Const1) {
+		t.Fatal("constants wrong")
+	}
+}
+
+func TestBasicGatesTruthTables(t *testing.T) {
+	c := New()
+	a, b := c.Input("a"), c.Input("b")
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	not := c.Not(a)
+	nand := c.Nand(a, b)
+	nor := c.Nor(a, b)
+	xnor := c.Xnor(a, b)
+	s := c.MustCompile()
+	for v := 0; v < 4; v++ {
+		av, bv := v&1 != 0, v&2 != 0
+		s.Set(a, av)
+		s.Set(b, bv)
+		if s.Get(and) != (av && bv) {
+			t.Errorf("and(%v,%v)", av, bv)
+		}
+		if s.Get(or) != (av || bv) {
+			t.Errorf("or(%v,%v)", av, bv)
+		}
+		if s.Get(xor) != (av != bv) {
+			t.Errorf("xor(%v,%v)", av, bv)
+		}
+		if s.Get(not) != !av {
+			t.Errorf("not(%v)", av)
+		}
+		if s.Get(nand) != !(av && bv) {
+			t.Errorf("nand(%v,%v)", av, bv)
+		}
+		if s.Get(nor) != !(av || bv) {
+			t.Errorf("nor(%v,%v)", av, bv)
+		}
+		if s.Get(xnor) != (av == bv) {
+			t.Errorf("xnor(%v,%v)", av, bv)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	if c.And(a, Const0) != Const0 {
+		t.Error("And(a,0) != 0")
+	}
+	if c.And(a, Const1) != a {
+		t.Error("And(a,1) != a")
+	}
+	if c.Or(a, Const1) != Const1 {
+		t.Error("Or(a,1) != 1")
+	}
+	if c.Or(a, Const0) != a {
+		t.Error("Or(a,0) != a")
+	}
+	if c.Xor(a, Const0) != a {
+		t.Error("Xor(a,0) != a")
+	}
+	if c.Not(Const0) != Const1 || c.Not(Const1) != Const0 {
+		t.Error("Not const")
+	}
+	if c.Mux(Const0, a, Const1) != a {
+		t.Error("Mux(0,a,_) != a")
+	}
+	if c.Mux(Const1, Const0, a) != a {
+		t.Error("Mux(1,_,a) != a")
+	}
+	if c.Mux(c.Input("s"), a, a) != a {
+		t.Error("Mux(s,a,a) != a")
+	}
+	// Xor(a,1) must be Not(a) behaviourally.
+	x := c.Xor(a, Const1)
+	s := c.MustCompile()
+	s.Set(a, true)
+	if s.Get(x) {
+		t.Error("Xor(a,1) wrong for a=1")
+	}
+}
+
+func TestVariadicGates(t *testing.T) {
+	c := New()
+	in := c.InputBus("x", 5)
+	and := c.And(in...)
+	or := c.Or(in...)
+	xor := c.Xor(in...)
+	s := c.MustCompile()
+	f := func(v uint8) bool {
+		val := uint64(v) & 0x1F
+		s.SetBus(in, val)
+		ones := 0
+		for i := 0; i < 5; i++ {
+			if val>>uint(i)&1 != 0 {
+				ones++
+			}
+		}
+		return s.Get(and) == (ones == 5) &&
+			s.Get(or) == (ones > 0) &&
+			s.Get(xor) == (ones%2 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMux(t *testing.T) {
+	c := New()
+	sel, lo, hi := c.Input("sel"), c.Input("lo"), c.Input("hi")
+	m := c.Mux(sel, lo, hi)
+	s := c.MustCompile()
+	for v := 0; v < 8; v++ {
+		s.Set(sel, v&1 != 0)
+		s.Set(lo, v&2 != 0)
+		s.Set(hi, v&4 != 0)
+		want := v&2 != 0
+		if v&1 != 0 {
+			want = v&4 != 0
+		}
+		if s.Get(m) != want {
+			t.Errorf("mux case %d", v)
+		}
+	}
+}
+
+func TestDFFBasics(t *testing.T) {
+	c := New()
+	d := c.Input("d")
+	q := c.DFF(d, Const1, Const0)
+	s := c.MustCompile()
+	if s.Get(q) {
+		t.Fatal("DFF must power on low")
+	}
+	s.Set(d, true)
+	if s.Get(q) {
+		t.Fatal("DFF changed before clock edge")
+	}
+	s.Step()
+	if !s.Get(q) {
+		t.Fatal("DFF did not latch")
+	}
+	s.Set(d, false)
+	s.Step()
+	if s.Get(q) {
+		t.Fatal("DFF did not latch low")
+	}
+}
+
+func TestDFFEnableAndReset(t *testing.T) {
+	c := New()
+	d, en, rst := c.Input("d"), c.Input("en"), c.Input("rst")
+	q := c.DFFInit(d, en, rst, true)
+	s := c.MustCompile()
+	if !s.Get(q) {
+		t.Fatal("init value not applied")
+	}
+	// Enable low: hold.
+	s.Set(d, false)
+	s.Set(en, false)
+	s.Step()
+	if !s.Get(q) {
+		t.Fatal("DFF updated with enable low")
+	}
+	// Enable high: load.
+	s.Set(en, true)
+	s.Step()
+	if s.Get(q) {
+		t.Fatal("DFF did not load")
+	}
+	// Reset dominates enable and restores the init value.
+	s.Set(rst, true)
+	s.Set(d, false)
+	s.Step()
+	if !s.Get(q) {
+		t.Fatal("reset did not restore init value")
+	}
+}
+
+func TestShiftRegisterChain(t *testing.T) {
+	// Classic serial-in chain: verifies two-phase commit (no
+	// shoot-through on a clock edge).
+	c := New()
+	in := c.Input("in")
+	q1 := c.DFF(in, Const1, Const0)
+	q2 := c.DFF(q1, Const1, Const0)
+	q3 := c.DFF(q2, Const1, Const0)
+	s := c.MustCompile()
+	pattern := []bool{true, false, true, true, false}
+	var got []bool
+	for _, b := range pattern {
+		s.Set(in, b)
+		s.Step()
+		got = append(got, s.Get(q3))
+	}
+	want := []bool{false, false, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d: q3 = %v, want %v (shoot-through?)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCombinationalLoopRejected(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	// Build a loop by patching: or gate feeding itself through an and.
+	g1 := c.And(a, Const1)
+	_ = g1
+	// Create two gates and wire a cycle manually.
+	x := c.node(kAnd, a, a, 0)
+	y := c.node(kOr, x, a, 0)
+	c.fb[x] = y
+	if _, err := c.Compile(); err == nil {
+		t.Fatal("combinational loop not detected")
+	}
+}
+
+func TestFeedbackThroughDFFAllowed(t *testing.T) {
+	// A toggle flip-flop: q feeds its own D through a NOT. Legal
+	// because the loop passes through state.
+	c := New()
+	d := c.node(kDFF, 0, Const1, Const0)
+	c.fa[d] = c.Not(d)
+	s := c.MustCompile()
+	vals := []bool{}
+	for i := 0; i < 4; i++ {
+		vals = append(vals, s.Get(d))
+		s.Step()
+	}
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("toggle sequence %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestSetPanicsOnNonInput(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	g := c.Not(a)
+	s := c.MustCompile()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on gate should panic")
+		}
+	}()
+	s.Set(g, true)
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	c := New()
+	c.Input("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate input should panic")
+			}
+		}()
+		c.Input("a")
+	}()
+	c.Output("o", Const1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate output should panic")
+			}
+		}()
+		c.Output("o", Const0)
+	}()
+}
+
+func TestNamedIO(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	c.Output("na", c.Not(a))
+	s := c.MustCompile()
+	s.SetByName("a", false)
+	if !s.GetByName("na") {
+		t.Fatal("named IO broken")
+	}
+	if sig, ok := c.OutputSignal("na"); !ok || sig == a {
+		t.Fatal("OutputSignal broken")
+	}
+	if len(c.Inputs()) != 1 || c.Inputs()[0] != "a" {
+		t.Fatal("Inputs() broken")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	a, b := c.Input("a"), c.Input("b")
+	x := c.Xor(a, b)
+	q := c.DFF(x, Const1, Const0)
+	c.Output("q", q)
+	addr := c.InputBus("ad", 4)
+	c.RAM("m", 16, addr, Bus{x}, Const0)
+	st := c.Stats()
+	if st.DFFs != 1 {
+		t.Errorf("DFFs = %d", st.DFFs)
+	}
+	if st.RAMBits != 16 {
+		t.Errorf("RAMBits = %d", st.RAMBits)
+	}
+	if st.Gates == 0 || st.GateEquivalents == 0 {
+		t.Error("no gates counted")
+	}
+	if st.Inputs != 6 || st.Outputs != 1 {
+		t.Errorf("IO counts %d/%d", st.Inputs, st.Outputs)
+	}
+	if st.String() == "" {
+		t.Error("empty Stats string")
+	}
+}
+
+func TestConnectPanics(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	g := c.Not(a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ConnectD on gate should panic")
+			}
+		}()
+		c.ConnectD(g, a)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ConnectEnable on gate should panic")
+			}
+		}()
+		c.ConnectEnable(g, a)
+	}()
+}
+
+func TestModifyAfterCompilePanics(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	d := c.FeedbackDFF(Const1, Const0, false)
+	c.ConnectD(d, a)
+	c.MustCompile()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("gate creation after Compile should panic")
+			}
+		}()
+		c.Not(a)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ConnectD after Compile should panic")
+			}
+		}()
+		c.ConnectD(d, Const1)
+	}()
+}
+
+func TestFlipHelpersPanics(t *testing.T) {
+	c := New()
+	a := c.Input("a")
+	addr := c.InputBus("ad", 2)
+	c.RAM("m", 4, addr, Bus{a}, Const0)
+	s := c.MustCompile()
+	for _, f := range []func(){
+		func() { s.FlipRAMBit("nope", 0, 0) },
+		func() { s.FlipRAMBit("m", 9, 0) },
+		func() { s.FlipRAMBit("m", 0, 3) },
+		func() { s.FlipDFF(a) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

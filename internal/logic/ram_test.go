@@ -1,0 +1,214 @@
+package logic
+
+import "testing"
+
+func TestRAMWriteRead(t *testing.T) {
+	c := New()
+	addr := c.InputBus("addr", 4)
+	din := c.InputBus("din", 8)
+	we := c.Input("we")
+	dout := c.RAM("m", 16, addr, din, we)
+	s := c.MustCompile()
+
+	// Write a distinct value to every word.
+	s.Set(we, true)
+	for w := uint64(0); w < 16; w++ {
+		s.SetBus(addr, w)
+		s.SetBus(din, w*17&0xFF)
+		s.Step()
+	}
+	s.Set(we, false)
+	// Async read-back.
+	for w := uint64(0); w < 16; w++ {
+		s.SetBus(addr, w)
+		if got := s.GetBus(dout); got != w*17&0xFF {
+			t.Fatalf("word %d: read %#x, want %#x", w, got, w*17&0xFF)
+		}
+	}
+}
+
+func TestRAMWriteGatedByEnable(t *testing.T) {
+	c := New()
+	addr := c.InputBus("addr", 2)
+	din := c.InputBus("din", 4)
+	we := c.Input("we")
+	dout := c.RAM("m", 4, addr, din, we)
+	s := c.MustCompile()
+	s.SetBus(addr, 1)
+	s.SetBus(din, 0xF)
+	s.Set(we, false)
+	s.Step()
+	if s.GetBus(dout) != 0 {
+		t.Fatal("write happened with we low")
+	}
+	s.Set(we, true)
+	s.Step()
+	if s.GetBus(dout) != 0xF {
+		t.Fatal("write did not happen with we high")
+	}
+}
+
+func TestRAMAsyncReadFollowsAddress(t *testing.T) {
+	c := New()
+	addr := c.InputBus("addr", 2)
+	din := c.InputBus("din", 4)
+	we := c.Input("we")
+	dout := c.RAM("m", 4, addr, din, we)
+	s := c.MustCompile()
+	s.LoadRAM("m", []uint64{1, 2, 3, 4})
+	// No clock edges: the read output must still follow the address.
+	for w := uint64(0); w < 4; w++ {
+		s.SetBus(addr, w)
+		if got := s.GetBus(dout); got != w+1 {
+			t.Fatalf("async read word %d = %d", w, got)
+		}
+	}
+	if s.Cycles() != 0 {
+		t.Fatal("reads consumed clock cycles")
+	}
+}
+
+func TestRAMReadWriteSameEdge(t *testing.T) {
+	// On a write edge, the pre-edge (old) data is what combinational
+	// consumers saw; after the edge the new data is visible.
+	c := New()
+	addr := c.InputBus("addr", 2)
+	din := c.InputBus("din", 4)
+	we := c.Input("we")
+	dout := c.RAM("m", 4, addr, din, we)
+	q := c.RegisterBus(dout, Const1, Const0) // samples pre-edge value
+	s := c.MustCompile()
+	s.LoadRAM("m", []uint64{5, 0, 0, 0})
+	s.SetBus(addr, 0)
+	s.SetBus(din, 9)
+	s.Set(we, true)
+	s.Step()
+	if s.GetBus(q) != 5 {
+		t.Fatalf("register sampled %d, want pre-edge 5", s.GetBus(q))
+	}
+	if s.GetBus(dout) != 9 {
+		t.Fatalf("post-edge read %d, want 9", s.GetBus(dout))
+	}
+}
+
+func TestRAMHelpers(t *testing.T) {
+	c := New()
+	addr := c.InputBus("addr", 3)
+	din := c.InputBus("din", 6)
+	dout := c.RAM("pop", 8, addr, din, Const0)
+	_ = dout
+	s := c.MustCompile()
+	s.LoadRAM("pop", []uint64{7, 6, 5})
+	if s.ReadRAM("pop", 0) != 7 || s.ReadRAM("pop", 2) != 5 {
+		t.Fatal("Load/Read helpers")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown RAM should panic")
+			}
+		}()
+		s.ReadRAM("nope", 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize load should panic")
+			}
+		}()
+		s.LoadRAM("pop", make([]uint64, 9))
+	}()
+}
+
+func TestRAMAddressWidthChecked(t *testing.T) {
+	c := New()
+	addr := c.InputBus("addr", 3)
+	din := c.InputBus("din", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong address width should panic")
+		}
+	}()
+	c.RAM("m", 16, addr, din, Const0)
+}
+
+func TestWideRAM(t *testing.T) {
+	// Width > 64 exercises multi-word storage per entry.
+	c := New()
+	addr := c.InputBus("addr", 1)
+	din := c.InputBus("din", 70)
+	we := c.Input("we")
+	dout := c.RAM("wide", 2, addr, din, we)
+	s := c.MustCompile()
+	s.Set(we, true)
+	s.SetBus(addr, 0)
+	for i, d := range din {
+		s.Set(d, i == 69 || i == 0)
+	}
+	s.Step()
+	s.Set(we, false)
+	if !s.Get(dout[69]) || !s.Get(dout[0]) || s.Get(dout[35]) {
+		t.Fatal("wide RAM bit storage wrong")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	cnt := c.Counter(4, Const1, Const0)
+	done := c.EqConst(cnt, 9)
+	s := c.MustCompile()
+	n, ok := s.RunUntil(func() bool { return s.Get(done) }, 100)
+	if !ok || n != 9 {
+		t.Fatalf("RunUntil = %d,%v", n, ok)
+	}
+	_, ok = s.RunUntil(func() bool { return false }, 5)
+	if ok {
+		t.Fatal("RunUntil false predicate fired")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := New()
+	a, b := c.Input("a"), c.Input("b")
+	g := c.And(a, b)
+	q := c.DFF(g, Const1, Const0)
+	c.Output("q", q)
+	addr := c.InputBus("ad", 2)
+	c.RAM("m", 4, addr, Bus{g}, b)
+	if c.Class(a) != ClassInput || c.Class(g) != ClassGate || c.Class(q) != ClassDFF || c.Class(Const0) != ClassConst {
+		t.Fatal("Class wrong")
+	}
+	if c.KindName(g) != "and" {
+		t.Fatal("KindName wrong")
+	}
+	if fi := c.Fanins(g); len(fi) != 2 || fi[0] != a || fi[1] != b {
+		t.Fatal("Fanins wrong")
+	}
+	if fi := c.Fanins(q); len(fi) != 3 {
+		t.Fatal("DFF fanins wrong")
+	}
+	rams := c.RAMs()
+	if len(rams) != 1 || rams[0].Words != 4 || rams[0].Width != 1 || rams[0].Name != "m" {
+		t.Fatalf("RAMs = %+v", rams)
+	}
+	if len(c.RAMDataFanins()) != 2 { // din bit + we
+		t.Fatal("RAMDataFanins wrong")
+	}
+	if len(c.Outputs()) != 1 {
+		t.Fatal("Outputs wrong")
+	}
+}
+
+func BenchmarkSimStep(b *testing.B) {
+	c := New()
+	en := c.Input("en")
+	cnt := c.Counter(16, en, Const0)
+	x := c.Xor(cnt...)
+	c.Output("x", x)
+	s := c.MustCompile()
+	s.Set(en, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

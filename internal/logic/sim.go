@@ -1,0 +1,390 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sim is a compiled, runnable circuit. It evaluates all combinational
+// logic in levelized order, then commits flip-flops and RAM writes on
+// each Step (one clock cycle).
+type Sim struct {
+	c      *Circuit
+	val    []bool
+	state  []bool // DFF state, indexed by node
+	order  []Signal
+	mems   [][]uint64 // per RAM: words packed bitwise per word: word w stored in mems[r][w] low bits
+	dirty  bool
+	cycles uint64
+}
+
+// Compile levelizes the circuit and returns a simulator. It fails if
+// the combinational logic contains a cycle.
+func (c *Circuit) Compile() (*Sim, error) {
+	n := len(c.kinds)
+	adj := make([][]int32, n) // combinational dependency edges: fanin -> node
+	indeg := make([]int, n)
+
+	addEdge := func(from Signal, to int) {
+		adj[from] = append(adj[from], int32(to))
+		indeg[to]++
+	}
+	for i := 0; i < n; i++ {
+		switch c.kinds[i] {
+		case kNot:
+			addEdge(c.fa[i], i)
+		case kAnd, kOr, kXor:
+			addEdge(c.fa[i], i)
+			addEdge(c.fb[i], i)
+		case kMux:
+			addEdge(c.fa[i], i)
+			addEdge(c.fb[i], i)
+			addEdge(c.fc[i], i)
+		case kRAMOut:
+			for _, a := range c.rams[c.ramIdx[i]].addr {
+				addEdge(a, i)
+			}
+		case kConst, kInput, kDFF:
+			// Sources for combinational evaluation.
+		}
+	}
+	order := make([]Signal, 0, n)
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, Signal(v))
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("logic: combinational cycle among %d nodes", n-len(order))
+	}
+	s := &Sim{
+		c:     c,
+		val:   make([]bool, n),
+		state: make([]bool, n),
+		order: order,
+		dirty: true,
+	}
+	for sig, init := range c.dffInit {
+		s.state[sig] = init
+	}
+	s.mems = make([][]uint64, len(c.rams))
+	for i, r := range c.rams {
+		words := (r.width + 63) / 64
+		s.mems[i] = make([]uint64, r.words*words)
+	}
+	c.compiled = true
+	return s, nil
+}
+
+// MustCompile is Compile that panics on error, for hand-built circuits
+// known to be acyclic.
+func (c *Circuit) MustCompile() *Sim {
+	s, err := c.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Set drives a primary input. The value holds until changed.
+func (s *Sim) Set(in Signal, v bool) {
+	if s.c.kinds[in] != kInput {
+		panic(fmt.Sprintf("logic: Set on non-input signal %d (%v)", in, s.c.kinds[in]))
+	}
+	if s.val[in] != v {
+		s.val[in] = v
+		s.dirty = true
+	}
+}
+
+// SetByName drives a named input.
+func (s *Sim) SetByName(name string, v bool) {
+	in, ok := s.c.inputs[name]
+	if !ok {
+		panic(fmt.Sprintf("logic: unknown input %q", name))
+	}
+	s.Set(in, v)
+}
+
+// SetBus drives each bit of a bus of inputs from the value's bits.
+func (s *Sim) SetBus(b Bus, v uint64) {
+	for i, sig := range b {
+		s.Set(sig, v>>uint(i)&1 != 0)
+	}
+}
+
+// settle evaluates all combinational logic in levelized order.
+func (s *Sim) settle() {
+	if !s.dirty {
+		return
+	}
+	c := s.c
+	for _, sig := range s.order {
+		i := int(sig)
+		switch c.kinds[i] {
+		case kConst:
+			s.val[i] = sig == Const1
+		case kInput:
+			// retained from Set
+		case kDFF:
+			s.val[i] = s.state[i]
+		case kNot:
+			s.val[i] = !s.val[c.fa[i]]
+		case kAnd:
+			s.val[i] = s.val[c.fa[i]] && s.val[c.fb[i]]
+		case kOr:
+			s.val[i] = s.val[c.fa[i]] || s.val[c.fb[i]]
+		case kXor:
+			s.val[i] = s.val[c.fa[i]] != s.val[c.fb[i]]
+		case kMux:
+			if s.val[c.fc[i]] {
+				s.val[i] = s.val[c.fb[i]]
+			} else {
+				s.val[i] = s.val[c.fa[i]]
+			}
+		case kRAMOut:
+			r := c.rams[c.ramIdx[i]]
+			addr := s.busValue(r.addr)
+			if addr < uint64(r.words) {
+				s.val[i] = s.memBit(int(c.ramIdx[i]), int(addr), int(c.ramBit[i]))
+			} else {
+				s.val[i] = false
+			}
+		}
+	}
+	s.dirty = false
+}
+
+func (s *Sim) busValue(b Bus) uint64 {
+	var v uint64
+	for i, sig := range b {
+		if s.val[sig] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func (s *Sim) memBit(ram, word, bit int) bool {
+	r := s.c.rams[ram]
+	wpw := (r.width + 63) / 64
+	return s.mems[ram][word*wpw+bit/64]>>(uint(bit)%64)&1 != 0
+}
+
+func (s *Sim) setMemBit(ram, word, bit int, v bool) {
+	r := s.c.rams[ram]
+	wpw := (r.width + 63) / 64
+	idx := word*wpw + bit/64
+	if v {
+		s.mems[ram][idx] |= 1 << (uint(bit) % 64)
+	} else {
+		s.mems[ram][idx] &^= 1 << (uint(bit) % 64)
+	}
+}
+
+// Get returns the settled value of any signal.
+func (s *Sim) Get(sig Signal) bool {
+	s.settle()
+	return s.val[sig]
+}
+
+// GetBus returns the settled value of a bus (LSB first).
+func (s *Sim) GetBus(b Bus) uint64 {
+	s.settle()
+	return s.busValue(b)
+}
+
+// GetByName returns the settled value of a named output.
+func (s *Sim) GetByName(name string) bool {
+	sig, ok := s.c.outputs[name]
+	if !ok {
+		panic(fmt.Sprintf("logic: unknown output %q", name))
+	}
+	return s.Get(sig)
+}
+
+// Step advances one clock cycle: settle combinational logic, then
+// commit every flip-flop and RAM write simultaneously.
+func (s *Sim) Step() {
+	s.settle()
+	c := s.c
+	// Sample all DFF next-states first (two-phase commit).
+	for i, k := range c.kinds {
+		if k != kDFF {
+			continue
+		}
+		switch {
+		case s.val[c.fc[i]]: // sync reset
+			s.state[i] = c.dffInit[Signal(i)]
+		case s.val[c.fb[i]]: // enable
+			s.state[i] = s.val[c.fa[i]]
+		}
+	}
+	// RAM writes use the pre-edge (settled) address and data.
+	for ri, r := range c.rams {
+		if !s.val[r.we] {
+			continue
+		}
+		addr := s.busValue(r.addr)
+		if addr >= uint64(r.words) {
+			continue
+		}
+		for bit, d := range r.din {
+			s.setMemBit(ri, int(addr), bit, s.val[d])
+		}
+	}
+	s.cycles++
+	s.dirty = true
+}
+
+// StepN advances n clock cycles.
+func (s *Sim) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps until the predicate is true after a step, up to max
+// cycles; it returns the number of steps taken and whether the
+// predicate fired.
+func (s *Sim) RunUntil(pred func() bool, max int) (int, bool) {
+	for i := 1; i <= max; i++ {
+		s.Step()
+		if pred() {
+			return i, true
+		}
+	}
+	return max, false
+}
+
+// Cycles returns the number of clock cycles executed.
+func (s *Sim) Cycles() uint64 { return s.cycles }
+
+// LoadRAM initializes a RAM's contents (word-by-word, low bits of each
+// value), for testbenches.
+func (s *Sim) LoadRAM(name string, words []uint64) {
+	for ri, r := range s.c.rams {
+		if r.name != name {
+			continue
+		}
+		if len(words) > r.words {
+			panic(fmt.Sprintf("logic: LoadRAM %q: %d words > capacity %d", name, len(words), r.words))
+		}
+		for w, v := range words {
+			for bit := 0; bit < r.width; bit++ {
+				s.setMemBit(ri, w, bit, v>>uint(bit)&1 != 0)
+			}
+		}
+		s.dirty = true
+		return
+	}
+	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+}
+
+// FlipRAMBit inverts one stored bit of a named RAM — a single-event
+// upset, for fault-injection tests.
+func (s *Sim) FlipRAMBit(name string, word, bit int) {
+	for ri, r := range s.c.rams {
+		if r.name != name {
+			continue
+		}
+		if word < 0 || word >= r.words || bit < 0 || bit >= r.width {
+			panic(fmt.Sprintf("logic: FlipRAMBit(%q, %d, %d) out of range", name, word, bit))
+		}
+		s.setMemBit(ri, word, bit, !s.memBit(ri, word, bit))
+		s.dirty = true
+		return
+	}
+	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+}
+
+// FlipDFF inverts a flip-flop's stored state — a register upset, for
+// fault-injection tests.
+func (s *Sim) FlipDFF(sig Signal) {
+	if s.c.kinds[sig] != kDFF {
+		panic(fmt.Sprintf("logic: FlipDFF on non-DFF signal %d", sig))
+	}
+	s.state[sig] = !s.state[sig]
+	s.dirty = true
+}
+
+// ReadRAM returns a RAM word's contents (low bits), for testbenches.
+func (s *Sim) ReadRAM(name string, word int) uint64 {
+	for ri, r := range s.c.rams {
+		if r.name != name {
+			continue
+		}
+		var v uint64
+		for bit := 0; bit < r.width && bit < 64; bit++ {
+			if s.memBit(ri, word, bit) {
+				v |= 1 << uint(bit)
+			}
+		}
+		return v
+	}
+	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+}
+
+// Stats summarizes a circuit's composition for reports and the FPGA
+// mapper.
+type Stats struct {
+	Inputs, Outputs int
+	Gates           int // NOT/AND/OR/XOR/MUX
+	ByKind          map[string]int
+	DFFs            int
+	RAMBits         int
+	GateEquivalents int
+}
+
+// Stats computes composition statistics. Gate equivalents use the
+// classic 2-input-NAND convention: NOT=1, AND/OR=1, XOR=3, MUX=3,
+// DFF=6, RAM bit=4.
+func (c *Circuit) Stats() Stats {
+	st := Stats{ByKind: map[string]int{}}
+	st.Inputs = len(c.inputs)
+	st.Outputs = len(c.outputs)
+	for i, k := range c.kinds {
+		_ = i
+		st.ByKind[k.String()]++
+		switch k {
+		case kNot, kAnd, kOr:
+			st.Gates++
+			st.GateEquivalents++
+		case kXor, kMux:
+			st.Gates++
+			st.GateEquivalents += 3
+		case kDFF:
+			st.DFFs++
+			st.GateEquivalents += 6
+		}
+	}
+	for _, r := range c.rams {
+		st.RAMBits += r.words * r.width
+	}
+	st.GateEquivalents += st.RAMBits * 4
+	return st
+}
+
+// String renders the statistics compactly with kinds sorted.
+func (st Stats) String() string {
+	kinds := make([]string, 0, len(st.ByKind))
+	for k := range st.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := fmt.Sprintf("gates=%d dffs=%d rambits=%d gate-equivalents=%d",
+		st.Gates, st.DFFs, st.RAMBits, st.GateEquivalents)
+	return out
+}

@@ -1,0 +1,196 @@
+package mcu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a program. The syntax is one
+// instruction per line:
+//
+//	label:  ADD  r1, r2, r3     ; comment
+//	        ADDI r1, r1, 42
+//	        LD   r4, r2, 8      ; rd, base, offset
+//	        BEQ  r1, r0, done
+//	        JAL  fitness
+//	done:   HALT
+//
+// Comments start with ';' or '#'. Immediates accept decimal, 0x hex,
+// 0b binary, and negative values. Branch/jump targets are labels or
+// absolute instruction indices. Constants can be defined with
+// ".equ NAME VALUE" and used wherever an immediate is expected.
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var prog []Instr
+	labels := map[string]int{}
+	consts := map[string]int64{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Directives.
+		if strings.HasPrefix(line, ".equ") {
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("line %d: .equ NAME VALUE", ln+1)
+			}
+			v, err := parseImm(parts[2], consts)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			consts[parts[1]] = v
+			continue
+		}
+		// Labels (possibly followed by an instruction).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t,") {
+				break
+			}
+			name := line[:colon]
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToUpper(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		args := splitArgs(rest)
+
+		op, ok := mnemonics[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown mnemonic %q", ln+1, fields[0])
+		}
+		in := Instr{Op: op}
+		spec := formats[op]
+		if len(args) != len(spec) {
+			return nil, fmt.Errorf("line %d: %s takes %d operands, got %d", ln+1, mnemonic, len(spec), len(args))
+		}
+		for i, kind := range spec {
+			arg := args[i]
+			switch kind {
+			case 'd', 's', 't':
+				r, err := parseReg(arg)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				switch kind {
+				case 'd':
+					in.Rd = r
+				case 's':
+					in.Rs1 = r
+				case 't':
+					in.Rs2 = r
+				}
+			case 'i': // immediate
+				v, err := parseImm(arg, consts)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				in.Imm = v
+			case 'l': // label or absolute target
+				if v, err := parseImm(arg, consts); err == nil {
+					in.Imm = v
+				} else {
+					fixups = append(fixups, pending{instr: len(prog), label: arg, line: ln + 1})
+				}
+			}
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int64(target)
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors; for firmware embedded in the
+// binary.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mnemonics and operand formats: d=rd, s=rs1, t=rs2, i=immediate,
+// l=branch/jump target.
+var mnemonics = map[string]Op{
+	"NOP": OpNop, "ADD": OpAdd, "SUB": OpSub, "AND": OpAnd, "OR": OpOr,
+	"XOR": OpXor, "SHL": OpShl, "SHR": OpShr, "ADDI": OpAddi,
+	"ANDI": OpAndi, "ORI": OpOri, "XORI": OpXori, "SHLI": OpShli,
+	"SHRI": OpShri, "LI": OpLi, "LD": OpLd, "ST": OpSt, "BEQ": OpBeq,
+	"BNE": OpBne, "BLT": OpBlt, "BGE": OpBge, "JAL": OpJal, "JR": OpJr,
+	"RND": OpRnd, "HALT": OpHalt,
+}
+
+var formats = map[Op]string{
+	OpNop: "", OpHalt: "",
+	OpAdd: "dst", OpSub: "dst", OpAnd: "dst", OpOr: "dst", OpXor: "dst",
+	OpShl: "dst", OpShr: "dst",
+	OpAddi: "dsi", OpAndi: "dsi", OpOri: "dsi", OpXori: "dsi",
+	OpShli: "dsi", OpShri: "dsi",
+	OpLi: "di", OpLd: "dsi", OpSt: "sti",
+	OpBeq: "stl", OpBne: "stl", OpBlt: "stl", OpBge: "stl",
+	OpJal: "l", OpJr: "s", OpRnd: "d",
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string, consts map[string]int64) (int64, error) {
+	if v, ok := consts[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

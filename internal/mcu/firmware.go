@@ -1,0 +1,289 @@
+package mcu
+
+import (
+	"fmt"
+
+	"leonardo/internal/carng"
+	"leonardo/internal/genome"
+)
+
+// Memory map of the GA firmware (word addresses).
+const (
+	MemBasis   = 0   // 32 words: basis population
+	MemInter   = 32  // 32 words: intermediate population
+	MemFitness = 64  // 32 words: fitness of the basis population
+	MemBest    = 96  // best genome ever
+	MemBestFit = 97  // its fitness
+	MemGen     = 99  // generation counter
+	MemMaxGen  = 100 // generation cap (set by host)
+	MemWords   = 128
+)
+
+// fitnessAsm is the three-rule fitness as a leaf subroutine:
+// input r1 = genome, output r2 = score, clobbers r3-r7, returns via
+// r15. It is the software twin of internal/fitness and of the
+// combinational module in internal/gapcirc; the tests check all three
+// against each other.
+const fitnessAsm = `
+; --- fitness(r1 genome) -> r2, clobbers r3-r7 ---
+fitness:
+        LI   r2, 0
+; rule 3 - coherence: 12 leg-steps, RaiseFirst == Forward
+        LI   r3, 0
+f_coh:  ADD  r4, r3, r3
+        ADD  r4, r4, r3          ; bit base = 3*i
+        SHR  r5, r1, r4
+        SHRI r6, r5, 1
+        XOR  r5, r5, r6
+        ANDI r5, r5, 1
+        XORI r5, r5, 1           ; 1 if coherent
+        ADD  r2, r2, r5
+        ADDI r3, r3, 1
+        LI   r6, 12
+        BLT  r3, r6, f_coh
+; rule 2 - symmetry: 6 legs, Forward bits of the two steps differ
+        LI   r3, 0
+f_sym:  ADD  r4, r3, r3
+        ADD  r4, r4, r3
+        ADDI r4, r4, 1           ; bit 3l+1
+        SHR  r5, r1, r4
+        SHRI r6, r5, 18          ; bit 3l+19
+        XOR  r5, r5, r6
+        ANDI r5, r5, 1
+        ADD  r2, r2, r5
+        ADDI r3, r3, 1
+        LI   r6, 6
+        BLT  r3, r6, f_sym
+; rule 1 - equilibrium: 8 (step, phase, side) combos, NOT all-3-up
+        LI   r3, 0
+f_eq:   ANDI r4, r3, 1           ; step
+        SHLI r5, r4, 4
+        SHLI r6, r4, 1
+        ADD  r4, r5, r6          ; 18*step
+        SHRI r5, r3, 1
+        ANDI r5, r5, 1
+        SHLI r5, r5, 1           ; phase bit k in {0,2}
+        ADD  r4, r4, r5
+        SHRI r5, r3, 2
+        ANDI r5, r5, 1
+        SHLI r6, r5, 3
+        ADD  r5, r6, r5          ; 9*side
+        ADD  r4, r4, r5          ; base bit
+        SHR  r5, r1, r4
+        SHRI r6, r5, 3
+        AND  r6, r6, r5
+        SHRI r7, r5, 6
+        AND  r6, r6, r7
+        ANDI r6, r6, 1           ; all three raised
+        XORI r6, r6, 1
+        ADD  r2, r2, r6
+        ADDI r3, r3, 1
+        LI   r6, 8
+        BLT  r3, r6, f_eq
+        JR   r15
+`
+
+// gaAsm is the complete genetic algorithm as firmware: the same
+// operators and parameters as the GAP (population 32, tournament
+// selection with threshold 205/256, single-point crossover with
+// threshold 179/256, 15 single-bit mutations per generation,
+// best-individual register), written the way a processor-board
+// implementation would be. Bank swapping is pointer-based (r13/r14).
+const gaAsm = `
+.equ MASK36  0xFFFFFFFFF
+.equ POP     32
+.equ PAIRS   16
+.equ MUTS    15
+.equ SELTHR  205
+.equ XOVTHR  179
+.equ MAXFIT  26
+.equ FITARR  64
+
+start:  LI   r13, 0              ; basis base
+        LI   r14, 32             ; intermediate base
+; initial random population
+        LI   r8, 0
+init:   RND  r4
+        LI   r5, MASK36
+        AND  r4, r4, r5
+        ADD  r9, r13, r8
+        ST   r9, r4, 0
+        ADDI r8, r8, 1
+        LI   r9, POP
+        BLT  r8, r9, init
+        JAL  eval
+
+gen:    LD   r3, r0, 97          ; best fitness so far
+        LI   r4, MAXFIT
+        BGE  r3, r4, done
+        LD   r3, r0, 99          ; generation counter
+        LD   r4, r0, 100         ; cap
+        BGE  r3, r4, done
+
+; --- selection + crossover over 16 pairs ---
+        LI   r8, 0
+pair:   JAL  tourn
+        ADD  r12, r10, r0        ; parent A
+        JAL  tourn               ; parent B in r10
+        ADD  r11, r10, r0
+        RND  r3
+        ANDI r3, r3, 255
+        LI   r4, XOVTHR
+        BGE  r3, r4, nocross
+ptry:   RND  r3
+        ANDI r3, r3, 63
+        LI   r4, 35
+        BGE  r3, r4, ptry
+        ADDI r3, r3, 1           ; point in 1..35
+        LI   r4, 1
+        SHL  r4, r4, r3
+        ADDI r4, r4, -1          ; low mask
+        AND  r5, r12, r4         ; A low
+        LI   r6, MASK36
+        XOR  r7, r4, r6          ; high mask
+        AND  r6, r11, r7
+        OR   r5, r5, r6          ; child A
+        AND  r6, r11, r4         ; B low
+        AND  r7, r12, r7
+        OR   r6, r6, r7          ; child B
+        BEQ  r0, r0, store
+nocross: ADD r5, r12, r0
+        ADD  r6, r11, r0
+store:  ADD  r9, r8, r8
+        ADD  r9, r14, r9
+        ST   r9, r5, 0
+        ST   r9, r6, 1
+        ADDI r8, r8, 1
+        LI   r9, PAIRS
+        BLT  r8, r9, pair
+
+; --- 15 single-bit mutations over the intermediate population ---
+        LI   r8, 0
+mut:    RND  r3
+        ANDI r3, r3, 31          ; individual
+btry:   RND  r4
+        ANDI r4, r4, 63
+        LI   r5, 36
+        BGE  r4, r5, btry        ; bit position
+        LI   r5, 1
+        SHL  r5, r5, r4
+        ADD  r9, r14, r3
+        LD   r6, r9, 0
+        XOR  r6, r6, r5
+        ST   r9, r6, 0
+        ADDI r8, r8, 1
+        LI   r9, MUTS
+        BLT  r8, r9, mut
+
+; --- swap population banks, count the generation, evaluate ---
+        XOR  r13, r13, r14
+        XOR  r14, r13, r14
+        XOR  r13, r13, r14
+        LD   r3, r0, 99
+        ADDI r3, r3, 1
+        ST   r0, r3, 99
+        JAL  eval
+        BEQ  r0, r0, gen
+
+done:   HALT
+
+; --- eval: fitness of the whole basis population + best register ---
+eval:   ST   r0, r15, 101        ; save link
+        LI   r8, 0
+eloop:  ADD  r9, r13, r8
+        LD   r1, r9, 0
+        JAL  fitness
+        LI   r9, FITARR
+        ADD  r9, r9, r8
+        ST   r9, r2, 0
+        LD   r3, r0, 97
+        BGE  r3, r2, enext
+        ST   r0, r1, 96          ; new best genome
+        ST   r0, r2, 97
+enext:  ADDI r8, r8, 1
+        LI   r9, POP
+        BLT  r8, r9, eloop
+        LD   r15, r0, 101
+        JR   r15
+
+; --- tournament selection -> r10 (clobbers r1-r7, r9) ---
+tourn:  ST   r0, r15, 102
+        RND  r3
+        ANDI r3, r3, 31          ; candidate 1
+        RND  r4
+        ANDI r4, r4, 31          ; candidate 2
+        LI   r5, FITARR
+        ADD  r6, r5, r3
+        LD   r6, r6, 0           ; fit 1
+        ADD  r7, r5, r4
+        LD   r7, r7, 0           ; fit 2
+        BLT  r6, r7, tsecond
+        ADD  r5, r3, r0          ; better = 1 (ties keep the first)
+        ADD  r6, r4, r0          ; worse  = 2
+        BEQ  r0, r0, tpick
+tsecond: ADD r5, r4, r0
+        ADD  r6, r3, r0
+tpick:  RND  r7
+        ANDI r7, r7, 255
+        LI   r9, SELTHR
+        BLT  r7, r9, tkeep
+        ADD  r5, r6, r0          ; coin failed: take the worse
+tkeep:  ADD  r9, r13, r5
+        LD   r10, r9, 0
+        LD   r15, r0, 102
+        JR   r15
+` + fitnessAsm
+
+// GAProgram is the assembled firmware.
+var GAProgram = MustAssemble(gaAsm)
+
+// fitnessTestAsm wraps the fitness subroutine for standalone calls:
+// genome in mem[0], score out to mem[1].
+const fitnessTestAsm = `
+        LD   r1, r0, 0
+        JAL  fitness
+        ST   r0, r2, 1
+        HALT
+` + fitnessAsm
+
+// FitnessProgram is the assembled standalone fitness routine.
+var FitnessProgram = MustAssemble(fitnessTestAsm)
+
+// FitnessOf runs the firmware fitness routine on one genome and
+// returns (score, cycles).
+func FitnessOf(g genome.Genome) (int, uint64, error) {
+	cpu := New(FitnessProgram, 8, nil)
+	cpu.SetMem(0, uint64(g))
+	if err := cpu.Run(); err != nil {
+		return 0, 0, err
+	}
+	return int(cpu.Mem(1)), cpu.Cycles(), nil
+}
+
+// GAResult reports a firmware GA run.
+type GAResult struct {
+	Best        genome.Genome
+	BestFitness int
+	Generations int
+	Cycles      uint64
+	Converged   bool
+}
+
+// RunGA executes the firmware GA on the board (cellular-automaton RNG
+// seeded as on the FPGA board) until convergence or the generation
+// cap.
+func RunGA(seed uint64, maxGenerations int) (GAResult, error) {
+	cpu := New(GAProgram, MemWords, carng.NewDefault(seed))
+	cpu.SetMem(MemMaxGen, uint64(maxGenerations))
+	if err := cpu.Run(); err != nil {
+		return GAResult{}, fmt.Errorf("mcu: firmware GA: %w", err)
+	}
+	res := GAResult{
+		Best:        genome.Genome(cpu.Mem(MemBest)) & genome.Mask,
+		BestFitness: int(cpu.Mem(MemBestFit)),
+		Generations: int(cpu.Mem(MemGen)),
+		Cycles:      cpu.Cycles(),
+	}
+	res.Converged = res.BestFitness >= 26
+	return res, nil
+}

@@ -1,0 +1,26 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics on arbitrary source
+// and that accepted programs execute (or fail) without panicking under
+// a small cycle budget.
+func FuzzAssemble(f *testing.F) {
+	f.Add("ADD r1, r2, r3")
+	f.Add("loop: ADDI r1, r1, 1\nBLT r1, r2, loop")
+	f.Add(".equ X 5\nLI r1, X\nHALT")
+	f.Add("garbage ; with comment")
+	f.Add(strings.Repeat("NOP\n", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		cpu := New(prog, 32, &fixedRNG{vals: []uint64{1, 2, 3}})
+		cpu.MaxCycles = 5000
+		_ = cpu.Run() // errors allowed; panics are not
+	})
+}

@@ -1,0 +1,264 @@
+// Package mcu models the paper's *other* control board: "a
+// processor-based card ... derived from the Khepera robot hardware"
+// (§2). The paper explicitly avoids it ("In our approach we want to
+// avoid the use of processors"); this package exists to quantify that
+// choice — experiment A5 runs the same genetic algorithm as firmware
+// on a cycle-counted microcontroller and compares against the
+// evolvable-hardware GAP at the same 1 MHz clock.
+//
+// The machine is a deliberately simple load/store CPU of the mid-90s
+// class: sixteen 64-bit registers (r0 wired to zero), word-addressed
+// memory, two-operand ALU with immediates, compare-and-branch, a link
+// register for calls, and one peripheral — the board's random number
+// generator, read with RND (the FPGA board's cellular automaton plays
+// the same role). Cycle costs are typical for the era: 2 cycles per
+// ALU op, 4 per memory access, 3 per taken branch.
+package mcu
+
+import (
+	"fmt"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set.
+const (
+	OpNop  Op = iota
+	OpAdd     // rd = rs1 + rs2
+	OpSub     // rd = rs1 - rs2
+	OpAnd     // rd = rs1 & rs2
+	OpOr      // rd = rs1 | rs2
+	OpXor     // rd = rs1 ^ rs2
+	OpShl     // rd = rs1 << (rs2 & 63)
+	OpShr     // rd = rs1 >> (rs2 & 63) (logical)
+	OpAddi    // rd = rs1 + imm
+	OpAndi    // rd = rs1 & imm
+	OpOri     // rd = rs1 | imm
+	OpXori    // rd = rs1 ^ imm
+	OpShli    // rd = rs1 << imm
+	OpShri    // rd = rs1 >> imm (logical)
+	OpLi      // rd = imm
+	OpLd      // rd = mem[rs1 + imm]
+	OpSt      // mem[rs1 + imm] = rs2
+	OpBeq     // if rs1 == rs2 goto imm
+	OpBne     // if rs1 != rs2 goto imm
+	OpBlt     // if rs1 <  rs2 goto imm (unsigned)
+	OpBge     // if rs1 >= rs2 goto imm (unsigned)
+	OpJal     // link = pc+1; goto imm
+	OpJr      // goto rs1
+	OpRnd     // rd = next word from the board RNG
+	OpHalt    // stop
+)
+
+var opNames = map[Op]string{
+	OpNop: "NOP", OpAdd: "ADD", OpSub: "SUB", OpAnd: "AND", OpOr: "OR",
+	OpXor: "XOR", OpShl: "SHL", OpShr: "SHR", OpAddi: "ADDI",
+	OpAndi: "ANDI", OpOri: "ORI", OpXori: "XORI", OpShli: "SHLI",
+	OpShri: "SHRI", OpLi: "LI", OpLd: "LD", OpSt: "ST", OpBeq: "BEQ",
+	OpBne: "BNE", OpBlt: "BLT", OpBge: "BGE", OpJal: "JAL", OpJr: "JR",
+	OpRnd: "RND", OpHalt: "HALT",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// cycles is the per-opcode cost model (taken branches add one).
+var cycles = map[Op]uint64{
+	OpNop: 1,
+	OpAdd: 2, OpSub: 2, OpAnd: 2, OpOr: 2, OpXor: 2, OpShl: 2, OpShr: 2,
+	OpAddi: 2, OpAndi: 2, OpOri: 2, OpXori: 2, OpShli: 2, OpShri: 2,
+	OpLi: 2,
+	OpLd: 4, OpSt: 4,
+	OpBeq: 2, OpBne: 2, OpBlt: 2, OpBge: 2,
+	OpJal: 3, OpJr: 3,
+	OpRnd:  2,
+	OpHalt: 1,
+}
+
+const takenBranchExtra = 1
+
+// Instr is one decoded instruction. Rd/Rs1/Rs2 are register numbers;
+// Imm is the immediate, memory offset, or branch/jump target
+// (instruction index).
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 int
+	Imm          int64
+}
+
+// LinkReg is the register JAL writes the return address into.
+const LinkReg = 15
+
+// NumRegs is the register-file size; register 0 reads as zero.
+const NumRegs = 16
+
+// RNG supplies the board's random words (the FPGA board uses the
+// cellular automaton; carng.CA satisfies this).
+type RNG interface {
+	Word() uint64
+}
+
+// CPU is a running machine.
+type CPU struct {
+	prog   []Instr
+	mem    []uint64
+	reg    [NumRegs]uint64
+	pc     int
+	rng    RNG
+	halted bool
+	cycles uint64
+	// MaxCycles guards against runaway programs (0 = 10^10).
+	MaxCycles uint64
+}
+
+// New creates a machine with the given program and memory size (in
+// words).
+func New(prog []Instr, memWords int, rng RNG) *CPU {
+	return &CPU{prog: prog, mem: make([]uint64, memWords), rng: rng}
+}
+
+// Reg returns a register value.
+func (c *CPU) Reg(i int) uint64 { return c.reg[i] }
+
+// SetReg writes a register (r0 stays zero).
+func (c *CPU) SetReg(i int, v uint64) {
+	if i != 0 {
+		c.reg[i] = v
+	}
+}
+
+// Mem returns a memory word.
+func (c *CPU) Mem(addr int) uint64 { return c.mem[addr] }
+
+// SetMem writes a memory word.
+func (c *CPU) SetMem(addr int, v uint64) { c.mem[addr] = v }
+
+// Cycles returns the consumed clock cycles.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// Halted reports whether the program has stopped.
+func (c *CPU) Halted() bool { return c.halted }
+
+// PC returns the current program counter.
+func (c *CPU) PC() int { return c.pc }
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	if c.pc < 0 || c.pc >= len(c.prog) {
+		return fmt.Errorf("mcu: pc %d out of program (len %d)", c.pc, len(c.prog))
+	}
+	in := c.prog[c.pc]
+	c.cycles += cycles[in.Op]
+	next := c.pc + 1
+	r := func(i int) uint64 { return c.reg[i] }
+	w := func(v uint64) {
+		if in.Rd != 0 {
+			c.reg[in.Rd] = v
+		}
+	}
+	switch in.Op {
+	case OpNop:
+	case OpAdd:
+		w(r(in.Rs1) + r(in.Rs2))
+	case OpSub:
+		w(r(in.Rs1) - r(in.Rs2))
+	case OpAnd:
+		w(r(in.Rs1) & r(in.Rs2))
+	case OpOr:
+		w(r(in.Rs1) | r(in.Rs2))
+	case OpXor:
+		w(r(in.Rs1) ^ r(in.Rs2))
+	case OpShl:
+		w(r(in.Rs1) << (r(in.Rs2) & 63))
+	case OpShr:
+		w(r(in.Rs1) >> (r(in.Rs2) & 63))
+	case OpAddi:
+		w(r(in.Rs1) + uint64(in.Imm))
+	case OpAndi:
+		w(r(in.Rs1) & uint64(in.Imm))
+	case OpOri:
+		w(r(in.Rs1) | uint64(in.Imm))
+	case OpXori:
+		w(r(in.Rs1) ^ uint64(in.Imm))
+	case OpShli:
+		w(r(in.Rs1) << (uint64(in.Imm) & 63))
+	case OpShri:
+		w(r(in.Rs1) >> (uint64(in.Imm) & 63))
+	case OpLi:
+		w(uint64(in.Imm))
+	case OpLd:
+		addr := int(int64(r(in.Rs1)) + in.Imm)
+		if addr < 0 || addr >= len(c.mem) {
+			return fmt.Errorf("mcu: load from %d out of memory (%d words) at pc %d", addr, len(c.mem), c.pc)
+		}
+		w(c.mem[addr])
+	case OpSt:
+		addr := int(int64(r(in.Rs1)) + in.Imm)
+		if addr < 0 || addr >= len(c.mem) {
+			return fmt.Errorf("mcu: store to %d out of memory (%d words) at pc %d", addr, len(c.mem), c.pc)
+		}
+		c.mem[addr] = r(in.Rs2)
+	case OpBeq:
+		if r(in.Rs1) == r(in.Rs2) {
+			next = int(in.Imm)
+			c.cycles += takenBranchExtra
+		}
+	case OpBne:
+		if r(in.Rs1) != r(in.Rs2) {
+			next = int(in.Imm)
+			c.cycles += takenBranchExtra
+		}
+	case OpBlt:
+		if r(in.Rs1) < r(in.Rs2) {
+			next = int(in.Imm)
+			c.cycles += takenBranchExtra
+		}
+	case OpBge:
+		if r(in.Rs1) >= r(in.Rs2) {
+			next = int(in.Imm)
+			c.cycles += takenBranchExtra
+		}
+	case OpJal:
+		c.reg[LinkReg] = uint64(c.pc + 1)
+		next = int(in.Imm)
+	case OpJr:
+		next = int(r(in.Rs1))
+	case OpRnd:
+		if c.rng == nil {
+			return fmt.Errorf("mcu: RND with no RNG attached at pc %d", c.pc)
+		}
+		w(c.rng.Word())
+	case OpHalt:
+		c.halted = true
+		return nil
+	default:
+		return fmt.Errorf("mcu: unknown opcode %v at pc %d", in.Op, c.pc)
+	}
+	c.pc = next
+	return nil
+}
+
+// Run executes until HALT or the cycle guard trips.
+func (c *CPU) Run() error {
+	max := c.MaxCycles
+	if max == 0 {
+		max = 10_000_000_000
+	}
+	for !c.halted {
+		if c.cycles > max {
+			return fmt.Errorf("mcu: cycle guard tripped after %d cycles at pc %d", c.cycles, c.pc)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package mcu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+)
+
+func run(t *testing.T, src string, mem int, rng RNG) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(prog, mem, rng)
+	if err := cpu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestALUOps(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 12
+		LI   r2, 10
+		ADD  r3, r1, r2
+		SUB  r4, r1, r2
+		AND  r5, r1, r2
+		OR   r6, r1, r2
+		XOR  r7, r1, r2
+		LI   r8, 2
+		SHL  r9, r1, r8
+		SHR  r10, r1, r8
+		HALT`, 4, nil)
+	want := map[int]uint64{3: 22, 4: 2, 5: 8, 6: 14, 7: 6, 9: 48, 10: 3}
+	for r, v := range want {
+		if cpu.Reg(r) != v {
+			t.Errorf("r%d = %d, want %d", r, cpu.Reg(r), v)
+		}
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 0xF0
+		ADDI r2, r1, -16
+		ANDI r3, r1, 0x3C
+		ORI  r4, r1, 0x0F
+		XORI r5, r1, 0xFF
+		SHLI r6, r1, 4
+		SHRI r7, r1, 4
+		HALT`, 4, nil)
+	want := map[int]uint64{2: 0xE0, 3: 0x30, 4: 0xFF, 5: 0x0F, 6: 0xF00, 7: 0x0F}
+	for r, v := range want {
+		if cpu.Reg(r) != v {
+			t.Errorf("r%d = %#x, want %#x", r, cpu.Reg(r), v)
+		}
+	}
+}
+
+func TestR0Immutable(t *testing.T) {
+	cpu := run(t, `
+		LI   r0, 99
+		ADDI r0, r0, 5
+		HALT`, 4, nil)
+	if cpu.Reg(0) != 0 {
+		t.Fatal("r0 must stay zero")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 7        ; base
+		LI   r2, 1234
+		ST   r1, r2, 3    ; mem[10] = 1234
+		LD   r3, r1, 3
+		HALT`, 16, nil)
+	if cpu.Mem(10) != 1234 || cpu.Reg(3) != 1234 {
+		t.Fatal("load/store broken")
+	}
+}
+
+func TestMemoryBoundsChecked(t *testing.T) {
+	prog := MustAssemble(`
+		LI r1, 100
+		LD r2, r1, 0
+		HALT`)
+	cpu := New(prog, 16, nil)
+	if err := cpu.Run(); err == nil {
+		t.Fatal("out-of-bounds load not caught")
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	cpu := run(t, `
+		LI   r1, 0       ; sum
+		LI   r2, 1       ; i
+		LI   r3, 11
+	loop:	ADD  r1, r1, r2
+		ADDI r2, r2, 1
+		BLT  r2, r3, loop
+		HALT`, 4, nil)
+	if cpu.Reg(1) != 55 {
+		t.Fatalf("sum = %d", cpu.Reg(1))
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 5
+		LI   r2, 5
+		LI   r10, 0
+		BEQ  r1, r2, eq
+		LI   r10, 99
+	eq:	BNE  r1, r2, bad
+		BGE  r1, r2, ge
+		LI   r10, 98
+	ge:	LI   r3, 4
+		BLT  r3, r1, lt
+		LI   r10, 97
+	lt:	HALT
+	bad:	LI   r10, 96
+		HALT`, 4, nil)
+	if cpu.Reg(10) != 0 {
+		t.Fatalf("branch logic wrong: marker %d", cpu.Reg(10))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 3
+		JAL  double
+		JAL  double
+		HALT
+	double:	ADD r1, r1, r1
+		JR   r15`, 4, nil)
+	if cpu.Reg(1) != 12 {
+		t.Fatalf("r1 = %d, want 12", cpu.Reg(1))
+	}
+}
+
+type fixedRNG struct {
+	vals []uint64
+	i    int
+}
+
+func (f *fixedRNG) Word() uint64 {
+	v := f.vals[f.i%len(f.vals)]
+	f.i++
+	return v
+}
+
+func TestRND(t *testing.T) {
+	cpu := run(t, `
+		RND r1
+		RND r2
+		HALT`, 4, &fixedRNG{vals: []uint64{11, 22}})
+	if cpu.Reg(1) != 11 || cpu.Reg(2) != 22 {
+		t.Fatal("RND wrong")
+	}
+	prog := MustAssemble("RND r1\nHALT")
+	cpu2 := New(prog, 4, nil)
+	if err := cpu2.Run(); err == nil {
+		t.Fatal("RND without RNG should fail")
+	}
+}
+
+func TestCycleCounting(t *testing.T) {
+	cpu := run(t, `
+		LI   r1, 1      ; 2
+		ADD  r2, r1, r1 ; 2
+		LD   r3, r0, 0  ; 4
+		BEQ  r0, r0, x  ; 2+1 taken
+	x:	HALT            ; 1`, 4, nil)
+	if cpu.Cycles() != 2+2+4+3+1 {
+		t.Fatalf("cycles = %d, want 12", cpu.Cycles())
+	}
+}
+
+func TestCycleGuard(t *testing.T) {
+	prog := MustAssemble(`
+	loop:	BEQ r0, r0, loop`)
+	cpu := New(prog, 4, nil)
+	cpu.MaxCycles = 1000
+	if err := cpu.Run(); err == nil {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"FOO r1, r2, r3",
+		"ADD r1, r2",
+		"ADD r99, r1, r2",
+		"LI r1, zzz",
+		"BEQ r1, r2, nowhere",
+		"dup: NOP\ndup: NOP",
+		".equ ONLYNAME",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestAssemblerFeatures(t *testing.T) {
+	prog, err := Assemble(`
+		.equ K 0x10
+	; full-line comment
+	a:	LI r1, K       # another comment style
+	b:	c: NOP
+		BEQ r0, r0, c
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Fatalf("program length %d", len(prog))
+	}
+	if prog[0].Imm != 16 {
+		t.Fatal(".equ constant not applied")
+	}
+	if prog[2].Imm != 1 {
+		t.Fatal("multiple labels on one line broken")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "ADD" || !strings.HasPrefix(Op(99).String(), "Op(") {
+		t.Fatal("Op.String")
+	}
+}
+
+func TestFirmwareFitnessMatchesEvaluator(t *testing.T) {
+	e := fitness.New()
+	rng := rand.New(rand.NewSource(12))
+	check := func(g genome.Genome) {
+		got, _, err := FitnessOf(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := e.Score(g); got != want {
+			t.Fatalf("genome %v: firmware fitness %d != %d", g, got, want)
+		}
+	}
+	check(0)
+	check(genome.Mask)
+	for i := 0; i < 500; i++ {
+		check(genome.Genome(rng.Uint64()) & genome.Mask)
+	}
+}
+
+func TestFirmwareFitnessCycleCost(t *testing.T) {
+	_, cycles, err := FitnessOf(genome.Mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The point of the comparison: one software fitness evaluation
+	// costs hundreds of cycles where the FPGA's combinational module
+	// costs zero (it settles within the read cycle).
+	if cycles < 300 || cycles > 3000 {
+		t.Fatalf("fitness cycles = %d, outside plausible range", cycles)
+	}
+}
+
+func TestFirmwareGAConverges(t *testing.T) {
+	res, err := RunGA(5, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("firmware GA stuck at %d after %d generations", res.BestFitness, res.Generations)
+	}
+	if fitness.New().Score(res.Best) != 26 {
+		t.Fatalf("reported best genome scores %d", fitness.New().Score(res.Best))
+	}
+	if res.Cycles == 0 || res.Generations == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestFirmwareGARespectsCap(t *testing.T) {
+	res, err := RunGA(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations > 3 {
+		t.Fatalf("ran %d generations past the cap", res.Generations)
+	}
+}
+
+func TestFirmwareGADeterministic(t *testing.T) {
+	a, err := RunGA(77, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGA(77, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.Cycles != b.Cycles {
+		t.Fatal("firmware GA not deterministic")
+	}
+}
+
+func BenchmarkFirmwareFitness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FitnessOf(genome.Genome(i) & genome.Mask); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

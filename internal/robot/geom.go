@@ -1,0 +1,97 @@
+package robot
+
+import (
+	"math"
+	"sort"
+)
+
+// Vec2 is a point in the horizontal (ground) plane, in millimetres.
+// +X is the robot's forward direction, +Y its left.
+type Vec2 struct{ X, Y float64 }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Cross returns the z-component of the 2-D cross product v x o.
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Norm returns the Euclidean length.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// ConvexHull returns the convex hull of the points in counterclockwise
+// order (Andrew's monotone chain). Duplicate and collinear boundary
+// points are dropped. Fewer than three input points, or a degenerate
+// (collinear) set, yields a hull with fewer than three vertices.
+func ConvexHull(pts []Vec2) []Vec2 {
+	if len(pts) < 2 {
+		return append([]Vec2(nil), pts...)
+	}
+	ps := append([]Vec2(nil), pts...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Dedupe.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return ps
+	}
+	var lower, upper []Vec2
+	for _, p := range ps {
+		for len(lower) >= 2 && lower[len(lower)-1].Sub(lower[len(lower)-2]).Cross(p.Sub(lower[len(lower)-2])) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(ps) - 1; i >= 0; i-- {
+		p := ps[i]
+		for len(upper) >= 2 && upper[len(upper)-1].Sub(upper[len(upper)-2]).Cross(p.Sub(upper[len(upper)-2])) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}
+
+// StabilityMargin returns the signed distance from point p to the
+// boundary of the convex hull of the support points: positive when p
+// is strictly inside (statically stable), negative when outside or
+// when the support is degenerate (fewer than three non-collinear
+// points). For degenerate supports it returns the negated distance to
+// the nearest support point (or -inf with no points), so "more wrong"
+// postures score worse.
+func StabilityMargin(p Vec2, support []Vec2) float64 {
+	hull := ConvexHull(support)
+	if len(hull) < 3 {
+		if len(hull) == 0 {
+			return math.Inf(-1)
+		}
+		d := math.Inf(1)
+		for _, v := range support {
+			d = math.Min(d, p.Sub(v).Norm())
+		}
+		if d == 0 {
+			// On a degenerate support the robot tips; margin is zero
+			// at best.
+			return 0
+		}
+		return -d
+	}
+	margin := math.Inf(1)
+	for i := range hull {
+		a, b := hull[i], hull[(i+1)%len(hull)]
+		edge := b.Sub(a)
+		// Signed distance of p left of edge a->b (hull is CCW).
+		d := edge.Cross(p.Sub(a)) / edge.Norm()
+		margin = math.Min(margin, d)
+	}
+	return margin
+}

@@ -1,0 +1,100 @@
+package robot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Vec2{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0, 0}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size %d, want 4: %v", len(hull), hull)
+	}
+	// Interior point excluded.
+	for _, v := range hull {
+		if v == (Vec2{1, 1}) {
+			t.Fatal("interior point in hull")
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Fatal("empty hull")
+	}
+	if h := ConvexHull([]Vec2{{1, 1}}); len(h) != 1 {
+		t.Fatal("single point hull")
+	}
+	if h := ConvexHull([]Vec2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}); len(h) >= 3 {
+		t.Fatalf("collinear points produced polygon: %v", h)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(10)
+		pts := make([]Vec2, n)
+		for i := range pts {
+			pts[i] = Vec2{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		// Every input point must be inside or on the hull (margin >=
+		// -epsilon).
+		for _, p := range pts {
+			if StabilityMargin(p, pts) < -1e-9 {
+				t.Fatalf("point %v outside its own hull", p)
+			}
+		}
+	}
+}
+
+func TestStabilityMarginTriangle(t *testing.T) {
+	tri := []Vec2{{0, 100}, {100, -100}, {-100, -100}}
+	m := StabilityMargin(Vec2{}, tri)
+	if m <= 0 {
+		t.Fatalf("centroid-ish point should be inside, margin %v", m)
+	}
+	// A point well outside.
+	if StabilityMargin(Vec2{500, 0}, tri) >= 0 {
+		t.Fatal("outside point has non-negative margin")
+	}
+	// Margin to a known edge: distance from origin to y=-100 edge is
+	// 100; the slanted edges are closer.
+	if m > 100 {
+		t.Fatalf("margin %v exceeds distance to base edge", m)
+	}
+}
+
+func TestStabilityMarginDegenerate(t *testing.T) {
+	// Three collinear supports: not stable.
+	line := []Vec2{{-100, 100}, {0, 100}, {100, 100}}
+	if m := StabilityMargin(Vec2{}, line); m >= 0 {
+		t.Fatalf("collinear support reported stable (margin %v)", m)
+	}
+	// No supports at all.
+	if m := StabilityMargin(Vec2{}, nil); !math.IsInf(m, -1) {
+		t.Fatalf("empty support margin %v", m)
+	}
+	// Two supports.
+	if m := StabilityMargin(Vec2{}, []Vec2{{0, 100}, {0, -100}}); m >= 0 {
+		t.Fatalf("two-point support reported stable (margin %v)", m)
+	}
+	// Point exactly on a degenerate support.
+	if m := StabilityMargin(Vec2{0, 100}, line); m != 0 {
+		t.Fatalf("on-line margin %v, want 0", m)
+	}
+}
+
+func TestStabilityMarginScalesWithPolygon(t *testing.T) {
+	small := []Vec2{{0, 10}, {10, -10}, {-10, -10}}
+	big := []Vec2{{0, 100}, {100, -100}, {-100, -100}}
+	if StabilityMargin(Vec2{}, small) >= StabilityMargin(Vec2{}, big) {
+		t.Fatal("bigger support should give bigger margin")
+	}
+}

@@ -1,0 +1,125 @@
+package robot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRigidMotionStraight(t *testing.T) {
+	// All feet commanded the same stride: pure translation, no slip.
+	feet := []Vec2{{100, 100}, {0, 100}, {-100, -100}}
+	strides := []Vec2{{-40, 0}, {-40, 0}, {-40, 0}}
+	v, omega, slip := RigidMotion(feet, strides)
+	if v.X != 40 || v.Y != 0 || omega != 0 || slip > 1e-9 {
+		t.Fatalf("v=%v omega=%v slip=%v", v, omega, slip)
+	}
+}
+
+func TestRigidMotionPureRotation(t *testing.T) {
+	// Feet on a circle, strides tangential: pure rotation, no slip.
+	// For a small rotation -w about the origin, foot at p moves by
+	// approximately -w*J*p; the body must rotate by +w.
+	w := 0.05
+	feet := []Vec2{{100, 0}, {0, 100}, {-100, 0}, {0, -100}}
+	strides := make([]Vec2, len(feet))
+	for i, p := range feet {
+		strides[i] = Vec2{X: w * p.Y, Y: -w * p.X} // = -w*J*p
+	}
+	v, omega, slip := RigidMotion(feet, strides)
+	if math.Abs(omega-w) > 1e-12 {
+		t.Fatalf("omega = %v, want %v", omega, w)
+	}
+	if v.Norm() > 1e-12 || slip > 1e-9 {
+		t.Fatalf("v=%v slip=%v", v, slip)
+	}
+}
+
+func TestRigidMotionRecoversRandomTwists(t *testing.T) {
+	// Property: feet motions generated from an arbitrary rigid twist
+	// must be recovered exactly with zero slip.
+	f := func(vxRaw, vyRaw, wRaw int16) bool {
+		vx := float64(vxRaw) / 1000
+		vy := float64(vyRaw) / 1000
+		w := float64(wRaw) / 100000
+		feet := []Vec2{{120, 100}, {-20, 100}, {-120, 100}, {80, -100}, {-20, -100}, {-120, -100}}
+		strides := make([]Vec2, len(feet))
+		for i, p := range feet {
+			// stride = -(v + w*J*p)
+			strides[i] = Vec2{X: -(vx - w*p.Y), Y: -(vy + w*p.X)}
+		}
+		gv, gw, slip := RigidMotion(feet, strides)
+		return math.Abs(gv.X-vx) < 1e-9 && math.Abs(gv.Y-vy) < 1e-9 &&
+			math.Abs(gw-w) < 1e-12 && slip < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRigidMotionLeastSquaresOptimality(t *testing.T) {
+	// The returned twist must not be improvable by small perturbations
+	// (local optimality of the squared residual).
+	rng := rand.New(rand.NewSource(6))
+	cost := func(feet, strides []Vec2, vx, vy, w float64) float64 {
+		var c float64
+		for i := range feet {
+			rx := vx - w*feet[i].Y + strides[i].X
+			ry := vy + w*feet[i].X + strides[i].Y
+			c += rx*rx + ry*ry
+		}
+		return c
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		feet := make([]Vec2, n)
+		strides := make([]Vec2, n)
+		for i := range feet {
+			feet[i] = Vec2{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+			strides[i] = Vec2{rng.Float64()*80 - 40, rng.Float64()*20 - 10}
+		}
+		v, w, _ := RigidMotion(feet, strides)
+		base := cost(feet, strides, v.X, v.Y, w)
+		for _, d := range []struct{ dvx, dvy, dw float64 }{
+			{1e-3, 0, 0}, {-1e-3, 0, 0}, {0, 1e-3, 0}, {0, -1e-3, 0},
+			{0, 0, 1e-6}, {0, 0, -1e-6},
+		} {
+			if cost(feet, strides, v.X+d.dvx, v.Y+d.dvy, w+d.dw) < base-1e-12 {
+				t.Fatalf("trial %d: perturbation improved the fit", trial)
+			}
+		}
+	}
+}
+
+func TestRigidMotionDegenerate(t *testing.T) {
+	if v, w, s := RigidMotion(nil, nil); v != (Vec2{}) || w != 0 || s != 0 {
+		t.Fatal("empty input should be a no-op")
+	}
+	// Single foot: translation follows it, no rotation.
+	v, w, s := RigidMotion([]Vec2{{50, 0}}, []Vec2{{-10, 0}})
+	if v.X != 10 || w != 0 || s > 1e-9 {
+		t.Fatalf("single-foot: v=%v w=%v s=%v", v, w, s)
+	}
+	// Mismatched lengths: no-op.
+	if v, _, _ := RigidMotion([]Vec2{{1, 1}}, nil); v != (Vec2{}) {
+		t.Fatal("mismatched lengths should be a no-op")
+	}
+}
+
+func TestPoseAdvance(t *testing.T) {
+	p := Pose{}
+	p = p.Advance(Vec2{X: 10}, 0)
+	if p.X != 10 || p.Y != 0 {
+		t.Fatalf("straight advance: %+v", p)
+	}
+	// Turn 90° CCW, then advance "forward": should move along +Y.
+	p = Pose{Theta: math.Pi / 2}
+	p = p.Advance(Vec2{X: 10}, 0)
+	if math.Abs(p.Y-10) > 1e-12 || math.Abs(p.X) > 1e-12 {
+		t.Fatalf("rotated advance: %+v", p)
+	}
+	if (Pose{Theta: math.Pi}).HeadingDeg() != 180 {
+		t.Fatal("HeadingDeg")
+	}
+}

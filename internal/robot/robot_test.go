@@ -1,0 +1,338 @@
+package robot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leonardo/internal/genome"
+)
+
+// tripod builds the canonical alternating tripod genome (same as the
+// fitness package's test helper).
+func tripod() genome.Genome {
+	swing := genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: false}
+	stance := genome.LegGene{}
+	inA := map[genome.Leg]bool{genome.L1: true, genome.L3: true, genome.R2: true}
+	var steps [genome.StepsPerGenome][genome.Legs]genome.LegGene
+	for _, l := range genome.AllLegs() {
+		if inA[l] {
+			steps[0][l], steps[1][l] = swing, stance
+		} else {
+			steps[0][l], steps[1][l] = stance, swing
+		}
+	}
+	return genome.New(steps)
+}
+
+func TestHipPositions(t *testing.T) {
+	if got := HipPosition(genome.L1); got != (Vec2{100, 100}) {
+		t.Errorf("L1 hip = %v", got)
+	}
+	if got := HipPosition(genome.R3); got != (Vec2{-100, -100}) {
+		t.Errorf("R3 hip = %v", got)
+	}
+	if got := HipPosition(genome.L2); got != (Vec2{0, 100}) {
+		t.Errorf("L2 hip = %v", got)
+	}
+}
+
+func TestFootPosition(t *testing.T) {
+	f := FootPosition(genome.L1, true)
+	b := FootPosition(genome.L1, false)
+	if f.X-b.X != 2*StrideHalf {
+		t.Fatalf("stride = %v", f.X-b.X)
+	}
+	if f.Y != b.Y {
+		t.Fatal("horizontal move changed lateral position")
+	}
+}
+
+func TestTripodWalksForwardWithoutFalling(t *testing.T) {
+	m := WalkGenome(tripod(), Trial{Cycles: 5})
+	if m.Stumbles != 0 {
+		t.Fatalf("tripod fell %d times", m.Stumbles)
+	}
+	// Steady state: +2*StrideHalf per step, minus the warm-up step.
+	want := float64(2*5-1) * 2 * StrideHalf
+	if math.Abs(m.DistanceMM-want) > 1e-9 {
+		t.Fatalf("distance = %v, want %v", m.DistanceMM, want)
+	}
+	if m.SlipMM != 0 {
+		t.Fatalf("tripod slipped %v mm", m.SlipMM)
+	}
+	if m.MeanMargin <= 0 {
+		t.Fatalf("mean margin = %v", m.MeanMargin)
+	}
+	if m.SpeedMMPerSec() <= 0 {
+		t.Fatal("no forward speed")
+	}
+}
+
+func TestAllZeroGenomeGoesNowhere(t *testing.T) {
+	m := WalkGenome(0, Trial{Cycles: 3})
+	if m.DistanceMM != 0 {
+		t.Fatalf("all-zero genome moved %v mm", m.DistanceMM)
+	}
+	if m.Stumbles != 0 {
+		t.Fatalf("all-zero genome fell %d times", m.Stumbles)
+	}
+}
+
+func TestThreeLegsUpOneSideFalls(t *testing.T) {
+	// Raise all left legs in step 1: support degenerates to the right
+	// line of feet -> fall.
+	g := genome.Genome(0)
+	for _, l := range []genome.Leg{genome.L1, genome.L2, genome.L3} {
+		g = g.WithGene(0, l, genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: false})
+	}
+	m := WalkGenome(g, Trial{Cycles: 1})
+	if m.Stumbles == 0 {
+		t.Fatal("three legs up on one side did not fall")
+	}
+}
+
+func TestAllLegsUpFalls(t *testing.T) {
+	g := genome.Genome(0)
+	for _, l := range genome.AllLegs() {
+		g = g.WithGene(0, l, genome.LegGene{RaiseFirst: true})
+	}
+	m := WalkGenome(g, Trial{Cycles: 1})
+	if m.Stumbles == 0 {
+		t.Fatal("all legs up did not fall")
+	}
+	if m.DistanceMM != 0 {
+		t.Fatal("fallen robot advanced")
+	}
+}
+
+func TestStumbleAndRecovery(t *testing.T) {
+	// Step 1 stumbles (all legs up), step 2 recovers (all legs down).
+	g := genome.Genome(0)
+	for _, l := range genome.AllLegs() {
+		g = g.WithGene(0, l, genome.LegGene{RaiseFirst: true, RaiseAfter: true})
+		g = g.WithGene(1, l, genome.LegGene{})
+	}
+	r := NewForGenome(g)
+	// Phase 1 (V1): all up -> stumble.
+	res := r.Step(0)
+	if !res.Stumbled || !r.Stumbled() {
+		t.Fatal("did not stumble on V1")
+	}
+	// Remaining step-1 phases keep stumbling; step 2 V1 puts legs down.
+	r.Step(0) // H
+	r.Step(0) // V2 (still up)
+	if !r.Stumbled() {
+		t.Fatal("should still be stumbling")
+	}
+	res = r.Step(0) // step 2 V1: legs down
+	if !res.Upright || r.Stumbled() {
+		t.Fatal("did not recover with all legs down")
+	}
+}
+
+func TestStumbleDegradesButAllowsProgress(t *testing.T) {
+	// A 2+2 raised posture (allowed by the equilibrium rule, unstable
+	// quasi-statically) must still let the stance legs propel the
+	// body, at StumbleEfficiency.
+	g := genome.Genome(0)
+	// Raise L1, L2, R1, R2; L3 and R3 stay down. All legs were at the
+	// back of the stride; give the stance legs a warm-up swing first
+	// so they can propel: instead, directly command the raised legs
+	// forward (in air) while the grounded rear legs move backward
+	// after starting forward.
+	for _, l := range []genome.Leg{genome.L1, genome.L2, genome.R1, genome.R2} {
+		g = g.WithGene(0, l, genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: true})
+	}
+	// Rear legs: swing forward in step 2 so that step 1 (next cycle)
+	// propels from the front of the stride.
+	for _, l := range []genome.Leg{genome.L3, genome.R3} {
+		g = g.WithGene(0, l, genome.LegGene{})
+		g = g.WithGene(1, l, genome.LegGene{RaiseFirst: true, Forward: true, RaiseAfter: false})
+	}
+	r := NewForGenome(g)
+	r.Step(0) // cycle 1 step 1 V1 (2+2 raised: stumble)
+	res := r.Step(0)
+	if !res.Stumbled {
+		t.Fatal("2+2 posture should stumble")
+	}
+	// Run into cycle 2: step 1 H now propels from the front.
+	for i := 0; i < 4; i++ {
+		r.Step(0)
+	}
+	res = r.Step(0) // cycle 2 step 1 V1
+	res = r.Step(0) // cycle 2 step 1 H: rear legs move back from front
+	if !res.Stumbled {
+		t.Fatal("expected stumble during degraded propulsion")
+	}
+	if res.Displacement <= 0 {
+		t.Fatalf("displacement = %v, want positive (degraded propulsion)", res.Displacement)
+	}
+	want := 2 * StrideHalf * StumbleEfficiency
+	if math.Abs(res.Displacement-want) > 1e-9 {
+		t.Fatalf("displacement = %v, want %v (StumbleEfficiency applied)", res.Displacement, want)
+	}
+}
+
+func TestSlipAccounting(t *testing.T) {
+	// Two stance legs moving in opposite directions must slip: keep
+	// only L1 and R1 commanding opposite horizontal moves while all
+	// legs stay down.
+	g := genome.Genome(0)
+	g = g.WithGene(0, genome.L1, genome.LegGene{Forward: true}) // down, forward
+	// All others: down, backward (zero gene). L1 was back, moves
+	// forward (+40); others stay back (0 delta).
+	r := NewForGenome(g)
+	r.Step(0)        // step 1 V1
+	res := r.Step(0) // step 1 H: the disagreeing move
+	if res.Slip == 0 {
+		t.Fatal("disagreeing stance feet did not slip")
+	}
+	// Mean foot delta = +40/6 -> body dragged backward this phase.
+	if res.Displacement >= 0 {
+		t.Fatalf("displacement = %v, want negative (dragged back)", res.Displacement)
+	}
+	// Over a whole cycle the asymmetric gait nets zero but the slip
+	// remains booked.
+	m := WalkGenome(g, Trial{Cycles: 1})
+	if m.SlipMM == 0 {
+		t.Fatal("cycle slip not accumulated")
+	}
+	if math.Abs(m.DistanceMM) > 1e-9 {
+		t.Fatalf("one cycle of back-and-forth should net zero, got %v", m.DistanceMM)
+	}
+}
+
+func TestSensors(t *testing.T) {
+	r := NewForGenome(tripod())
+	s := r.Sensors()
+	for l := 0; l < genome.Legs; l++ {
+		if !s.Ground[l] {
+			t.Fatal("all legs start grounded")
+		}
+		if s.Obstacle[l] {
+			t.Fatal("no obstacle at start")
+		}
+	}
+	r.Step(0) // V1: tripod A rises
+	s = r.Sensors()
+	if s.Ground[int(genome.L1)] || !s.Ground[int(genome.L2)] {
+		t.Fatal("ground sensors do not track elevation")
+	}
+}
+
+func TestObstacleStopsRobot(t *testing.T) {
+	// Wall 150 mm ahead of the front bumper.
+	wall := BodyLength/2 + StrideHalf + 150
+	m := WalkGenome(tripod(), Trial{Cycles: 10, ObstacleAt: wall})
+	if !m.HitObstacle {
+		t.Fatal("robot never reached the obstacle")
+	}
+	if m.DistanceMM > 150+1e-9 {
+		t.Fatalf("robot passed through the wall: %v mm", m.DistanceMM)
+	}
+	r := NewForGenome(tripod())
+	for i := 0; i < 60; i++ {
+		r.Step(wall)
+	}
+	s := r.Sensors()
+	if !s.Obstacle[genome.L1] || !s.Obstacle[genome.R1] {
+		t.Fatal("front obstacle sensors not asserted")
+	}
+}
+
+func TestDistanceFitness(t *testing.T) {
+	ft := DistanceFitness(genome.FromGenome(tripod()), 3)
+	fz := DistanceFitness(genome.FromGenome(0), 3)
+	if ft <= fz {
+		t.Fatalf("tripod distance fitness %d <= idle %d", ft, fz)
+	}
+	// A falling gait scores zero after penalties (clamped).
+	g := genome.Genome(0)
+	for _, l := range genome.AllLegs() {
+		g = g.WithGene(0, l, genome.LegGene{RaiseFirst: true, RaiseAfter: true})
+		g = g.WithGene(1, l, genome.LegGene{RaiseFirst: true, RaiseAfter: true})
+	}
+	if f := DistanceFitness(genome.FromGenome(g), 3); f != 0 {
+		t.Fatalf("always-fallen gait fitness %d, want 0", f)
+	}
+}
+
+func TestWalkDurationAndPhases(t *testing.T) {
+	m := WalkGenome(tripod(), Trial{Cycles: 2, PhaseSeconds: 0.5})
+	if m.Phases != 12 {
+		t.Fatalf("phases = %d", m.Phases)
+	}
+	if math.Abs(m.DurationSeconds-6.0) > 1e-9 {
+		t.Fatalf("duration = %v", m.DurationSeconds)
+	}
+	// The paper's five-second trial: two cycles at the default phase
+	// time land close to 5 s.
+	m = WalkGenome(tripod(), Trial{Cycles: 2})
+	if m.DurationSeconds < 4 || m.DurationSeconds > 6 {
+		t.Fatalf("default 2-cycle trial = %v s, want ~5", m.DurationSeconds)
+	}
+}
+
+func TestRandomGenomesWalkWorseThanTripod(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tripodDist := WalkGenome(tripod(), Trial{Cycles: 3}).DistanceMM
+	better := 0
+	for i := 0; i < 200; i++ {
+		g := genome.Genome(rng.Uint64()) & genome.Mask
+		if WalkGenome(g, Trial{Cycles: 3}).DistanceMM > tripodDist {
+			better++
+		}
+	}
+	if better > 2 {
+		t.Fatalf("%d/200 random genomes outwalk the tripod", better)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	if WalkGenome(tripod(), Trial{Cycles: 1}).String() == "" {
+		t.Fatal("empty metrics string")
+	}
+}
+
+func BenchmarkWalkTrial(b *testing.B) {
+	x := genome.FromGenome(tripod())
+	for i := 0; i < b.N; i++ {
+		Walk(x, Trial{Cycles: 2})
+	}
+}
+
+func TestFailedLegDragsAndSlows(t *testing.T) {
+	healthy := WalkGenome(tripod(), Trial{Cycles: 5})
+	damaged := WalkGenome(tripod(), Trial{Cycles: 5, FailedLeg: 2}) // L2 dead
+	if damaged.DistanceMM >= healthy.DistanceMM {
+		t.Fatalf("damaged %.0f mm >= healthy %.0f mm", damaged.DistanceMM, healthy.DistanceMM)
+	}
+	if damaged.SlipMM == 0 {
+		t.Fatal("a dragging dead leg must slip")
+	}
+	// Still makes some progress: five legs keep pushing.
+	if damaged.DistanceMM <= 0 {
+		t.Fatalf("damaged tripod went %.0f mm", damaged.DistanceMM)
+	}
+}
+
+func TestFailedLegNeverLifts(t *testing.T) {
+	r := NewForGenome(tripod())
+	r.FailLeg(genome.L1) // L1 swings in step 1 of the tripod
+	for i := 0; i < 12; i++ {
+		r.Step(0)
+		if !r.Sensors().Ground[int(genome.L1)] {
+			t.Fatal("failed leg left the ground")
+		}
+	}
+}
+
+func TestFailedLegOutOfRangeIgnored(t *testing.T) {
+	a := WalkGenome(tripod(), Trial{Cycles: 3})
+	b := WalkGenome(tripod(), Trial{Cycles: 3, FailedLeg: 0})
+	c := WalkGenome(tripod(), Trial{Cycles: 3, FailedLeg: 7})
+	if a.DistanceMM != b.DistanceMM || a.DistanceMM != c.DistanceMM {
+		t.Fatal("out-of-range FailedLeg changed the walk")
+	}
+}

@@ -1,0 +1,150 @@
+package servo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPulseAngleEndpoints(t *testing.T) {
+	cases := map[int]float64{
+		NeutralPulse: 0,
+		MinPulse:     -45,
+		MaxPulse:     45,
+	}
+	for pulse, want := range cases {
+		if got := PulseToAngle(pulse); math.Abs(got-want) > 1e-9 {
+			t.Errorf("PulseToAngle(%d) = %v, want %v", pulse, got, want)
+		}
+	}
+}
+
+func TestPulseClamping(t *testing.T) {
+	if PulseToAngle(0) != -45 || PulseToAngle(5000) != 45 {
+		t.Error("pulse clamping broken")
+	}
+	if AngleToPulse(-90) != MinPulse || AngleToPulse(90) != MaxPulse {
+		t.Error("angle clamping broken")
+	}
+}
+
+func TestPulseAngleRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		pulse := MinPulse + int(raw)%(MaxPulse-MinPulse+1)
+		back := AngleToPulse(PulseToAngle(pulse))
+		// Round trip within quantization of 1 us.
+		return back >= pulse-1 && back <= pulse+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPWMDutyCycle(t *testing.T) {
+	g := NewPWMGenerator()
+	for _, w := range []int{MinPulse, NeutralPulse, MaxPulse, 1234} {
+		g.SetWidth(w)
+		// Skip to a frame boundary first.
+		for g.counter != 0 {
+			g.Tick()
+		}
+		if got := g.MeasureFrame(); got != w {
+			t.Errorf("width %d: measured %d high cycles", w, got)
+		}
+	}
+}
+
+func TestPWMWidthClamped(t *testing.T) {
+	g := NewPWMGenerator()
+	g.SetWidth(50)
+	if g.Width() != MinPulse {
+		t.Errorf("width clamped to %d", g.Width())
+	}
+	g.SetWidth(99999)
+	if g.Width() != MaxPulse {
+		t.Errorf("width clamped to %d", g.Width())
+	}
+}
+
+func TestPWMFramePeriod(t *testing.T) {
+	g := NewPWMGenerator()
+	// Two frames must contain exactly two pulses: count rising edges.
+	prev := false
+	edges := 0
+	for i := 0; i < 2*FrameCycles; i++ {
+		cur := g.Tick()
+		if cur && !prev {
+			edges++
+		}
+		prev = cur
+	}
+	if edges != 2 {
+		t.Fatalf("rising edges in 2 frames = %d, want 2", edges)
+	}
+}
+
+func TestServoSlewLimit(t *testing.T) {
+	s := NewServo()
+	s.CommandAngle(45)
+	s.Step(0.05) // 300 deg/s * 0.05 s = 15 degrees max
+	if got := s.Angle(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("angle after 50ms = %v, want 15", got)
+	}
+	if s.AtTarget(0.1) {
+		t.Fatal("should not be at target yet")
+	}
+	s.Step(0.2) // enough to finish
+	if !s.AtTarget(1e-9) || s.Angle() != 45 {
+		t.Fatalf("angle = %v, want 45", s.Angle())
+	}
+	// No overshoot.
+	s.Step(1)
+	if s.Angle() != 45 {
+		t.Fatal("servo overshot")
+	}
+}
+
+func TestServoNegativeDirection(t *testing.T) {
+	s := NewServo()
+	s.CommandAngle(-30)
+	s.Step(1)
+	// The command quantizes through the 1 us pulse resolution
+	// (90 deg / 1000 us = 0.09 deg per us).
+	if math.Abs(s.Angle()-(-30)) > 0.09 {
+		t.Fatalf("angle = %v", s.Angle())
+	}
+	if math.Abs(s.Target()-(-30)) > 0.09 {
+		t.Fatalf("target = %v", s.Target())
+	}
+}
+
+func TestServoCommandFromPulse(t *testing.T) {
+	s := NewServo()
+	s.Command(MaxPulse)
+	if s.Target() != 45 {
+		t.Fatalf("target = %v", s.Target())
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	s := NewServo()
+	if got := s.SettleTime(30); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("SettleTime(30) = %v, want 0.1", got)
+	}
+	// The paper's 5-second trial comment: a full gait cycle of 6
+	// moves of ~30 degrees takes ~0.6 s of pure servo motion; several
+	// cycles plus dynamics land in seconds. Sanity: one 90-degree
+	// swing well under a second.
+	if s.SettleTime(90) > 0.5 {
+		t.Fatal("servo implausibly slow")
+	}
+}
+
+func TestServoPanicsOnNegativeDt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt should panic")
+		}
+	}()
+	NewServo().Step(-0.1)
+}

@@ -1,0 +1,206 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, confidence intervals, and
+// fixed-width ASCII histograms/series for terminal reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Stddev   float64
+	Min, Max       float64
+	Median         float64
+	P10, P90       float64
+	CI95Lo, CI95Hi float64 // normal-approximation 95% CI of the mean
+}
+
+// Summarize computes summary statistics. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.10)
+	s.P90 = Quantile(sorted, 0.90)
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+		half := 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+		s.CI95Lo, s.CI95Hi = s.Mean-half, s.Mean+half
+	} else {
+		s.CI95Lo, s.CI95Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f ±%.1f (95%% CI [%.1f, %.1f]) median=%.1f min=%.0f max=%.0f",
+		s.N, s.Mean, s.CI95Hi-s.Mean, s.CI95Lo, s.CI95Hi, s.Median, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample to float64 for Summarize.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Histogram renders an ASCII histogram of the sample with the given
+// number of bins and bar width.
+func Histogram(xs []float64, bins, width int) string {
+	if len(xs) == 0 || bins < 1 {
+		return "(empty)"
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int(float64(bins) * (x - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range counts {
+		bl := lo + (hi-lo)*float64(i)/float64(bins)
+		bh := lo + (hi-lo)*float64(i+1)/float64(bins)
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&sb, "[%8.1f, %8.1f) %5d %s\n", bl, bh, c, bar)
+	}
+	return sb.String()
+}
+
+// Series is a named sequence of (x, y) points, used to report the
+// fitness-vs-generation curves.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Render plots the series as a rows x cols ASCII chart.
+func (s Series) Render(rows, cols int) string {
+	if len(s.X) == 0 || rows < 2 || cols < 2 {
+		return "(empty series)"
+	}
+	minX, maxX := s.X[0], s.X[0]
+	minY, maxY := s.Y[0], s.Y[0]
+	for i := range s.X {
+		minX = math.Min(minX, s.X[i])
+		maxX = math.Max(maxX, s.X[i])
+		minY = math.Min(minY, s.Y[i])
+		maxY = math.Max(maxY, s.Y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for i := range s.X {
+		c := int(float64(cols-1) * (s.X[i] - minX) / (maxX - minX))
+		r := rows - 1 - int(float64(rows-1)*(s.Y[i]-minY)/(maxY-minY))
+		grid[r][c] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  y:[%.0f, %.0f] x:[%.0f, %.0f]\n", s.Name, minY, maxY, minX, maxX)
+	for _, row := range grid {
+		sb.WriteString("| ")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+-" + strings.Repeat("-", cols) + "\n")
+	return sb.String()
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Rate returns successes/total as a float, or 0 when total is 0.
+func Rate(successes, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(successes) / float64(total)
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample should have N=0")
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.CI95Lo != 42 || s.CI95Hi != 42 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.CI95Lo <= s.Mean && s.Mean <= s.CI95Hi &&
+			s.P10 <= s.P90
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 1: 5, 0.5: 3, 0.25: 2}
+	for q, want := range cases {
+		if got := Quantile(sorted, q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("Quantile of singleton")
+	}
+}
+
+func TestInts(t *testing.T) {
+	f := Ints([]int{1, -2, 3})
+	if len(f) != 3 || f[0] != 1 || f[1] != -2 || f[2] != 3 {
+		t.Errorf("Ints = %v", f)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h := Histogram(xs, 10, 40)
+	if lines := strings.Count(h, "\n"); lines != 10 {
+		t.Errorf("histogram has %d lines, want 10", lines)
+	}
+	if !strings.Contains(h, "#") {
+		t.Error("histogram has no bars")
+	}
+	if Histogram(nil, 10, 40) != "(empty)" {
+		t.Error("empty histogram")
+	}
+	// Constant sample must not divide by zero.
+	if h := Histogram([]float64{5, 5, 5}, 4, 10); !strings.Contains(h, "3") {
+		t.Errorf("constant histogram: %q", h)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "fitness"
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := s.Render(10, 60)
+	if !strings.Contains(out, "fitness") || !strings.Contains(out, "*") {
+		t.Errorf("render: %q", out)
+	}
+	if (Series{}).Render(10, 60) != "(empty series)" {
+		t.Error("empty series render")
+	}
+}
+
+func TestMeanAndRate(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty should be NaN")
+	}
+	if Rate(3, 4) != 0.75 {
+		t.Error("Rate")
+	}
+	if Rate(1, 0) != 0 {
+		t.Error("Rate with zero total")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}

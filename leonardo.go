@@ -1,0 +1,200 @@
+// Package leonardo is a full software reproduction of "Leonardo and
+// Discipulus Simplex: An Autonomous, Evolvable Six-Legged Walking
+// Robot" (Ritter, Puiatti, Sanchez; IPPS/SPDP 1999 workshops): an
+// on-chip genetic algorithm that learns a hexapod walking gait with no
+// processor and no off-line computation.
+//
+// The package is a facade over the full system:
+//
+//   - Evolve runs the behavioural Genetic Algorithm Processor (GAP) at
+//     the paper's parameters and returns the champion gait;
+//   - Walk plays any genome on the simulated Leonardo robot and
+//     measures distance, stability, and stumbles;
+//   - Fitness and Breakdown expose the paper's three-rule logic
+//     fitness;
+//   - OnChip builds the gate-level Discipulus Simplex circuit and
+//     evolves cycle by cycle on the simulated FPGA;
+//   - Synthesize maps the complete chip onto the XC4036EX device model
+//     and reports CLB usage.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package leonardo
+
+import (
+	"fmt"
+	"time"
+
+	"leonardo/internal/core"
+	"leonardo/internal/fitness"
+	"leonardo/internal/fpga"
+	"leonardo/internal/gait"
+	"leonardo/internal/gap"
+	"leonardo/internal/gapcirc"
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+	"leonardo/internal/robot"
+)
+
+// Genome is the paper's 36-bit gait encoding (2 steps x 6 legs x 3
+// bits per leg-step).
+type Genome = genome.Genome
+
+// Params configures an evolution run; see PaperParams for the paper's
+// values.
+type Params = gap.Params
+
+// WalkMetrics reports how a gait performs on the simulated robot.
+type WalkMetrics = robot.Metrics
+
+// Breakdown reports per-rule fitness detail.
+type Breakdown = fitness.Breakdown
+
+// Result is the outcome of an evolution run.
+type Result = gap.Result
+
+// PaperParams returns the parameter set of §3.3 of the paper:
+// population 32, 36-bit genomes, selection threshold 0.8, crossover
+// threshold 0.7, 15 mutations per generation, for the given random
+// seed.
+func PaperParams(seed uint64) Params { return gap.PaperParams(seed) }
+
+// Evolve runs the behavioural GAP until a maximum-fitness gait is
+// found (or the generation cap is hit) and returns the result.
+func Evolve(p Params) (Result, error) {
+	g, err := gap.New(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return g.Run(), nil
+}
+
+// Fitness scores a genome with the paper's three physical rules
+// (equilibrium, symmetry, coherence). The maximum is MaxFitness.
+func Fitness(g Genome) int { return fitness.New().Score(g) }
+
+// MaxFitness is the highest attainable rule fitness (26).
+func MaxFitness() int { return fitness.New().Max() }
+
+// FitnessBreakdown reports the per-rule scores of a genome.
+func FitnessBreakdown(g Genome) Breakdown { return fitness.New().Breakdown(g) }
+
+// Walk plays a genome on the simulated Leonardo for the given number
+// of full gait cycles (two steps each) and returns the metrics.
+func Walk(g Genome, cycles int) WalkMetrics {
+	return robot.WalkGenome(g, robot.Trial{Cycles: cycles})
+}
+
+// Tripod returns the canonical alternating tripod gait — the
+// best-known walk for the robot, which also attains maximum rule
+// fitness.
+func Tripod() Genome { return gait.Tripod() }
+
+// TurnLeft returns a counterclockwise turn-in-place gait. Turning
+// through the genome necessarily violates the coherence rule, so the
+// paper's fitness never selects it; the robot steers with its body
+// articulation instead.
+func TurnLeft() Genome { return gait.TurnLeft() }
+
+// TurnRight returns the clockwise twin of TurnLeft.
+func TurnRight() Genome { return gait.TurnRight() }
+
+// WalkTrial plays a genome with full trial control (articulation
+// steering, obstacles, leg failures); see robot.Trial for the fields.
+func WalkTrial(g Genome, trial robot.Trial) WalkMetrics {
+	return robot.WalkGenome(g, trial)
+}
+
+// Lifetime runs the paper's Fig. 3 closed loop on one 1 MHz timeline —
+// the robot walks with the current best gait while the GAP evolves on
+// the same clock, reconfiguring the controller whenever the best
+// individual improves — for the given seconds of robot time at the
+// paper-implied GAP pace (~300k cycles/generation). It returns the
+// recorded timeline.
+func Lifetime(p Params, seconds float64) (core.Timeline, error) {
+	sys, err := core.New(core.Config{
+		Params:              p,
+		CyclesPerGeneration: gap.PaperCyclesPerGeneration(),
+	})
+	if err != nil {
+		return core.Timeline{}, err
+	}
+	return sys.RunSeconds(seconds), nil
+}
+
+// Describe renders a genome as a per-step movement table plus its
+// fitness breakdown.
+func Describe(g Genome) string {
+	return fmt.Sprintf("%s\nfitness %d/%d (%s)",
+		g.Describe(), Fitness(g), MaxFitness(), FitnessBreakdown(g))
+}
+
+// GaitDiagram renders the classical stance/swing diagram of a genome
+// over n gait cycles.
+func GaitDiagram(g Genome, cycles int) string {
+	return gait.Diagram(genome.FromGenome(g), cycles)
+}
+
+// RunTime converts an evolution run to wall time on the paper's
+// hardware: the measured cycles-per-generation of the gate-level GAP
+// at the 1 MHz clock.
+func RunTime(r Result) time.Duration {
+	return gap.PaperTiming().RunDuration(r.Generations)
+}
+
+// ExhaustiveTime is the paper's comparison point: scanning all 2^36
+// genomes at one per microsecond (~19 hours).
+func ExhaustiveTime() time.Duration { return gap.ExhaustiveDuration(genome.Bits) }
+
+// OnChip is a handle to the gate-level Discipulus Simplex running on
+// the simulated FPGA fabric, evolving clock cycle by clock cycle.
+type OnChip struct {
+	core *gapcirc.Core
+	sim  *logic.Sim
+}
+
+// NewOnChip builds and compiles the gate-level GAP. The population
+// size must be a power of two; the objective must be the paper's rule
+// fitness.
+func NewOnChip(p Params) (*OnChip, error) {
+	core, err := gapcirc.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &OnChip{core: core, sim: sim}, nil
+}
+
+// Cycles returns the clock cycles simulated so far.
+func (o *OnChip) Cycles() uint64 { return o.sim.Cycles() }
+
+// RunGenerations advances the chip to the given generation number and
+// returns the cycles consumed by the call.
+func (o *OnChip) RunGenerations(n int) (uint64, error) {
+	return o.core.RunGenerations(o.sim, n, 0)
+}
+
+// Best returns the chip's best-individual register and its fitness.
+func (o *OnChip) Best() (Genome, int) {
+	return o.core.BestOf(o.sim)
+}
+
+// Population returns the chip's current basis population.
+func (o *OnChip) Population() []Genome {
+	return o.core.ReadBasis(o.sim)
+}
+
+// Synthesize builds the complete Discipulus Simplex chip (GAP +
+// fitness module + walking controller + PWM) and maps it onto the
+// paper's XC4036EX, returning the resource report. Set registerFile to
+// cost the population storage in flip-flops instead of CLB RAM.
+func Synthesize(registerFile bool) (fpga.Report, error) {
+	sys, err := gapcirc.BuildSystem(PaperParams(1), gapcirc.BuildOpts{RegisterFile: registerFile}, 0)
+	if err != nil {
+		return fpga.Report{}, err
+	}
+	return fpga.Map(sys.Core.Circuit, fpga.XC4036EX), nil
+}

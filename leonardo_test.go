@@ -1,0 +1,147 @@
+package leonardo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+func TestEvolveFindsMaxFitnessGait(t *testing.T) {
+	res, err := Evolve(PaperParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged after %d generations", res.Generations)
+	}
+	g := res.Best.Packed()
+	if Fitness(g) != MaxFitness() {
+		t.Fatalf("champion fitness %d != %d", Fitness(g), MaxFitness())
+	}
+}
+
+func TestTripodProperties(t *testing.T) {
+	g := Tripod()
+	if Fitness(g) != MaxFitness() {
+		t.Fatal("tripod not maximal")
+	}
+	m := Walk(g, 5)
+	if m.Stumbles != 0 || m.DistanceMM <= 0 {
+		t.Fatalf("tripod walk: %v", m)
+	}
+}
+
+func TestDescribeAndDiagram(t *testing.T) {
+	d := Describe(Tripod())
+	if !strings.Contains(d, "step 1:") || !strings.Contains(d, "fitness 26/26") {
+		t.Fatalf("Describe output: %q", d)
+	}
+	dg := GaitDiagram(Tripod(), 1)
+	if !strings.Contains(dg, "L1") || !strings.Contains(dg, "#") {
+		t.Fatalf("GaitDiagram output: %q", dg)
+	}
+}
+
+func TestRunTimeAndExhaustive(t *testing.T) {
+	res, err := Evolve(PaperParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := RunTime(res)
+	if rt <= 0 || rt > time.Hour {
+		t.Fatalf("run time = %v", rt)
+	}
+	if ex := ExhaustiveTime(); ex < 18*time.Hour || ex > 20*time.Hour {
+		t.Fatalf("exhaustive time = %v", ex)
+	}
+}
+
+func TestOnChipMatchesBehavioural(t *testing.T) {
+	p := PaperParams(11)
+	p.PopulationSize = 8
+	chip, err := NewOnChip(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chip.RunGenerations(10); err != nil {
+		t.Fatal(err)
+	}
+	behav, err := Evolve(func() Params {
+		q := p
+		q.MaxGenerations = 10
+		q.Objective = neverDone{}
+		return q
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, cf := chip.Best()
+	if cg != behav.Best.Packed() || cf != behav.BestFitness {
+		t.Fatalf("on-chip best %v/%d != behavioural %v/%d",
+			cg, cf, behav.Best.Packed(), behav.BestFitness)
+	}
+	if len(chip.Population()) != 8 {
+		t.Fatal("population size wrong")
+	}
+	if chip.Cycles() == 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+// neverDone scores with the paper fitness but reports an unreachable
+// maximum, so the behavioural run executes exactly MaxGenerations,
+// mirroring the free-running chip.
+type neverDone struct{}
+
+func (neverDone) ScoreExtended(x genome.Extended) int { return fitness.New().ScoreExtended(x) }
+func (neverDone) Max() int                            { return fitness.New().Max() + 1 }
+
+func TestSynthesizeFits(t *testing.T) {
+	r, err := Synthesize(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Fits {
+		t.Fatalf("RAM-variant chip does not fit:\n%s", r)
+	}
+	reg, err := Synthesize(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.TotalCLBs <= r.TotalCLBs {
+		t.Fatal("register-file variant should cost more CLBs")
+	}
+}
+
+func TestTurnGaitsPublicAPI(t *testing.T) {
+	l := WalkTrial(TurnLeft(), robot.Trial{Cycles: 3})
+	r := WalkTrial(TurnRight(), robot.Trial{Cycles: 3})
+	if l.HeadingDeg <= 0 || r.HeadingDeg >= 0 {
+		t.Fatalf("turn headings: left %.1f right %.1f", l.HeadingDeg, r.HeadingDeg)
+	}
+	if Fitness(TurnLeft()) >= MaxFitness() {
+		t.Fatal("turn gait should score below max (coherence violations)")
+	}
+}
+
+func TestLifetimePublicAPI(t *testing.T) {
+	tl, err := Lifetime(PaperParams(4), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Points) == 0 || tl.DistanceMM <= 0 {
+		t.Fatalf("lifetime produced nothing: %d points, %.0f mm", len(tl.Points), tl.DistanceMM)
+	}
+}
+
+func TestWalkTrialFaultInjection(t *testing.T) {
+	healthy := WalkTrial(Tripod(), robot.Trial{Cycles: 4})
+	damaged := WalkTrial(Tripod(), robot.Trial{Cycles: 4, FailedLeg: 3})
+	if damaged.DistanceMM >= healthy.DistanceMM {
+		t.Fatal("leg failure did not slow the robot")
+	}
+}
