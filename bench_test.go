@@ -99,7 +99,7 @@ func BenchmarkF4_Controller(b *testing.B) {
 func BenchmarkF5_GAPPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tb := exp.F5Pipeline(exp.Config{Runs: 3, BaseSeed: 1})
-		if len(tb.Rows) != 3 {
+		if len(tb.Rows) != 4 {
 			b.Fatal("pipeline table wrong")
 		}
 	}

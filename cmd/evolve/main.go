@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N] [-curve]
+//	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N] [-curve] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -14,11 +14,16 @@ import (
 	"leonardo/internal/gait"
 	"leonardo/internal/gap"
 	"leonardo/internal/genome"
+	"leonardo/internal/prof"
 	"leonardo/internal/robot"
 	"leonardo/internal/stats"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile writers) executes
+// before os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for the cellular-automaton generator")
 	pop := flag.Int("pop", 32, "population size (even)")
 	sel := flag.Float64("sel", 0.8, "tournament selection threshold")
@@ -27,7 +32,16 @@ func main() {
 	maxGen := flag.Int("maxgen", gap.DefaultMaxGenerations, "generation cap")
 	steps := flag.Int("steps", 2, "walk steps per genome (2 = paper; more = future-work layout)")
 	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evolve:", err)
+		return 1
+	}
+	defer stop()
 
 	p := gap.PaperParams(*seed)
 	p.PopulationSize = *pop
@@ -41,7 +55,7 @@ func main() {
 	g, err := gap.New(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evolve:", err)
-		os.Exit(1)
+		return 1
 	}
 	res := g.Run()
 
@@ -81,4 +95,5 @@ func main() {
 		fmt.Println()
 		fmt.Print(s.Render(12, 72))
 	}
+	return 0
 }

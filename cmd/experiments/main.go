@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-runs N] [-only ID[,ID...]]
+//	experiments [-quick] [-runs N] [-only ID[,ID...]] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -15,13 +15,27 @@ import (
 	"time"
 
 	"leonardo/internal/exp"
+	"leonardo/internal/prof"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile writers) executes
+// before os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	quick := flag.Bool("quick", false, "run at smoke effort (20 runs per point)")
 	runs := flag.Int("runs", 0, "override runs per data point")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer stop()
 
 	cfg := exp.DefaultConfig()
 	if *quick {
@@ -72,6 +86,7 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "experiments: nothing matched -only")
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -16,7 +16,9 @@ import (
 )
 
 // Fitness scores a genome; higher is better. Scores must be
-// non-negative for roulette selection.
+// non-negative for roulette selection. fitness.Evaluator.Func()
+// provides the paper's rule fitness through its allocation-free packed
+// fast path, so every search here scores genomes without unpacking.
 type Fitness func(genome.Genome) int
 
 // Result reports the outcome of any search.

@@ -45,23 +45,36 @@ func A4DistanceFitness(cfg Config) Table {
 	n := min(cfg.runs(), 10)
 	tripodScore := robot.DistanceFitness(genome.FromGenome(gait.Tripod()), trialCycles)
 
-	// Rule-based evolution (the paper's design).
-	var gens, evals, dist []float64
-	conv := 0
-	for i := 0; i < n; i++ {
+	// Rule-based evolution (the paper's design), seeds in parallel.
+	type outcome struct {
+		converged   bool
+		gens, evals float64
+		dist        float64
+	}
+	ruleOuts := mapSeeds(n, func(i int) outcome {
 		p := gap.PaperParams(cfg.BaseSeed + 11000 + uint64(i))
 		g, err := gap.New(p)
 		if err != nil {
 			panic(err)
 		}
 		r := g.Run()
-		if !r.Converged {
+		return outcome{
+			converged: r.Converged,
+			gens:      float64(r.Generations),
+			evals:     float64(g.Ops().Evaluations),
+			dist:      robot.Walk(r.Best, robot.Trial{Cycles: trialCycles}).DistanceMM,
+		}
+	})
+	var gens, evals, dist []float64
+	conv := 0
+	for _, o := range ruleOuts {
+		if !o.converged {
 			continue
 		}
 		conv++
-		gens = append(gens, float64(r.Generations))
-		evals = append(evals, float64(g.Ops().Evaluations))
-		dist = append(dist, robot.Walk(r.Best, robot.Trial{Cycles: trialCycles}).DistanceMM)
+		gens = append(gens, o.gens)
+		evals = append(evals, o.evals)
+		dist = append(dist, o.dist)
 	}
 	gs, es, ds := stats.Summarize(gens), stats.Summarize(evals), stats.Summarize(dist)
 	// Logic fitness costs ~38 cycles per individual at 1 MHz: round
@@ -73,11 +86,6 @@ func A4DistanceFitness(cfg Config) Table {
 
 	// On-robot distance evolution (the rejected idea), seeds in
 	// parallel.
-	type outcome struct {
-		converged   bool
-		gens, evals float64
-		dist        float64
-	}
 	outs := mapSeeds(n, func(i int) outcome {
 		p := gap.PaperParams(cfg.BaseSeed + 12000 + uint64(i))
 		p.Objective = distanceObjective{target: tripodScore}

@@ -3,24 +3,34 @@ package exp
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // mapSeeds evaluates f(0), ..., f(n-1) concurrently — each index is an
 // independent seeded run — and returns the results in index order, so
-// reports stay deterministic regardless of scheduling. Concurrency is
-// bounded by GOMAXPROCS.
+// reports stay deterministic regardless of scheduling. A fixed pool of
+// min(GOMAXPROCS, n) workers pulls indices from an atomic counter, so
+// the goroutine count is bounded by the core count rather than by n.
 func mapSeeds[T any](n int, f func(i int) T) []T {
 	out := make([]T, n)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = f(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
 	}
 	wg.Wait()
 	return out

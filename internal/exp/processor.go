@@ -49,16 +49,18 @@ func A5Processor(cfg Config) Table {
 		fmt.Sprintf("%.0f", gs.Mean), fmt.Sprintf("%.0f", cs.Mean), fmtDuration(mcuTime))
 
 	// Evolvable hardware (behavioural generations, measured circuit
-	// cycle cost).
-	gens = nil
-	conv = 0
-	for i := 0; i < n; i++ {
+	// cycle cost), seeds in parallel.
+	hwRuns := mapSeeds(n, func(i int) gap.Result {
 		p := gap.PaperParams(cfg.BaseSeed + 14000 + uint64(i))
 		g, err := gap.New(p)
 		if err != nil {
 			panic(err)
 		}
-		r := g.Run()
+		return g.Run()
+	})
+	gens = nil
+	conv = 0
+	for _, r := range hwRuns {
 		if !r.Converged {
 			continue
 		}

@@ -67,15 +67,25 @@ func New() Evaluator {
 }
 
 // Score evaluates a packed 36-bit genome. It requires the paper
-// layout.
+// layout. This is the allocation-free fast path (precomputed lookup
+// tables over the packed bits, see lut.go); ScoreExtended is the
+// general-layout slow path, and the two agree bit for bit (proved by
+// property test).
 func (e Evaluator) Score(g genome.Genome) int {
-	return e.ScoreExtended(genome.FromGenome(g))
+	b := e.breakdownPacked(g)
+	return e.Weights.Equilibrium*b.Equilibrium +
+		e.Weights.Symmetry*b.Symmetry +
+		e.Weights.Coherence*b.Coherence
 }
 
+// ScorePacked is Score under the name the GA machinery looks for when
+// probing objectives for a packed fast path (gap.PackedObjective).
+func (e Evaluator) ScorePacked(g genome.Genome) int { return e.Score(g) }
+
 // Breakdown evaluates a packed 36-bit genome and reports per-rule
-// detail.
+// detail. Like Score, it runs on the packed bits without allocating.
 func (e Evaluator) Breakdown(g genome.Genome) Breakdown {
-	return e.BreakdownExtended(genome.FromGenome(g))
+	return e.breakdownPacked(g)
 }
 
 // ScoreExtended evaluates a genome of any layout.
@@ -204,7 +214,8 @@ func allRaised(raised func(int) bool, lo, hi int) bool {
 }
 
 // Func adapts the evaluator to the plain fitness-function signature
-// used by the GA machinery.
+// used by the GA machinery (internal/evolve's searches), routing
+// through the packed LUT fast path.
 func (e Evaluator) Func() func(genome.Genome) int {
 	return func(g genome.Genome) int { return e.Score(g) }
 }

@@ -306,6 +306,73 @@ func TestBreakdownString(t *testing.T) {
 	}
 }
 
+// TestScoreMatchesScoreExtended is the packed-fast-path equivalence
+// property: for any packed genome and any weight vector, the LUT path
+// (Score/Breakdown) agrees exactly with the general-layout path
+// (ScoreExtended/BreakdownExtended on the unpacked genome).
+func TestScoreMatchesScoreExtended(t *testing.T) {
+	f := func(raw uint64, we, ws, wc uint8) bool {
+		g := genome.Genome(raw) & genome.Mask
+		e := Evaluator{Layout: genome.PaperLayout,
+			Weights: Weights{int(we % 7), int(ws % 7), int(wc % 7)}}
+		x := genome.FromGenome(g)
+		return e.Score(g) == e.ScoreExtended(x) &&
+			e.Breakdown(g) == e.BreakdownExtended(x) &&
+			e.ScorePacked(g) == e.Score(g)
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Exhaustive corner sweep: every single-gene genome plus the edges.
+	e := New()
+	for bits := uint64(0); bits < 8; bits++ {
+		for pos := 0; pos < genome.Bits/genome.BitsPerLegStep; pos++ {
+			g := genome.Genome(bits << uint(pos*genome.BitsPerLegStep))
+			if e.Score(g) != e.ScoreExtended(genome.FromGenome(g)) {
+				t.Fatalf("gene %d at slot %d: packed %d != extended %d",
+					bits, pos, e.Score(g), e.ScoreExtended(genome.FromGenome(g)))
+			}
+		}
+	}
+	for _, g := range []genome.Genome{0, genome.Mask, tripod()} {
+		if e.Breakdown(g) != e.BreakdownExtended(genome.FromGenome(g)) {
+			t.Fatalf("genome %v: packed breakdown diverges", g)
+		}
+	}
+}
+
+// TestScoreDoesNotAllocate pins the fast path's zero-allocation
+// guarantee: scoring a packed genome must never touch the heap.
+func TestScoreDoesNotAllocate(t *testing.T) {
+	e := New()
+	gs := []genome.Genome{0, genome.Mask, tripod(), 0x123456789}
+	sink := 0
+	n := testing.AllocsPerRun(100, func() {
+		for _, g := range gs {
+			sink += e.Score(g)
+			b := e.Breakdown(g)
+			sink += b.Equilibrium
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Score/Breakdown allocate %v times per run, want 0", n)
+	}
+	_ = sink
+}
+
+// TestScorePackedRejectsOtherLayouts pins the fast path to the paper
+// layout: other layouts must use ScoreExtended.
+func TestScorePackedRejectsOtherLayouts(t *testing.T) {
+	e := Evaluator{Layout: genome.Layout{Steps: 4, Legs: 6}, Weights: DefaultWeights}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Score on a non-paper layout should panic")
+		}
+	}()
+	e.Score(0)
+}
+
 func BenchmarkScore(b *testing.B) {
 	e := New()
 	rng := rand.New(rand.NewSource(1))

@@ -1,0 +1,90 @@
+package fitness
+
+import "leonardo/internal/genome"
+
+// This file is the packed fast path of the evaluator: the paper-layout
+// rules precomputed into lookup tables so Score runs directly on the
+// packed 36-bit genome with zero heap traffic.
+//
+// The tables are derived at init time from the same semantic gene
+// definitions (genome.LegGene) the general-layout path uses, so the
+// fast path cannot drift from the rules' meaning: each leg contributes
+// six genome bits (its two 3-bit genes), which index 64-entry tables
+// for the symmetry and coherence checks, and the equilibrium rule
+// reduces to eight constant 3-bit masks ("all three legs of one side
+// raised in one phase"). This mirrors the paper's own argument that
+// fitness is computable by a small combinational circuit — the tables
+// ARE that circuit's truth tables. TestScoreMatchesScoreExtended
+// proves equivalence with the general path by property test.
+
+// legSymLUT[i] is 1 when the symmetry check holds for a leg whose
+// step-1 gene is bits 0..2 of i and whose step-2 gene is bits 3..5:
+// the leg moves forward in one step and backward in the other.
+//
+// legCohLUT[i] counts the coherent genes among the two (0..2):
+// up-before-forward / down-before-backward.
+var legSymLUT, legCohLUT [64]uint8
+
+// eqAllUpMasks holds one mask per (step, phase, side): the genome bits
+// that are simultaneously set exactly when all three legs of that side
+// are raised in that phase — the posture the equilibrium rule forbids.
+var eqAllUpMasks [8]uint64
+
+func init() {
+	for i := range legSymLUT {
+		g0 := genome.LegGeneFromBits(uint64(i) & 7)
+		g1 := genome.LegGeneFromBits(uint64(i) >> 3)
+		if g0.Forward != g1.Forward {
+			legSymLUT[i] = 1
+		}
+		if g0.Coherent() {
+			legCohLUT[i]++
+		}
+		if g1.Coherent() {
+			legCohLUT[i]++
+		}
+	}
+	m := 0
+	for step := 0; step < genome.StepsPerGenome; step++ {
+		// Phase 0 reads the RaiseFirst bits (k=0), phase 1 the
+		// RaiseAfter bits (k=2), as in BreakdownExtended.
+		for _, k := range []int{0, 2} {
+			for side := 0; side < 2; side++ {
+				var mask uint64
+				for leg := 3 * side; leg < 3*side+3; leg++ {
+					mask |= 1 << uint((step*genome.Legs+leg)*genome.BitsPerLegStep+k)
+				}
+				eqAllUpMasks[m] = mask
+				m++
+			}
+		}
+	}
+}
+
+// breakdownPacked evaluates a packed paper-layout genome against the
+// three rules using only table lookups and mask tests — no decoding,
+// no allocation. It requires the paper layout.
+func (e Evaluator) breakdownPacked(g genome.Genome) Breakdown {
+	if e.Layout != genome.PaperLayout {
+		panic("fitness: packed genome scoring requires the paper layout; use ScoreExtended")
+	}
+	b := e.maxima()
+	u := uint64(g)
+
+	// Rule 1 — equilibrium: a check passes unless all three legs of
+	// one side are raised in one phase of one step.
+	for _, mask := range eqAllUpMasks {
+		if u&mask != mask {
+			b.Equilibrium++
+		}
+	}
+
+	// Rules 2 and 3 — symmetry and coherence, one table lookup per
+	// leg. Step-1 genes start at bit 3*leg, step-2 genes at 18+3*leg.
+	for leg := 0; leg < genome.Legs; leg++ {
+		idx := (u>>uint(3*leg))&7 | ((u>>uint(18+3*leg))&7)<<3
+		b.Symmetry += int(legSymLUT[idx])
+		b.Coherence += int(legCohLUT[idx])
+	}
+	return b
+}

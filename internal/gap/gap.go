@@ -43,6 +43,15 @@ type Objective interface {
 	Max() int
 }
 
+// PackedObjective is an optional fast path for objectives that can
+// score the packed 36-bit representation directly. When the layout is
+// the paper layout and the objective implements it, the GAP scores
+// individuals without unpacking them (fitness.Evaluator's LUT path is
+// the motivating case); otherwise it falls back to ScoreExtended.
+type PackedObjective interface {
+	ScorePacked(genome.Genome) int
+}
+
 // Params configures a GAP run. The zero value is not valid; use
 // PaperParams as the baseline and override fields as needed.
 type Params struct {
@@ -164,9 +173,10 @@ type Result struct {
 // GAP is the behavioural Genetic Algorithm Processor. Create with New;
 // step with Generation or drive to completion with Run.
 type GAP struct {
-	p     Params
-	obj   Objective
-	rng   *carng.CA
+	p      Params
+	obj    Objective
+	packed PackedObjective // non-nil iff obj scores packed genomes and layout is PaperLayout
+	rng    *carng.CA
 	selT  uint8
 	xovT  uint8
 	basis []genome.Extended
@@ -205,6 +215,9 @@ func New(p Params) (*GAP, error) {
 		rng:  carng.NewDefault(p.Seed),
 		selT: carng.Threshold8(p.SelectionThreshold),
 		xovT: carng.Threshold8(p.CrossoverThreshold),
+	}
+	if po, ok := obj.(PackedObjective); ok && p.Layout == genome.PaperLayout {
+		g.packed = po
 	}
 	b := p.Layout.Bits()
 	g.idxBits = bits.Len(uint(p.PopulationSize - 1))
@@ -289,7 +302,11 @@ func (g *GAP) drawMutation() (individual, bit int) {
 // updates the best-individual register.
 func (g *GAP) evaluate() {
 	for i, ind := range g.basis {
-		g.fit[i] = g.obj.ScoreExtended(ind)
+		if g.packed != nil {
+			g.fit[i] = g.packed.ScorePacked(genome.Genome(ind.Bits.Uint64()) & genome.Mask)
+		} else {
+			g.fit[i] = g.obj.ScoreExtended(ind)
+		}
 		g.ops.Evaluations++
 		if !g.haveBest || g.fit[i] > g.bestFit {
 			g.best = ind.Clone()
@@ -335,20 +352,20 @@ func (g *GAP) tournament() int {
 // the intermediate population, mutation over its bits, population
 // swap, then fitness evaluation of the new basis population.
 func (g *GAP) Generation() {
-	// Selection + crossover, pipelined pair by pair.
+	// Selection + crossover, pipelined pair by pair. The intermediate
+	// population's buffers are reused across generations: parents are
+	// copied in, then the tails are swapped in place on crossover.
 	for pair := 0; pair < g.p.PopulationSize/2; pair++ {
 		pa := g.basis[g.tournament()]
 		pb := g.basis[g.tournament()]
 		g.ops.Pairs++
-		var ca, cb genome.BitString
+		ca, cb := g.inter[2*pair].Bits, g.inter[2*pair+1].Bits
+		ca.CopyFrom(pa.Bits)
+		cb.CopyFrom(pb.Bits)
 		if g.coin(g.xovT) {
 			g.ops.Crossed++
-			ca, cb = genome.CrossoverBits(pa.Bits, pb.Bits, g.drawPoint())
-		} else {
-			ca, cb = pa.Bits.Clone(), pb.Bits.Clone()
+			ca.SwapTail(cb, g.drawPoint())
 		}
-		g.inter[2*pair] = genome.Extended{Layout: g.p.Layout, Bits: ca}
-		g.inter[2*pair+1] = genome.Extended{Layout: g.p.Layout, Bits: cb}
 	}
 	// Mutation: exactly MutationsPerGeneration single-bit flips over
 	// the intermediate population.

@@ -8,6 +8,67 @@ import (
 	"leonardo/internal/genome"
 )
 
+// extendedOnly hides the ScorePacked method of the wrapped objective,
+// forcing the GAP onto the general ScoreExtended path.
+type extendedOnly struct{ obj Objective }
+
+func (w extendedOnly) ScoreExtended(x genome.Extended) int { return w.obj.ScoreExtended(x) }
+func (w extendedOnly) Max() int                            { return w.obj.Max() }
+
+// TestPackedPathMatchesExtendedPath runs two GAPs from the same seed,
+// one using the packed LUT scoring fast path and one forced onto the
+// general-layout path, and requires bit-identical evolution.
+func TestPackedPathMatchesExtendedPath(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 987654321} {
+		pf := PaperParams(seed)
+		ps := PaperParams(seed)
+		ps.Objective = extendedOnly{fitness.New()}
+		fast, err := New(pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := New(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.packed == nil {
+			t.Fatal("paper-layout GAP with default objective should use the packed path")
+		}
+		if slow.packed != nil {
+			t.Fatal("wrapped objective must not be probed as packed")
+		}
+		for gen := 0; gen < 200; gen++ {
+			fb, ff := fast.Best()
+			sb, sf := slow.Best()
+			if ff != sf || !fb.Bits.Equal(sb.Bits) {
+				t.Fatalf("seed %d gen %d: packed path diverged (fit %d vs %d)",
+					seed, gen, ff, sf)
+			}
+			if fast.Draws() != slow.Draws() {
+				t.Fatalf("seed %d gen %d: draw counts diverged", seed, gen)
+			}
+			fast.Generation()
+			slow.Generation()
+		}
+	}
+}
+
+// TestNonPaperLayoutSkipsPackedPath pins the guard: a bigger genome
+// must never take the 36-bit packed path even though the objective
+// implements it.
+func TestNonPaperLayoutSkipsPackedPath(t *testing.T) {
+	p := PaperParams(3)
+	p.Layout = genome.Layout{Steps: 4, Legs: 6}
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.packed != nil {
+		t.Fatal("non-paper layout must use ScoreExtended")
+	}
+	g.Generation()
+}
+
 func TestParamsValidate(t *testing.T) {
 	if err := PaperParams(1).Validate(); err != nil {
 		t.Fatalf("paper params invalid: %v", err)

@@ -1,0 +1,115 @@
+package gapcirc
+
+import (
+	"fmt"
+
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+)
+
+// This file is the lane-packed multi-seed driver: one compiled GAP
+// circuit, up to logic.Lanes seeds evolving at once. The simulator
+// evaluates every gate as a 64-lane bitwise operation, so running 64
+// seeds costs one circuit pass per clock instead of 64 — the trick
+// that turns seed sweeps (experiments E4/F5 style statistics) into a
+// single batch.
+//
+// Lanes share the circuit and the clock but nothing else: each lane's
+// cellular automaton is re-seeded independently, so the random
+// streams, FSM trajectories (rejection sampling retries differ per
+// lane), populations, and best registers all diverge per lane exactly
+// as 64 separate chips would.
+
+// SeedLane re-seeds one lane's cellular automaton through the DFF
+// state, applying the same transform as BuildCA (mask to the cell
+// count, zero maps to 1). Call it on a freshly compiled simulator,
+// before stepping the clock.
+func (co *Core) SeedLane(s *logic.Sim, lane int, seed uint64) {
+	cells := len(co.CA.State)
+	mask := ^uint64(0)
+	if cells < 64 {
+		mask = uint64(1)<<uint(cells) - 1
+	}
+	init := seed & mask
+	if init == 0 {
+		init = 1
+	}
+	for i, sig := range co.CA.State {
+		s.SetDFFLane(sig, lane, init>>uint(i)&1 != 0)
+	}
+}
+
+// BestOfLane returns one lane's best-ever genome and fitness.
+func (co *Core) BestOfLane(s *logic.Sim, lane int) (genome.Genome, int) {
+	return genome.Genome(s.GetBusLane(co.Best, lane)) & genome.Mask,
+		int(s.GetBusLane(co.BestFit, lane))
+}
+
+// LaneResult is one seed's outcome from a lane-packed run.
+type LaneResult struct {
+	Seed    uint64
+	Best    genome.Genome
+	BestFit int
+	// Cycles is the clock cycle (counted from the start of the run) at
+	// which this lane completed its n-th generation. Lanes finish at
+	// different cycles because rejection-sampled draws retry a
+	// lane-dependent number of times.
+	Cycles uint64
+	// Done is false only if the run hit maxCycles before this lane
+	// finished.
+	Done bool
+}
+
+// RunSeeds evolves up to logic.Lanes seeds in one lane-packed batch:
+// it re-seeds lane l with seeds[l], then steps the shared clock until
+// every lane has completed n generations (same completion predicate as
+// RunGenerations, applied per lane), snapshotting each lane's best
+// register the cycle its lane finishes. The results are identical to
+// building one circuit per seed and calling RunGenerations on each —
+// the package tests prove it lane by lane.
+//
+// The simulator must be freshly compiled (no cycles run). maxCycles
+// guards against livelock; 0 means a generous default.
+func (co *Core) RunSeeds(s *logic.Sim, seeds []uint64, n, maxCycles int) ([]LaneResult, error) {
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+	if len(seeds) > logic.Lanes {
+		return nil, fmt.Errorf("gapcirc: %d seeds exceed the %d simulator lanes", len(seeds), logic.Lanes)
+	}
+	if s.Cycles() != 0 {
+		return nil, fmt.Errorf("gapcirc: RunSeeds needs a freshly compiled simulator, this one has run %d cycles", s.Cycles())
+	}
+	if maxCycles == 0 {
+		maxCycles = 2_000_000
+	}
+	res := make([]LaneResult, len(seeds))
+	for l, seed := range seeds {
+		co.SeedLane(s, l, seed)
+		res[l].Seed = seed
+	}
+	remaining := len(res)
+	check := func() {
+		for l := range res {
+			if res[l].Done {
+				continue
+			}
+			if s.GetBusLane(co.Gen, l) == uint64(n) && s.GetBusLane(co.State, l) == StSelI1 {
+				res[l].Best, res[l].BestFit = co.BestOfLane(s, l)
+				res[l].Cycles = s.Cycles()
+				res[l].Done = true
+				remaining--
+			}
+		}
+	}
+	check()
+	for cycle := 0; cycle < maxCycles && remaining > 0; cycle++ {
+		s.Step()
+		check()
+	}
+	if remaining > 0 {
+		return res, fmt.Errorf("gapcirc: %d of %d lanes did not reach generation %d within %d cycles",
+			remaining, len(res), n, maxCycles)
+	}
+	return res, nil
+}

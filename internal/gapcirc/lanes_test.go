@@ -1,0 +1,113 @@
+package gapcirc
+
+import (
+	"testing"
+
+	"leonardo/internal/gap"
+	"leonardo/internal/logic"
+)
+
+// TestRunSeedsMatchesPerSeedRuns is the lane-equivalence proof for the
+// GAP system: a lane-packed batch over k seeds must produce, for every
+// seed, exactly the best genome, best fitness, and completion cycle
+// that a dedicated circuit built with that seed produces under
+// RunGenerations.
+func TestRunSeedsMatchesPerSeedRuns(t *testing.T) {
+	p := gap.PaperParams(1)
+	p.PopulationSize = 8
+	const generations = 10
+	seeds := []uint64{1, 2, 3, 42, 99, 123456, 0xDEADBEEF, 1 << 40}
+
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.RunSeeds(sim, seeds, generations, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for l, seed := range seeds {
+		ps := p
+		ps.Seed = seed
+		ref, err := Build(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsim, err := ref.Circuit.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := ref.RunGenerations(rsim, generations, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBest, wantFit := ref.BestOf(rsim)
+		r := results[l]
+		if !r.Done {
+			t.Fatalf("seed %d (lane %d): not done", seed, l)
+		}
+		if r.Best != wantBest || r.BestFit != wantFit {
+			t.Fatalf("seed %d (lane %d): best %v/%d, per-seed run %v/%d",
+				seed, l, r.Best, r.BestFit, wantBest, wantFit)
+		}
+		if r.Cycles != cycles {
+			t.Fatalf("seed %d (lane %d): finished at cycle %d, per-seed run took %d",
+				seed, l, r.Cycles, cycles)
+		}
+	}
+}
+
+// TestRunSeedsValidation pins the driver's argument checks.
+func TestRunSeedsValidation(t *testing.T) {
+	p := gap.PaperParams(1)
+	p.PopulationSize = 8
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := core.RunSeeds(sim, nil, 1, 0); err != nil || res != nil {
+		t.Fatalf("empty seed list: got %v, %v", res, err)
+	}
+	too := make([]uint64, logic.Lanes+1)
+	if _, err := core.RunSeeds(sim, too, 1, 0); err == nil {
+		t.Fatal("oversized seed list should be rejected")
+	}
+	sim.Step()
+	if _, err := core.RunSeeds(sim, []uint64{1}, 1, 0); err == nil {
+		t.Fatal("used simulator should be rejected")
+	}
+}
+
+// TestSeedLaneZeroRemapped mirrors the CA's power-on transform: a zero
+// seed maps to 1, never to the all-zero dead state.
+func TestSeedLaneZeroRemapped(t *testing.T) {
+	p := gap.PaperParams(7)
+	p.PopulationSize = 8
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SeedLane(sim, 3, 0)
+	var state uint64
+	for i, sig := range core.CA.State {
+		if sim.GetLane(sig, 3) {
+			state |= 1 << uint(i)
+		}
+	}
+	if state != 1 {
+		t.Fatalf("zero seed gave CA state %#x, want 1", state)
+	}
+}

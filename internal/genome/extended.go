@@ -181,6 +181,39 @@ func (b BitString) Clone() BitString {
 	return c
 }
 
+// CopyFrom overwrites this bit string with the contents of src, which
+// must have the same length. No allocation.
+func (b BitString) CopyFrom(src BitString) {
+	if b.n != src.n {
+		panic("genome: CopyFrom of unequal-length bit strings")
+	}
+	copy(b.words, src.words)
+}
+
+// SwapTail exchanges bits [point, Len) between two equal-length bit
+// strings in place — single-point crossover without allocating. The
+// cut point must satisfy 0 < point < Len.
+func (b BitString) SwapTail(o BitString, point int) {
+	if b.n != o.n {
+		panic("genome: SwapTail of unequal-length bit strings")
+	}
+	if point <= 0 || point >= b.n {
+		panic(fmt.Sprintf("genome: crossover point %d out of range (0,%d)", point, b.n))
+	}
+	w := point / 64
+	// Partial first word: swap only the bits at and above the offset.
+	if off := uint(point) % 64; off != 0 {
+		mask := ^uint64(0) << off
+		d := (b.words[w] ^ o.words[w]) & mask
+		b.words[w] ^= d
+		o.words[w] ^= d
+		w++
+	}
+	for ; w < len(b.words); w++ {
+		b.words[w], o.words[w] = o.words[w], b.words[w]
+	}
+}
+
 // Equal reports whether two bit strings have identical length and bits.
 func (b BitString) Equal(o BitString) bool {
 	if b.n != o.n {
@@ -201,14 +234,8 @@ func CrossoverBits(a, b BitString, point int) (BitString, BitString) {
 	if a.n != b.n {
 		panic("genome: crossover of unequal-length bit strings")
 	}
-	if point <= 0 || point >= a.n {
-		panic(fmt.Sprintf("genome: crossover point %d out of range (0,%d)", point, a.n))
-	}
 	c, d := a.Clone(), b.Clone()
-	for i := point; i < a.n; i++ {
-		c.Set(i, b.Get(i))
-		d.Set(i, a.Get(i))
-	}
+	c.SwapTail(d, point)
 	return c, d
 }
 

@@ -164,6 +164,88 @@ func TestCrossoverBitsMatchesPacked(t *testing.T) {
 	}
 }
 
+func TestSwapTailMatchesCrossoverBits(t *testing.T) {
+	f := func(av, bv uint64, pointSeed uint8) bool {
+		n := 36
+		point := 1 + int(pointSeed)%(n-1)
+		a := BitStringFromUint64(av, n)
+		b := BitStringFromUint64(bv, n)
+		wantA, wantB := CrossoverBits(a, b, point)
+		a.SwapTail(b, point)
+		return a.Equal(wantA) && b.Equal(wantB)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapTailMultiWord(t *testing.T) {
+	// Cross a 200-bit pair at every legal point against the bit-by-bit
+	// definition, covering word-boundary and word-aligned cuts.
+	const n = 200
+	for point := 1; point < n; point++ {
+		a, b := NewBitString(n), NewBitString(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i%3 == 0)
+			b.Set(i, i%5 == 0)
+		}
+		want := make([]bool, 2*n)
+		for i := 0; i < n; i++ {
+			if i < point {
+				want[i], want[n+i] = a.Get(i), b.Get(i)
+			} else {
+				want[i], want[n+i] = b.Get(i), a.Get(i)
+			}
+		}
+		a.SwapTail(b, point)
+		for i := 0; i < n; i++ {
+			if a.Get(i) != want[i] || b.Get(i) != want[n+i] {
+				t.Fatalf("point %d: mismatch at bit %d", point, i)
+			}
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := BitStringFromUint64(0xDEADBEEF, 36)
+	dst := NewBitString(36)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %v want %v", dst, src)
+	}
+	src.Flip(0)
+	if dst.Equal(src) {
+		t.Fatal("CopyFrom must copy, not alias")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom of unequal lengths should panic")
+		}
+	}()
+	dst.CopyFrom(NewBitString(35))
+}
+
+func TestSwapTailPanics(t *testing.T) {
+	for _, point := range []int{0, 36, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SwapTail at point %d should panic", point)
+				}
+			}()
+			a, b := NewBitString(36), NewBitString(36)
+			a.SwapTail(b, point)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwapTail of unequal lengths should panic")
+		}
+	}()
+	a, b := NewBitString(36), NewBitString(37)
+	a.SwapTail(b, 5)
+}
+
 func TestCrossoverBitsPanics(t *testing.T) {
 	a, b := NewBitString(8), NewBitString(9)
 	func() {

@@ -5,17 +5,53 @@ import (
 	"sort"
 )
 
-// Sim is a compiled, runnable circuit. It evaluates all combinational
-// logic in levelized order, then commits flip-flops and RAM writes on
-// each Step (one clock cycle).
+// Lanes is the number of independent circuit instances one Sim
+// evaluates per pass. Every signal's value is a 64-bit vector with one
+// bit per lane, so each gate evaluation is a single word-wide bitwise
+// operation over all instances — SIMD within a register, the standard
+// trick for gate-level simulation.
+const Lanes = 64
+
+// Sim is a compiled, runnable circuit holding 64 independent instances
+// (lanes) that share the circuit structure and the clock but have
+// per-lane inputs, flip-flop state, and RAM contents. It evaluates all
+// combinational logic in levelized order, then commits flip-flops and
+// RAM writes on each Step (one clock cycle).
+//
+// The scalar API (Set, Get, GetBus, ReadRAM, ...) is lane-transparent:
+// writers broadcast to every lane and readers return lane 0, so code
+// that wants a single circuit instance never sees the lanes. The
+// *Lane variants address one instance; mixing the two styles is fine
+// (e.g. broadcast the clocked control inputs, then diverge the lanes
+// by seeding their state differently).
 type Sim struct {
-	c      *Circuit
-	val    []bool
-	state  []bool // DFF state, indexed by node
-	order  []Signal
-	mems   [][]uint64 // per RAM: words packed bitwise per word: word w stored in mems[r][w] low bits
-	dirty  bool
-	cycles uint64
+	c        *Circuit
+	val      []uint64 // per node: 64 lanes
+	state    []uint64 // DFF state, indexed by node
+	order    []Signal
+	dffs     []int32    // nodes of kind kDFF, in index order
+	initMask []uint64   // per node: all-ones if the DFF resets to 1
+	mems     [][]uint64 // per RAM: lane vector per (word, bit), index word*width+bit
+	dec      [][]uint64 // per RAM: per-word lane address-decode masks
+	decOK    []bool     // per RAM: dec valid for the current settled values
+	dirty    bool
+	cycles   uint64
+}
+
+// laneMask broadcasts a bool to all 64 lanes.
+func laneMask(v bool) uint64 {
+	if v {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// laneBit returns the single-lane mask for lane, checking range.
+func laneBit(lane int) uint64 {
+	if lane < 0 || lane >= Lanes {
+		panic(fmt.Sprintf("logic: lane %d out of range [0,%d)", lane, Lanes))
+	}
+	return 1 << uint(lane)
 }
 
 // Compile levelizes the circuit and returns a simulator. It fails if
@@ -70,19 +106,28 @@ func (c *Circuit) Compile() (*Sim, error) {
 		return nil, fmt.Errorf("logic: combinational cycle among %d nodes", n-len(order))
 	}
 	s := &Sim{
-		c:     c,
-		val:   make([]bool, n),
-		state: make([]bool, n),
-		order: order,
-		dirty: true,
+		c:        c,
+		val:      make([]uint64, n),
+		state:    make([]uint64, n),
+		initMask: make([]uint64, n),
+		order:    order,
+		dirty:    true,
+	}
+	for i, k := range c.kinds {
+		if k == kDFF {
+			s.dffs = append(s.dffs, int32(i))
+		}
 	}
 	for sig, init := range c.dffInit {
-		s.state[sig] = init
+		s.initMask[sig] = laneMask(init)
+		s.state[sig] = s.initMask[sig]
 	}
 	s.mems = make([][]uint64, len(c.rams))
+	s.dec = make([][]uint64, len(c.rams))
+	s.decOK = make([]bool, len(c.rams))
 	for i, r := range c.rams {
-		words := (r.width + 63) / 64
-		s.mems[i] = make([]uint64, r.words*words)
+		s.mems[i] = make([]uint64, r.words*r.width)
+		s.dec[i] = make([]uint64, r.words)
 	}
 	c.compiled = true
 	return s, nil
@@ -98,151 +143,209 @@ func (c *Circuit) MustCompile() *Sim {
 	return s
 }
 
-// Set drives a primary input. The value holds until changed.
+// Set drives a primary input on all lanes. The value holds until
+// changed.
 func (s *Sim) Set(in Signal, v bool) {
+	s.setLanes(in, laneMask(v), ^uint64(0))
+}
+
+// SetLane drives a primary input on one lane only.
+func (s *Sim) SetLane(in Signal, lane int, v bool) {
+	s.setLanes(in, laneMask(v), laneBit(lane))
+}
+
+// setLanes writes v into the lanes selected by mask.
+func (s *Sim) setLanes(in Signal, v, mask uint64) {
 	if s.c.kinds[in] != kInput {
 		panic(fmt.Sprintf("logic: Set on non-input signal %d (%v)", in, s.c.kinds[in]))
 	}
-	if s.val[in] != v {
-		s.val[in] = v
+	nv := s.val[in]&^mask | v&mask
+	if s.val[in] != nv {
+		s.val[in] = nv
 		s.dirty = true
 	}
 }
 
-// SetByName drives a named input.
+// SetByName drives a named input on all lanes.
 func (s *Sim) SetByName(name string, v bool) {
+	s.Set(s.inputByName(name), v)
+}
+
+// SetInputLane drives a named input on one lane only.
+func (s *Sim) SetInputLane(name string, lane int, v bool) {
+	s.SetLane(s.inputByName(name), lane, v)
+}
+
+func (s *Sim) inputByName(name string) Signal {
 	in, ok := s.c.inputs[name]
 	if !ok {
 		panic(fmt.Sprintf("logic: unknown input %q", name))
 	}
-	s.Set(in, v)
+	return in
 }
 
-// SetBus drives each bit of a bus of inputs from the value's bits.
+// SetBus drives each bit of a bus of inputs from the value's bits, on
+// all lanes.
 func (s *Sim) SetBus(b Bus, v uint64) {
 	for i, sig := range b {
 		s.Set(sig, v>>uint(i)&1 != 0)
 	}
 }
 
-// settle evaluates all combinational logic in levelized order.
+// SetBusLane drives each bit of a bus of inputs on one lane only.
+func (s *Sim) SetBusLane(b Bus, lane int, v uint64) {
+	for i, sig := range b {
+		s.SetLane(sig, lane, v>>uint(i)&1 != 0)
+	}
+}
+
+// settle evaluates all combinational logic in levelized order, all 64
+// lanes per operation.
 func (s *Sim) settle() {
 	if !s.dirty {
 		return
+	}
+	for i := range s.decOK {
+		s.decOK[i] = false
 	}
 	c := s.c
 	for _, sig := range s.order {
 		i := int(sig)
 		switch c.kinds[i] {
 		case kConst:
-			s.val[i] = sig == Const1
+			s.val[i] = laneMask(sig == Const1)
 		case kInput:
 			// retained from Set
 		case kDFF:
 			s.val[i] = s.state[i]
 		case kNot:
-			s.val[i] = !s.val[c.fa[i]]
+			s.val[i] = ^s.val[c.fa[i]]
 		case kAnd:
-			s.val[i] = s.val[c.fa[i]] && s.val[c.fb[i]]
+			s.val[i] = s.val[c.fa[i]] & s.val[c.fb[i]]
 		case kOr:
-			s.val[i] = s.val[c.fa[i]] || s.val[c.fb[i]]
+			s.val[i] = s.val[c.fa[i]] | s.val[c.fb[i]]
 		case kXor:
-			s.val[i] = s.val[c.fa[i]] != s.val[c.fb[i]]
+			s.val[i] = s.val[c.fa[i]] ^ s.val[c.fb[i]]
 		case kMux:
-			if s.val[c.fc[i]] {
-				s.val[i] = s.val[c.fb[i]]
-			} else {
-				s.val[i] = s.val[c.fa[i]]
-			}
+			sel := s.val[c.fc[i]]
+			s.val[i] = s.val[c.fb[i]]&sel | s.val[c.fa[i]]&^sel
 		case kRAMOut:
-			r := c.rams[c.ramIdx[i]]
-			addr := s.busValue(r.addr)
-			if addr < uint64(r.words) {
-				s.val[i] = s.memBit(int(c.ramIdx[i]), int(addr), int(c.ramBit[i]))
-			} else {
-				s.val[i] = false
+			ri := int(c.ramIdx[i])
+			if !s.decOK[ri] {
+				s.ramDecode(ri)
 			}
+			r := c.rams[ri]
+			dec := s.dec[ri]
+			mem := s.mems[ri]
+			bit := int(c.ramBit[i])
+			var v uint64
+			for w := 0; w < r.words; w++ {
+				v |= dec[w] & mem[w*r.width+bit]
+			}
+			s.val[i] = v
 		}
 	}
 	s.dirty = false
 }
 
-func (s *Sim) busValue(b Bus) uint64 {
+// ramDecode rebuilds the per-word lane address-decode masks of one
+// RAM: dec[w] has a lane bit set exactly when that lane's settled
+// address equals w. A lane addressing past the last word matches no
+// mask, so it reads zero and its writes are dropped — the same
+// out-of-range semantics as a one-lane simulator. The masks are
+// shared by every data bit of the RAM, for reads during settle and
+// writes at the clock edge.
+func (s *Sim) ramDecode(ri int) {
+	r := s.c.rams[ri]
+	dec := s.dec[ri]
+	for w := range dec {
+		m := ^uint64(0)
+		for bi, a := range r.addr {
+			if uint(w)>>uint(bi)&1 != 0 {
+				m &= s.val[a]
+			} else {
+				m &^= s.val[a]
+			}
+		}
+		dec[w] = m
+	}
+	s.decOK[ri] = true
+}
+
+// Get returns the settled value of any signal on lane 0.
+func (s *Sim) Get(sig Signal) bool { return s.GetLane(sig, 0) }
+
+// GetLane returns the settled value of any signal on one lane.
+func (s *Sim) GetLane(sig Signal, lane int) bool {
+	s.settle()
+	return s.val[sig]&laneBit(lane) != 0
+}
+
+// GetBus returns the settled value of a bus (LSB first) on lane 0.
+func (s *Sim) GetBus(b Bus) uint64 { return s.GetBusLane(b, 0) }
+
+// GetBusLane returns the settled value of a bus on one lane.
+func (s *Sim) GetBusLane(b Bus, lane int) uint64 {
+	s.settle()
+	bit := laneBit(lane)
 	var v uint64
 	for i, sig := range b {
-		if s.val[sig] {
+		if s.val[sig]&bit != 0 {
 			v |= 1 << uint(i)
 		}
 	}
 	return v
 }
 
-func (s *Sim) memBit(ram, word, bit int) bool {
-	r := s.c.rams[ram]
-	wpw := (r.width + 63) / 64
-	return s.mems[ram][word*wpw+bit/64]>>(uint(bit)%64)&1 != 0
-}
+// GetByName returns the settled value of a named output on lane 0.
+func (s *Sim) GetByName(name string) bool { return s.OutLane(name, 0) }
 
-func (s *Sim) setMemBit(ram, word, bit int, v bool) {
-	r := s.c.rams[ram]
-	wpw := (r.width + 63) / 64
-	idx := word*wpw + bit/64
-	if v {
-		s.mems[ram][idx] |= 1 << (uint(bit) % 64)
-	} else {
-		s.mems[ram][idx] &^= 1 << (uint(bit) % 64)
-	}
-}
-
-// Get returns the settled value of any signal.
-func (s *Sim) Get(sig Signal) bool {
-	s.settle()
-	return s.val[sig]
-}
-
-// GetBus returns the settled value of a bus (LSB first).
-func (s *Sim) GetBus(b Bus) uint64 {
-	s.settle()
-	return s.busValue(b)
-}
-
-// GetByName returns the settled value of a named output.
-func (s *Sim) GetByName(name string) bool {
+// OutLane returns the settled value of a named output on one lane.
+func (s *Sim) OutLane(name string, lane int) bool {
 	sig, ok := s.c.outputs[name]
 	if !ok {
 		panic(fmt.Sprintf("logic: unknown output %q", name))
 	}
-	return s.Get(sig)
+	return s.GetLane(sig, lane)
 }
 
-// Step advances one clock cycle: settle combinational logic, then
-// commit every flip-flop and RAM write simultaneously.
+// Step advances one clock cycle on all lanes: settle combinational
+// logic, then commit every flip-flop and RAM write simultaneously.
 func (s *Sim) Step() {
 	s.settle()
 	c := s.c
-	// Sample all DFF next-states first (two-phase commit).
-	for i, k := range c.kinds {
-		if k != kDFF {
-			continue
-		}
-		switch {
-		case s.val[c.fc[i]]: // sync reset
-			s.state[i] = c.dffInit[Signal(i)]
-		case s.val[c.fb[i]]: // enable
-			s.state[i] = s.val[c.fa[i]]
-		}
+	// DFF commit, per-lane: enable loads the input, sync reset wins
+	// over enable, untouched lanes hold state.
+	for _, di := range s.dffs {
+		i := int(di)
+		en := s.val[c.fb[i]]
+		rst := s.val[c.fc[i]]
+		st := s.state[i]
+		st = st&^en | s.val[c.fa[i]]&en
+		st = st&^rst | s.initMask[i]&rst
+		s.state[i] = st
 	}
-	// RAM writes use the pre-edge (settled) address and data.
+	// RAM writes use the pre-edge (settled) address and data; the
+	// decode masks from settle are still valid here.
 	for ri, r := range c.rams {
-		if !s.val[r.we] {
+		we := s.val[r.we]
+		if we == 0 {
 			continue
 		}
-		addr := s.busValue(r.addr)
-		if addr >= uint64(r.words) {
-			continue
+		if !s.decOK[ri] {
+			s.ramDecode(ri)
 		}
-		for bit, d := range r.din {
-			s.setMemBit(ri, int(addr), bit, s.val[d])
+		dec := s.dec[ri]
+		mem := s.mems[ri]
+		for w := 0; w < r.words; w++ {
+			m := dec[w] & we
+			if m == 0 {
+				continue
+			}
+			base := w * r.width
+			for bit, d := range r.din {
+				mem[base+bit] = mem[base+bit]&^m | s.val[d]&m
+			}
 		}
 	}
 	s.cycles++
@@ -272,69 +375,90 @@ func (s *Sim) RunUntil(pred func() bool, max int) (int, bool) {
 // Cycles returns the number of clock cycles executed.
 func (s *Sim) Cycles() uint64 { return s.cycles }
 
-// LoadRAM initializes a RAM's contents (word-by-word, low bits of each
-// value), for testbenches.
+// ramByName resolves a RAM index by name.
+func (s *Sim) ramByName(name string) int {
+	for ri, r := range s.c.rams {
+		if r.name == name {
+			return ri
+		}
+	}
+	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+}
+
+// LoadRAM initializes a RAM's contents on all lanes (word-by-word, low
+// bits of each value), for testbenches.
 func (s *Sim) LoadRAM(name string, words []uint64) {
-	for ri, r := range s.c.rams {
-		if r.name != name {
-			continue
-		}
-		if len(words) > r.words {
-			panic(fmt.Sprintf("logic: LoadRAM %q: %d words > capacity %d", name, len(words), r.words))
-		}
-		for w, v := range words {
-			for bit := 0; bit < r.width; bit++ {
-				s.setMemBit(ri, w, bit, v>>uint(bit)&1 != 0)
-			}
-		}
-		s.dirty = true
-		return
+	ri := s.ramByName(name)
+	r := s.c.rams[ri]
+	if len(words) > r.words {
+		panic(fmt.Sprintf("logic: LoadRAM %q: %d words > capacity %d", name, len(words), r.words))
 	}
-	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+	for w, v := range words {
+		for bit := 0; bit < r.width; bit++ {
+			s.mems[ri][w*r.width+bit] = laneMask(v>>uint(bit)&1 != 0)
+		}
+	}
+	s.dirty = true
 }
 
-// FlipRAMBit inverts one stored bit of a named RAM — a single-event
-// upset, for fault-injection tests.
+// FlipRAMBit inverts one stored bit of a named RAM on every lane — a
+// single-event upset, for fault-injection tests.
 func (s *Sim) FlipRAMBit(name string, word, bit int) {
-	for ri, r := range s.c.rams {
-		if r.name != name {
-			continue
-		}
-		if word < 0 || word >= r.words || bit < 0 || bit >= r.width {
-			panic(fmt.Sprintf("logic: FlipRAMBit(%q, %d, %d) out of range", name, word, bit))
-		}
-		s.setMemBit(ri, word, bit, !s.memBit(ri, word, bit))
-		s.dirty = true
-		return
+	ri := s.ramByName(name)
+	r := s.c.rams[ri]
+	if word < 0 || word >= r.words || bit < 0 || bit >= r.width {
+		panic(fmt.Sprintf("logic: FlipRAMBit(%q, %d, %d) out of range", name, word, bit))
 	}
-	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+	s.mems[ri][word*r.width+bit] ^= ^uint64(0)
+	s.dirty = true
 }
 
-// FlipDFF inverts a flip-flop's stored state — a register upset, for
-// fault-injection tests.
+// FlipDFF inverts a flip-flop's stored state on every lane — a
+// register upset, for fault-injection tests.
 func (s *Sim) FlipDFF(sig Signal) {
 	if s.c.kinds[sig] != kDFF {
 		panic(fmt.Sprintf("logic: FlipDFF on non-DFF signal %d", sig))
 	}
-	s.state[sig] = !s.state[sig]
+	s.state[sig] ^= ^uint64(0)
 	s.dirty = true
 }
 
-// ReadRAM returns a RAM word's contents (low bits), for testbenches.
-func (s *Sim) ReadRAM(name string, word int) uint64 {
-	for ri, r := range s.c.rams {
-		if r.name != name {
-			continue
-		}
-		var v uint64
-		for bit := 0; bit < r.width && bit < 64; bit++ {
-			if s.memBit(ri, word, bit) {
-				v |= 1 << uint(bit)
-			}
-		}
-		return v
+// SetDFFLane forces a flip-flop's stored state on one lane — how a
+// lane-packed batch gives each instance its own seed or starting
+// state before the clocks start.
+func (s *Sim) SetDFFLane(sig Signal, lane int, v bool) {
+	if s.c.kinds[sig] != kDFF {
+		panic(fmt.Sprintf("logic: SetDFFLane on non-DFF signal %d", sig))
 	}
-	panic(fmt.Sprintf("logic: unknown RAM %q", name))
+	bit := laneBit(lane)
+	nv := s.state[sig]&^bit | laneMask(v)&bit
+	if s.state[sig] != nv {
+		s.state[sig] = nv
+		s.dirty = true
+	}
+}
+
+// ReadRAM returns a RAM word's contents (low bits) on lane 0, for
+// testbenches.
+func (s *Sim) ReadRAM(name string, word int) uint64 {
+	return s.ReadRAMLane(name, word, 0)
+}
+
+// ReadRAMLane returns a RAM word's contents on one lane.
+func (s *Sim) ReadRAMLane(name string, word, lane int) uint64 {
+	ri := s.ramByName(name)
+	r := s.c.rams[ri]
+	if word < 0 || word >= r.words {
+		panic(fmt.Sprintf("logic: ReadRAM(%q, %d) out of range", name, word))
+	}
+	bit := laneBit(lane)
+	var v uint64
+	for b := 0; b < r.width && b < 64; b++ {
+		if s.mems[ri][word*r.width+b]&bit != 0 {
+			v |= 1 << uint(b)
+		}
+	}
+	return v
 }
 
 // Stats summarizes a circuit's composition for reports and the FPGA
