@@ -8,8 +8,10 @@ package leonardo
 // 64-lane bit-parallel simulator.
 
 import (
+	"context"
 	"testing"
 
+	"leonardo/internal/engine"
 	"leonardo/internal/fitness"
 	"leonardo/internal/gap"
 	"leonardo/internal/gapcirc"
@@ -78,6 +80,34 @@ func BenchmarkGAPGeneration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Generation()
+	}
+}
+
+// benchStepper drives generations through the engine loop without ever
+// reporting Done, exactly mirroring BenchmarkGAPGeneration's unbounded
+// direct loop (the GAP itself would stop at convergence).
+type benchStepper struct{ g *gap.GAP }
+
+func (s benchStepper) Step() error         { s.g.Generation(); return nil }
+func (s benchStepper) Done() bool          { return false }
+func (s benchStepper) Event() engine.Event { return engine.Event{} }
+
+// BenchmarkGAPGenerationEngine is BenchmarkGAPGeneration driven through
+// the shared run engine with a nil observer — the difference between
+// the two is the engine's per-generation overhead (one context poll and
+// one Done check), which must stay under 5% of the direct loop.
+func BenchmarkGAPGenerationEngine(b *testing.B) {
+	p := gap.PaperParams(12345)
+	p.MaxGenerations = 1 << 30
+	g, err := gap.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := engine.Steps(ctx, benchStepper{g}, nil, b.N); err != nil {
+		b.Fatal(err)
 	}
 }
 

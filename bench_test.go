@@ -7,6 +7,7 @@ package leonardo
 // report is produced by cmd/experiments.
 
 import (
+	"context"
 	"testing"
 
 	"leonardo/internal/exp"
@@ -18,9 +19,20 @@ import (
 // experiment functions themselves run many seeded evolutions.
 func benchCfg() exp.Config { return exp.Config{Runs: 10, BaseSeed: 1} }
 
+// runExpB executes one experiment under a background context and fails
+// the bench on error.
+func runExpB(b *testing.B, f exp.Experiment, cfg exp.Config) exp.Table {
+	b.Helper()
+	tb, err := f(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
 func BenchmarkE1_PaperParameters(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.E1Parameters(benchCfg())
+		tb := runExpB(b, exp.E1Parameters, benchCfg())
 		if len(tb.Rows) == 0 {
 			b.Fatal("empty table")
 		}
@@ -46,7 +58,7 @@ func BenchmarkE2_GenerationsToMax(b *testing.B) {
 
 func BenchmarkE3_TimeVsExhaustive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.E3Time(benchCfg())
+		tb := runExpB(b, exp.E3Time, benchCfg())
 		if len(tb.Rows) == 0 {
 			b.Fatal("empty table")
 		}
@@ -80,7 +92,7 @@ func BenchmarkE5_WalkQuality(b *testing.B) {
 
 func BenchmarkF3_ClosedLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.F3ClosedLoop(exp.Config{Runs: 3, BaseSeed: 1})
+		tb := runExpB(b, exp.F3ClosedLoop, exp.Config{Runs: 3, BaseSeed: 1})
 		if len(tb.Rows) < 2 {
 			b.Fatal("closed loop produced no checkpoints")
 		}
@@ -89,7 +101,7 @@ func BenchmarkF3_ClosedLoop(b *testing.B) {
 
 func BenchmarkF4_Controller(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.F4Controller(benchCfg())
+		tb := runExpB(b, exp.F4Controller, benchCfg())
 		if len(tb.Rows) != 6 {
 			b.Fatal("controller trace wrong")
 		}
@@ -98,7 +110,7 @@ func BenchmarkF4_Controller(b *testing.B) {
 
 func BenchmarkF5_GAPPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.F5Pipeline(exp.Config{Runs: 3, BaseSeed: 1})
+		tb := runExpB(b, exp.F5Pipeline, exp.Config{Runs: 3, BaseSeed: 1})
 		if len(tb.Rows) != 4 {
 			b.Fatal("pipeline table wrong")
 		}
@@ -112,7 +124,7 @@ func BenchmarkF5_GAPPipeline(b *testing.B) {
 
 func BenchmarkA1_RuleAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A1RuleAblation(exp.Config{Runs: 3, BaseSeed: 1})
+		tb := runExpB(b, exp.A1RuleAblation, exp.Config{Runs: 3, BaseSeed: 1})
 		if len(tb.Rows) != 7 {
 			b.Fatal("ablation table wrong")
 		}
@@ -121,7 +133,7 @@ func BenchmarkA1_RuleAblation(b *testing.B) {
 
 func BenchmarkA2_Baselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A2Baselines(exp.Config{Runs: 3, BaseSeed: 1})
+		tb := runExpB(b, exp.A2Baselines, exp.Config{Runs: 3, BaseSeed: 1})
 		if len(tb.Rows) != 6 {
 			b.Fatal("baseline table wrong")
 		}
@@ -130,7 +142,7 @@ func BenchmarkA2_Baselines(b *testing.B) {
 
 func BenchmarkA3_ParamSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A3ParamSweep(exp.Config{Runs: 2, BaseSeed: 1})
+		tb := runExpB(b, exp.A3ParamSweep, exp.Config{Runs: 2, BaseSeed: 1})
 		if len(tb.Rows) == 0 {
 			b.Fatal("sweep produced nothing")
 		}
@@ -139,7 +151,7 @@ func BenchmarkA3_ParamSweep(b *testing.B) {
 
 func BenchmarkA4_DistanceFitness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A4DistanceFitness(exp.Config{Runs: 2, BaseSeed: 1})
+		tb := runExpB(b, exp.A4DistanceFitness, exp.Config{Runs: 2, BaseSeed: 1})
 		if len(tb.Rows) != 2 {
 			b.Fatal("distance-fitness table wrong")
 		}
@@ -148,7 +160,7 @@ func BenchmarkA4_DistanceFitness(b *testing.B) {
 
 func BenchmarkA5_Processor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A5Processor(exp.Config{Runs: 2, BaseSeed: 1})
+		tb := runExpB(b, exp.A5Processor, exp.Config{Runs: 2, BaseSeed: 1})
 		if len(tb.Rows) != 2 {
 			b.Fatal("processor table wrong")
 		}
@@ -157,7 +169,7 @@ func BenchmarkA5_Processor(b *testing.B) {
 
 func BenchmarkA6_FaultRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.A6FaultRecovery(exp.Config{Runs: 1, BaseSeed: 1})
+		tb := runExpB(b, exp.A6FaultRecovery, exp.Config{Runs: 1, BaseSeed: 1})
 		if len(tb.Rows) != 4 {
 			b.Fatal("fault-recovery table wrong")
 		}
@@ -166,7 +178,7 @@ func BenchmarkA6_FaultRecovery(b *testing.B) {
 
 func BenchmarkX1_BigGenome(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.X1BigGenome(exp.Config{Runs: 2, BaseSeed: 1})
+		tb := runExpB(b, exp.X1BigGenome, exp.Config{Runs: 2, BaseSeed: 1})
 		if len(tb.Rows) == 0 {
 			b.Fatal("big-genome table wrong")
 		}

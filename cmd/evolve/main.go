@@ -3,14 +3,31 @@
 //
 // Usage:
 //
-//	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N] [-curve] [-cpuprofile F] [-memprofile F]
+//	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N]
+//	       [-progress N] [-json] [-curve]
+//	       [-checkpoint F] [-checkpoint-at N] [-resume F]
+//	       [-cpuprofile F] [-memprofile F]
+//
+// The run is resumable: -checkpoint writes a versioned binary snapshot
+// of the complete run state (population, RNG, counters, history) when
+// the command exits — including on SIGINT/SIGTERM, which cancel the run
+// cleanly at the next generation boundary — and -resume continues the
+// exact random trajectory from such a file, finishing with results
+// bit-identical to an uninterrupted run. -checkpoint-at N stops after
+// generation N (pause); a later -resume invocation completes the run.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"leonardo/internal/engine"
 	"leonardo/internal/gait"
 	"leonardo/internal/gap"
 	"leonardo/internal/genome"
@@ -23,6 +40,21 @@ import (
 // before os.Exit.
 func main() { os.Exit(run()) }
 
+// output is the -json document: the run result plus, with -progress,
+// the per-generation trace.
+type output struct {
+	Converged   bool           `json:"converged"`
+	Cancelled   bool           `json:"cancelled,omitempty"`
+	Generations int            `json:"generations"`
+	BestFitness int            `json:"best_fitness"`
+	MaxFitness  int            `json:"max_fitness"`
+	Draws       uint64         `json:"draws"`
+	Genome      string         `json:"genome,omitempty"`
+	OnChipNs    int64          `json:"on_chip_ns"`
+	Checkpoint  string         `json:"checkpoint,omitempty"`
+	Trace       []engine.Event `json:"trace,omitempty"`
+}
+
 func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for the cellular-automaton generator")
 	pop := flag.Int("pop", 32, "population size (even)")
@@ -32,6 +64,11 @@ func run() int {
 	maxGen := flag.Int("maxgen", gap.DefaultMaxGenerations, "generation cap")
 	steps := flag.Int("steps", 2, "walk steps per genome (2 = paper; more = future-work layout)")
 	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
+	progress := flag.Int("progress", 0, "report telemetry every N generations")
+	jsonOut := flag.Bool("json", false, "emit the result (and -progress trace) as JSON")
+	checkpoint := flag.String("checkpoint", "", "write a resumable snapshot to this file on exit")
+	checkpointAt := flag.Int("checkpoint-at", 0, "pause after generation N (with -checkpoint: write the snapshot there)")
+	resume := flag.String("resume", "", "resume from a snapshot file (parameter flags are ignored)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -43,29 +80,121 @@ func run() int {
 	}
 	defer stop()
 
-	p := gap.PaperParams(*seed)
-	p.PopulationSize = *pop
-	p.SelectionThreshold = *sel
-	p.CrossoverThreshold = *xov
-	p.MutationsPerGeneration = *mut
-	p.MaxGenerations = *maxGen
-	p.Layout = genome.Layout{Steps: *steps, Legs: genome.Legs}
-	p.RecordHistory = *curve
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
-	g, err := gap.New(p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "evolve:", err)
+	var g *gap.GAP
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		if g, err = gap.Restore(data, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "evolve: resumed %q at generation %d\n", *resume, g.GenerationNumber())
+	} else {
+		p := gap.PaperParams(*seed)
+		p.PopulationSize = *pop
+		p.SelectionThreshold = *sel
+		p.CrossoverThreshold = *xov
+		p.MutationsPerGeneration = *mut
+		p.MaxGenerations = *maxGen
+		p.Layout = genome.Layout{Steps: *steps, Legs: genome.Legs}
+		p.RecordHistory = *curve
+		if g, err = gap.New(p); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+	}
+
+	// Observation: a stride-sampled recorder feeds the JSON trace, a
+	// printing observer feeds the terminal; both only exist when asked
+	// for, so the default run keeps the engine's nil-observer fast path.
+	var observers []engine.Observer
+	var rec *engine.Recorder
+	if *progress > 0 {
+		rec = &engine.Recorder{Every: *progress}
+		observers = append(observers, rec)
+		if !*jsonOut {
+			every := *progress
+			observers = append(observers, engine.FuncObserver(func(ev engine.Event) {
+				if ev.Generation%every == 0 {
+					fmt.Fprintf(os.Stderr, "gen %6d  best %2d/%2d  mean %5.1f  draws %d\n",
+						ev.Generation, ev.BestEver, g.Result().MaxFitness, ev.MeanFitness, ev.Draws)
+				}
+			}))
+		}
+	}
+	var obs engine.Observer
+	if len(observers) > 0 {
+		obs = engine.MultiObserver(observers)
+	}
+
+	limit := -1
+	if *checkpointAt > 0 {
+		limit = *checkpointAt - g.GenerationNumber()
+		if limit < 0 {
+			limit = 0
+		}
+	}
+	runErr := engine.Steps(ctx, g, obs, limit)
+	cancelled := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !cancelled {
+		fmt.Fprintln(os.Stderr, "evolve:", runErr)
 		return 1
 	}
-	res := g.Run()
+	res := g.Result()
 
-	fmt.Printf("converged: %v after %d generations (best fitness %d/%d)\n",
-		res.Converged, res.Generations, res.BestFitness, res.MaxFitness)
+	if *checkpoint != "" {
+		if err := os.WriteFile(*checkpoint, g.Snapshot(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "evolve: snapshot at generation %d written to %q\n",
+			g.GenerationNumber(), *checkpoint)
+	}
+
+	p := g.Params()
 	timing := gap.PaperTiming()
 	timing.Bits = p.Layout.Bits()
 	timing.Population = p.PopulationSize
 	timing.Mutations = p.MutationsPerGeneration
 	timing.CrossoverRate = p.CrossoverThreshold
+
+	if *jsonOut {
+		out := output{
+			Converged:   res.Converged,
+			Cancelled:   cancelled,
+			Generations: res.Generations,
+			BestFitness: res.BestFitness,
+			MaxFitness:  res.MaxFitness,
+			Draws:       res.Draws,
+			OnChipNs:    timing.RunDuration(res.Generations).Nanoseconds(),
+			Checkpoint:  *checkpoint,
+		}
+		if p.Layout == genome.PaperLayout {
+			out.Genome = res.Best.Packed().String()
+		}
+		if rec != nil {
+			out.Trace = rec.Events()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		if cancelled {
+			return 130
+		}
+		return 0
+	}
+
+	fmt.Printf("converged: %v after %d generations (best fitness %d/%d)\n",
+		res.Converged, res.Generations, res.BestFitness, res.MaxFitness)
 	fmt.Printf("on-chip time at 1 MHz: %v (%s)\n", timing.RunDuration(res.Generations), timing)
 	fmt.Printf("random draws consumed: %d\n\n", res.Draws)
 
@@ -94,6 +223,9 @@ func run() int {
 		}
 		fmt.Println()
 		fmt.Print(s.Render(12, 72))
+	}
+	if cancelled {
+		return 130
 	}
 	return 0
 }

@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-runs N] [-only ID[,ID...]] [-cpuprofile F] [-memprofile F]
+//	experiments [-quick] [-runs N] [-workers N] [-only ID[,ID...]] [-cpuprofile F] [-memprofile F]
+//
+// SIGINT/SIGTERM cancels the sweep cleanly: the in-flight seeded runs
+// stop at their next generation boundary and the command exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"leonardo/internal/exp"
@@ -25,6 +32,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	quick := flag.Bool("quick", false, "run at smoke effort (20 runs per point)")
 	runs := flag.Int("runs", 0, "override runs per data point")
+	workers := flag.Int("workers", 0, "concurrent seeded runs per sweep (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -37,6 +45,9 @@ func run() int {
 	}
 	defer stop()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	cfg := exp.DefaultConfig()
 	if *quick {
 		cfg = exp.QuickConfig()
@@ -44,6 +55,7 @@ func run() int {
 	if *runs > 0 {
 		cfg.Runs = *runs
 	}
+	cfg.Workers = *workers
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -54,7 +66,7 @@ func run() int {
 
 	type entry struct {
 		id  string
-		run func(exp.Config) exp.Table
+		run exp.Experiment
 	}
 	all := []entry{
 		{"E1", exp.E1Parameters},
@@ -79,7 +91,14 @@ func run() int {
 			continue
 		}
 		start := time.Now()
-		tb := e.run(cfg)
+		tb, err := e.run(ctx, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			if errors.Is(err, context.Canceled) {
+				return 130
+			}
+			return 1
+		}
 		fmt.Print(tb)
 		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		ran++

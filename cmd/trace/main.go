@@ -6,36 +6,76 @@
 // Usage:
 //
 //	trace [-seed N] [-pop N] [-cycles N] [-o FILE]
+//
+// The capture loop runs on the shared run engine, so SIGINT/SIGTERM
+// stops it cleanly and still writes the cycles captured so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"leonardo/internal/engine"
 	"leonardo/internal/gap"
 	"leonardo/internal/gapcirc"
 	"leonardo/internal/logic"
 )
 
-func main() {
+// vcdStepper adapts a VCD capture to engine.Stepper: each Step is one
+// clock cycle plus one waveform sample.
+type vcdStepper struct {
+	sim    *logic.Sim
+	rec    *logic.VCDRecorder
+	core   *gapcirc.Core
+	cycles int
+	taken  int
+}
+
+func (v *vcdStepper) Step() error {
+	v.sim.Step()
+	v.rec.Sample()
+	v.taken++
+	return nil
+}
+
+func (v *vcdStepper) Done() bool { return v.taken >= v.cycles }
+
+func (v *vcdStepper) Event() engine.Event {
+	_, fit := v.core.BestOf(v.sim)
+	return engine.Event{
+		Generation: int(v.sim.GetBus(v.core.Gen)),
+		BestEver:   fit,
+		Cycle:      v.sim.Cycles(),
+	}
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "random seed")
 	pop := flag.Int("pop", 8, "population size (power of two)")
 	cycles := flag.Int("cycles", 2000, "clock cycles to capture")
 	out := flag.String("o", "discipulus.vcd", "output VCD file")
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	p := gap.PaperParams(*seed)
 	p.PopulationSize = *pop
 	sys, err := gapcirc.BuildSystem(p, gapcirc.BuildOpts{}, 64)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return 1
 	}
 	sim, err := sys.Core.Circuit.Compile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	signals := map[string]logic.Signal{}
@@ -59,26 +99,27 @@ func main() {
 
 	rec := logic.NewVCDRecorder(sim, signals)
 	rec.Sample()
-	for i := 0; i < *cycles; i++ {
-		sim.Step()
-		rec.Sample()
+	st := &vcdStepper{sim: sim, rec: rec, core: sys.Core, cycles: *cycles}
+	if err := engine.Run(ctx, st, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: stopped after %d cycles: %v\n", st.taken, err)
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := rec.Write(f); err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return 1
 	}
 	g, fit := sys.Core.BestOf(sim)
-	fmt.Printf("captured %d cycles (%d value changes) to %s\n", *cycles, rec.Changes(), *out)
+	fmt.Printf("captured %d cycles (%d value changes) to %s\n", st.taken, rec.Changes(), *out)
 	fmt.Printf("chip state: generation %d, best fitness %d, best genome %v\n",
 		sim.GetBus(sys.Core.Gen), fit, g)
+	return 0
 }

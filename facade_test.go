@@ -1,0 +1,104 @@
+package leonardo
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEvolveCtxMatchesEvolve pins the facade: the context-aware entry
+// point reproduces the legacy Evolve run exactly.
+func TestEvolveCtxMatchesEvolve(t *testing.T) {
+	ref, err := Evolve(PaperParams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	res, err := EvolveCtx(context.Background(), PaperParams(11), ObserverFunc(func(Event) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != ref.Generations || res.BestFitness != ref.BestFitness ||
+		res.Draws != ref.Draws || !res.Best.Bits.Equal(ref.Best.Bits) {
+		t.Fatalf("EvolveCtx %+v != Evolve %+v", res, ref)
+	}
+	if events != res.Generations {
+		t.Fatalf("observed %d events over %d generations", events, res.Generations)
+	}
+}
+
+// TestRunPauseResume exercises the public pause/resume path: step a run
+// partway, snapshot it, and finish both the original and the resumed
+// run — they must agree bit for bit with an uninterrupted run.
+func TestRunPauseResume(t *testing.T) {
+	p := PaperParams(23)
+	ref, err := Evolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40 && !r.Done(); i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+
+	resumed, err := Resume(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != r.Generation() {
+		t.Fatalf("resumed at generation %d, paused at %d", resumed.Generation(), r.Generation())
+	}
+	res, err := resumed.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != ref.Generations || res.BestFitness != ref.BestFitness ||
+		res.Draws != ref.Draws || !res.Best.Bits.Equal(ref.Best.Bits) {
+		t.Fatalf("resumed run %+v != uninterrupted run %+v", res, ref)
+	}
+}
+
+// TestResumeRejectsGarbage keeps Resume a safe boundary for snapshot
+// files read from disk.
+func TestResumeRejectsGarbage(t *testing.T) {
+	if _, err := Resume(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := Resume([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// TestEvolveCtxCancellation: a cancelled context stops the run at a
+// generation boundary with the context's error and a valid partial
+// result.
+func TestEvolveCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 5
+	var last int
+	res, err := EvolveCtx(ctx, PaperParams(3), ObserverFunc(func(ev Event) {
+		last = ev.Generation
+		if ev.Generation == stopAt {
+			cancel()
+		}
+	}))
+	if res.Converged && res.Generations <= stopAt {
+		t.Skip("run converged before the cancellation point")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Generations != stopAt || last != stopAt {
+		t.Fatalf("stopped at generation %d (last event %d), want %d", res.Generations, last, stopAt)
+	}
+	if res.BestFitness <= 0 || res.MaxFitness <= 0 {
+		t.Fatalf("partial result malformed: %+v", res)
+	}
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the versioned binary checkpoint codec shared by every
+// stack's Snapshot/Restore pair. A snapshot is:
+//
+//	magic   8 bytes  "LEOSNAP\x00"
+//	kind    u8 length + bytes ("gap", "gapcirc", ...)
+//	version u16
+//	payload fixed-width little-endian fields, kind-specific
+//
+// The codec is deliberately dumb: fixed-width little-endian integers,
+// IEEE float bits, length-prefixed slices, no reflection. Writers never
+// fail; readers accumulate one sticky error (truncation, bad magic,
+// kind or version mismatch) checked once at the end, so decoding code
+// reads as a straight-line mirror of the encoder.
+
+const snapMagic = "LEOSNAP\x00"
+
+// Enc builds a snapshot byte stream. The zero value is not usable; use
+// NewEnc.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc starts a snapshot of the given kind and payload version.
+func NewEnc(kind string, version uint16) *Enc {
+	e := &Enc{buf: make([]byte, 0, 256)}
+	e.buf = append(e.buf, snapMagic...)
+	if len(kind) > 255 {
+		panic("engine: snapshot kind too long")
+	}
+	e.buf = append(e.buf, byte(len(kind)))
+	e.buf = append(e.buf, kind...)
+	e.U16(version)
+	return e
+}
+
+// Bytes returns the encoded snapshot.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends the IEEE-754 bits of a float64.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Words appends a length-prefixed []uint64.
+func (e *Enc) Words(ws []uint64) {
+	e.U32(uint32(len(ws)))
+	for _, w := range ws {
+		e.U64(w)
+	}
+}
+
+// Dec reads a snapshot byte stream. Errors are sticky: after the first
+// failure every read returns zero and Err reports the failure.
+type Dec struct {
+	data    []byte
+	off     int
+	err     error
+	Version uint16
+}
+
+// NewDec validates the header of a snapshot and positions the decoder
+// at the start of the payload. The kind must match exactly; the payload
+// version is exposed as Version for the caller to dispatch on.
+func NewDec(data []byte, kind string) (*Dec, error) {
+	d := &Dec{data: data}
+	if len(data) < len(snapMagic)+1 {
+		return nil, fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("engine: bad snapshot magic")
+	}
+	d.off = len(snapMagic)
+	n := int(d.data[d.off])
+	d.off++
+	if d.off+n > len(data) {
+		return nil, fmt.Errorf("engine: snapshot truncated in kind")
+	}
+	got := string(data[d.off : d.off+n])
+	d.off += n
+	if got != kind {
+		return nil, fmt.Errorf("engine: snapshot kind %q, want %q", got, kind)
+	}
+	d.Version = d.U16()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d, nil
+}
+
+func (d *Dec) fail(n int) bool {
+	if d.err != nil {
+		return true
+	}
+	if d.off+n > len(d.data) {
+		d.err = fmt.Errorf("engine: snapshot truncated at offset %d (need %d bytes)", d.off, n)
+		return true
+	}
+	return false
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if d.fail(1) {
+		return 0
+	}
+	v := d.data[d.off]
+	d.off++
+	return v
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	if d.fail(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.data[d.off:])
+	d.off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if d.fail(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if d.fail(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int64 into an int.
+func (d *Dec) Int() int { return int(d.I64()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads one byte as a boolean.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// Words reads a length-prefixed []uint64.
+func (d *Dec) Words() []uint64 {
+	n := int(d.U32())
+	if d.err != nil || d.fail(8*n) {
+		return nil
+	}
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = d.U64()
+	}
+	return ws
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Finish reports the sticky error or leftover trailing bytes.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("engine: %d trailing bytes after snapshot payload", len(d.data)-d.off)
+	}
+	return nil
+}

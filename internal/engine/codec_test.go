@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEnc("demo", 3)
+	e.U8(7)
+	e.U16(65535)
+	e.U32(1 << 30)
+	e.U64(^uint64(0))
+	e.I64(-42)
+	e.Int(123456)
+	e.F64(3.14159)
+	e.Bool(true)
+	e.Bool(false)
+	e.Words([]uint64{1, 2, 3})
+	e.Words(nil)
+
+	d, err := NewDec(e.Bytes(), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != 3 {
+		t.Fatalf("version = %d", d.Version)
+	}
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 65535 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := d.U64(); got != ^uint64(0) {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 123456 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	ws := d.Words()
+	if len(ws) != 3 || ws[0] != 1 || ws[2] != 3 {
+		t.Fatalf("Words = %v", ws)
+	}
+	if got := d.Words(); len(got) != 0 {
+		t.Fatalf("empty Words = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecHeaderErrors(t *testing.T) {
+	good := NewEnc("gap", 1)
+	good.U64(9)
+
+	cases := []struct {
+		name string
+		data []byte
+		kind string
+		want string
+	}{
+		{"truncated", []byte("LEO"), "gap", "truncated"},
+		{"bad magic", []byte("NOTASNAP\x03gap\x01\x00"), "gap", "magic"},
+		{"wrong kind", good.Bytes(), "gapcirc", `kind "gap"`},
+	}
+	for _, c := range cases {
+		if _, err := NewDec(c.data, c.kind); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCodecTruncationAndTrailing(t *testing.T) {
+	e := NewEnc("x", 1)
+	e.U64(1)
+	data := e.Bytes()
+
+	// Truncated payload: sticky error, zero values.
+	d, err := NewDec(data[:len(data)-2], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U64(); v != 0 {
+		t.Fatalf("truncated U64 = %d, want 0", v)
+	}
+	if d.Err() == nil || d.Finish() == nil {
+		t.Fatal("truncation not reported")
+	}
+	// Reads after the error keep returning zero, no panic.
+	if d.U32() != 0 || d.Bool() || d.Words() != nil {
+		t.Fatal("post-error reads not zero")
+	}
+
+	// Trailing garbage is rejected by Finish.
+	d2, err := NewDec(append(append([]byte{}, data...), 0xFF), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.U64()
+	if d2.Finish() == nil {
+		t.Fatal("trailing bytes not reported")
+	}
+
+	// Words with an absurd length prefix fails cleanly instead of
+	// allocating.
+	e3 := NewEnc("x", 1)
+	e3.U32(1 << 31)
+	d3, err := NewDec(e3.Bytes(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := d3.Words(); ws != nil || d3.Err() == nil {
+		t.Fatal("oversized Words length accepted")
+	}
+}

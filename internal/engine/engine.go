@@ -1,0 +1,133 @@
+// Package engine is the shared run-loop layer under every search stack
+// in the repository: the behavioural GAP (internal/gap), the gate-level
+// multi-seed driver (internal/gapcirc), and the software GA library
+// (internal/evolve) all implement its Stepper interface and are driven
+// by the same loop. The engine owns the concerns the search operators
+// must not know about:
+//
+//   - context plumbing: cancellation and deadlines are checked at every
+//     generation boundary, so a run stops within one generation of its
+//     context ending and always leaves a well-formed partial result;
+//   - stepping: Step() advances exactly one generation, so callers —
+//     checkpointers, schedulers, interactive tools — own the loop;
+//   - observability: an Observer receives one Event per generation with
+//     the telemetry shared by all stacks (best fitness, operator
+//     counters, RNG position, wall time);
+//   - checkpointing: the versioned binary codec in codec.go is the
+//     substrate every stack's Snapshot/Restore pair serializes with.
+//
+// The engine deliberately has no opinion about genomes, fitness, or
+// operators: those stay in the stacks, bit-identical to the paper.
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Event is one generation's telemetry, shared by every search stack.
+// Fields a stack cannot fill stay zero (the gate-level driver has no
+// population mean; the software GA has no clock cycles). The JSON tags
+// define the machine-readable trace format of cmd/evolve -json.
+type Event struct {
+	// Generation counts completed generations. For the lane-packed
+	// gate-level driver it is the slowest lane's generation counter.
+	Generation int `json:"generation"`
+	// BestFitness is the best fitness in the current population;
+	// BestEver is the best-individual register.
+	BestFitness int     `json:"best_fitness"`
+	BestEver    int     `json:"best_ever"`
+	MeanFitness float64 `json:"mean_fitness,omitempty"`
+	// Evaluations counts fitness evaluations so far.
+	Evaluations int `json:"evaluations,omitempty"`
+	// Draws is the RNG position: random samples consumed so far.
+	Draws uint64 `json:"draws,omitempty"`
+	// Operator counters (realized, cumulative).
+	Tournaments int `json:"tournaments,omitempty"`
+	Crossovers  int `json:"crossovers,omitempty"`
+	Mutations   int `json:"mutations,omitempty"`
+	// Cycle and LanesDone are gate-level driver telemetry: the shared
+	// clock and how many lanes have finished.
+	Cycle     uint64 `json:"cycle,omitempty"`
+	LanesDone int    `json:"lanes_done,omitempty"`
+	// Elapsed is wall time since the run loop started; it is stamped by
+	// the loop, not the stepper, so snapshots stay deterministic.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Observer consumes per-generation telemetry. Implementations must be
+// fast or sample internally: they run on the evolution hot path.
+type Observer interface {
+	OnGeneration(Event)
+}
+
+// FuncObserver adapts a function to the Observer interface.
+type FuncObserver func(Event)
+
+// OnGeneration implements Observer.
+func (f FuncObserver) OnGeneration(ev Event) { f(ev) }
+
+// MultiObserver fans one event out to several observers in order.
+type MultiObserver []Observer
+
+// OnGeneration implements Observer.
+func (m MultiObserver) OnGeneration(ev Event) {
+	for _, o := range m {
+		o.OnGeneration(ev)
+	}
+}
+
+// Stepper is one generation-granular evolution process. The engine
+// never calls Step after Done reports true, and never calls Event
+// unless an observer is attached.
+type Stepper interface {
+	// Step advances one generation (for the gate-level driver: one
+	// bounded slice of clock cycles). It returns an error only on
+	// non-recoverable faults (livelock guards, broken state); normal
+	// termination is reported by Done.
+	Step() error
+	// Done reports whether the process has converged or exhausted its
+	// budget.
+	Done() bool
+	// Event returns the telemetry of the most recent generation.
+	Event() Event
+}
+
+// Run drives the stepper to completion: converged, budget exhausted,
+// stepper error, or context end — whichever comes first. The context is
+// checked before every generation, so cancellation takes effect within
+// one generation. With a nil observer the per-generation overhead is a
+// single channel poll.
+func Run(ctx context.Context, s Stepper, obs Observer) error {
+	return Steps(ctx, s, obs, -1)
+}
+
+// Steps is Run bounded to at most n generations (n < 0 means
+// unlimited). It returns nil when the stepper finished or the bound was
+// reached, the context's error on cancellation, or the stepper's error.
+func Steps(ctx context.Context, s Stepper, obs Observer, n int) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	for i := 0; (n < 0 || i < n) && !s.Done(); i++ {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+		if obs != nil {
+			ev := s.Event()
+			ev.Elapsed = time.Since(start)
+			obs.OnGeneration(ev)
+		}
+	}
+	return nil
+}

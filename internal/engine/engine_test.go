@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// countStepper runs for a fixed number of generations.
+type countStepper struct {
+	gen, limit int
+	failAt     int // Step error at this generation (0 = never)
+}
+
+func (s *countStepper) Step() error {
+	s.gen++
+	if s.failAt != 0 && s.gen == s.failAt {
+		return errors.New("boom")
+	}
+	return nil
+}
+func (s *countStepper) Done() bool { return s.gen >= s.limit }
+func (s *countStepper) Event() Event {
+	return Event{Generation: s.gen, BestEver: s.gen * 2}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	s := &countStepper{limit: 10}
+	var rec Recorder
+	if err := Run(context.Background(), s, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if s.gen != 10 {
+		t.Fatalf("ran %d generations, want 10", s.gen)
+	}
+	if rec.Len() != 10 {
+		t.Fatalf("observer saw %d events, want 10", rec.Len())
+	}
+	last, ok := rec.Last()
+	if !ok || last.Generation != 10 || last.BestEver != 20 {
+		t.Fatalf("last event %+v", last)
+	}
+	if last.Elapsed < 0 {
+		t.Fatal("elapsed not stamped")
+	}
+}
+
+func TestRunNilObserverAndNilContext(t *testing.T) {
+	s := &countStepper{limit: 5}
+	if err := Run(nil, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.gen != 5 {
+		t.Fatalf("ran %d generations, want 5", s.gen)
+	}
+}
+
+func TestRunCancellationStopsWithinOneGeneration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &countStepper{limit: 1000}
+	stopAt := 7
+	obs := FuncObserver(func(ev Event) {
+		if ev.Generation == stopAt {
+			cancel()
+		}
+	})
+	err := Run(ctx, s, obs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.gen != stopAt {
+		t.Fatalf("stopped at generation %d, want exactly %d (within one generation)", s.gen, stopAt)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &countStepper{limit: 10}
+	if err := Run(ctx, s, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.gen != 0 {
+		t.Fatalf("stepped %d times on a dead context", s.gen)
+	}
+}
+
+func TestRunStepError(t *testing.T) {
+	s := &countStepper{limit: 10, failAt: 3}
+	err := Run(context.Background(), s, nil)
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if s.gen != 3 {
+		t.Fatalf("stopped at %d, want 3", s.gen)
+	}
+}
+
+func TestStepsBound(t *testing.T) {
+	s := &countStepper{limit: 100}
+	if err := Steps(context.Background(), s, nil, 7); err != nil {
+		t.Fatal(err)
+	}
+	if s.gen != 7 {
+		t.Fatalf("ran %d generations, want 7", s.gen)
+	}
+	// Resuming with the remaining budget completes the run.
+	if err := Steps(context.Background(), s, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if s.gen != 100 {
+		t.Fatalf("ran %d generations, want 100", s.gen)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b Recorder
+	s := &countStepper{limit: 3}
+	if err := Run(context.Background(), s, MultiObserver{&a, &b}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("observers saw %d/%d events", a.Len(), b.Len())
+	}
+}
+
+func TestRecorderStride(t *testing.T) {
+	rec := Recorder{Every: 4}
+	for i := 1; i <= 10; i++ {
+		rec.OnGeneration(Event{Generation: i})
+	}
+	evs := rec.Events()
+	// Generations 1, 5, 9 by stride, plus the final generation 10.
+	want := []int{1, 5, 9, 10}
+	if len(evs) != len(want) {
+		t.Fatalf("recorded %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		if evs[i].Generation != w {
+			t.Fatalf("event %d generation %d, want %d", i, evs[i].Generation, w)
+		}
+	}
+	if rec.Len() != 10 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+}

@@ -1,0 +1,40 @@
+package engine
+
+// Recorder is an Observer that keeps per-generation events for later
+// inspection — the trace behind cmd/evolve --progress and the -json
+// trace output. Every is the sampling stride (0 or 1 records every
+// generation); the most recent event is always retained regardless of
+// the stride, so Last reflects the true end state.
+type Recorder struct {
+	// Every records one event per Every generations (0/1 = all).
+	Every int
+
+	events []Event
+	last   Event
+	seen   int
+}
+
+// OnGeneration implements Observer.
+func (r *Recorder) OnGeneration(ev Event) {
+	r.seen++
+	r.last = ev
+	if r.Every <= 1 || (r.seen-1)%r.Every == 0 {
+		r.events = append(r.events, ev)
+	}
+}
+
+// Events returns the recorded trace. The final generation is appended
+// if the stride skipped it, so the trace always ends on the end state.
+func (r *Recorder) Events() []Event {
+	if n := len(r.events); r.seen > 0 && (n == 0 || r.events[n-1] != r.last) {
+		return append(r.events[:n:n], r.last)
+	}
+	return r.events
+}
+
+// Last returns the most recent event and whether any event was seen.
+func (r *Recorder) Last() (Event, bool) { return r.last, r.seen > 0 }
+
+// Len returns how many generations were observed (not how many were
+// retained).
+func (r *Recorder) Len() int { return r.seen }

@@ -8,6 +8,7 @@
 package evolve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -235,64 +236,11 @@ func (c Config) Validate() error {
 const defaultMaxEvals = 10_000_000
 
 // Run executes the GA until the target fitness is found or the
-// evaluation budget is exhausted.
+// evaluation budget is exhausted. It is RunCtx (search.go) without
+// cancellation or observation; the generation loop itself lives in
+// Search.Step.
 func Run(f Fitness, target int, cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	maxEvals := cfg.MaxEvaluations
-	if maxEvals == 0 {
-		maxEvals = defaultMaxEvals
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pop := make([]genome.Genome, cfg.PopulationSize)
-	fits := make([]int, cfg.PopulationSize)
-	var res Result
-	res.BestFitness = -1
-	eval := func(g genome.Genome) int {
-		res.Evaluations++
-		v := f(g)
-		if v > res.BestFitness {
-			res.Best, res.BestFitness = g, v
-		}
-		return v
-	}
-	for i := range pop {
-		pop[i] = genome.Genome(rng.Uint64()) & genome.Mask
-		fits[i] = eval(pop[i])
-	}
-	for res.BestFitness < target && res.Evaluations < maxEvals {
-		next := make([]genome.Genome, 0, cfg.PopulationSize)
-		// Elites survive unchanged.
-		if cfg.Elitism > 0 {
-			idx := make([]int, len(pop))
-			for i := range idx {
-				idx[i] = i
-			}
-			sort.SliceStable(idx, func(a, b int) bool { return fits[idx[a]] > fits[idx[b]] })
-			for i := 0; i < cfg.Elitism; i++ {
-				next = append(next, pop[idx[i]])
-			}
-		}
-		for len(next) < cfg.PopulationSize {
-			a := pop[cfg.Selection.Select(rng, fits)]
-			b := pop[cfg.Selection.Select(rng, fits)]
-			if rng.Float64() < cfg.CrossoverRate {
-				a, b = cfg.Crossover.Cross(rng, a, b)
-			}
-			next = append(next, mutate(rng, a, cfg.MutationRate))
-			if len(next) < cfg.PopulationSize {
-				next = append(next, mutate(rng, b, cfg.MutationRate))
-			}
-		}
-		pop = next
-		for i := range pop {
-			fits[i] = eval(pop[i])
-		}
-		res.Generations++
-	}
-	res.Converged = res.BestFitness >= target
-	return res, nil
+	return RunCtx(context.Background(), f, target, cfg, nil)
 }
 
 func mutate(rng *rand.Rand, g genome.Genome, rate float64) genome.Genome {

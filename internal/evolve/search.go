@@ -1,0 +1,141 @@
+package evolve
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/genome"
+)
+
+// Search is the software GA restructured as an engine.Stepper: NewSearch
+// performs exactly the initialization Run always did (same seeded RNG,
+// same draw order), and each Step is one generation of the exact loop
+// body, so driving a Search through the engine reproduces the legacy
+// Run trajectories bit for bit while adding cancellation, stepping, and
+// observation.
+type Search struct {
+	cfg      Config
+	f        Fitness
+	target   int
+	maxEvals int
+	rng      *rand.Rand
+	pop      []genome.Genome
+	fits     []int
+	res      Result
+}
+
+// NewSearch validates the configuration, seeds the RNG, and generates
+// and evaluates the initial population.
+func NewSearch(f Fitness, target int, cfg Config) (*Search, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxEvals := cfg.MaxEvaluations
+	if maxEvals == 0 {
+		maxEvals = defaultMaxEvals
+	}
+	s := &Search{
+		cfg:      cfg,
+		f:        f,
+		target:   target,
+		maxEvals: maxEvals,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pop:      make([]genome.Genome, cfg.PopulationSize),
+		fits:     make([]int, cfg.PopulationSize),
+	}
+	s.res.BestFitness = -1
+	for i := range s.pop {
+		s.pop[i] = genome.Genome(s.rng.Uint64()) & genome.Mask
+		s.fits[i] = s.eval(s.pop[i])
+	}
+	return s, nil
+}
+
+func (s *Search) eval(g genome.Genome) int {
+	s.res.Evaluations++
+	v := s.f(g)
+	if v > s.res.BestFitness {
+		s.res.Best, s.res.BestFitness = g, v
+	}
+	return v
+}
+
+// Step implements engine.Stepper: one generation — elitism, selection,
+// crossover, mutation, then evaluation of the new population.
+func (s *Search) Step() error {
+	cfg := s.cfg
+	next := make([]genome.Genome, 0, cfg.PopulationSize)
+	// Elites survive unchanged.
+	if cfg.Elitism > 0 {
+		idx := make([]int, len(s.pop))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return s.fits[idx[a]] > s.fits[idx[b]] })
+		for i := 0; i < cfg.Elitism; i++ {
+			next = append(next, s.pop[idx[i]])
+		}
+	}
+	for len(next) < cfg.PopulationSize {
+		a := s.pop[cfg.Selection.Select(s.rng, s.fits)]
+		b := s.pop[cfg.Selection.Select(s.rng, s.fits)]
+		if s.rng.Float64() < cfg.CrossoverRate {
+			a, b = cfg.Crossover.Cross(s.rng, a, b)
+		}
+		next = append(next, mutate(s.rng, a, cfg.MutationRate))
+		if len(next) < cfg.PopulationSize {
+			next = append(next, mutate(s.rng, b, cfg.MutationRate))
+		}
+	}
+	s.pop = next
+	for i := range s.pop {
+		s.fits[i] = s.eval(s.pop[i])
+	}
+	s.res.Generations++
+	return nil
+}
+
+// Done implements engine.Stepper, mirroring the legacy loop condition.
+func (s *Search) Done() bool {
+	return s.res.BestFitness >= s.target || s.res.Evaluations >= s.maxEvals
+}
+
+// Event implements engine.Stepper.
+func (s *Search) Event() engine.Event {
+	best, sum := s.fits[0], 0
+	for _, f := range s.fits {
+		if f > best {
+			best = f
+		}
+		sum += f
+	}
+	return engine.Event{
+		Generation:  s.res.Generations,
+		BestFitness: best,
+		BestEver:    s.res.BestFitness,
+		MeanFitness: float64(sum) / float64(len(s.fits)),
+		Evaluations: s.res.Evaluations,
+	}
+}
+
+// Result reports the search outcome so far; valid at any generation
+// boundary, including after a cancelled run.
+func (s *Search) Result() Result {
+	res := s.res
+	res.Converged = res.BestFitness >= s.target
+	return res
+}
+
+// RunCtx executes the GA under ctx, reporting each generation to obs
+// (nil for none). On cancellation it returns the context's error
+// together with a valid partial Result.
+func RunCtx(ctx context.Context, f Fitness, target int, cfg Config, obs engine.Observer) (Result, error) {
+	s, err := NewSearch(f, target, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	err = engine.Run(ctx, s, obs)
+	return s.Result(), err
+}

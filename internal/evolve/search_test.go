@@ -1,0 +1,78 @@
+package evolve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/fitness"
+)
+
+// TestSearchStepMatchesRun pins the restructuring: stepping a Search
+// by hand computes the same result as Run on the same seed.
+func TestSearchStepMatchesRun(t *testing.T) {
+	ev := fitness.New()
+	f := ev.Func()
+	cfg := DefaultConfig(17)
+	cfg.MaxEvaluations = 50_000
+
+	ref, err := Run(f, ev.Max(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSearch(f, ev.Max(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Result(); got != ref {
+		t.Fatalf("stepped search %+v, Run %+v", got, ref)
+	}
+}
+
+func TestSearchCancellation(t *testing.T) {
+	ev := fitness.New()
+	cfg := DefaultConfig(3)
+	// Unreachable target so only cancellation can stop the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 10
+	obs := engine.FuncObserver(func(evt engine.Event) {
+		if evt.Generation == stopAt {
+			cancel()
+		}
+	})
+	res, err := RunCtx(ctx, ev.Func(), ev.Max()+1, cfg, obs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Generations != stopAt {
+		t.Fatalf("stopped at generation %d, want %d", res.Generations, stopAt)
+	}
+	if res.Converged || res.Evaluations == 0 || res.BestFitness < 0 {
+		t.Fatalf("partial result malformed: %+v", res)
+	}
+}
+
+func TestSearchEventTelemetry(t *testing.T) {
+	ev := fitness.New()
+	cfg := DefaultConfig(5)
+	cfg.MaxEvaluations = 32 * 11 // init + 10 generations
+	var rec engine.Recorder
+	res, err := RunCtx(context.Background(), ev.Func(), ev.Max()+1, cfg, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, ok := rec.Last()
+	if !ok {
+		t.Fatal("no events observed")
+	}
+	if last.Generation != res.Generations || last.Evaluations != res.Evaluations ||
+		last.BestEver != res.BestFitness {
+		t.Fatalf("final event %+v disagrees with result %+v", last, res)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,7 +36,7 @@ func (d distanceObjective) Max() int { return d.target }
 // walkers, and — decisively — the wall-clock cost on the physical
 // robot ("the robot ... needs to try a genome for about five seconds
 // ... This time is too long to be used in our case").
-func A4DistanceFitness(cfg Config) Table {
+func A4DistanceFitness(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:    "A4",
 		Title: "Rule fitness vs on-robot distance fitness (the paper's rejected 'first idea')",
@@ -51,20 +52,26 @@ func A4DistanceFitness(cfg Config) Table {
 		gens, evals float64
 		dist        float64
 	}
-	ruleOuts := mapSeeds(n, func(i int) outcome {
+	ruleOuts, err := mapSeeds(ctx, cfg, n, func(i int) (outcome, error) {
 		p := gap.PaperParams(cfg.BaseSeed + 11000 + uint64(i))
 		g, err := gap.New(p)
 		if err != nil {
-			panic(err)
+			return outcome{}, err
 		}
-		r := g.Run()
+		r, err := g.RunCtx(ctx, nil)
+		if err != nil {
+			return outcome{}, err
+		}
 		return outcome{
 			converged: r.Converged,
 			gens:      float64(r.Generations),
 			evals:     float64(g.Ops().Evaluations),
 			dist:      robot.Walk(r.Best, robot.Trial{Cycles: trialCycles}).DistanceMM,
-		}
+		}, nil
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	var gens, evals, dist []float64
 	conv := 0
 	for _, o := range ruleOuts {
@@ -86,22 +93,28 @@ func A4DistanceFitness(cfg Config) Table {
 
 	// On-robot distance evolution (the rejected idea), seeds in
 	// parallel.
-	outs := mapSeeds(n, func(i int) outcome {
+	outs, err := mapSeeds(ctx, cfg, n, func(i int) (outcome, error) {
 		p := gap.PaperParams(cfg.BaseSeed + 12000 + uint64(i))
 		p.Objective = distanceObjective{target: tripodScore}
 		p.MaxGenerations = 3000
 		g, err := gap.New(p)
 		if err != nil {
-			panic(err)
+			return outcome{}, err
 		}
-		r := g.Run()
+		r, err := g.RunCtx(ctx, nil)
+		if err != nil {
+			return outcome{}, err
+		}
 		return outcome{
 			converged: r.Converged,
 			gens:      float64(r.Generations),
 			evals:     float64(g.Ops().Evaluations),
 			dist:      robot.Walk(r.Best, robot.Trial{Cycles: trialCycles}).DistanceMM,
-		}
+		}, nil
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	gens, evals, dist = nil, nil, nil
 	conv = 0
 	for _, o := range outs {
@@ -122,5 +135,5 @@ func A4DistanceFitness(cfg Config) Table {
 	t.Note("on-robot fitness needs %.0f s of physical walking per genome; at %.0f evaluations per run "+
 		"that is %s of robot time — the quantitative version of the paper's reason for defining fitness "+
 		"'only in terms of logic computations'.", robotTrialSeconds, es.Mean, fmtDuration(robotTime))
-	return t
+	return t, nil
 }

@@ -1,12 +1,25 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 )
 
 var testCfg = Config{Runs: 6, BaseSeed: 1}
+
+// runExp executes one experiment under a background context and fails
+// the test on error.
+func runExp(t *testing.T, f Experiment, cfg Config) Table {
+	t.Helper()
+	tb, err := f(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
 
 func TestTableRendering(t *testing.T) {
 	tb := Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
@@ -22,7 +35,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestE1Parameters(t *testing.T) {
-	tb := E1Parameters(testCfg)
+	tb := runExp(t, E1Parameters, testCfg)
 	if len(tb.Rows) != 6 {
 		t.Fatalf("E1 rows = %d", len(tb.Rows))
 	}
@@ -42,7 +55,7 @@ func TestE1Parameters(t *testing.T) {
 }
 
 func TestE2Generations(t *testing.T) {
-	tb := E2Generations(testCfg)
+	tb := runExp(t, E2Generations, testCfg)
 	if got := cell(t, tb, "runs converged", 2); got != "6/6" {
 		t.Fatalf("converged = %q", got)
 	}
@@ -54,7 +67,7 @@ func TestE2Generations(t *testing.T) {
 }
 
 func TestE3Time(t *testing.T) {
-	tb := E3Time(testCfg)
+	tb := runExp(t, E3Time, testCfg)
 	if got := cell(t, tb, "exhaustive 2^36 @1MHz", 2); !strings.Contains(got, "h") {
 		t.Fatalf("exhaustive duration = %q", got)
 	}
@@ -66,7 +79,7 @@ func TestE3Time(t *testing.T) {
 }
 
 func TestE4Resources(t *testing.T) {
-	tb := E4Resources(testCfg)
+	tb := runExp(t, E4Resources, testCfg)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("E4 rows = %d", len(tb.Rows))
 	}
@@ -82,7 +95,7 @@ func TestE4Resources(t *testing.T) {
 }
 
 func TestE5WalkQuality(t *testing.T) {
-	tb := E5WalkQuality(testCfg)
+	tb := runExp(t, E5WalkQuality, testCfg)
 	if len(tb.Rows) != 2 {
 		t.Fatalf("E5 rows = %d", len(tb.Rows))
 	}
@@ -96,7 +109,7 @@ func TestE5WalkQuality(t *testing.T) {
 }
 
 func TestF3ClosedLoop(t *testing.T) {
-	tb := F3ClosedLoop(testCfg)
+	tb := runExp(t, F3ClosedLoop, testCfg)
 	if len(tb.Rows) < 2 {
 		t.Fatalf("F3 rows = %d", len(tb.Rows))
 	}
@@ -110,7 +123,7 @@ func TestF3ClosedLoop(t *testing.T) {
 }
 
 func TestF4Controller(t *testing.T) {
-	tb := F4Controller(testCfg)
+	tb := runExp(t, F4Controller, testCfg)
 	if len(tb.Rows) != 6 {
 		t.Fatalf("F4 rows = %d", len(tb.Rows))
 	}
@@ -123,7 +136,7 @@ func TestF4Controller(t *testing.T) {
 }
 
 func TestF5Pipeline(t *testing.T) {
-	tb := F5Pipeline(testCfg)
+	tb := runExp(t, F5Pipeline, testCfg)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("F5 rows = %d", len(tb.Rows))
 	}
@@ -145,7 +158,7 @@ func TestF5Pipeline(t *testing.T) {
 }
 
 func TestA1RuleAblation(t *testing.T) {
-	tb := A1RuleAblation(Config{Runs: 4, BaseSeed: 1})
+	tb := runExp(t, A1RuleAblation, Config{Runs: 4, BaseSeed: 1})
 	if len(tb.Rows) != 7 {
 		t.Fatalf("A1 rows = %d", len(tb.Rows))
 	}
@@ -155,14 +168,14 @@ func TestA1RuleAblation(t *testing.T) {
 }
 
 func TestA2Baselines(t *testing.T) {
-	tb := A2Baselines(Config{Runs: 4, BaseSeed: 1})
+	tb := runExp(t, A2Baselines, Config{Runs: 4, BaseSeed: 1})
 	if len(tb.Rows) != 6 {
 		t.Fatalf("A2 rows = %d", len(tb.Rows))
 	}
 }
 
 func TestX1BigGenome(t *testing.T) {
-	tb := X1BigGenome(Config{Runs: 3, BaseSeed: 1})
+	tb := runExp(t, X1BigGenome, Config{Runs: 3, BaseSeed: 1})
 	if got := cell(t, tb, "search space", 2); got != "2^72" {
 		t.Fatalf("search space = %q", got)
 	}
@@ -202,7 +215,7 @@ func TestA3ParamSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parameter sweep is slow")
 	}
-	tb := A3ParamSweep(Config{Runs: 2, BaseSeed: 1})
+	tb := runExp(t, A3ParamSweep, Config{Runs: 2, BaseSeed: 1})
 	if len(tb.Rows) != 14 {
 		t.Fatalf("A3 rows = %d", len(tb.Rows))
 	}
@@ -214,7 +227,7 @@ func TestA3ParamSweep(t *testing.T) {
 }
 
 func TestA4DistanceFitness(t *testing.T) {
-	tb := A4DistanceFitness(Config{Runs: 2, BaseSeed: 1})
+	tb := runExp(t, A4DistanceFitness, Config{Runs: 2, BaseSeed: 1})
 	if len(tb.Rows) != 2 {
 		t.Fatalf("A4 rows = %d", len(tb.Rows))
 	}
@@ -228,7 +241,7 @@ func TestA4DistanceFitness(t *testing.T) {
 }
 
 func TestA5Processor(t *testing.T) {
-	tb := A5Processor(Config{Runs: 3, BaseSeed: 1})
+	tb := runExp(t, A5Processor, Config{Runs: 3, BaseSeed: 1})
 	if len(tb.Rows) != 2 {
 		t.Fatalf("A5 rows = %d", len(tb.Rows))
 	}
@@ -240,7 +253,7 @@ func TestA5Processor(t *testing.T) {
 }
 
 func TestA6FaultRecovery(t *testing.T) {
-	tb := A6FaultRecovery(Config{Runs: 2, BaseSeed: 1})
+	tb := runExp(t, A6FaultRecovery, Config{Runs: 2, BaseSeed: 1})
 	if len(tb.Rows) != 4 {
 		t.Fatalf("A6 rows = %d", len(tb.Rows))
 	}
@@ -256,13 +269,52 @@ func TestA6FaultRecovery(t *testing.T) {
 }
 
 func TestMapSeedsOrderAndCoverage(t *testing.T) {
-	out := mapSeeds(50, func(i int) int { return i * i })
+	ctx := context.Background()
+	out, err := mapSeeds(ctx, testCfg, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range out {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
 	}
-	if len(mapSeeds(0, func(int) int { return 1 })) != 0 {
-		t.Fatal("n=0 should return empty")
+	empty, err := mapSeeds(ctx, testCfg, 0, func(int) (int, error) { return 1, nil })
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("n=0 should return empty, got %v, %v", empty, err)
+	}
+}
+
+func TestMapSeedsErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := mapSeeds(context.Background(), testCfg, 20, func(i int) (int, error) {
+		if i == 7 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestMapSeedsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := mapSeeds(ctx, Config{Workers: 2}, 100, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAllStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tables, err := All(ctx, Config{Runs: 2, BaseSeed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(tables) != 0 {
+		t.Fatalf("cancelled before the first experiment, got %d tables", len(tables))
 	}
 }

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"leonardo/internal/engine"
 	"leonardo/internal/evolve"
 	"leonardo/internal/fitness"
 	"leonardo/internal/fpga"
@@ -22,6 +24,9 @@ type Config struct {
 	Runs int
 	// BaseSeed offsets all seeds for independence between experiments.
 	BaseSeed uint64
+	// Workers bounds the number of concurrent seeded runs per sweep
+	// (<= 0 means runtime.GOMAXPROCS(0)).
+	Workers int
 }
 
 // DefaultConfig is the full-report effort level.
@@ -37,34 +42,38 @@ func (c Config) runs() int {
 	return c.Runs
 }
 
-// runPaper executes one behavioural GAP run at the paper's parameters.
-func runPaper(seed uint64) gap.Result {
+// runPaper executes one behavioural GAP run at the paper's parameters,
+// stopping early (with the context's error) if ctx ends mid-run.
+func runPaper(ctx context.Context, seed uint64) (gap.Result, error) {
 	p := gap.PaperParams(seed)
 	g, err := gap.New(p)
 	if err != nil {
-		panic(err)
+		return gap.Result{}, err
 	}
-	return g.Run()
+	return g.RunCtx(ctx, nil)
 }
 
 // generationSample collects generations-to-convergence over n seeds,
 // running the seeds in parallel.
-func generationSample(cfg Config, n int) []float64 {
-	results := mapSeeds(n, func(i int) gap.Result {
-		return runPaper(cfg.BaseSeed + uint64(i))
+func generationSample(ctx context.Context, cfg Config, n int) ([]float64, error) {
+	results, err := mapSeeds(ctx, cfg, n, func(i int) (gap.Result, error) {
+		return runPaper(ctx, cfg.BaseSeed+uint64(i))
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, 0, n)
 	for _, r := range results {
 		if r.Converged {
 			out = append(out, float64(r.Generations))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // E1Parameters reproduces the §3.3 parameter list and verifies the
 // realized operator rates against the configured thresholds.
-func E1Parameters(cfg Config) Table {
+func E1Parameters(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E1",
 		Title:  "GAP parameters (paper §3.3) and realized operator rates",
@@ -75,9 +84,11 @@ func E1Parameters(cfg Config) Table {
 	p.Objective = unreachableObjective{}
 	g, err := gap.New(p)
 	if err != nil {
-		panic(err)
+		return Table{}, err
 	}
-	g.Run()
+	if _, err := g.RunCtx(ctx, nil); err != nil {
+		return Table{}, err
+	}
 	ops := g.Ops()
 	keep := float64(ops.KeptBetter) / float64(ops.Tournaments)
 	xov := float64(ops.Crossed) / float64(ops.Pairs)
@@ -94,7 +105,7 @@ func E1Parameters(cfg Config) Table {
 	t.AddRow("clock frequency", "1 MHz", "1 MHz (cycle model)", "-")
 	t.Note("thresholds are realized as 8-bit comparators: 0.8 -> 205/256 = %.4f, 0.7 -> 179/256 = %.4f",
 		205.0/256, 179.0/256)
-	return t
+	return t, nil
 }
 
 type unreachableObjective struct{}
@@ -106,13 +117,16 @@ func (unreachableObjective) Max() int { return fitness.New().Max() + 1 }
 
 // E2Generations reproduces "To evolve the maximum fitness it needs an
 // average of about 2000 generations".
-func E2Generations(cfg Config) Table {
+func E2Generations(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E2",
 		Title:  "Generations to reach maximum fitness",
 		Header: []string{"quantity", "paper", "measured"},
 	}
-	sample := generationSample(cfg, cfg.runs())
+	sample, err := generationSample(ctx, cfg, cfg.runs())
+	if err != nil {
+		return Table{}, err
+	}
 	s := stats.Summarize(sample)
 	t.AddRow("runs converged", "-", fmt.Sprintf("%d/%d", s.N, cfg.runs()))
 	t.AddRow("mean generations", "~2000", fmt.Sprintf("%.0f (95%% CI [%.0f, %.0f])", s.Mean, s.CI95Lo, s.CI95Hi))
@@ -123,18 +137,21 @@ func E2Generations(cfg Config) Table {
 		"with our equal-weight scoring the max-fitness family has 86436 members (1.3e-6 of the space) " +
 		"and the GAP finds one in O(10^2) generations. The qualitative claim (O(10^2..10^3) generations, " +
 		"far below exhaustive search) holds; see E3.")
-	return t
+	return t, nil
 }
 
 // E3Time reproduces "the average time needed is only about 10 minutes"
 // versus "about 19 hours" for exhaustive search at 1 MHz.
-func E3Time(cfg Config) Table {
+func E3Time(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E3",
 		Title:  "Evolution time at 1 MHz vs exhaustive search",
 		Header: []string{"quantity", "paper", "measured/modelled"},
 	}
-	sample := generationSample(cfg, cfg.runs())
+	sample, err := generationSample(ctx, cfg, cfg.runs())
+	if err != nil {
+		return Table{}, err
+	}
 	s := stats.Summarize(sample)
 	timing := gap.PaperTiming()
 	meanGens := int(s.Mean + 0.5)
@@ -153,7 +170,7 @@ func E3Time(cfg Config) Table {
 	t.Note("our word-parallel datapath needs ~%d cycles/generation where the paper's arithmetic implies ~300k; "+
 		"the winner and the orders-of-magnitude gap to exhaustive search are preserved under either cycle model.",
 		timing.CyclesPerGeneration())
-	return t
+	return t, nil
 }
 
 func fmtDuration(d time.Duration) string {
@@ -171,7 +188,7 @@ func fmtDuration(d time.Duration) string {
 
 // E4Resources reproduces "The complete system ... uses 96 percent of
 // the available CLBs, i.e. 1244 CLBs".
-func E4Resources(cfg Config) Table {
+func E4Resources(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E4",
 		Title:  "XC4036EX resource usage of the complete system",
@@ -186,7 +203,7 @@ func E4Resources(cfg Config) Table {
 	} {
 		sys, err := gapcirc.BuildSystem(gap.PaperParams(cfg.BaseSeed), v.opts, 0)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		r := fpga.Map(sys.Core.Circuit, fpga.XC4036EX)
 		t.AddRow(v.name, r.LUTs, r.FFs, r.RAMBits, r.TotalCLBs,
@@ -196,13 +213,13 @@ func E4Resources(cfg Config) Table {
 	t.Note("the paper's figure sits inside the bracket formed by our idealized CLB-RAM mapping " +
 		"(lower bound: perfect packing, free routing) and the register-file variant (upper bound); " +
 		"the qualitative claim — the whole evolvable system fits one XC4036EX-class device — is reproduced.")
-	return t
+	return t, nil
 }
 
 // E5WalkQuality reproduces "the walking behavior found with the
 // maximum fitness respecting all these rules is nonetheless good":
 // evolved champions must actually walk in the kinematic simulator.
-func E5WalkQuality(cfg Config) Table {
+func E5WalkQuality(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E5",
 		Title:  "Walk quality of evolved maximum-fitness gaits (5 cycles, kinematic simulator)",
@@ -219,13 +236,19 @@ func E5WalkQuality(cfg Config) Table {
 		ok bool
 		m  robot.Metrics
 	}
-	outs := mapSeeds(n, func(i int) outcome {
-		r := runPaper(cfg.BaseSeed + 1000 + uint64(i))
-		if !r.Converged {
-			return outcome{}
+	outs, err := mapSeeds(ctx, cfg, n, func(i int) (outcome, error) {
+		r, err := runPaper(ctx, cfg.BaseSeed+1000+uint64(i))
+		if err != nil {
+			return outcome{}, err
 		}
-		return outcome{ok: true, m: robot.Walk(r.Best, trial)}
+		if !r.Converged {
+			return outcome{}, nil
+		}
+		return outcome{ok: true, m: robot.Walk(r.Best, trial)}, nil
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	var dist, falls, margins []float64
 	forward := 0
 	for _, o := range outs {
@@ -251,13 +274,13 @@ func E5WalkQuality(cfg Config) Table {
 		"equilibrium rule only forbids three raised legs on the SAME side, so 2+2 raised postures pass the " +
 		"rule yet leave a 2-leg support; the body then settles onto its raised feet (15 mm clearance) and " +
 		"keeps walking at StumbleEfficiency. The tripod-family subset of the max-fitness set is stumble-free.")
-	return t
+	return t, nil
 }
 
 // F3ClosedLoop exercises the Fig. 3 architecture end to end: as
 // evolution proceeds, the best individual handed to the walking
 // controller walks further.
-func F3ClosedLoop(cfg Config) Table {
+func F3ClosedLoop(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F3",
 		Title:  "Closed loop (Fig. 3): walking quality of the best individual vs generation",
@@ -267,12 +290,12 @@ func F3ClosedLoop(cfg Config) Table {
 	p.MaxGenerations = 100000
 	g, err := gap.New(p)
 	if err != nil {
-		panic(err)
+		return Table{}, err
 	}
 	checkpoints := []int{0, 5, 10, 20, 50, 100, 200, 400, 800}
 	for _, cp := range checkpoints {
-		for g.GenerationNumber() < cp && !g.Converged() {
-			g.Generation()
+		if err := engine.Steps(ctx, g, nil, cp-g.GenerationNumber()); err != nil {
+			return Table{}, err
 		}
 		best, fit := g.Best()
 		m := robot.Walk(best, robot.Trial{Cycles: 5})
@@ -284,12 +307,12 @@ func F3ClosedLoop(cfg Config) Table {
 	}
 	t.Note("the best individual is handed to the configurable walking controller after each checkpoint, " +
 		"as the GAP does on chip (Fig. 3).")
-	return t
+	return t, nil
 }
 
 // F4Controller reproduces the Fig. 4 walking-controller breakdown:
 // the micro-movement sequence and the PWM widths of the 12 channels.
-func F4Controller(cfg Config) Table {
+func F4Controller(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F4",
 		Title:  "Walking controller (Fig. 4): tripod gait phase table and servo pulses",
@@ -300,7 +323,7 @@ func F4Controller(cfg Config) Table {
 		t.AddRow(row[0], row[1], row[2], row[3], row[4])
 	}
 	t.Note("12 servo channels (2 per leg); PWM frame 20 ms, pulse 1.0-2.0 ms at the 1 MHz clock.")
-	return t
+	return t, nil
 }
 
 func controllerTrace() [][]string {
@@ -319,7 +342,7 @@ func controllerTrace() [][]string {
 
 // A1RuleAblation evolves with subsets of the three rules and walks the
 // champions: which rules are load-bearing for actual walking.
-func A1RuleAblation(cfg Config) Table {
+func A1RuleAblation(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "A1",
 		Title:  "Rule ablation: evolve with rule subsets, walk the champions",
@@ -345,20 +368,26 @@ func A1RuleAblation(cfg Config) Table {
 			gens float64
 			m    robot.Metrics
 		}
-		outs := mapSeeds(n, func(i int) outcome {
+		outs, err := mapSeeds(ctx, cfg, n, func(i int) (outcome, error) {
 			p := gap.PaperParams(cfg.BaseSeed + 2000 + uint64(i))
 			p.Objective = ev
 			g, err := gap.New(p)
 			if err != nil {
-				panic(err)
+				return outcome{}, err
 			}
-			r := g.Run()
+			r, err := g.RunCtx(ctx, nil)
+			if err != nil {
+				return outcome{}, err
+			}
 			if !r.Converged {
-				return outcome{}
+				return outcome{}, nil
 			}
 			return outcome{ok: true, gens: float64(r.Generations),
-				m: robot.Walk(r.Best, robot.Trial{Cycles: 5})}
+				m: robot.Walk(r.Best, robot.Trial{Cycles: 5})}, nil
 		})
+		if err != nil {
+			return Table{}, err
+		}
 		var gens, dist, falls []float64
 		forward := 0
 		for _, o := range outs {
@@ -379,13 +408,13 @@ func A1RuleAblation(cfg Config) Table {
 	}
 	t.Note("all three rules together are what make the evolved champions walk; single rules converge " +
 		"quickly to gaits that go nowhere or fall.")
-	return t
+	return t, nil
 }
 
 // A2Baselines compares the hardware-constrained GAP against a textbook
 // software GA, random search, a hill climber, and a budgeted
 // exhaustive scan.
-func A2Baselines(cfg Config) Table {
+func A2Baselines(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "A2",
 		Title:  "Search baselines under an equal evaluation budget",
@@ -414,42 +443,65 @@ func A2Baselines(cfg Config) Table {
 		return count, es
 	}
 
-	gapHits, gapEvals := collect(mapSeeds(n, func(i int) hit {
+	gapRuns, err := mapSeeds(ctx, cfg, n, func(i int) (hit, error) {
 		p := gap.PaperParams(cfg.BaseSeed + 3000 + uint64(i))
 		p.MaxGenerations = (budget - 32) / 32
 		g, err := gap.New(p)
 		if err != nil {
-			panic(err)
+			return hit{}, err
 		}
-		r := g.Run()
-		return hit{ok: r.Converged, evals: float64(g.Ops().Evaluations)}
-	}))
+		r, err := g.RunCtx(ctx, nil)
+		if err != nil {
+			return hit{}, err
+		}
+		return hit{ok: r.Converged, evals: float64(g.Ops().Evaluations)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	gapHits, gapEvals := collect(gapRuns)
 	t.AddRow("GAP (hardware operators)", rate(gapHits, n), meanOf(gapEvals), "tournament+1pt+15 flips, no elitism")
 
-	swHits, swEvals := collect(mapSeeds(n, func(i int) hit {
+	swRuns, err := mapSeeds(ctx, cfg, n, func(i int) (hit, error) {
 		c := evolve.DefaultConfig(int64(cfg.BaseSeed) + 4000 + int64(i))
 		c.MaxEvaluations = budget
-		r, err := evolve.Run(f, target, c)
+		r, err := evolve.RunCtx(ctx, f, target, c, nil)
 		if err != nil {
-			panic(err)
+			return hit{}, err
 		}
-		return hit{ok: r.Converged, evals: float64(r.Evaluations)}
-	}))
+		return hit{ok: r.Converged, evals: float64(r.Evaluations)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	swHits, swEvals := collect(swRuns)
 	t.AddRow("software GA (elitism, per-bit mutation)", rate(swHits, n), meanOf(swEvals), "textbook generational GA")
 
-	rsHits, rsEvals := collect(mapSeeds(n, func(i int) hit {
+	rsRuns, err := mapSeeds(ctx, cfg, n, func(i int) (hit, error) {
 		r := evolve.RandomSearch(f, target, budget, int64(cfg.BaseSeed)+5000+int64(i))
-		return hit{ok: r.Converged, evals: float64(r.Evaluations)}
-	}))
-	hcHits, hcEvals := collect(mapSeeds(n, func(i int) hit {
+		return hit{ok: r.Converged, evals: float64(r.Evaluations)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	hcRuns, err := mapSeeds(ctx, cfg, n, func(i int) (hit, error) {
 		r := evolve.HillClimber(f, target, budget, int64(cfg.BaseSeed)+6000+int64(i))
-		return hit{ok: r.Converged, evals: float64(r.Evaluations)}
-	}))
-	saHits, saEvals := collect(mapSeeds(n, func(i int) hit {
+		return hit{ok: r.Converged, evals: float64(r.Evaluations)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	saRuns, err := mapSeeds(ctx, cfg, n, func(i int) (hit, error) {
 		r := evolve.SimulatedAnnealing(f, target, budget,
 			evolve.DefaultAnnealConfig(int64(cfg.BaseSeed)+6500+int64(i)))
-		return hit{ok: r.Converged, evals: float64(r.Evaluations)}
-	}))
+		return hit{ok: r.Converged, evals: float64(r.Evaluations)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	rsHits, rsEvals := collect(rsRuns)
+	hcHits, hcEvals := collect(hcRuns)
+	saHits, saEvals := collect(saRuns)
 	t.AddRow("random search", rate(rsHits, n), meanOf(rsEvals), "uniform draws")
 	t.AddRow("hill climber (restarts)", rate(hcHits, n), meanOf(hcEvals), "first-improvement bit flips")
 	t.AddRow("simulated annealing", rate(saHits, n), meanOf(saEvals), "Metropolis bit flips, geometric cooling")
@@ -461,31 +513,41 @@ func A2Baselines(cfg Config) Table {
 	}
 	t.AddRow("exhaustive scan (budgeted)", rate(boolToInt(ex.Converged), 1), "-", exNote)
 	t.Note("budget %d evaluations per run, %d runs per method; full exhaustive search needs 2^36 ~ 6.9e10.", budget, n)
-	return t
+	return t, nil
 }
 
 // A3ParamSweep sweeps each GAP parameter around the paper's setting.
-func A3ParamSweep(cfg Config) Table {
+func A3ParamSweep(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "A3",
 		Title:  "Parameter sweeps around the paper's operating point (mean generations to max fitness)",
 		Header: []string{"parameter", "value", "converged", "mean gens", "mean @paper point"},
 	}
 	n := min(cfg.runs(), 25)
-	base := stats.Summarize(generationSample(Config{Runs: n, BaseSeed: cfg.BaseSeed + 7000}, n))
+	baseCfg := cfg
+	baseCfg.Runs = n
+	baseCfg.BaseSeed = cfg.BaseSeed + 7000
+	baseSample, err := generationSample(ctx, baseCfg, n)
+	if err != nil {
+		return Table{}, err
+	}
+	base := stats.Summarize(baseSample)
 	baseStr := fmt.Sprintf("%.0f", base.Mean)
 
-	sweep := func(name string, value string, mod func(*gap.Params)) {
-		results := mapSeeds(n, func(i int) gap.Result {
+	sweep := func(name string, value string, mod func(*gap.Params)) error {
+		results, err := mapSeeds(ctx, cfg, n, func(i int) (gap.Result, error) {
 			p := gap.PaperParams(cfg.BaseSeed + 8000 + uint64(i))
 			p.MaxGenerations = 20000 // stagnating settings stop here
 			mod(&p)
 			g, err := gap.New(p)
 			if err != nil {
-				panic(err)
+				return gap.Result{}, err
 			}
-			return g.Run()
+			return g.RunCtx(ctx, nil)
 		})
+		if err != nil {
+			return err
+		}
 		var sample []float64
 		conv := 0
 		for _, r := range results {
@@ -496,30 +558,39 @@ func A3ParamSweep(cfg Config) Table {
 		}
 		s := stats.Summarize(sample)
 		t.AddRow(name, value, fmt.Sprintf("%d/%d", conv, n), fmt.Sprintf("%.0f", s.Mean), baseStr)
+		return nil
 	}
 	for _, v := range []float64{0.5, 0.7, 0.9, 1.0} {
 		vv := v
-		sweep("selection threshold", fmt.Sprintf("%.1f", v), func(p *gap.Params) { p.SelectionThreshold = vv })
+		if err := sweep("selection threshold", fmt.Sprintf("%.1f", v), func(p *gap.Params) { p.SelectionThreshold = vv }); err != nil {
+			return Table{}, err
+		}
 	}
 	for _, v := range []float64{0.0, 0.3, 1.0} {
 		vv := v
-		sweep("crossover threshold", fmt.Sprintf("%.1f", v), func(p *gap.Params) { p.CrossoverThreshold = vv })
+		if err := sweep("crossover threshold", fmt.Sprintf("%.1f", v), func(p *gap.Params) { p.CrossoverThreshold = vv }); err != nil {
+			return Table{}, err
+		}
 	}
 	for _, v := range []int{0, 5, 30, 60} {
 		vv := v
-		sweep("mutations/generation", fmt.Sprint(v), func(p *gap.Params) { p.MutationsPerGeneration = vv })
+		if err := sweep("mutations/generation", fmt.Sprint(v), func(p *gap.Params) { p.MutationsPerGeneration = vv }); err != nil {
+			return Table{}, err
+		}
 	}
 	for _, v := range []int{8, 16, 64} {
 		vv := v
-		sweep("population size", fmt.Sprint(v), func(p *gap.Params) { p.PopulationSize = vv })
+		if err := sweep("population size", fmt.Sprint(v), func(p *gap.Params) { p.PopulationSize = vv }); err != nil {
+			return Table{}, err
+		}
 	}
-	return t
+	return t, nil
 }
 
 // F5Pipeline reproduces the Fig. 5 GAP breakdown claims: the
 // selection/crossover pipeline "decreases computation time by a factor
 // of about two" for that stage.
-func F5Pipeline(cfg Config) Table {
+func F5Pipeline(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F5",
 		Title:  "GAP pipeline (Fig. 5): cycle accounting",
@@ -535,15 +606,18 @@ func F5Pipeline(cfg Config) Table {
 	// Measure the real circuit.
 	core, err := gapcirc.Build(gap.PaperParams(cfg.BaseSeed))
 	if err != nil {
-		panic(err)
+		return Table{}, err
 	}
-	sim := core.Circuit.MustCompile()
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		return Table{}, err
+	}
 	if _, err := core.RunGenerations(sim, 1, 0); err != nil {
-		panic(err)
+		return Table{}, err
 	}
 	start := sim.Cycles()
 	if _, err := core.RunGenerations(sim, 11, 0); err != nil {
-		panic(err)
+		return Table{}, err
 	}
 	t.AddRow("gate-level measurement", fmt.Sprintf("%.0f", float64(sim.Cycles()-start)/10), "-",
 		"10-generation average on the simulated FPGA")
@@ -557,12 +631,15 @@ func F5Pipeline(cfg Config) Table {
 	}
 	bcore, err := gapcirc.Build(gap.PaperParams(cfg.BaseSeed))
 	if err != nil {
-		panic(err)
+		return Table{}, err
 	}
-	bsim := bcore.Circuit.MustCompile()
+	bsim, err := bcore.Circuit.Compile()
+	if err != nil {
+		return Table{}, err
+	}
 	lanes, err := bcore.RunSeeds(bsim, seeds, 11, 0)
 	if err != nil {
-		panic(err)
+		return Table{}, err
 	}
 	var perGen float64
 	for _, r := range lanes {
@@ -572,31 +649,41 @@ func F5Pipeline(cfg Config) Table {
 	t.AddRow(fmt.Sprintf("gate-level, %d seeds lane-packed", len(seeds)),
 		fmt.Sprintf("%.0f", perGen), "-",
 		fmt.Sprintf("11-generation average per seed (incl. init), one 64-lane simulator, %d clocks total", bsim.Cycles()))
-	return t
+	return t, nil
 }
 
 // X1BigGenome runs the paper's future-work scenario: bigger genomes
 // (4 walk steps, 72 bits).
-func X1BigGenome(cfg Config) Table {
+func X1BigGenome(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "X1",
 		Title:  "Future work: 72-bit (4-step) genomes",
 		Header: []string{"quantity", "36-bit (paper)", "72-bit (future work)"},
 	}
 	n := min(cfg.runs(), 20)
-	base := stats.Summarize(generationSample(Config{Runs: n, BaseSeed: cfg.BaseSeed + 9000}, n))
+	baseCfg := cfg
+	baseCfg.Runs = n
+	baseCfg.BaseSeed = cfg.BaseSeed + 9000
+	baseSample, err := generationSample(ctx, baseCfg, n)
+	if err != nil {
+		return Table{}, err
+	}
+	base := stats.Summarize(baseSample)
 
 	ly := genome.Layout{Steps: 4, Legs: 6}
-	results := mapSeeds(n, func(i int) gap.Result {
+	results, err := mapSeeds(ctx, cfg, n, func(i int) (gap.Result, error) {
 		p := gap.PaperParams(cfg.BaseSeed + 9500 + uint64(i))
 		p.Layout = ly
 		p.MaxGenerations = 100000
 		g, err := gap.New(p)
 		if err != nil {
-			panic(err)
+			return gap.Result{}, err
 		}
-		return g.Run()
+		return g.RunCtx(ctx, nil)
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	var sample, dist []float64
 	conv := 0
 	for _, r := range results {
@@ -616,28 +703,42 @@ func X1BigGenome(cfg Config) Table {
 	t.AddRow("champion mean distance (mm)", "-", fmt.Sprintf("%.0f", stats.Summarize(dist).Mean))
 	t.Note("the GAP generalizes unchanged to the bigger genome; generations grow sub-exponentially " +
 		"because the rule fitness stays decomposable.")
-	return t
+	return t, nil
 }
 
-// All runs every experiment in index order.
-func All(cfg Config) []Table {
-	return []Table{
-		E1Parameters(cfg),
-		E2Generations(cfg),
-		E3Time(cfg),
-		E4Resources(cfg),
-		E5WalkQuality(cfg),
-		F3ClosedLoop(cfg),
-		F4Controller(cfg),
-		F5Pipeline(cfg),
-		A1RuleAblation(cfg),
-		A2Baselines(cfg),
-		A3ParamSweep(cfg),
-		A4DistanceFitness(cfg),
-		A5Processor(cfg),
-		A6FaultRecovery(cfg),
-		X1BigGenome(cfg),
+// Experiment is one named experiment of the suite.
+type Experiment func(context.Context, Config) (Table, error)
+
+// All runs every experiment in index order, stopping at the first
+// error (including context cancellation); the tables completed so far
+// are returned alongside the error.
+func All(ctx context.Context, cfg Config) ([]Table, error) {
+	experiments := []Experiment{
+		E1Parameters,
+		E2Generations,
+		E3Time,
+		E4Resources,
+		E5WalkQuality,
+		F3ClosedLoop,
+		F4Controller,
+		F5Pipeline,
+		A1RuleAblation,
+		A2Baselines,
+		A3ParamSweep,
+		A4DistanceFitness,
+		A5Processor,
+		A6FaultRecovery,
+		X1BigGenome,
 	}
+	out := make([]Table, 0, len(experiments))
+	for _, f := range experiments {
+		t, err := f(ctx, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 func rate(hits, n int) string {

@@ -1,37 +1,18 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
+
+	"leonardo/internal/engine"
 )
 
 // mapSeeds evaluates f(0), ..., f(n-1) concurrently — each index is an
 // independent seeded run — and returns the results in index order, so
-// reports stay deterministic regardless of scheduling. A fixed pool of
-// min(GOMAXPROCS, n) workers pulls indices from an atomic counter, so
-// the goroutine count is bounded by the core count rather than by n.
-func mapSeeds[T any](n int, f func(i int) T) []T {
-	out := make([]T, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = f(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+// reports stay deterministic regardless of scheduling. It delegates to
+// the shared engine scheduler: cfg.Workers bounds the pool (<= 0 means
+// GOMAXPROCS), the context cancels the sweep between tasks, and the
+// first task error stops the sweep and is returned instead of panicking
+// inside a worker goroutine.
+func mapSeeds[T any](ctx context.Context, cfg Config, n int, f func(i int) (T, error)) ([]T, error) {
+	return engine.Map(ctx, cfg.Workers, n, f)
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // same genetic algorithm as firmware on the processor-based control
 // board (§2: the Khepera-derived card) and comparing cycle costs with
 // the evolvable-hardware GAP at the same 1 MHz clock.
-func A5Processor(cfg Config) Table {
+func A5Processor(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:    "A5",
 		Title: "Processor board vs evolvable hardware at 1 MHz (same GA, same parameters)",
@@ -24,13 +25,12 @@ func A5Processor(cfg Config) Table {
 	n := min(cfg.runs(), 15)
 
 	// Firmware GA on the MCU, seeds in parallel.
-	fw := mapSeeds(n, func(i int) mcu.GAResult {
-		res, err := mcu.RunGA(cfg.BaseSeed+13000+uint64(i), 100000)
-		if err != nil {
-			panic(err)
-		}
-		return res
+	fw, err := mapSeeds(ctx, cfg, n, func(i int) (mcu.GAResult, error) {
+		return mcu.RunGA(cfg.BaseSeed+13000+uint64(i), 100000)
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	var gens, cpg []float64
 	conv := 0
 	for _, res := range fw {
@@ -50,14 +50,17 @@ func A5Processor(cfg Config) Table {
 
 	// Evolvable hardware (behavioural generations, measured circuit
 	// cycle cost), seeds in parallel.
-	hwRuns := mapSeeds(n, func(i int) gap.Result {
+	hwRuns, err := mapSeeds(ctx, cfg, n, func(i int) (gap.Result, error) {
 		p := gap.PaperParams(cfg.BaseSeed + 14000 + uint64(i))
 		g, err := gap.New(p)
 		if err != nil {
-			panic(err)
+			return gap.Result{}, err
 		}
-		return g.Run()
+		return g.RunCtx(ctx, nil)
 	})
+	if err != nil {
+		return Table{}, err
+	}
 	gens = nil
 	conv = 0
 	for _, r := range hwRuns {
@@ -77,5 +80,5 @@ func A5Processor(cfg Config) Table {
 	t.Note("per generation the processor needs ~%.0fx the clock cycles of the dedicated logic: "+
 		"the fitness module alone costs hundreds of instructions in software but settles combinationally "+
 		"in hardware. This is the arithmetic behind the paper's decision to avoid processors.", ratio)
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"leonardo/internal/gait"
@@ -35,7 +36,7 @@ func (d damagedObjective) Max() int { return d.target }
 // promise of evolvable hardware — "a circuit that ... can modify its
 // functionality in order to find the right behavior" — applied to the
 // robot's own faults.
-func A6FaultRecovery(cfg Config) Table {
+func A6FaultRecovery(ctx context.Context, cfg Config) (Table, error) {
 	t := Table{
 		ID:     "A6",
 		Title:  "Fault recovery: leg failure, fixed gait vs re-evolved gait (distance, 5 cycles)",
@@ -54,8 +55,8 @@ func A6FaultRecovery(cfg Config) Table {
 	// still holds the pre-fault champion).
 	n := min(cfg.runs(), 6)
 	obj := damagedObjective{failedLeg: failedLeg, target: int(healthy.DistanceMM)}
-	evolve := func(warm bool, gens int) stats.Summary {
-		dist := mapSeeds(n, func(i int) float64 {
+	evolve := func(warm bool, gens int) (stats.Summary, error) {
+		dist, err := mapSeeds(ctx, cfg, n, func(i int) (float64, error) {
 			p := gap.PaperParams(cfg.BaseSeed + 15000 + uint64(i))
 			p.Objective = obj
 			p.MaxGenerations = gens
@@ -64,15 +65,27 @@ func A6FaultRecovery(cfg Config) Table {
 			}
 			g, err := gap.New(p)
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
-			r := g.Run()
-			return robot.Walk(r.Best, robot.Trial{Cycles: 5, FailedLeg: failedLeg}).DistanceMM
+			r, err := g.RunCtx(ctx, nil)
+			if err != nil {
+				return 0, err
+			}
+			return robot.Walk(r.Best, robot.Trial{Cycles: 5, FailedLeg: failedLeg}).DistanceMM, nil
 		})
-		return stats.Summarize(dist)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		return stats.Summarize(dist), nil
 	}
-	scratch := evolve(false, 2000)
-	warm := evolve(true, 400)
+	scratch, err := evolve(false, 2000)
+	if err != nil {
+		return Table{}, err
+	}
+	warm, err := evolve(true, 400)
+	if err != nil {
+		return Table{}, err
+	}
 	t.AddRow(fmt.Sprintf("L2 dead, re-evolved from scratch (n=%d, 2000 gens)", n),
 		fmt.Sprintf("%.0f mean (max %.0f)", scratch.Mean, scratch.Max), pct(scratch.Mean), "-")
 	t.AddRow(fmt.Sprintf("L2 dead, warm start from incumbent (n=%d, 400 gens)", n),
@@ -81,5 +94,5 @@ func A6FaultRecovery(cfg Config) Table {
 		"regardless), so 'recovery' means matching it: from-scratch evolution approaches it blind, and " +
 		"the warm-started population never falls below the incumbent — the on-line fault story of " +
 		"evolvable hardware.")
-	return t
+	return t, nil
 }

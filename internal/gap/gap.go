@@ -23,8 +23,8 @@
 package gap
 
 import (
+	"context"
 	"fmt"
-	"math/bits"
 
 	"leonardo/internal/carng"
 	"leonardo/internal/fitness"
@@ -177,11 +177,11 @@ type GAP struct {
 	obj    Objective
 	packed PackedObjective // non-nil iff obj scores packed genomes and layout is PaperLayout
 	rng    *carng.CA
-	selT  uint8
-	xovT  uint8
-	basis []genome.Extended
-	inter []genome.Extended
-	fit   []int
+	selT   uint8
+	xovT   uint8
+	basis  []genome.Extended
+	inter  []genome.Extended
+	fit    []int
 
 	gen      int
 	best     genome.Extended
@@ -209,26 +209,12 @@ func New(p Params) (*GAP, error) {
 	if obj == nil {
 		obj = fitness.Evaluator{Layout: p.Layout, Weights: fitness.DefaultWeights}
 	}
-	g := &GAP{
-		p:    p,
-		obj:  obj,
-		rng:  carng.NewDefault(p.Seed),
-		selT: carng.Threshold8(p.SelectionThreshold),
-		xovT: carng.Threshold8(p.CrossoverThreshold),
+	g, err := newShell(p, obj)
+	if err != nil {
+		return nil, err
 	}
-	if po, ok := obj.(PackedObjective); ok && p.Layout == genome.PaperLayout {
-		g.packed = po
-	}
-	b := p.Layout.Bits()
-	g.idxBits = bits.Len(uint(p.PopulationSize - 1))
-	g.pntBits = bits.Len(uint(b - 2))
-	g.bitBits = bits.Len(uint(b - 1))
-	g.basis = make([]genome.Extended, p.PopulationSize)
-	g.inter = make([]genome.Extended, p.PopulationSize)
-	g.fit = make([]int, p.PopulationSize)
 	for i := range g.basis {
 		g.basis[i] = g.randomIndividual()
-		g.inter[i] = genome.NewExtended(p.Layout)
 	}
 	for i, ind := range p.InitialPopulation {
 		g.basis[i] = ind.Clone()
@@ -422,20 +408,10 @@ func (g *GAP) Population() ([]genome.Extended, []int) {
 func (g *GAP) Converged() bool { return g.bestFit >= g.obj.Max() }
 
 // Run executes generations until convergence or the generation cap and
-// returns the result.
+// returns the result. It is RunCtx without cancellation or observation.
 func (g *GAP) Run() Result {
-	for !g.Converged() && g.gen < g.p.MaxGenerations {
-		g.Generation()
-	}
-	return Result{
-		Converged:   g.Converged(),
-		Generations: g.gen,
-		Best:        g.best.Clone(),
-		BestFitness: g.bestFit,
-		MaxFitness:  g.obj.Max(),
-		Draws:       g.draws,
-		History:     g.history,
-	}
+	res, _ := g.RunCtx(context.Background(), nil)
+	return res
 }
 
 // Draws returns the number of random samples consumed so far.

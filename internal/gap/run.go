@@ -1,0 +1,70 @@
+package gap
+
+import (
+	"context"
+
+	"leonardo/internal/engine"
+)
+
+// This file adapts the behavioural GAP to the shared run engine
+// (internal/engine): the GAP is an engine.Stepper, so checkpointing,
+// cancellation, and per-generation observation come from the engine
+// loop rather than from bespoke loops in every caller.
+
+// Step implements engine.Stepper by running one full generation.
+func (g *GAP) Step() error {
+	g.Generation()
+	return nil
+}
+
+// Done implements engine.Stepper: the run is over once the objective is
+// reached or the generation cap is exhausted.
+func (g *GAP) Done() bool {
+	return g.Converged() || g.gen >= g.p.MaxGenerations
+}
+
+// Event implements engine.Stepper with the telemetry of the most recent
+// generation. It is only called when an observer is attached, so the
+// per-population statistics here stay off the nil-observer hot path.
+func (g *GAP) Event() engine.Event {
+	st := g.snapshot()
+	return engine.Event{
+		Generation:  g.gen,
+		BestFitness: st.BestFitness,
+		BestEver:    g.bestFit,
+		MeanFitness: st.MeanFitness,
+		Evaluations: g.ops.Evaluations,
+		Draws:       g.draws,
+		Tournaments: g.ops.Tournaments,
+		Crossovers:  g.ops.Crossed,
+		Mutations:   g.ops.Mutations,
+	}
+}
+
+// Params returns the run's configuration — useful after Restore, where
+// the caller never held the original Params value.
+func (g *GAP) Params() Params { return g.p }
+
+// Result summarizes the run so far. Unlike Run it does not advance the
+// GAP, so it is valid after a cancelled or stepped partial run.
+func (g *GAP) Result() Result {
+	return Result{
+		Converged:   g.Converged(),
+		Generations: g.gen,
+		Best:        g.best.Clone(),
+		BestFitness: g.bestFit,
+		MaxFitness:  g.obj.Max(),
+		Draws:       g.draws,
+		History:     g.history,
+	}
+}
+
+// RunCtx drives the GAP to completion under ctx, reporting each
+// generation to obs (nil for none). On cancellation it returns the
+// context's error together with a valid partial Result; evolution can
+// continue afterwards — from this value or from a Snapshot — because
+// cancellation lands exactly on a generation boundary.
+func (g *GAP) RunCtx(ctx context.Context, obs engine.Observer) (Result, error) {
+	err := engine.Run(ctx, g, obs)
+	return g.Result(), err
+}

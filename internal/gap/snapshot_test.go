@@ -1,0 +1,220 @@
+package gap
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/fitness"
+)
+
+// TestSnapshotResumeBitIdentical is the core checkpoint guarantee: a
+// run snapshotted at generation k and restored elsewhere converges to
+// exactly the same champion, in the same generation, having consumed
+// exactly the same random stream, as the run that was never
+// interrupted.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		p := PaperParams(seed)
+		p.RecordHistory = true
+		g, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.Steps(context.Background(), g, nil, 25); err != nil {
+			t.Fatal(err)
+		}
+		snap := g.Snapshot()
+
+		// Reference: the uninterrupted run.
+		ref := g.Run()
+
+		r, err := Restore(snap, nil)
+		if err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		if r.GenerationNumber() != 25 {
+			t.Fatalf("seed %d: restored at generation %d", seed, r.GenerationNumber())
+		}
+		got := r.Run()
+
+		if got.Generations != ref.Generations {
+			t.Fatalf("seed %d: resumed run took %d generations, reference %d",
+				seed, got.Generations, ref.Generations)
+		}
+		if got.Draws != ref.Draws {
+			t.Fatalf("seed %d: resumed run consumed %d draws, reference %d",
+				seed, got.Draws, ref.Draws)
+		}
+		if got.BestFitness != ref.BestFitness || !got.Best.Bits.Equal(ref.Best.Bits) {
+			t.Fatalf("seed %d: resumed champion differs: %v/%d vs %v/%d",
+				seed, got.Best.Bits, got.BestFitness, ref.Best.Bits, ref.BestFitness)
+		}
+		if got.Converged != ref.Converged {
+			t.Fatalf("seed %d: converged %v vs %v", seed, got.Converged, ref.Converged)
+		}
+		if len(got.History) != len(ref.History) {
+			t.Fatalf("seed %d: history length %d vs %d", seed, len(got.History), len(ref.History))
+		}
+		for i := range got.History {
+			if got.History[i] != ref.History[i] {
+				t.Fatalf("seed %d: history[%d] = %+v, reference %+v",
+					seed, i, got.History[i], ref.History[i])
+			}
+		}
+		// Final populations must match word for word.
+		popA, fitA := g.Population()
+		popB, fitB := r.Population()
+		for i := range popA {
+			if fitA[i] != fitB[i] || !popA[i].Bits.Equal(popB[i].Bits) {
+				t.Fatalf("seed %d: final population diverges at individual %d", seed, i)
+			}
+		}
+		if g.Ops() != r.Ops() {
+			t.Fatalf("seed %d: operator counters diverge: %+v vs %+v", seed, g.Ops(), r.Ops())
+		}
+	}
+}
+
+// TestSnapshotAtGenerationZero covers checkpointing before any Step:
+// the restored machine must replay the whole run identically.
+func TestSnapshotAtGenerationZero(t *testing.T) {
+	g, err := New(PaperParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(g.Snapshot(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, got := g.Run(), r.Run()
+	if got.Generations != ref.Generations || got.Draws != ref.Draws ||
+		!got.Best.Bits.Equal(ref.Best.Bits) {
+		t.Fatalf("replay from generation 0 diverged: %+v vs %+v", got, ref)
+	}
+}
+
+// TestSnapshotRestoreDoesNotEvaluate verifies that Restore rebuilds
+// state verbatim instead of re-running the fitness operator, which
+// would disturb the evaluation counters.
+func TestSnapshotRestoreDoesNotEvaluate(t *testing.T) {
+	g, err := New(PaperParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Generation()
+	}
+	before := g.Ops().Evaluations
+	r, err := Restore(g.Snapshot(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops().Evaluations != before {
+		t.Fatalf("restore changed evaluation count: %d -> %d", before, r.Ops().Evaluations)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	g, err := New(PaperParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": snap[:len(snap)/2],
+		"trailing":  append(append([]byte{}, snap...), 0xAB),
+	}
+	for name, data := range cases {
+		if _, err := Restore(data, nil); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+	}
+}
+
+func TestRunCtxCancellationStopsWithinOneGeneration(t *testing.T) {
+	p := PaperParams(11)
+	p.Objective = unreachable{fitness.New()}
+	p.MaxGenerations = 1_000_000
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 50
+	obs := engine.FuncObserver(func(ev engine.Event) {
+		if ev.Generation == stopAt {
+			cancel()
+		}
+	})
+	res, err := g.RunCtx(ctx, obs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Generations != stopAt {
+		t.Fatalf("stopped at generation %d, want exactly %d", res.Generations, stopAt)
+	}
+	// The partial result is well-formed and the machine can continue.
+	if res.Converged || res.BestFitness < 0 || res.Draws == 0 {
+		t.Fatalf("partial result malformed: %+v", res)
+	}
+	if err := engine.Steps(context.Background(), g, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.GenerationNumber() != stopAt+1 {
+		t.Fatalf("could not continue after cancellation: at %d", g.GenerationNumber())
+	}
+}
+
+// TestRunCtxMatchesRun pins the wrapper: driving the GAP through the
+// engine loop is the same computation as the legacy Run loop.
+func TestRunCtxMatchesRun(t *testing.T) {
+	a, err := New(PaperParams(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(PaperParams(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := a.Run()
+	rb, err := b.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Generations != rb.Generations || ra.Draws != rb.Draws ||
+		!ra.Best.Bits.Equal(rb.Best.Bits) {
+		t.Fatalf("engine-driven run diverged: %+v vs %+v", rb, ra)
+	}
+}
+
+// TestEventTelemetry sanity-checks the observer stream against the
+// machine's own counters.
+func TestEventTelemetry(t *testing.T) {
+	p := PaperParams(2)
+	p.Objective = unreachable{fitness.New()}
+	p.MaxGenerations = 20
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec engine.Recorder
+	if _, err := g.RunCtx(context.Background(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 20 {
+		t.Fatalf("observed %d generations, want 20", rec.Len())
+	}
+	last, _ := rec.Last()
+	if last.Generation != 20 || last.Draws != g.Draws() ||
+		last.BestEver != g.Result().BestFitness ||
+		last.Tournaments != g.Ops().Tournaments ||
+		last.Evaluations != g.Ops().Evaluations {
+		t.Fatalf("final event %+v disagrees with machine state", last)
+	}
+	if last.MeanFitness <= 0 {
+		t.Fatalf("mean fitness %v", last.MeanFitness)
+	}
+}

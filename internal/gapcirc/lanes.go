@@ -1,7 +1,7 @@
 package gapcirc
 
 import (
-	"fmt"
+	"context"
 
 	"leonardo/internal/genome"
 	"leonardo/internal/logic"
@@ -69,47 +69,16 @@ type LaneResult struct {
 // the package tests prove it lane by lane.
 //
 // The simulator must be freshly compiled (no cycles run). maxCycles
-// guards against livelock; 0 means a generous default.
+// guards against livelock; 0 means a generous default. RunSeeds is a
+// thin wrapper over the engine-backed Driver (driver.go), which also
+// offers cancellation, progress observation, and checkpointing.
 func (co *Core) RunSeeds(s *logic.Sim, seeds []uint64, n, maxCycles int) ([]LaneResult, error) {
 	if len(seeds) == 0 {
 		return nil, nil
 	}
-	if len(seeds) > logic.Lanes {
-		return nil, fmt.Errorf("gapcirc: %d seeds exceed the %d simulator lanes", len(seeds), logic.Lanes)
+	d, err := newDriver(co, s, seeds, n, maxCycles)
+	if err != nil {
+		return nil, err
 	}
-	if s.Cycles() != 0 {
-		return nil, fmt.Errorf("gapcirc: RunSeeds needs a freshly compiled simulator, this one has run %d cycles", s.Cycles())
-	}
-	if maxCycles == 0 {
-		maxCycles = 2_000_000
-	}
-	res := make([]LaneResult, len(seeds))
-	for l, seed := range seeds {
-		co.SeedLane(s, l, seed)
-		res[l].Seed = seed
-	}
-	remaining := len(res)
-	check := func() {
-		for l := range res {
-			if res[l].Done {
-				continue
-			}
-			if s.GetBusLane(co.Gen, l) == uint64(n) && s.GetBusLane(co.State, l) == StSelI1 {
-				res[l].Best, res[l].BestFit = co.BestOfLane(s, l)
-				res[l].Cycles = s.Cycles()
-				res[l].Done = true
-				remaining--
-			}
-		}
-	}
-	check()
-	for cycle := 0; cycle < maxCycles && remaining > 0; cycle++ {
-		s.Step()
-		check()
-	}
-	if remaining > 0 {
-		return res, fmt.Errorf("gapcirc: %d of %d lanes did not reach generation %d within %d cycles",
-			remaining, len(res), n, maxCycles)
-	}
-	return res, nil
+	return d.RunCtx(context.Background(), nil)
 }

@@ -239,6 +239,29 @@ func CrossoverBits(a, b BitString, point int) (BitString, BitString) {
 	return c, d
 }
 
+// Words returns a copy of the backing words, least-significant word
+// first. Bits at and above Len are zero.
+func (b BitString) Words() []uint64 {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return w
+}
+
+// BitStringFromWords builds an n-bit string from backing words (least
+// significant first), masking any bits at or above n. It panics if the
+// word count does not match the length.
+func BitStringFromWords(words []uint64, n int) BitString {
+	b := NewBitString(n)
+	if len(words) != len(b.words) {
+		panic(fmt.Sprintf("genome: %d words cannot back a %d-bit string", len(words), n))
+	}
+	copy(b.words, words)
+	if r := uint(n) % 64; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= uint64(1)<<r - 1
+	}
+	return b
+}
+
 // Uint64 returns the low min(Len,64) bits as a uint64.
 func (b BitString) Uint64() uint64 {
 	if len(b.words) == 0 {

@@ -1,0 +1,82 @@
+package logic
+
+import "fmt"
+
+// SimState is a deep copy of everything that survives a clock edge in a
+// compiled simulator: the clock count, the driven primary inputs, all
+// flip-flop lane vectors, and all RAM contents. Combinational values
+// are not stored — they are recomputed by settle on the next access.
+//
+// A state is only meaningful for a Sim compiled from the same circuit:
+// the slices are keyed by node order, which Compile derives
+// deterministically from the circuit construction order.
+type SimState struct {
+	Cycles uint64
+	Inputs []uint64   // per input node, in node-index order
+	DFFs   []uint64   // per flip-flop, in node-index order
+	RAMs   [][]uint64 // per RAM, lane vector per (word, bit)
+}
+
+// inputNodes lists the kInput nodes in index order.
+func (s *Sim) inputNodes() []int32 {
+	var ins []int32
+	for i, k := range s.c.kinds {
+		if k == kInput {
+			ins = append(ins, int32(i))
+		}
+	}
+	return ins
+}
+
+// SnapshotState deep-copies the simulator's sequential state. Take it
+// between Steps; the copy is independent of the simulator's future.
+func (s *Sim) SnapshotState() SimState {
+	st := SimState{Cycles: s.cycles}
+	for _, i := range s.inputNodes() {
+		st.Inputs = append(st.Inputs, s.val[i])
+	}
+	st.DFFs = make([]uint64, len(s.dffs))
+	for j, i := range s.dffs {
+		st.DFFs[j] = s.state[i]
+	}
+	st.RAMs = make([][]uint64, len(s.mems))
+	for ri, mem := range s.mems {
+		st.RAMs[ri] = append([]uint64(nil), mem...)
+	}
+	return st
+}
+
+// RestoreState overwrites the simulator's sequential state with a
+// snapshot taken from a Sim compiled from an identical circuit. It
+// validates every dimension against the compiled circuit before
+// touching anything, so a mismatched snapshot leaves the Sim unchanged.
+func (s *Sim) RestoreState(st SimState) error {
+	ins := s.inputNodes()
+	if len(st.Inputs) != len(ins) {
+		return fmt.Errorf("logic: snapshot has %d inputs, circuit has %d", len(st.Inputs), len(ins))
+	}
+	if len(st.DFFs) != len(s.dffs) {
+		return fmt.Errorf("logic: snapshot has %d flip-flops, circuit has %d", len(st.DFFs), len(s.dffs))
+	}
+	if len(st.RAMs) != len(s.mems) {
+		return fmt.Errorf("logic: snapshot has %d RAMs, circuit has %d", len(st.RAMs), len(s.mems))
+	}
+	for ri, mem := range st.RAMs {
+		if len(mem) != len(s.mems[ri]) {
+			return fmt.Errorf("logic: snapshot RAM %d has %d bit vectors, circuit has %d",
+				ri, len(mem), len(s.mems[ri]))
+		}
+	}
+	s.cycles = st.Cycles
+	for j, i := range ins {
+		s.val[i] = st.Inputs[j]
+	}
+	for j, i := range s.dffs {
+		s.state[i] = st.DFFs[j]
+	}
+	for ri, mem := range st.RAMs {
+		copy(s.mems[ri], mem)
+	}
+	s.dirty = true
+	return nil
+}

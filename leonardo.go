@@ -22,10 +22,12 @@
 package leonardo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"leonardo/internal/core"
+	"leonardo/internal/engine"
 	"leonardo/internal/fitness"
 	"leonardo/internal/fpga"
 	"leonardo/internal/gait"
@@ -62,11 +64,76 @@ func PaperParams(seed uint64) Params { return gap.PaperParams(seed) }
 // Evolve runs the behavioural GAP until a maximum-fitness gait is
 // found (or the generation cap is hit) and returns the result.
 func Evolve(p Params) (Result, error) {
+	return EvolveCtx(context.Background(), p, nil)
+}
+
+// Event is one generation's telemetry from a running evolution.
+type Event = engine.Event
+
+// Observer receives per-generation Events from EvolveCtx or Run.RunCtx.
+type Observer = engine.Observer
+
+// ObserverFunc adapts a plain function to an Observer.
+func ObserverFunc(f func(Event)) Observer { return engine.FuncObserver(f) }
+
+// EvolveCtx is Evolve with cancellation and observation: the run stops
+// at the next generation boundary once ctx ends (returning the
+// context's error together with the valid partial Result), and obs —
+// if non-nil — receives one Event per generation.
+func EvolveCtx(ctx context.Context, p Params, obs Observer) (Result, error) {
 	g, err := gap.New(p)
 	if err != nil {
 		return Result{}, err
 	}
-	return g.Run(), nil
+	return g.RunCtx(ctx, obs)
+}
+
+// Run is a pausable, resumable handle on a behavioural GAP run: step
+// it one generation at a time, snapshot it to bytes at any generation
+// boundary, and resume the exact run — bit for bit — later or
+// elsewhere.
+type Run struct{ g *gap.GAP }
+
+// NewRun starts a fresh evolution run at the given parameters.
+func NewRun(p Params) (*Run, error) {
+	g, err := gap.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{g: g}, nil
+}
+
+// Resume reconstructs a Run from a Snapshot. The resumed run continues
+// the original random trajectory exactly, so interrupted and
+// uninterrupted runs finish with identical results.
+func Resume(snapshot []byte) (*Run, error) {
+	g, err := gap.Restore(snapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{g: g}, nil
+}
+
+// Step advances the run one generation.
+func (r *Run) Step() error { return r.g.Step() }
+
+// Done reports whether the run has converged or hit its generation cap.
+func (r *Run) Done() bool { return r.g.Done() }
+
+// Generation returns the number of generations completed.
+func (r *Run) Generation() int { return r.g.GenerationNumber() }
+
+// Result reports the outcome so far; valid at any generation boundary.
+func (r *Run) Result() Result { return r.g.Result() }
+
+// Snapshot serializes the complete run state (population, RNG,
+// counters, history) to a versioned binary blob for Resume.
+func (r *Run) Snapshot() []byte { return r.g.Snapshot() }
+
+// RunCtx drives the run to completion under ctx, reporting each
+// generation to obs (nil for none).
+func (r *Run) RunCtx(ctx context.Context, obs Observer) (Result, error) {
+	return r.g.RunCtx(ctx, obs)
 }
 
 // Fitness scores a genome with the paper's three physical rules
