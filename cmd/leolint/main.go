@@ -1,0 +1,201 @@
+// Command leolint runs the repository's invariant analyzers
+// (internal/lint): determinism, hotpath, snapcodec, and ctxcancel. It
+// works in two modes:
+//
+// Standalone, over package patterns:
+//
+//	leolint ./...
+//
+// As a vet tool, so the go command drives it package by package with
+// cached export data:
+//
+//	go vet -vettool=$(which leolint) ./...
+//
+// In both modes diagnostics print as file:line:col: analyzer: message
+// and a non-zero exit reports that violations were found. The
+// -analyzers flag restricts the run to a comma-separated subset.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leonardo/internal/lint"
+)
+
+func main() {
+	// The go command probes vet tools twice before first use: -V=full
+	// must print "<name> version <non-devel>", and -flags must describe
+	// the tool's flags as JSON so go vet can accept them on its own
+	// command line.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Println("leolint version 1")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println(`[{"Name":"analyzers","Bool":false,"Usage":"comma-separated analyzer subset (default: all)"}]`)
+		return
+	}
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: leolint [-analyzers determinism,hotpath,...] <packages>\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which leolint) <packages>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// The go command invokes vet tools with a single *.cfg argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0], analyzers))
+	}
+
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(standalone(args, analyzers))
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("leolint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func standalone(patterns []string, analyzers []*lint.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := lint.Analyze(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Println(d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for vet tools
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "leolint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The analyzers exchange no facts, but the go command caches the
+	// vetx output file, so always produce it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("leolint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("leolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	pkg, err := lint.CheckFiles(cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.Analyze(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

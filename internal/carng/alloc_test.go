@@ -1,0 +1,25 @@
+package carng
+
+import "testing"
+
+// TestAllocsHotpath pins the //leo:hotpath contract of the CA methods
+// (Step, Word, Bits, Intn, Coin): the free-running generator is stepped
+// for every genetic operator, so one allocation here multiplies into
+// millions per run.
+func TestAllocsHotpath(t *testing.T) {
+	ca := NewDefault(12345)
+	var sink uint64
+	n := testing.AllocsPerRun(1000, func() {
+		ca.Step()
+		sink += ca.Word()
+		sink += uint64(ca.Bits(16))
+		sink += uint64(ca.Intn(37))
+		if ca.Coin(204) {
+			sink++
+		}
+	})
+	if n != 0 {
+		t.Fatalf("CA hot path allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}

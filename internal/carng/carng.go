@@ -80,6 +80,8 @@ func (c *CA) SetState(s uint64) {
 //	next_i = s_{i-1} XOR s_{i+1} XOR (rule150_i AND s_i)
 //
 // with null boundaries (cells -1 and n are constant 0).
+//
+//leo:hotpath
 func (c *CA) Step() {
 	s := c.state
 	c.state = (s<<1 ^ s>>1 ^ (c.rules & s)) & c.mask
@@ -88,6 +90,8 @@ func (c *CA) Step() {
 // Word steps the automaton once and returns the new state. This models
 // the paper's free-running generator, which "generates a new
 // pseudo-random number for all genetic operators at each clock cycle".
+//
+//leo:hotpath
 func (c *CA) Word() uint64 {
 	c.Step()
 	return c.state
@@ -96,6 +100,8 @@ func (c *CA) Word() uint64 {
 // Bits steps the automaton and returns k bits (1..32) gathered from
 // every other cell, starting at cell 1. Site spacing is the standard
 // remedy for the correlation between neighbouring CA cells.
+//
+//leo:hotpath
 func (c *CA) Bits(k int) uint32 {
 	if k < 1 || k > 32 {
 		panic(fmt.Sprintf("carng: Bits(%d) out of range [1,32]", k))
@@ -114,6 +120,8 @@ func (c *CA) Bits(k int) uint32 {
 // Intn returns a uniform value in [0, n) using rejection sampling over
 // the smallest covering power of two, stepping the automaton as needed.
 // n must be in [1, 2^32].
+//
+//leo:hotpath
 func (c *CA) Intn(n int) int {
 	if n < 1 {
 		panic(fmt.Sprintf("carng: Intn(%d) with non-positive bound", n))
@@ -135,6 +143,8 @@ func (c *CA) Intn(n int) int {
 // is how the GAP realizes its selection (0.8) and crossover (0.7)
 // probabilities with pure logic — an 8-bit magnitude comparator against
 // a constant, no real numbers or divisions.
+//
+//leo:hotpath
 func (c *CA) Coin(num uint8) bool {
 	return uint8(c.Bits(8)) < num
 }

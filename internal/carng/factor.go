@@ -36,7 +36,7 @@ func Factorize(n uint64) []uint64 {
 		rec(n)
 	}
 	out := make([]uint64, 0, len(set))
-	for p := range set {
+	for p := range set { //leo:allow maprange collection loop; sorted ascending just below
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -17,6 +17,11 @@
 // A linear-feedback shift register is provided as a comparator, since
 // an LFSR is the other classic single-chip PRNG the designers could
 // have used.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package carng
 
 import (

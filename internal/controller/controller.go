@@ -177,6 +177,8 @@ type Snapshot struct {
 // RunCycle executes n full gait cycles from the current state and
 // returns the phase-by-phase trace. The controller is left at the
 // cycle boundary.
+//
+//leo:allow ctx bounded to n*CyclePhases() table steps; finishes in microseconds
 func (c *Controller) RunCycle(n int) []Snapshot {
 	total := n * c.CyclePhases()
 	out := make([]Snapshot, 0, total)

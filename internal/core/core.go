@@ -116,6 +116,8 @@ func (s *System) phaseSeconds() float64 {
 
 // RunSeconds advances the lifetime by the given wall time and returns
 // the timeline segment it produced.
+//
+//leo:allow ctx bounded by the seconds argument (simulated, not wall time); callers slice long lifetimes
 func (s *System) RunSeconds(seconds float64) Timeline {
 	var tl Timeline
 	phaseSec := s.phaseSeconds()

@@ -18,6 +18,11 @@
 //
 // The engine deliberately has no opinion about genomes, fitness, or
 // operators: those stay in the stacks, bit-identical to the paper.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package engine
 
 import (
@@ -112,7 +117,7 @@ func Steps(ctx context.Context, s Stepper, obs Observer, n int) error {
 	}
 	var start time.Time
 	if obs != nil {
-		start = time.Now()
+		start = time.Now() //leo:allow walltime observer-only telemetry; never feeds evolution state
 	}
 	for i := 0; (n < 0 || i < n) && !s.Done(); i++ {
 		select {
@@ -125,7 +130,7 @@ func Steps(ctx context.Context, s Stepper, obs Observer, n int) error {
 		}
 		if obs != nil {
 			ev := s.Event()
-			ev.Elapsed = time.Since(start)
+			ev.Elapsed = time.Since(start) //leo:allow walltime observer-only telemetry; never feeds evolution state
 			obs.OnGeneration(ev)
 		}
 	}

@@ -5,6 +5,11 @@
 // gives up roulette selection, real-valued rates, and elitism because
 // they are expensive in logic; this package measures what those
 // concessions cost.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package evolve
 
 import (

@@ -17,6 +17,11 @@
 // weighted sum, so it is computable by a small combinational circuit
 // and comparable with a plain magnitude comparator — no real numbers or
 // divisions, exactly the constraint the paper's logic system imposes.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package fitness
 
 import (
@@ -71,6 +76,8 @@ func New() Evaluator {
 // tables over the packed bits, see lut.go); ScoreExtended is the
 // general-layout slow path, and the two agree bit for bit (proved by
 // property test).
+//
+//leo:hotpath
 func (e Evaluator) Score(g genome.Genome) int {
 	b := e.breakdownPacked(g)
 	return e.Weights.Equilibrium*b.Equilibrium +
@@ -84,6 +91,8 @@ func (e Evaluator) ScorePacked(g genome.Genome) int { return e.Score(g) }
 
 // Breakdown evaluates a packed 36-bit genome and reports per-rule
 // detail. Like Score, it runs on the packed bits without allocating.
+//
+//leo:hotpath
 func (e Evaluator) Breakdown(g genome.Genome) Breakdown {
 	return e.breakdownPacked(g)
 }

@@ -342,9 +342,10 @@ func TestScoreMatchesScoreExtended(t *testing.T) {
 	}
 }
 
-// TestScoreDoesNotAllocate pins the fast path's zero-allocation
-// guarantee: scoring a packed genome must never touch the heap.
-func TestScoreDoesNotAllocate(t *testing.T) {
+// TestAllocsHotpath pins the fast path's zero-allocation guarantee:
+// scoring a packed genome must never touch the heap. The name matches
+// the CI alloc-budget step's -run TestAllocs filter.
+func TestAllocsHotpath(t *testing.T) {
 	e := New()
 	gs := []genome.Genome{0, genome.Mask, tripod(), 0x123456789}
 	sink := 0

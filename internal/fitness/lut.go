@@ -64,6 +64,8 @@ func init() {
 // breakdownPacked evaluates a packed paper-layout genome against the
 // three rules using only table lookups and mask tests — no decoding,
 // no allocation. It requires the paper layout.
+//
+//leo:hotpath
 func (e Evaluator) breakdownPacked(g genome.Genome) Breakdown {
 	if e.Layout != genome.PaperLayout {
 		panic("fitness: packed genome scoring requires the paper layout; use ScoreExtended")

@@ -20,6 +20,11 @@
 //     (15) flipped across the whole intermediate population (1152
 //     bits for 32 x 36);
 //   - fitness from the three physical rules (internal/fitness).
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package gap
 
 import (
@@ -54,6 +59,8 @@ type PackedObjective interface {
 
 // Params configures a GAP run. The zero value is not valid; use
 // PaperParams as the baseline and override fields as needed.
+//
+//leo:snapshot
 type Params struct {
 	// Layout is the genome shape; PaperLayout unless exploring bigger
 	// genomes.
@@ -78,6 +85,8 @@ type Params struct {
 	Seed uint64
 	// Objective is the fitness to maximize; nil means the paper's
 	// three-rule evaluator for Layout.
+	//
+	//leo:allow snapcodec arbitrary Go value; Restore re-supplies it as an argument
 	Objective Objective
 	// RecordHistory enables per-generation statistics in the Result.
 	RecordHistory bool
@@ -86,6 +95,8 @@ type Params struct {
 	// (the rest stay random). This is the on-line scenario where
 	// evolution resumes from the incumbent solution — e.g. re-adapting
 	// after a hardware fault.
+	//
+	//leo:allow snapcodec warm-start input only; snapshots carry the full live population instead
 	InitialPopulation []genome.Extended
 }
 
@@ -145,6 +156,8 @@ func (p Params) Validate() error {
 }
 
 // GenStats is one generation's telemetry.
+//
+//leo:snapshot
 type GenStats struct {
 	Generation  int
 	BestFitness int
@@ -306,6 +319,8 @@ func (g *GAP) evaluate() {
 // truth for the paper's parameter table (experiment E1): how often
 // tournaments kept the fitter individual, how often pairs were
 // recombined, how many bits were flipped.
+//
+//leo:snapshot
 type OpStats struct {
 	Tournaments, KeptBetter int
 	Pairs, Crossed          int

@@ -193,14 +193,7 @@ func (d *Driver) Snapshot() []byte {
 		e.U64(r.Cycles)
 		e.Bool(r.Done)
 	}
-	st := d.sim.SnapshotState()
-	e.U64(st.Cycles)
-	e.Words(st.Inputs)
-	e.Words(st.DFFs)
-	e.Int(len(st.RAMs))
-	for _, mem := range st.RAMs {
-		e.Words(mem)
-	}
+	d.sim.SnapshotState().EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -249,21 +242,9 @@ func RestoreDriver(data []byte) (*Driver, error) {
 			remaining--
 		}
 	}
-	st := logic.SimState{
-		Cycles: dec.U64(),
-		Inputs: dec.Words(),
-		DFFs:   dec.Words(),
-	}
-	nRAMs := dec.Int()
-	if err := dec.Err(); err != nil {
+	st, err := logic.DecodeSimState(dec)
+	if err != nil {
 		return nil, err
-	}
-	if nRAMs < 0 || nRAMs > 1<<16 {
-		return nil, fmt.Errorf("gapcirc: snapshot has %d RAMs", nRAMs)
-	}
-	st.RAMs = make([][]uint64, nRAMs)
-	for i := range st.RAMs {
-		st.RAMs[i] = dec.Words()
 	}
 	if err := dec.Finish(); err != nil {
 		return nil, err

@@ -46,6 +46,8 @@ func (co *Core) BestOfLane(s *logic.Sim, lane int) (genome.Genome, int) {
 }
 
 // LaneResult is one seed's outcome from a lane-packed run.
+//
+//leo:snapshot
 type LaneResult struct {
 	Seed    uint64
 	Best    genome.Genome

@@ -10,6 +10,11 @@
 // package tests verify generation by generation. Mapping the full
 // system onto the XC4036EX device model (internal/fpga) reproduces the
 // paper's resource-usage claim (experiment E4).
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package gapcirc
 
 import (

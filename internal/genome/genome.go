@@ -14,6 +14,11 @@
 // The package also provides the generalized N-step genome used by the
 // paper's future-work direction ("bigger genomes ... where the final
 // solution is not known"); the 2-step, 6-leg case is the paper's.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
 package genome
 
 import (

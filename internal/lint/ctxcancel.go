@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxcancelAnalyzer enforces the cancellation contract of the run
+// layer: an exported Run* function (or any function annotated
+// //leo:longloop) that contains a loop must take a context.Context and
+// consult it inside a loop, so long evolutionary runs always stop
+// within one generation of their context ending. Loop-free Run*
+// wrappers that delegate to a ctx-aware implementation pass untouched;
+// bounded simulation helpers that deliberately run without a context
+// carry //leo:allow ctx with the reason.
+var CtxcancelAnalyzer = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "exported Run*/long-loop functions must take a context and check it inside their loop",
+	Run:  runCtxcancel,
+}
+
+func runCtxcancel(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			longloop := hasDirective(fd.Doc, dirLongloop)
+			if !longloop {
+				if !fd.Name.IsExported() || len(fd.Name.Name) < 3 || fd.Name.Name[:3] != "Run" {
+					continue
+				}
+			}
+			checkCtxFunc(pass, fd, longloop)
+		}
+	}
+	return nil
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl, longloop bool) {
+	loops := collectLoops(fd.Body)
+	if len(loops) == 0 && !longloop {
+		return // delegating wrapper; the loop it calls is checked where it lives
+	}
+	ctxParam := contextParam(pass, fd)
+	if ctxParam == nil {
+		pass.Reportf(fd.Name.Pos(), "ctx",
+			"%s loops without taking a context.Context: the run cannot be cancelled", fd.Name.Name)
+		return
+	}
+	for _, loop := range loops {
+		if usesObject(pass, loop, ctxParam) {
+			return
+		}
+	}
+	if len(loops) > 0 {
+		pass.Reportf(fd.Name.Pos(), "ctx",
+			"%s takes %s but never checks it inside its loop: cancellation would never land", fd.Name.Name, ctxParam.Name())
+	}
+}
+
+// collectLoops returns the top-level-reachable for/range statements of
+// the body, excluding loops inside nested function literals (those
+// belong to the closure, not this function's control flow).
+func collectLoops(body *ast.BlockStmt) []ast.Node {
+	var loops []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	return loops
+}
+
+// contextParam returns the function's context.Context parameter, if
+// any.
+func contextParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// usesObject reports whether the node references obj, directly or
+// through a derived channel (ctx.Done() assigned to a variable that the
+// loop then selects on counts, because the derivation names ctx).
+func usesObject(pass *Pass, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces bit-exact replayability in packages
+// marked //leo:deterministic: the cellular-automaton RNG, the
+// tournament/crossover pipeline, and snapshot/resume must replay
+// identically, so these packages must not read wall clocks, draw from
+// the process-global math/rand source, emit ordered output from map
+// iteration, or spawn goroutines outside the engine's deterministic
+// scheduler (engine.Map, which commits results in index order).
+//
+// Checks (suppression keys in parentheses):
+//
+//	walltime   — calls to time.Now or time.Since
+//	globalrand — package-level math/rand functions (the shared source);
+//	             seeded *rand.Rand instances are fine
+//	maprange   — range over a map that appends to an outer variable or
+//	             prints, i.e. feeds iteration-ordered output
+//	goroutine  — go statements anywhere but inside engine.Map
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global math/rand, ordered map iteration, and stray goroutines in replay-critical packages",
+	Run:  runDeterminism,
+}
+
+// enginePkgPath is the one package whose Map function may spawn
+// goroutines: its worker pool commits results in index order, so
+// scheduling nondeterminism never reaches a caller.
+const enginePkgPath = "leonardo/internal/engine"
+
+func runDeterminism(pass *Pass) error {
+	if !pass.packageHasDirective(dirDeterministic) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.Ident:
+				checkGlobalRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.GoStmt:
+				checkGoStmt(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if fn.Name() == "Now" || fn.Name() == "Since" {
+		pass.Reportf(call.Pos(), "walltime",
+			"time.%s in a replay-critical package: wall clocks are nondeterministic across runs", fn.Name())
+	}
+}
+
+// randConstructors are the math/rand package-level functions that build
+// an independent seeded generator rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func checkGlobalRand(pass *Pass, id *ast.Ident) {
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	// Methods on *rand.Rand carry an explicit, seedable source; only
+	// package-level functions hit the shared global state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	if randConstructors[fn.Name()] {
+		return
+	}
+	pass.Reportf(id.Pos(), "globalrand",
+		"global math/rand.%s in a replay-critical package: use a seeded *rand.Rand or the CA RNG", fn.Name())
+}
+
+// checkMapRange flags map iterations that feed ordered output: Go's map
+// iteration order is randomized, so appending to an outer slice or
+// printing inside the loop produces run-dependent sequences. Sorting
+// the keys first (and allowing the collection loop with
+// //leo:allow maprange) is the deterministic pattern.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Printing from inside the iteration.
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "maprange",
+				"fmt.%s inside map iteration: map order is randomized per run", fn.Name())
+			return true
+		}
+		// append to a variable declared outside the loop body.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					obj := pass.Info.Uses[target]
+					if obj != nil && obj.Pos().IsValid() && (obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()) {
+						pass.Reportf(call.Pos(), "maprange",
+							"append to %s inside map iteration: order is randomized per run; sort keys first", target.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkGoStmt(pass *Pass, file *ast.File, g *ast.GoStmt) {
+	if pass.Pkg.Path() == enginePkgPath {
+		if fd := funcFor(file, g.Pos()); fd != nil && fd.Name.Name == "Map" && fd.Recv == nil {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine",
+		"goroutine spawn in a replay-critical package: route concurrency through engine.Map")
+}

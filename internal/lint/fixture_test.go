@@ -1,0 +1,139 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"leonardo/internal/lint"
+)
+
+// The fixture harness is analysistest in miniature: each testdata
+// package is type-checked with LoadDir, one analyzer runs over it, and
+// every diagnostic must be claimed by a `// want` comment on the same
+// line (and every want comment by a diagnostic). Expectations are
+// backquoted regular expressions matched against the message:
+//
+//	start := time.Now() // want `time\.Now in a replay-critical package`
+//
+// A line may carry several backquoted patterns when it produces
+// several diagnostics.
+
+// moduleDir is the repository root, which LoadDir needs to resolve
+// fixture imports (standard library and this module) via go list.
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+// collectWants indexes the fixture's `// want` comments by file and
+// line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantPattern.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+					continue
+				}
+				byLine := wants[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*expectation)
+					wants[pos.Filename] = byLine
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata package under pkgPath, runs a single
+// analyzer, and reconciles diagnostics against the want comments.
+func runFixture(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, moduleDir(t), pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Analyze(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched %q", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, lint.DeterminismAnalyzer, "testdata/src/determinism", "fixture/determinism")
+}
+
+// TestDeterminismEngineMapExemption type-checks the fixture under the
+// real engine import path: the package-level Map keeps its goroutines,
+// everything else is still flagged.
+func TestDeterminismEngineMapExemption(t *testing.T) {
+	runFixture(t, lint.DeterminismAnalyzer, "testdata/src/enginemap", "leonardo/internal/engine")
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, lint.HotpathAnalyzer, "testdata/src/hotpath", "fixture/hotpath")
+}
+
+func TestSnapcodecFixture(t *testing.T) {
+	runFixture(t, lint.SnapcodecAnalyzer, "testdata/src/snapcodec", "fixture/snapcodec")
+}
+
+func TestSnapcodecNoEncoder(t *testing.T) {
+	runFixture(t, lint.SnapcodecAnalyzer, "testdata/src/snapnoenc", "fixture/snapnoenc")
+}
+
+func TestCtxcancelFixture(t *testing.T) {
+	runFixture(t, lint.CtxcancelAnalyzer, "testdata/src/ctxcancel", "fixture/ctxcancel")
+}

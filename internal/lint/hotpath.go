@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer enforces the zero-allocation contract of functions
+// annotated //leo:hotpath — the LUT fitness path, the SWAR gate
+// simulator kernel, and the CA RNG step. The annotation is paired with
+// a testing.AllocsPerRun harness (TestAllocs in each annotated
+// package); the analyzer catches the constructs that would regress it
+// before any benchmark runs:
+//
+//	hotpath-append  — append to a slice not made with an explicit
+//	                  capacity in the same function (may grow → alloc)
+//	hotpath-make    — make with a non-constant size (defeats escape
+//	                  analysis and stack sizing)
+//	hotpath-iface   — conversion of a concrete value to an interface,
+//	                  explicit or via a call argument (boxes → alloc)
+//	hotpath-closure — closure capturing enclosing variables (capture by
+//	                  reference moves them to the heap)
+//	hotpath-call    — calls into fmt or errors (format machinery
+//	                  allocates)
+//
+// Arguments of panic(...) are exempt: a panicking branch is the cold
+// path, and its fmt.Sprintf never runs in a healthy process.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid heap-escaping constructs in //leo:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, dirHotpath) {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// coldRanges collects the source intervals of panic(...) arguments —
+// the cold branches the checks skip.
+func coldRanges(pass *Pass, body *ast.BlockStmt) [][2]token.Pos {
+	var cold [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPanicCall(pass.Info, call) {
+			cold = append(cold, [2]token.Pos{call.Lparen, call.Rparen})
+		}
+		return true
+	})
+	return cold
+}
+
+func inCold(cold [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range cold {
+		if r[0] <= pos && pos <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// cappedSlices returns the variables the function makes with an
+// explicit capacity (make(T, n, c)); appending to those is a deliberate
+// fill of preallocated space.
+func cappedSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	capped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if target, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+				if obj := identObj(pass.Info, target); obj != nil {
+					capped[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return capped
+}
+
+// identObj resolves an identifier whether it is a use or a definition.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	cold := coldRanges(pass, fd.Body)
+	capped := cappedSlices(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n != nil && inCold(cold, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, name, n, capped)
+		case *ast.FuncLit:
+			checkClosureCapture(pass, name, fd, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, fname string, call *ast.CallExpr, capped map[types.Object]bool) {
+	// Explicit conversion to an interface type.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := pass.Info.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "hotpath-iface",
+					"%s: conversion to interface %s allocates", fname, tv.Type)
+			}
+		}
+		return
+	}
+	// Builtins: append and make.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				checkHotpathAppend(pass, fname, call, capped)
+			case "make":
+				checkHotpathMake(pass, fname, call)
+			}
+			return
+		}
+	}
+	// Calls into the formatting machinery.
+	if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil {
+		if path := fn.Pkg().Path(); path == "fmt" || path == "errors" {
+			pass.Reportf(call.Pos(), "hotpath-call",
+				"%s: %s.%s allocates on the hot path", fname, path, fn.Name())
+			return
+		}
+	}
+	// Implicit interface conversion at a call boundary.
+	checkCallArgBoxing(pass, fname, call)
+}
+
+func checkHotpathAppend(pass *Pass, fname string, call *ast.CallExpr, capped map[types.Object]bool) {
+	if len(call.Args) > 0 {
+		if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := identObj(pass.Info, target); obj != nil && capped[obj] {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "hotpath-append",
+		"%s: append without a capacity made in this function may grow and allocate", fname)
+}
+
+func checkHotpathMake(pass *Pass, fname string, call *ast.CallExpr) {
+	for _, arg := range call.Args[1:] {
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value == nil {
+			pass.Reportf(call.Pos(), "hotpath-make",
+				"%s: make with non-constant size allocates on the hot path", fname)
+			return
+		}
+	}
+}
+
+// checkCallArgBoxing flags concrete values passed where the callee
+// takes an interface — the implicit conversion that boxes.
+func checkCallArgBoxing(pass *Pass, fname string, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) {
+			continue
+		}
+		if b, ok := atv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hotpath-iface",
+			"%s: passing %s as interface %s boxes the value", fname, atv.Type, pt)
+	}
+}
+
+// checkClosureCapture flags function literals that capture variables of
+// the enclosing function: captured variables move to the heap, and the
+// closure value itself may allocate.
+func checkClosureCapture(pass *Pass, fname string, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	var captured []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || obj.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		// Captured: declared inside the enclosing function but outside
+		// this literal.
+		if pos >= fd.Pos() && pos <= fd.End() && (pos < lit.Pos() || pos > lit.End()) {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		pass.Reportf(lit.Pos(), "hotpath-closure",
+			"%s: closure captures %s by reference, forcing a heap allocation", fname, quoteList(captured))
+	}
+}
+
+func quoteList(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%q", n)
+	}
+	return out
+}

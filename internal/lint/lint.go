@@ -1,0 +1,288 @@
+// Package lint is leolint: a suite of static analyzers that
+// machine-enforce the repository's determinism, hot-path, snapshot, and
+// cancellation invariants (DESIGN.md §8). The analyzers mirror the
+// golang.org/x/tools/go/analysis shape — Analyzer, Pass, Diagnostic —
+// but are built entirely on the standard library's go/ast, go/types,
+// and go/importer, so the module stays dependency-free.
+//
+// The analyzers are driven by source directives:
+//
+//	//leo:deterministic         package marker: replay-critical package
+//	//leo:hotpath               function marker: zero-alloc constraints
+//	//leo:snapshot              struct marker: codec field coverage
+//	//leo:longloop              function marker: ctxcancel opt-in
+//	//leo:allow <check> reason  suppression, with a written reason
+//
+// An //leo:allow directive suppresses diagnostics of one check on its
+// own line and the line below it; placed in a function's doc comment it
+// suppresses the check for the whole function. Every allow should carry
+// a reason — the directive is an audited exemption, not an off switch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, the local mirror of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass holds one type-checked package for one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags  []Diagnostic
+	allows map[string]map[int][]string // filename -> line -> allowed checks
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an //leo:allow directive
+// for check covers the position or the enclosing function.
+func (p *Pass) Reportf(pos token.Pos, check string, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position, check) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the diagnostics reported so far, in file order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// Directive names.
+const (
+	dirDeterministic = "//leo:deterministic"
+	dirHotpath       = "//leo:hotpath"
+	dirSnapshot      = "//leo:snapshot"
+	dirLongloop      = "//leo:longloop"
+	dirAllow         = "//leo:allow"
+)
+
+// hasDirective reports whether a comment group carries the directive
+// (exact word: "//leo:hotpath" does not match "//leo:hotpathX").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimRight(c.Text, " \t")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowsIn extracts the checks allowed by //leo:allow directives in a
+// comment group.
+func allowsIn(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var checks []string
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, dirAllow+" ") {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, dirAllow+" ")
+		if f := strings.Fields(rest); len(f) > 0 {
+			checks = append(checks, f[0])
+		}
+	}
+	return checks
+}
+
+// buildAllows indexes every //leo:allow comment in the pass by file and
+// line. A directive covers its own line and the next line, so it can
+// ride at the end of the offending line or on a line of its own above
+// the statement.
+func (p *Pass) buildAllows() {
+	p.allows = make(map[string]map[int][]string)
+	add := func(pos token.Position, check string) {
+		byLine := p.allows[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]string)
+			p.allows[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], check)
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, dirAllow+" ") {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, dirAllow+" ")
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				add(p.Fset.Position(c.Pos()), fields[0])
+			}
+		}
+		// Function-doc allows cover the whole function body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, check := range allowsIn(fd.Doc) {
+				start := p.Fset.Position(fd.Body.Pos()).Line
+				end := p.Fset.Position(fd.Body.End()).Line
+				pos := p.Fset.Position(fd.Pos())
+				for line := start; line <= end; line++ {
+					add(token.Position{Filename: pos.Filename, Line: line}, check)
+				}
+			}
+		}
+	}
+}
+
+// allowedAt reports whether check is suppressed at position: a matching
+// //leo:allow on the same line or the line above.
+func (p *Pass) allowedAt(pos token.Position, check string) bool {
+	byLine := p.allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, c := range byLine[line] {
+			if c == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// packageHasDirective reports whether any file of the pass carries a
+// package-level marker directive (conventionally next to the package
+// clause, but any comment in the package counts).
+func (p *Pass) packageHasDirective(directive string) bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			if hasDirective(cg, directive) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcFor returns the innermost enclosing FuncDecl of pos in file, or
+// nil for package-level positions.
+func funcFor(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Analyzers returns the leolint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		HotpathAnalyzer,
+		SnapcodecAnalyzer,
+		CtxcancelAnalyzer,
+	}
+}
+
+// Analyze runs every analyzer of the suite over one loaded package
+// and returns the combined diagnostics.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.buildAllows()
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.Diagnostics()...)
+	}
+	return out, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions,
+// and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPanicCall reports whether the call is the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream. The -export flag makes the go command populate each
+// package's Export field with a build-cache file of gc export data,
+// which is how the loader type-checks against dependencies without
+// golang.org/x/tools: the stock go/importer reads those files directly.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,Standard"
+
+// exportLookup builds the import resolver for a set of listed packages:
+// a map from import path to gc export data file, wrapped in the
+// standard gc importer.
+func exportLookup(fset *token.FileSet, entries []listEntry) types.Importer {
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheck parses and type-checks one package's files.
+func typeCheck(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load lists, parses, and type-checks the packages matching the
+// patterns (e.g. "./..."), resolved relative to dir. Standard-library
+// and out-of-module packages are dependencies only, never analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		wanted[t.ImportPath] = true
+	}
+	entries, err := goList(dir, append([]string{"-export", listFields, "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportLookup(fset, entries)
+	var pkgs []*Package
+	for _, e := range entries {
+		if !wanted[e.ImportPath] || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(e.GoFiles))
+		for i, g := range e.GoFiles {
+			names[i] = filepath.Join(e.Dir, g)
+		}
+		pkg, err := typeCheck(fset, e.ImportPath, names, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = e.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks an explicit file list as one
+// package, resolving imports through the caller's lookup function.
+// This is the entry point for the `go vet -vettool` protocol, where the
+// go command hands the tool a ready-made import-path-to-export-file
+// map instead of letting it run `go list`.
+func CheckFiles(pkgPath string, filenames []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return typeCheck(fset, pkgPath, filenames, imp)
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a
+// single package with the given import path, resolving its imports
+// through `go list -export` run in moduleDir. This is the fixture
+// loader: testdata directories are invisible to the go tool, but their
+// imports (standard library or this module's packages) resolve exactly
+// as they would in a real package. pkgPath is the package path to
+// type-check under; fixtures that exercise package-path-dependent rules
+// (e.g. the engine.Map goroutine exemption) pick the path they need.
+func LoadDir(dir, moduleDir, pkgPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	// Parse once without types to harvest the import set.
+	importSet := make(map[string]bool)
+	for _, name := range matches {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			importSet[path[1:len(path)-1]] = true
+		}
+	}
+	args := []string{"-export", listFields, "-deps"}
+	for path := range importSet {
+		args = append(args, path)
+	}
+	sort.Strings(args[3:])
+	var imp types.Importer
+	if len(importSet) > 0 {
+		entries, err := goList(moduleDir, args...)
+		if err != nil {
+			return nil, err
+		}
+		imp = exportLookup(fset, entries)
+	} else {
+		imp = exportLookup(fset, nil)
+	}
+	pkg, err := typeCheck(fset, pkgPath, matches, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}

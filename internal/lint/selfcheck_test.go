@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"leonardo/internal/lint"
+)
+
+// replayCritical is the set of packages DESIGN.md §8 declares
+// replay-critical; each must carry the //leo:deterministic marker so
+// the determinism analyzer actually covers it.
+var replayCritical = []string{
+	"leonardo/internal/carng",
+	"leonardo/internal/engine",
+	"leonardo/internal/evolve",
+	"leonardo/internal/fitness",
+	"leonardo/internal/gap",
+	"leonardo/internal/gapcirc",
+	"leonardo/internal/genome",
+}
+
+// TestRepoIsClean is the self-check: the full analyzer suite over the
+// whole module must report nothing, and the invariant markers the
+// suite keys on must actually be present — a deleted directive would
+// otherwise silently disable its analyzer.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := lint.Load(moduleDir(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := make(map[string]bool)
+	hotpaths := 0
+	snapshots := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Analyze(pkg, lint.Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		src := commentText(pkg)
+		if strings.Contains(src, "//leo:deterministic") {
+			marked[pkg.Path] = true
+		}
+		hotpaths += strings.Count(src, "//leo:hotpath")
+		snapshots += strings.Count(src, "//leo:snapshot")
+	}
+	for _, path := range replayCritical {
+		if !marked[path] {
+			t.Errorf("%s has lost its //leo:deterministic marker", path)
+		}
+	}
+	// The CA RNG (5), the LUT fitness path (3), and the SWAR sim kernel
+	// (3) are annotated today; shrinking that set means the hot path
+	// lost its machine-checked zero-alloc contract.
+	if hotpaths < 11 {
+		t.Errorf("module has %d //leo:hotpath annotations, want at least 11", hotpaths)
+	}
+	if snapshots < 5 {
+		t.Errorf("module has %d //leo:snapshot annotations, want at least 5", snapshots)
+	}
+}
+
+// commentText flattens every comment of a package for marker counting.
+func commentText(pkg *lint.Package) string {
+	var sb strings.Builder
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sb.WriteString(c.Text)
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapcodecAnalyzer cross-checks the snapshot codec against struct
+// shape: every exported field of a type annotated //leo:snapshot must
+// be written by an encoder and read back by a decoder in the same
+// package, so adding a field without extending Snapshot/Restore breaks
+// CI instead of silently corrupting checkpoints on resume.
+//
+// Encoders are the package's functions that touch *engine.Enc (or call
+// engine.NewEnc); decoders touch *engine.Dec. A field is "written" when
+// an encoder selects it, and "read" when a decoder selects it or fills
+// it through a composite literal. Fields that are deliberately not
+// serialized (reconstructed or re-supplied on restore) carry
+// //leo:allow snapcodec with the reason.
+var SnapcodecAnalyzer = &Analyzer{
+	Name: "snapcodec",
+	Doc:  "every exported field of a //leo:snapshot type must round-trip through the engine codec",
+	Run:  runSnapcodec,
+}
+
+func runSnapcodec(pass *Pass) error {
+	targets := snapshotTypes(pass)
+	if len(targets) == 0 {
+		return nil
+	}
+	encoders, decoders := codecFuncs(pass)
+	written := fieldRefs(pass, encoders, false)
+	read := fieldRefs(pass, decoders, true)
+	for _, t := range targets {
+		st, ok := t.obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(t.spec.Pos(), "snapcodec", "//leo:snapshot on %s, which is not a struct", t.obj.Name())
+			continue
+		}
+		if len(encoders) == 0 {
+			pass.Reportf(t.spec.Pos(), "snapcodec",
+				"%s is marked //leo:snapshot but package %s has no engine.Enc encoder", t.obj.Name(), pass.Pkg.Name())
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if !written[f] {
+				pass.Reportf(f.Pos(), "snapcodec",
+					"snapshot field %s.%s is never written by an encoder: checkpoints will silently drop it", t.obj.Name(), f.Name())
+			}
+			if !read[f] {
+				pass.Reportf(f.Pos(), "snapcodec",
+					"snapshot field %s.%s is never read by a decoder: restores will silently zero it", t.obj.Name(), f.Name())
+			}
+		}
+	}
+	return nil
+}
+
+type snapshotType struct {
+	obj  *types.TypeName
+	spec *ast.TypeSpec
+}
+
+// snapshotTypes collects the //leo:snapshot-annotated type
+// declarations of the package. The directive may sit on the TypeSpec or
+// on its enclosing GenDecl.
+func snapshotTypes(pass *Pass) []snapshotType {
+	var out []snapshotType
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, dirSnapshot) && !hasDirective(ts.Doc, dirSnapshot) {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out = append(out, snapshotType{obj: obj, spec: ts})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// codecFuncs partitions the package's functions into encoders and
+// decoders by whether they touch the engine codec types.
+func codecFuncs(pass *Pass) (encoders, decoders []*ast.FuncDecl) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enc, dec := false, false
+			ast.Inspect(fd, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := identObj(pass.Info, id)
+				if obj == nil {
+					return true
+				}
+				switch {
+				case isEngineCodecType(obj.Type(), "Enc"):
+					enc = true
+				case isEngineCodecType(obj.Type(), "Dec"):
+					dec = true
+				}
+				return true
+			})
+			if enc {
+				encoders = append(encoders, fd)
+			}
+			if dec {
+				decoders = append(decoders, fd)
+			}
+		}
+	}
+	return encoders, decoders
+}
+
+// isEngineCodecType reports whether t is engine.<name>, *engine.<name>,
+// or a function returning one (covers engine.NewEnc references).
+func isEngineCodecType(t types.Type, name string) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return isEngineCodecType(t.Elem(), name)
+	case *types.Named:
+		obj := t.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == enginePkgPath && obj.Name() == name
+	case *types.Signature:
+		for i := 0; i < t.Results().Len(); i++ {
+			if isEngineCodecType(t.Results().At(i).Type(), name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldRefs collects every struct field referenced inside the given
+// functions: selections always, and composite-literal keys when
+// composite is set (a decoder filling T{Field: d.Int()} reads the
+// field's slot even though no selector appears).
+func fieldRefs(pass *Pass, funcs []*ast.FuncDecl, composite bool) map[*types.Var]bool {
+	refs := make(map[*types.Var]bool)
+	for _, fd := range funcs {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if f, ok := sel.Obj().(*types.Var); ok {
+						refs[f] = true
+					}
+				}
+			case *ast.CompositeLit:
+				if !composite {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						if f, ok := pass.Info.Uses[key].(*types.Var); ok && f.IsField() {
+							refs[f] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}

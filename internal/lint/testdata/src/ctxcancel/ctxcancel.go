@@ -1,0 +1,81 @@
+// Package ctxcancel is a leolint fixture: exported Run* functions and
+// //leo:longloop functions with loops must take a context and consult
+// it inside a loop; delegating wrappers, bounded allows, and loops
+// confined to function literals pass.
+package ctxcancel
+
+import "context"
+
+func RunForever(n int) { // want `RunForever loops without taking a context\.Context`
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func RunIgnoring(ctx context.Context, n int) { // want `RunIgnoring takes ctx but never checks it inside its loop`
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func RunChecked(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// RunWrapper is loop-free: the loop it delegates to is checked where
+// it lives.
+func RunWrapper(ctx context.Context) error { return RunChecked(ctx, 10) }
+
+// RunSpawner only builds a closure; loops inside function literals
+// belong to the closure, not to this function's control flow.
+func RunSpawner(n int) func() int {
+	return func() int {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		return total
+	}
+}
+
+// pump is unexported but opted in by the directive.
+//
+//leo:longloop
+func pump(n int) { // want `pump loops without taking a context\.Context`
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+//leo:longloop
+func drain(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBounded carries an audited exemption.
+//
+//leo:allow ctx fixture: bounded to eight iterations by construction
+func RunBounded(n int) {
+	for i := 0; i < 8 && i < n; i++ {
+		_ = i
+	}
+}
+
+// Walk is exported and loops, but is neither Run*-named nor annotated.
+func Walk(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}

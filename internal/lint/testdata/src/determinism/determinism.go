@@ -1,0 +1,70 @@
+// Package determinism is a leolint fixture: every construct the
+// determinism analyzer forbids in a replay-critical package, next to
+// the deterministic alternative it permits.
+//
+//leo:deterministic
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now in a replay-critical package`
+	return time.Since(start) // want `time\.Since in a replay-critical package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+// seededRand draws from an explicit source; only the package-level
+// functions hit the shared global state.
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// constructors build an independent generator and are always legal.
+func constructors() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func mapOrdered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}
+
+func mapPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside map iteration`
+	}
+}
+
+// mapLocal appends to a slice scoped to the loop body: the order still
+// varies, but it cannot escape as ordered output.
+func mapLocal(m map[string]int) int {
+	total := 0
+	for k := range m {
+		parts := []byte(nil)
+		parts = append(parts, k...)
+		total += len(parts)
+	}
+	return total
+}
+
+func mapAllowed(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //leo:allow maprange collection loop; caller sorts before use
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawn in a replay-critical package`
+}

@@ -1,0 +1,25 @@
+// Package engine is a leolint fixture type-checked under the import
+// path leonardo/internal/engine: the one place a goroutine spawn is
+// legal is the package-level Map function (the deterministic
+// scheduler). A method that happens to be named Map gets no exemption.
+//
+//leo:deterministic
+package engine
+
+// Map mimics the deterministic worker pool; its spawns are exempt.
+func Map(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		go f(i)
+	}
+}
+
+type worker struct{}
+
+// Map the method is not Map the scheduler.
+func (worker) Map(f func()) {
+	go f() // want `goroutine spawn in a replay-critical package`
+}
+
+func elsewhere(f func()) {
+	go f() // want `goroutine spawn in a replay-critical package`
+}

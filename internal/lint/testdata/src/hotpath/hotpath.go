@@ -1,0 +1,137 @@
+// Package hotpath is a leolint fixture: each heap-escaping construct
+// the hotpath analyzer flags inside //leo:hotpath functions, the
+// allocation-free forms it permits, and the directive edge cases
+// (methods, nested closures, panic cold paths, doc-comment allows).
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+)
+
+//leo:hotpath
+func appendGrows(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append without a capacity`
+	}
+	return out
+}
+
+//leo:hotpath
+func appendPrealloc(xs []int) []int {
+	out := make([]int, 0, 64)
+	for _, x := range xs {
+		if len(out) == cap(out) {
+			break
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+//leo:hotpath
+func makeDynamic(n int) []int {
+	return make([]int, n) // want `make with non-constant size`
+}
+
+//leo:hotpath
+func makeConst() []int {
+	return make([]int, 8)
+}
+
+//leo:hotpath
+func boxesExplicit(x int) any {
+	return any(x) // want `conversion to interface`
+}
+
+func sink(v any) { _ = v }
+
+//leo:hotpath
+func boxesAtCall(x int) {
+	sink(x) // want `boxes the value`
+}
+
+// forwardVariadic forwards an interface slice with ...; no per-element
+// boxing happens at this call site.
+func variadicSink(vs ...any) { _ = vs }
+
+//leo:hotpath
+func forwardVariadic(vs []any) {
+	variadicSink(vs...)
+}
+
+//leo:hotpath
+func formats(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf allocates on the hot path`
+}
+
+//leo:hotpath
+func wraps() error {
+	return errors.New("boom") // want `errors\.New allocates on the hot path`
+}
+
+// coldPanic's fmt.Sprintf sits inside a panic argument: the cold path
+// is exempt.
+//
+//leo:hotpath
+func coldPanic(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative %d", x))
+	}
+	return x * 2
+}
+
+type ring struct {
+	buf [8]int
+	n   int
+}
+
+// push is the directive-on-a-method case: clean, no diagnostics.
+//
+//leo:hotpath
+func (r *ring) push(x int) {
+	r.buf[r.n&7] = x
+	r.n++
+}
+
+//leo:hotpath
+func (r *ring) dump() string {
+	return fmt.Sprint(r.n) // want `fmt\.Sprint allocates on the hot path`
+}
+
+// nestedClosures: both literals capture n from the enclosing function,
+// so both are flagged independently.
+//
+//leo:hotpath
+func nestedClosures() func() int {
+	n := 0
+	return func() int { // want `closure captures "n" by reference`
+		inner := func() int { // want `closure captures "n" by reference`
+			n++
+			return n
+		}
+		return inner()
+	}
+}
+
+//leo:hotpath
+func closureNoCapture() func(int) int {
+	return func(x int) int { return x * x }
+}
+
+// allowedCall: a doc-comment allow suppresses the check for the whole
+// function body.
+//
+//leo:hotpath
+//leo:allow hotpath-call fixture: diagnostics suppressed for the whole body
+func allowedCall() {
+	fmt.Println("debug")
+}
+
+// notAnnotated is ignored entirely: no directive, no checks.
+func notAnnotated() []int {
+	var out []int
+	out = append(out, 1)
+	return out
+}

@@ -1,0 +1,43 @@
+// Package snapcodec is a leolint fixture: a //leo:snapshot struct with
+// one field the encoder forgot, one field the decoder forgot, one
+// deliberately unserialized field carrying an allow, and a marked
+// non-struct.
+package snapcodec
+
+import "leonardo/internal/engine"
+
+//leo:snapshot
+type State struct {
+	A int
+	B uint64
+	C float64 // want `State\.C is never written by an encoder`
+	D bool    // want `State\.D is never read by a decoder`
+	//leo:allow snapcodec rebuilt from A on restore, never serialized
+	E      int
+	hidden int
+}
+
+//leo:snapshot
+type Count int // want `not a struct`
+
+func (s *State) encode() []byte {
+	e := engine.NewEnc("fixture", 1)
+	e.Int(s.A)
+	e.U64(s.B)
+	e.Bool(s.D)
+	e.Int(s.hidden)
+	return e.Bytes()
+}
+
+func decode(data []byte) (*State, error) {
+	d, err := engine.NewDec(data, "fixture")
+	if err != nil {
+		return nil, err
+	}
+	s := &State{A: d.Int(), B: d.U64(), C: d.F64()}
+	s.E = s.A
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

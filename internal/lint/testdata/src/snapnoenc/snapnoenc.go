@@ -1,0 +1,8 @@
+// Package snapnoenc is a leolint fixture: a //leo:snapshot type in a
+// package with no engine.Enc encoder at all.
+package snapnoenc
+
+//leo:snapshot
+type Orphan struct { // want `no engine\.Enc encoder`
+	A int
+}

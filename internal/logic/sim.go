@@ -201,6 +201,8 @@ func (s *Sim) SetBusLane(b Bus, lane int, v uint64) {
 
 // settle evaluates all combinational logic in levelized order, all 64
 // lanes per operation.
+//
+//leo:hotpath
 func (s *Sim) settle() {
 	if !s.dirty {
 		return
@@ -255,6 +257,8 @@ func (s *Sim) settle() {
 // out-of-range semantics as a one-lane simulator. The masks are
 // shared by every data bit of the RAM, for reads during settle and
 // writes at the clock edge.
+//
+//leo:hotpath
 func (s *Sim) ramDecode(ri int) {
 	r := s.c.rams[ri]
 	dec := s.dec[ri]
@@ -311,6 +315,8 @@ func (s *Sim) OutLane(name string, lane int) bool {
 
 // Step advances one clock cycle on all lanes: settle combinational
 // logic, then commit every flip-flop and RAM write simultaneously.
+//
+//leo:hotpath
 func (s *Sim) Step() {
 	s.settle()
 	c := s.c
@@ -362,6 +368,8 @@ func (s *Sim) StepN(n int) {
 // RunUntil steps until the predicate is true after a step, up to max
 // cycles; it returns the number of steps taken and whether the
 // predicate fired.
+//
+//leo:allow ctx bounded by the max argument; cancellable runs go through gapcirc.Driver + engine.Run
 func (s *Sim) RunUntil(pred func() bool, max int) (int, bool) {
 	for i := 1; i <= max; i++ {
 		s.Step()

@@ -1,6 +1,10 @@
 package logic
 
-import "fmt"
+import (
+	"fmt"
+
+	"leonardo/internal/engine"
+)
 
 // SimState is a deep copy of everything that survives a clock edge in a
 // compiled simulator: the clock count, the driven primary inputs, all
@@ -10,11 +14,54 @@ import "fmt"
 // A state is only meaningful for a Sim compiled from the same circuit:
 // the slices are keyed by node order, which Compile derives
 // deterministically from the circuit construction order.
+//
+//leo:snapshot
 type SimState struct {
 	Cycles uint64
 	Inputs []uint64   // per input node, in node-index order
 	DFFs   []uint64   // per flip-flop, in node-index order
 	RAMs   [][]uint64 // per RAM, lane vector per (word, bit)
+}
+
+// maxSnapshotRAMs bounds the RAM count DecodeSimState accepts, so a
+// corrupt length prefix cannot drive a huge allocation.
+const maxSnapshotRAMs = 1 << 16
+
+// EncodeTo appends the state to an engine snapshot stream. The layout
+// is the historical gapcirc driver format: cycle count, input and
+// flip-flop lane vectors, then a RAM count followed by one lane vector
+// per RAM.
+func (st SimState) EncodeTo(e *engine.Enc) {
+	e.U64(st.Cycles)
+	e.Words(st.Inputs)
+	e.Words(st.DFFs)
+	e.Int(len(st.RAMs))
+	for _, mem := range st.RAMs {
+		e.Words(mem)
+	}
+}
+
+// DecodeSimState reads a state written by EncodeTo. Dimension checks
+// against a concrete circuit happen later, in Sim.RestoreState; here
+// only the RAM count is sanity-bounded.
+func DecodeSimState(d *engine.Dec) (SimState, error) {
+	st := SimState{
+		Cycles: d.U64(),
+		Inputs: d.Words(),
+		DFFs:   d.Words(),
+	}
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return SimState{}, err
+	}
+	if n < 0 || n > maxSnapshotRAMs {
+		return SimState{}, fmt.Errorf("logic: snapshot has %d RAMs", n)
+	}
+	st.RAMs = make([][]uint64, n)
+	for i := range st.RAMs {
+		st.RAMs[i] = d.Words()
+	}
+	return st, d.Err()
 }
 
 // inputNodes lists the kInput nodes in index order.

@@ -247,6 +247,8 @@ func (c *CPU) Step() error {
 }
 
 // Run executes until HALT or the cycle guard trips.
+//
+//leo:allow ctx bounded by the MaxCycles guard; the firmware under test halts itself
 func (c *CPU) Run() error {
 	max := c.MaxCycles
 	if max == 0 {

@@ -351,6 +351,8 @@ func WalkGenome(g genome.Genome, trial Trial) Metrics {
 }
 
 // Run executes the trial on this robot.
+//
+//leo:allow ctx bounded by the trial's cycle count; a full trial is milliseconds of work
 func (r *Robot) Run(trial Trial) Metrics {
 	phaseSec := trial.PhaseSeconds
 	if phaseSec == 0 {
