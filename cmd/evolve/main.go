@@ -4,6 +4,7 @@
 // Usage:
 //
 //	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N]
+//	       [-islands N] [-migrate-every N] [-topology ring|none] [-workers N]
 //	       [-progress N] [-json] [-curve]
 //	       [-checkpoint F] [-checkpoint-at N] [-resume F]
 //	       [-cpuprofile F] [-memprofile F]
@@ -15,6 +16,14 @@
 // exact random trajectory from such a file, finishing with results
 // bit-identical to an uninterrupted run. -checkpoint-at N stops after
 // generation N (pause); a later -resume invocation completes the run.
+//
+// -islands N (N > 1) runs an archipelago: N demes evolve concurrently
+// and exchange champions over the -topology every -migrate-every
+// generations. Island runs checkpoint and resume like single runs —
+// -resume sniffs the snapshot kind, so a file written in island mode
+// resumes in island mode regardless of flags. In island mode -progress
+// and -checkpoint-at count epochs (migration intervals), and the replay
+// is bit-identical for any -workers value.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"leonardo/internal/gait"
 	"leonardo/internal/gap"
 	"leonardo/internal/genome"
+	"leonardo/internal/island"
 	"leonardo/internal/prof"
 	"leonardo/internal/robot"
 	"leonardo/internal/stats"
@@ -49,6 +59,9 @@ type output struct {
 	BestFitness int            `json:"best_fitness"`
 	MaxFitness  int            `json:"max_fitness"`
 	Draws       uint64         `json:"draws"`
+	Islands     int            `json:"islands,omitempty"`
+	Migrations  int            `json:"migrations,omitempty"`
+	BestDeme    int            `json:"best_deme,omitempty"`
 	Genome      string         `json:"genome,omitempty"`
 	OnChipNs    int64          `json:"on_chip_ns"`
 	Checkpoint  string         `json:"checkpoint,omitempty"`
@@ -63,6 +76,10 @@ func run() int {
 	mut := flag.Int("mut", 15, "single-bit mutations per generation")
 	maxGen := flag.Int("maxgen", gap.DefaultMaxGenerations, "generation cap")
 	steps := flag.Int("steps", 2, "walk steps per genome (2 = paper; more = future-work layout)")
+	islands := flag.Int("islands", 1, "number of concurrent demes (>1 enables island mode)")
+	migrateEvery := flag.Int("migrate-every", island.DefaultMigrateEvery, "generations between migration barriers (island mode)")
+	topology := flag.String("topology", string(island.Ring), `island migration topology: "ring" or "none"`)
+	workers := flag.Int("workers", 0, "worker goroutines for island mode (0 = GOMAXPROCS; never affects results)")
 	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
 	progress := flag.Int("progress", 0, "report telemetry every N generations")
 	jsonOut := flag.Bool("json", false, "emit the result (and -progress trace) as JSON")
@@ -83,28 +100,54 @@ func run() int {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	var g *gap.GAP
+	var resumeData []byte
 	if *resume != "" {
-		data, err := os.ReadFile(*resume)
-		if err != nil {
+		if resumeData, err = os.ReadFile(*resume); err != nil {
 			fmt.Fprintln(os.Stderr, "evolve:", err)
 			return 1
 		}
-		if g, err = gap.Restore(data, nil); err != nil {
+	}
+
+	base := gap.PaperParams(*seed)
+	base.PopulationSize = *pop
+	base.SelectionThreshold = *sel
+	base.CrossoverThreshold = *xov
+	base.MutationsPerGeneration = *mut
+	base.MaxGenerations = *maxGen
+	base.Layout = genome.Layout{Steps: *steps, Legs: genome.Legs}
+	base.RecordHistory = *curve
+
+	// Island dispatch: an explicit -islands N>1, or a resume file whose
+	// header says it was written by an island run — the snapshot kind,
+	// not the flags, decides how a file resumes.
+	resumedKind := ""
+	if resumeData != nil {
+		if resumedKind, err = engine.SnapshotKind(resumeData); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+	}
+	if resumedKind == "island" || (resumeData == nil && *islands > 1) {
+		ip := island.Params{
+			Demes:        *islands,
+			MigrateEvery: *migrateEvery,
+			Topology:     island.Topology(*topology),
+			Workers:      *workers,
+			Base:         base,
+		}
+		return runIslands(ctx, resumeData, *resume, ip,
+			*jsonOut, *progress, *checkpoint, *checkpointAt)
+	}
+
+	var g *gap.GAP
+	if resumeData != nil {
+		if g, err = gap.Restore(resumeData, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "evolve:", err)
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "evolve: resumed %q at generation %d\n", *resume, g.GenerationNumber())
 	} else {
-		p := gap.PaperParams(*seed)
-		p.PopulationSize = *pop
-		p.SelectionThreshold = *sel
-		p.CrossoverThreshold = *xov
-		p.MutationsPerGeneration = *mut
-		p.MaxGenerations = *maxGen
-		p.Layout = genome.Layout{Steps: *steps, Legs: genome.Legs}
-		p.RecordHistory = *curve
-		if g, err = gap.New(p); err != nil {
+		if g, err = gap.New(base); err != nil {
 			fmt.Fprintln(os.Stderr, "evolve:", err)
 			return 1
 		}
@@ -224,6 +267,136 @@ func run() int {
 		fmt.Println()
 		fmt.Print(s.Render(12, 72))
 	}
+	if cancelled {
+		return 130
+	}
+	return 0
+}
+
+// runIslands is the archipelago branch of run: build or resume the
+// archipelago, step it to completion (or to the -checkpoint-at epoch),
+// and report the cross-deme result. Progress and checkpoints are
+// epoch-granular — one epoch is -migrate-every generations per deme.
+func runIslands(ctx context.Context, resumeData []byte, resumeName string,
+	p island.Params, jsonOut bool, progress int, checkpoint string, checkpointAt int) int {
+	var a *island.Archipelago
+	var err error
+	if resumeData != nil {
+		if a, err = island.Restore(resumeData, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		// Workers is pure scheduling, so it is the one flag a resume
+		// honours; everything else comes from the snapshot.
+		a.SetWorkers(p.Workers)
+		fmt.Fprintf(os.Stderr, "evolve: resumed %q at epoch %d (%d demes)\n",
+			resumeName, a.Epochs(), a.Demes())
+	} else if a, err = island.New(p); err != nil {
+		fmt.Fprintln(os.Stderr, "evolve:", err)
+		return 1
+	}
+
+	var observers []engine.Observer
+	var rec *engine.Recorder
+	if progress > 0 {
+		rec = &engine.Recorder{Every: progress}
+		observers = append(observers, rec)
+		if !jsonOut {
+			every := progress
+			epoch := a.Epochs()
+			observers = append(observers, engine.FuncObserver(func(ev engine.Event) {
+				epoch++
+				if epoch%every == 0 {
+					fmt.Fprintf(os.Stderr, "epoch %5d  gen %6d  best %2d/%2d  mean %5.1f  migrants %d\n",
+						epoch, ev.Generation, ev.BestEver, a.Result().MaxFitness, ev.MeanFitness, a.Migrations())
+				}
+			}))
+		}
+	}
+	var obs engine.Observer
+	if len(observers) > 0 {
+		obs = engine.MultiObserver(observers)
+	}
+
+	limit := -1
+	if checkpointAt > 0 {
+		limit = checkpointAt - a.Epochs()
+		if limit < 0 {
+			limit = 0
+		}
+	}
+	runErr := engine.Steps(ctx, a, obs, limit)
+	cancelled := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !cancelled {
+		fmt.Fprintln(os.Stderr, "evolve:", runErr)
+		return 1
+	}
+	res := a.Result()
+
+	if checkpoint != "" {
+		if err := os.WriteFile(checkpoint, a.Snapshot(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "evolve: snapshot at epoch %d written to %q\n", a.Epochs(), checkpoint)
+	}
+
+	ap := a.Params()
+	timing := gap.PaperTiming()
+	timing.Bits = ap.Base.Layout.Bits()
+	timing.Population = ap.Base.PopulationSize
+	timing.Mutations = ap.Base.MutationsPerGeneration
+	timing.CrossoverRate = ap.Base.CrossoverThreshold
+
+	if jsonOut {
+		out := output{
+			Converged:   res.Converged,
+			Cancelled:   cancelled,
+			Generations: res.Generations,
+			BestFitness: res.BestFitness,
+			MaxFitness:  res.MaxFitness,
+			Draws:       res.Draws,
+			Islands:     a.Demes(),
+			Migrations:  res.Migrations,
+			BestDeme:    res.BestDeme,
+			OnChipNs:    timing.RunDuration(res.Generations).Nanoseconds(),
+			Checkpoint:  checkpoint,
+		}
+		if ap.Base.Layout == genome.PaperLayout {
+			out.Genome = res.Best.Packed().String()
+		}
+		if rec != nil {
+			out.Trace = rec.Events()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		if cancelled {
+			return 130
+		}
+		return 0
+	}
+
+	fmt.Printf("converged: %v after %d generations on %d islands (best fitness %d/%d, deme %d, %d migrants)\n",
+		res.Converged, res.Generations, a.Demes(), res.BestFitness, res.MaxFitness, res.BestDeme, res.Migrations)
+	fmt.Printf("on-chip time per island at 1 MHz: %v (%s)\n", timing.RunDuration(res.Generations), timing)
+	fmt.Printf("random draws consumed: %d\n\n", res.Draws)
+
+	if ap.Base.Layout == genome.PaperLayout {
+		champ := res.Best.Packed()
+		fmt.Println("champion genome:")
+		fmt.Println(" ", champ)
+		fmt.Println(champ.Describe())
+		fmt.Println()
+	}
+	fmt.Println("gait diagram (2 cycles):")
+	fmt.Print(gait.Diagram(res.Best, 2))
+	m := robot.Walk(res.Best, robot.Trial{Cycles: 5})
+	fmt.Println("\nsimulated walk (5 cycles):", m)
+
 	if cancelled {
 		return 130
 	}

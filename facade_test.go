@@ -65,6 +65,63 @@ func TestRunPauseResume(t *testing.T) {
 	}
 }
 
+// TestEvolveIslands exercises the archipelago facade: a small ring
+// converges to the maximum rule fitness, and the pause/resume handle
+// continues an interrupted archipelago to the same champion.
+func TestEvolveIslands(t *testing.T) {
+	p := IslandParams{Demes: 4, MigrateEvery: 10, Topology: Ring, Base: PaperParams(7)}
+	var epochs int
+	res, err := EvolveIslands(context.Background(), p, ObserverFunc(func(Event) { epochs++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.BestFitness != res.MaxFitness {
+		t.Fatalf("archipelago did not converge to the maximum: %+v", res)
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch events observed")
+	}
+	if got := Fitness(res.Best.Packed()); got != res.BestFitness {
+		t.Fatalf("champion rescores to %d, result says %d", got, res.BestFitness)
+	}
+}
+
+// TestIslandRunPauseResume is TestRunPauseResume for the archipelago
+// handle: pause after a few epochs, resume from the snapshot, and land
+// on the same champion as the uninterrupted run.
+func TestIslandRunPauseResume(t *testing.T) {
+	p := IslandParams{Demes: 3, MigrateEvery: 10, Base: PaperParams(19)}
+	ref, err := EvolveIslands(context.Background(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewIslandRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && !r.Done(); i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, err := ResumeIslands(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Epoch() != r.Epoch() {
+		t.Fatalf("resumed at epoch %d, paused at %d", resumed.Epoch(), r.Epoch())
+	}
+	res, err := resumed.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != ref.BestFitness || res.Draws != ref.Draws ||
+		res.Migrations != ref.Migrations || !res.Best.Bits.Equal(ref.Best.Bits) {
+		t.Fatalf("resumed archipelago %+v != uninterrupted %+v", res, ref)
+	}
+}
+
 // TestResumeRejectsGarbage keeps Resume a safe boundary for snapshot
 // files read from disk.
 func TestResumeRejectsGarbage(t *testing.T) {

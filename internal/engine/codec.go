@@ -82,6 +82,34 @@ func (e *Enc) Words(ws []uint64) {
 	}
 }
 
+// Blob appends a length-prefixed byte slice. The island archipelago
+// uses it to nest complete sub-snapshots inside a snapshot.
+func (e *Enc) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// SnapshotKind reports the kind string of an encoded snapshot without
+// decoding its payload — the dispatch hook for callers that accept
+// several snapshot kinds (cmd/evolve -resume chooses between a plain
+// GAP run and an island archipelago; the archipelago restores its
+// per-deme sub-snapshots by kind).
+func SnapshotKind(data []byte) (string, error) {
+	if len(data) < len(snapMagic)+1 {
+		return "", fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return "", fmt.Errorf("engine: bad snapshot magic")
+	}
+	off := len(snapMagic)
+	n := int(data[off])
+	off++
+	if off+n > len(data) {
+		return "", fmt.Errorf("engine: snapshot truncated in kind")
+	}
+	return string(data[off : off+n]), nil
+}
+
 // Dec reads a snapshot byte stream. Errors are sticky: after the first
 // failure every read returns zero and Err reports the failure.
 type Dec struct {
@@ -194,6 +222,18 @@ func (d *Dec) Words() []uint64 {
 		ws[i] = d.U64()
 	}
 	return ws
+}
+
+// Blob reads a length-prefixed byte slice (an independent copy).
+func (d *Dec) Blob() []byte {
+	n := int(d.U32())
+	if d.err != nil || d.fail(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.data[d.off:])
+	d.off += n
+	return b
 }
 
 // Err returns the sticky decode error, if any.

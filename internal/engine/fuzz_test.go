@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzSnapshotCodec drives the checkpoint codec from both ends.
+// Arbitrary (mutated) bytes must never panic the header sniff or the
+// decoder — truncation, bad magic, and kind mismatch are errors, not
+// crashes. And a stream written by Enc must decode back to exactly the
+// values written, with Finish accepting it and rejecting every
+// truncated prefix.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte{}, uint64(0), int64(0), false, []byte{})
+	f.Add([]byte("LEOSNAP\x00"), uint64(1), int64(-1), true, []byte{1, 2, 3})
+	seed := NewEnc("fuzz", 1)
+	seed.U64(42)
+	seed.Int(7)
+	seed.Bool(true)
+	seed.Blob([]byte("nested sub-snapshot"))
+	f.Add(seed.Bytes(), ^uint64(0), int64(1)<<62, false, []byte("blob"))
+	f.Fuzz(func(t *testing.T, raw []byte, u uint64, i int64, b bool, blob []byte) {
+		// Arbitrary bytes: sniff and decode must fail cleanly or read
+		// zero values, never panic — snapshots come from files on disk.
+		_, _ = SnapshotKind(raw)
+		if d, err := NewDec(raw, "fuzz"); err == nil {
+			d.U8()
+			d.U64()
+			d.F64()
+			d.Words()
+			d.Blob()
+			_ = d.Finish()
+		}
+
+		// Encode/decode identity across every field type the real
+		// snapshots use.
+		e := NewEnc("fuzz", 3)
+		e.U8(uint8(u))
+		e.U16(uint16(u))
+		e.U32(uint32(u))
+		e.U64(u)
+		e.I64(i)
+		e.Int(int(i))
+		e.F64(math.Float64frombits(u))
+		e.Bool(b)
+		e.Words([]uint64{u, uint64(i)})
+		e.Blob(blob)
+		e.Blob(raw)
+		full := e.Bytes()
+
+		d, err := NewDec(full, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Version != 3 {
+			t.Fatalf("version %d, want 3", d.Version)
+		}
+		if got := d.U8(); got != uint8(u) {
+			t.Fatalf("U8 %d != %d", got, uint8(u))
+		}
+		if got := d.U16(); got != uint16(u) {
+			t.Fatalf("U16 %d != %d", got, uint16(u))
+		}
+		if got := d.U32(); got != uint32(u) {
+			t.Fatalf("U32 %d != %d", got, uint32(u))
+		}
+		if got := d.U64(); got != u {
+			t.Fatalf("U64 %d != %d", got, u)
+		}
+		if got := d.I64(); got != i {
+			t.Fatalf("I64 %d != %d", got, i)
+		}
+		if got := d.Int(); got != int(i) {
+			t.Fatalf("Int %d != %d", got, int(i))
+		}
+		// Compare floats by bit pattern so NaN payloads count too.
+		if got := math.Float64bits(d.F64()); got != u {
+			t.Fatalf("F64 bits %#x != %#x", got, u)
+		}
+		if got := d.Bool(); got != b {
+			t.Fatalf("Bool %v != %v", got, b)
+		}
+		ws := d.Words()
+		if len(ws) != 2 || ws[0] != u || ws[1] != uint64(i) {
+			t.Fatalf("Words %v != [%d %d]", ws, u, uint64(i))
+		}
+		if got := d.Blob(); !bytes.Equal(got, blob) {
+			t.Fatalf("Blob %v != %v", got, blob)
+		}
+		if got := d.Blob(); !bytes.Equal(got, raw) {
+			t.Fatalf("Blob %v != %v", got, raw)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if kind, err := SnapshotKind(full); err != nil || kind != "fuzz" {
+			t.Fatalf("SnapshotKind = %q, %v", kind, err)
+		}
+
+		// Every truncated prefix must surface an error — either at
+		// header validation or as the sticky decode error at Finish.
+		for cut := 0; cut < len(full); cut++ {
+			d, err := NewDec(full[:cut], "fuzz")
+			if err != nil {
+				continue
+			}
+			d.U8()
+			d.U16()
+			d.U32()
+			d.U64()
+			d.I64()
+			d.Int()
+			d.F64()
+			d.Bool()
+			d.Words()
+			d.Blob()
+			d.Blob()
+			if d.Finish() == nil {
+				t.Fatalf("snapshot truncated to %d/%d bytes decoded cleanly", cut, len(full))
+			}
+		}
+	})
+}

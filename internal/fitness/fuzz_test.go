@@ -1,0 +1,39 @@
+package fitness
+
+import (
+	"testing"
+
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+)
+
+// FuzzLUTFitness pins the packed LUT fast path (Score/Breakdown over
+// precomputed tables, lut.go) to the general-layout reference evaluator
+// (ScoreExtended/BreakdownExtended) on arbitrary 36-bit genomes. The GA
+// hot loop only ever sees the fast path, so any divergence here would
+// silently change evolution trajectories.
+func FuzzLUTFitness(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(gait.Tripod()))
+	f.Add(uint64(0x555555555))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		g := genome.Genome(raw) & genome.Mask
+		e := New()
+		x := genome.FromGenome(g)
+		fast, slow := e.Score(g), e.ScoreExtended(x)
+		if fast != slow {
+			t.Fatalf("%v: LUT score %d, reference score %d", g, fast, slow)
+		}
+		fb, sb := e.Breakdown(g), e.BreakdownExtended(x)
+		if fb != sb {
+			t.Fatalf("%v: LUT breakdown %v, reference breakdown %v", g, fb, sb)
+		}
+		if sum := fb.Equilibrium + fb.Symmetry + fb.Coherence; sum != fast {
+			t.Fatalf("%v: breakdown sums to %d, score is %d", g, sum, fast)
+		}
+		if fast < 0 || fast > e.Max() {
+			t.Fatalf("%v: score %d outside [0,%d]", g, fast, e.Max())
+		}
+	})
+}

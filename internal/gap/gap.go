@@ -268,8 +268,14 @@ func (g *GAP) coin(threshold uint8) bool {
 }
 
 // drawBelow returns a uniform value in [0, n) by rejection over k-bit
-// samples.
+// samples. A non-positive bound would make the rejection loop spin
+// forever (no sample is ever below it), so it is rejected outright —
+// Params.Validate keeps ordinary runs away from this, the panic guards
+// direct callers.
 func (g *GAP) drawBelow(n, k int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("gap: drawBelow(%d) with non-positive bound would never terminate", n))
+	}
 	for {
 		v := int(g.sample(k))
 		if v < n {
@@ -347,6 +353,41 @@ func (g *GAP) tournament() int {
 		return better
 	}
 	return worse
+}
+
+// Immigrate is the receiving half of island-model migration
+// (internal/island): it draws one tournament on this deme's own random
+// stream — two index draws, exactly like selection — and replaces the
+// loser (ties favour the first draw as "better", matching the hardware
+// comparator) with a copy of the immigrant, scores it, and updates the
+// best-individual register. Consuming the deme's own CA stream keeps
+// the draw deterministic and fully captured by Snapshot, so archipelago
+// replays and resumes stay bit-exact. The immigrant must match the
+// deme's layout. Call only at a generation boundary.
+func (g *GAP) Immigrate(ind genome.Extended) error {
+	if ind.Layout != g.p.Layout {
+		return fmt.Errorf("gap: immigrant layout %+v does not match deme layout %+v",
+			ind.Layout, g.p.Layout)
+	}
+	a := g.drawIndex()
+	b := g.drawIndex()
+	loser := b
+	if g.fit[b] > g.fit[a] {
+		loser = a
+	}
+	g.basis[loser].Bits.CopyFrom(ind.Bits)
+	if g.packed != nil {
+		g.fit[loser] = g.packed.ScorePacked(genome.Genome(ind.Bits.Uint64()) & genome.Mask)
+	} else {
+		g.fit[loser] = g.obj.ScoreExtended(g.basis[loser])
+	}
+	g.ops.Evaluations++
+	if !g.haveBest || g.fit[loser] > g.bestFit {
+		g.best = g.basis[loser].Clone()
+		g.bestFit = g.fit[loser]
+		g.haveBest = true
+	}
+	return nil
 }
 
 // Generation runs one full GA cycle: selection and crossover filling

@@ -70,22 +70,62 @@ func TestNonPaperLayoutSkipsPackedPath(t *testing.T) {
 }
 
 func TestParamsValidate(t *testing.T) {
-	if err := PaperParams(1).Validate(); err != nil {
-		t.Fatalf("paper params invalid: %v", err)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		ok     bool
+	}{
+		{"paper params", func(p *Params) {}, true},
+		{"minimum population", func(p *Params) { p.PopulationSize = 2 }, true},
+		// A zero (or negative) population must be rejected up front:
+		// tournament selection draws indices with drawBelow, whose
+		// rejection loop never terminates on a non-positive bound.
+		{"zero population", func(p *Params) { p.PopulationSize = 0 }, false},
+		{"negative population", func(p *Params) { p.PopulationSize = -32 }, false},
+		{"odd population", func(p *Params) { p.PopulationSize = 33 }, false},
+		{"huge population", func(p *Params) { p.PopulationSize = 1 << 17 }, false},
+		{"selection above 1", func(p *Params) { p.SelectionThreshold = 1.5 }, false},
+		{"selection below 0", func(p *Params) { p.SelectionThreshold = -0.2 }, false},
+		{"crossover below 0", func(p *Params) { p.CrossoverThreshold = -0.1 }, false},
+		{"negative mutations", func(p *Params) { p.MutationsPerGeneration = -1 }, false},
+		{"empty layout", func(p *Params) { p.Layout = genome.Layout{} }, false},
+		{"oversized warm start", func(p *Params) {
+			p.PopulationSize = 2
+			p.InitialPopulation = make([]genome.Extended, 3)
+			for i := range p.InitialPopulation {
+				p.InitialPopulation[i] = genome.NewExtended(p.Layout)
+			}
+		}, false},
+		{"warm start layout mismatch", func(p *Params) {
+			p.InitialPopulation = []genome.Extended{genome.NewExtended(genome.Layout{Steps: 4, Legs: 6})}
+		}, false},
 	}
-	bad := []Params{
-		{Layout: genome.PaperLayout, PopulationSize: 0},
-		{Layout: genome.PaperLayout, PopulationSize: 33},
-		{Layout: genome.PaperLayout, PopulationSize: 1 << 17},
-		func() Params { p := PaperParams(1); p.SelectionThreshold = 1.5; return p }(),
-		func() Params { p := PaperParams(1); p.CrossoverThreshold = -0.1; return p }(),
-		func() Params { p := PaperParams(1); p.MutationsPerGeneration = -1; return p }(),
-		func() Params { p := PaperParams(1); p.Layout = genome.Layout{}; return p }(),
-	}
-	for i, p := range bad {
-		if err := p.Validate(); err == nil {
-			t.Errorf("case %d should be invalid", i)
+	for _, tc := range cases {
+		p := PaperParams(1)
+		tc.mutate(&p)
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
 		}
+	}
+}
+
+// TestDrawBelowRejectsDegenerateBound pins the guard behind the
+// Validate population checks: a non-positive bound would spin the
+// rejection sampler forever, so it must panic instead.
+func TestDrawBelowRejectsDegenerateBound(t *testing.T) {
+	g, err := New(PaperParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("drawBelow(%d) did not panic", n)
+				}
+			}()
+			g.drawBelow(n, 5)
+		}()
 	}
 }
 

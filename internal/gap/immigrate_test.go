@@ -1,0 +1,124 @@
+package gap
+
+import (
+	"testing"
+
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+)
+
+// TestImmigrateInstallsChampion checks the receiving half of island
+// migration: a maximum-fitness immigrant lands in the population,
+// updates the best register, consumes exactly two index draws, and
+// counts one evaluation.
+func TestImmigrateInstallsChampion(t *testing.T) {
+	g, err := New(PaperParams(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drawsBefore := g.Draws()
+	evalsBefore := g.Ops().Evaluations
+
+	tripod := genome.FromGenome(gait.Tripod())
+	if err := g.Immigrate(tripod); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := g.Draws() - drawsBefore; d != 2 {
+		t.Fatalf("immigration consumed %d draws, want 2", d)
+	}
+	if e := g.Ops().Evaluations - evalsBefore; e != 1 {
+		t.Fatalf("immigration counted %d evaluations, want 1", e)
+	}
+	best, fit := g.Best()
+	if fit != g.obj.Max() {
+		t.Fatalf("best register %d after champion immigrated, want %d", fit, g.obj.Max())
+	}
+	if !best.Bits.Equal(tripod.Bits) {
+		t.Fatal("best register does not hold the immigrant")
+	}
+	pop, fits := g.Population()
+	found := false
+	for i := range pop {
+		if pop[i].Bits.Equal(tripod.Bits) {
+			found = true
+			if fits[i] != g.obj.Max() {
+				t.Fatalf("immigrant scored %d in the population, want %d", fits[i], g.obj.Max())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("immigrant is not in the population")
+	}
+}
+
+// TestImmigrateIsSnapshotted checks that an immigration event is fully
+// captured by the deme snapshot: restore after Immigrate replays
+// exactly like the original.
+func TestImmigrateIsSnapshotted(t *testing.T) {
+	g, err := New(PaperParams(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g.Generation()
+	}
+	if err := g.Immigrate(genome.FromGenome(gait.Tripod())); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(g.Snapshot(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, got := g.Run(), r.Run()
+	if ref.Generations != got.Generations || ref.Draws != got.Draws ||
+		!ref.Best.Bits.Equal(got.Best.Bits) {
+		t.Fatalf("post-immigration resume diverged: %+v vs %+v", got, ref)
+	}
+}
+
+func TestImmigrateRejectsLayoutMismatch(t *testing.T) {
+	g, err := New(PaperParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := genome.NewExtended(genome.Layout{Steps: 4, Legs: 6})
+	if err := g.Immigrate(wrong); err == nil {
+		t.Fatal("layout mismatch accepted")
+	}
+}
+
+// TestImmigrateNeverLowersPopulationMax repeatedly immigrates a global
+// optimum: whichever tournament loser it replaces, the population
+// maximum can only rise.
+func TestImmigrateNeverLowersPopulationMax(t *testing.T) {
+	g, err := New(PaperParams(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm := genome.FromGenome(gait.Tripod())
+	for i := 0; i < 50; i++ {
+		_, fits := g.Population()
+		max := fits[0]
+		for _, f := range fits {
+			if f > max {
+				max = f
+			}
+		}
+		if err := g.Immigrate(imm); err != nil {
+			t.Fatal(err)
+		}
+		_, after := g.Population()
+		maxAfter := after[0]
+		for _, f := range after {
+			if f > maxAfter {
+				maxAfter = f
+			}
+		}
+		// The immigrant is a global optimum, so the population maximum
+		// can only rise.
+		if maxAfter < max {
+			t.Fatalf("iteration %d: population maximum fell %d -> %d", i, max, maxAfter)
+		}
+	}
+}

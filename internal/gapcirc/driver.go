@@ -153,6 +153,29 @@ func (d *Driver) Event() engine.Event {
 // final once Done reports true).
 func (d *Driver) Results() []LaneResult { return d.res }
 
+// Best returns the best individual across all lanes — latched results
+// for finished lanes, the live best register otherwise — as an extended
+// genome on the paper layout. Together with Step/Done/Event/Snapshot it
+// lets a Driver serve as an island deme (internal/island); the
+// population lives in circuit RAM, so a gate-level deme emigrates its
+// champion but does not accept immigrants.
+func (d *Driver) Best() (genome.Extended, int) {
+	var bg genome.Genome
+	best := -1
+	for l := range d.res {
+		if d.res[l].Done {
+			if d.res[l].BestFit > best {
+				best, bg = d.res[l].BestFit, d.res[l].Best
+			}
+			continue
+		}
+		if g, f := d.core.BestOfLane(d.sim, l); f > best {
+			best, bg = f, g
+		}
+	}
+	return genome.FromGenome(bg), best
+}
+
 // RunCtx drives every lane to completion under ctx, reporting progress
 // to obs (nil for none). On cancellation the partial results mark
 // unfinished lanes Done=false.

@@ -45,6 +45,48 @@ func FuzzCrossover(f *testing.F) {
 	})
 }
 
+// FuzzGenomeRoundTrip checks every representation change a genome can
+// go through — packed word, extended bit string, backing words, genes,
+// canonical text — on arbitrary 36-bit values: each round trip must be
+// exact.
+func FuzzGenomeRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0x923456789))
+	f.Add(uint64(1) << 35)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		g := Genome(raw) & Mask
+		e := FromGenome(g)
+		if got := e.Packed(); got != g {
+			t.Fatalf("Packed(FromGenome(%v)) = %v", g, got)
+		}
+		if e.Bits.Uint64() != uint64(g) {
+			t.Fatalf("extended bits %#x, packed %#x", e.Bits.Uint64(), uint64(g))
+		}
+		back := BitStringFromWords(e.Bits.Words(), e.Bits.Len())
+		if !back.Equal(e.Bits) {
+			t.Fatal("Words/BitStringFromWords round trip changed the bits")
+		}
+		if !BitStringFromUint64(uint64(g), Bits).Equal(e.Bits) {
+			t.Fatal("BitStringFromUint64 disagrees with FromGenome")
+		}
+		// Gene-level decode/encode rebuilds the identical bit string.
+		r := NewExtended(PaperLayout)
+		for s := 0; s < PaperLayout.Steps; s++ {
+			for l := 0; l < PaperLayout.Legs; l++ {
+				r.SetGene(s, l, e.Gene(s, l))
+			}
+		}
+		if !r.Bits.Equal(e.Bits) {
+			t.Fatal("gene decode/encode round trip changed the bits")
+		}
+		// The canonical textual form parses back to the same genome.
+		if back, err := Parse(g.String()); err != nil || back != g {
+			t.Fatalf("Parse(String) round trip failed for %v: %v", g, err)
+		}
+	})
+}
+
 func absInt(v int) int {
 	if v < 0 {
 		if v == -v { // MinInt

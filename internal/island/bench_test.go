@@ -1,0 +1,45 @@
+package island
+
+import (
+	"context"
+	"testing"
+
+	"leonardo/internal/engine"
+)
+
+// The archipelago benchmarks hold total work constant — demes ×
+// generations-per-deme = 800 evaluated generations per iteration, with
+// an unreachable objective so no run converges early — and vary only
+// how that work is scheduled. Comparing the single-deme baseline with
+// the 8-deme runs on 1 worker and on all cores separates the island
+// bookkeeping cost (barrier, migration) from the concurrency win.
+// BENCH_island.json reports the numbers.
+func benchRun(b *testing.B, demes, workers, epochs, migrateEvery int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := endlessParams(uint64(i) + 1)
+		p.Demes = demes
+		p.Workers = workers
+		p.MigrateEvery = migrateEvery
+		a, err := New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := engine.Steps(context.Background(), a, nil, epochs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleDeme is the baseline: one population, 800 generations.
+func BenchmarkSingleDeme(b *testing.B) { benchRun(b, 1, 1, 8, 100) }
+
+// BenchmarkArchipelagoSerial is 8 demes × 100 generations on one
+// worker: the same 800 generations plus the full island bookkeeping,
+// with zero concurrency.
+func BenchmarkArchipelagoSerial(b *testing.B) { benchRun(b, 8, 1, 4, 25) }
+
+// BenchmarkArchipelagoParallel is the same 8 demes × 100 generations on
+// all cores (Workers = 0 = GOMAXPROCS) — the trajectory is identical to
+// the serial run, only the wall clock moves.
+func BenchmarkArchipelagoParallel(b *testing.B) { benchRun(b, 8, 0, 4, 25) }

@@ -1,0 +1,87 @@
+package island
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/fitness"
+)
+
+// TestWorkerCountInvariance is the archipelago determinism contract:
+// the same parameters stepped on one worker and on eight produce
+// byte-identical snapshots and identical best-fitness trajectories.
+// Worker count is pure scheduling — engine.Map commits per-deme results
+// in index order and migration runs single-threaded at the barrier, so
+// nothing downstream may observe it.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		type trace struct {
+			snap  []byte
+			bests []int
+		}
+		run := func(workers int) trace {
+			p := endlessParams(seed)
+			p.Workers = workers
+			a, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tr trace
+			obs := engine.FuncObserver(func(ev engine.Event) {
+				tr.bests = append(tr.bests, ev.BestEver)
+			})
+			if err := engine.Steps(context.Background(), a, obs, 8); err != nil {
+				t.Fatal(err)
+			}
+			tr.snap = a.Snapshot()
+			return tr
+		}
+		one := run(1)
+		eight := run(8)
+		if !bytes.Equal(one.snap, eight.snap) {
+			t.Fatalf("seed %d: snapshots differ between workers=1 and workers=8", seed)
+		}
+		if len(one.bests) != len(eight.bests) {
+			t.Fatalf("seed %d: trajectory lengths differ: %d vs %d", seed, len(one.bests), len(eight.bests))
+		}
+		for i := range one.bests {
+			if one.bests[i] != eight.bests[i] {
+				t.Fatalf("seed %d: best-fitness trajectories diverge at epoch %d: %d vs %d",
+					seed, i, one.bests[i], eight.bests[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvarianceAcrossResume combines the two replay axes:
+// a snapshot taken on 1 worker, resumed on 8 (and vice versa), must
+// finish byte-identical to runs that never switched.
+func TestWorkerCountInvarianceAcrossResume(t *testing.T) {
+	p := endlessParams(13)
+	p.Workers = 1
+	a, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Steps(context.Background(), a, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	mid := a.Snapshot()
+
+	finish := func(snapshot []byte, workers int) []byte {
+		r, err := Restore(snapshot, unreachable{fitness.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetWorkers(workers)
+		if err := engine.Steps(context.Background(), r, nil, 4); err != nil {
+			t.Fatal(err)
+		}
+		return r.Snapshot()
+	}
+	if !bytes.Equal(finish(mid, 1), finish(mid, 8)) {
+		t.Fatal("resume diverges across worker counts")
+	}
+}

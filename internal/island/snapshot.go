@@ -1,0 +1,134 @@
+package island
+
+import (
+	"fmt"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/gap"
+	"leonardo/internal/gapcirc"
+	"leonardo/internal/genome"
+)
+
+// Checkpointing for the archipelago. A snapshot is the archipelago
+// header — resolved parameters plus the migration cursor — followed by
+// one length-prefixed sub-snapshot per deme, each a complete snapshot
+// in its own kind ("gap" for behavioural demes, "gapcirc" for
+// gate-level ones). Restore dispatches on each sub-snapshot's kind, so
+// mixed archipelagos round-trip too. Snapshots are only valid at epoch
+// boundaries, which the engine loop guarantees between Steps.
+
+const (
+	snapKind    = "island"
+	snapVersion = 1
+)
+
+// Snapshot serializes the complete archipelago state.
+func (a *Archipelago) Snapshot() []byte {
+	e := engine.NewEnc(snapKind, snapVersion)
+	e.Int(a.p.Demes)
+	e.Int(a.p.MigrateEvery)
+	e.Blob([]byte(a.p.Topology))
+	// Base parameters, mirrored from the gap snapshot layout (the
+	// objective and any warm-start population are not serialized, as
+	// there).
+	e.Int(a.p.Base.Layout.Steps)
+	e.Int(a.p.Base.Layout.Legs)
+	e.Int(a.p.Base.PopulationSize)
+	e.F64(a.p.Base.SelectionThreshold)
+	e.F64(a.p.Base.CrossoverThreshold)
+	e.Int(a.p.Base.MutationsPerGeneration)
+	e.Int(a.p.Base.MaxGenerations)
+	e.U64(a.p.Base.Seed)
+	e.Bool(a.p.Base.RecordHistory)
+	// Migration cursor.
+	e.Int(a.epochs)
+	e.Int(a.migrants)
+	// Per-deme sub-snapshots, in deme index order.
+	for _, d := range a.demes {
+		e.Blob(d.Snapshot())
+	}
+	return e.Bytes()
+}
+
+// Restore rebuilds an archipelago from a Snapshot. obj supplies the
+// per-deme objective exactly as in gap.Restore (nil means the paper's
+// three-rule evaluator); it must match the original run's objective for
+// the continuation to be meaningful. The restored archipelago continues
+// bit-identically to one that was never interrupted.
+func Restore(data []byte, obj gap.Objective) (*Archipelago, error) {
+	d, err := engine.NewDec(data, snapKind)
+	if err != nil {
+		return nil, err
+	}
+	if d.Version != snapVersion {
+		return nil, fmt.Errorf("island: snapshot version %d, want %d", d.Version, snapVersion)
+	}
+	p := Params{
+		Demes:        d.Int(),
+		MigrateEvery: d.Int(),
+		Topology:     Topology(d.Blob()),
+		Base: gap.Params{
+			Layout:                 genome.Layout{Steps: d.Int(), Legs: d.Int()},
+			PopulationSize:         d.Int(),
+			SelectionThreshold:     d.F64(),
+			CrossoverThreshold:     d.F64(),
+			MutationsPerGeneration: d.Int(),
+			MaxGenerations:         d.Int(),
+			Seed:                   d.U64(),
+			RecordHistory:          d.Bool(),
+			Objective:              obj,
+		},
+	}
+	epochs := d.Int()
+	migrants := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("island: snapshot parameters invalid: %w", err)
+	}
+	if p.MigrateEvery <= 0 || p.Base.MaxGenerations <= 0 {
+		return nil, fmt.Errorf("island: snapshot has unresolved defaults (interval %d, cap %d)",
+			p.MigrateEvery, p.Base.MaxGenerations)
+	}
+	if epochs < 0 || migrants < 0 {
+		return nil, fmt.Errorf("island: snapshot cursor (%d epochs, %d migrants) is negative", epochs, migrants)
+	}
+	demes := make([]Deme, p.Demes)
+	for i := range demes {
+		sub := d.Blob()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		kind, err := engine.SnapshotKind(sub)
+		if err != nil {
+			return nil, fmt.Errorf("island: deme %d: %w", i, err)
+		}
+		switch kind {
+		case "gap":
+			g, err := gap.Restore(sub, obj)
+			if err != nil {
+				return nil, fmt.Errorf("island: deme %d: %w", i, err)
+			}
+			demes[i] = g
+		case "gapcirc":
+			dr, err := gapcirc.RestoreDriver(sub)
+			if err != nil {
+				return nil, fmt.Errorf("island: deme %d: %w", i, err)
+			}
+			demes[i] = dr
+		default:
+			return nil, fmt.Errorf("island: deme %d has unknown snapshot kind %q", i, kind)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return &Archipelago{
+		p:        p,
+		obj:      resolveObjective(p.Base),
+		demes:    demes,
+		epochs:   epochs,
+		migrants: migrants,
+	}, nil
+}

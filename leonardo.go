@@ -34,6 +34,7 @@ import (
 	"leonardo/internal/gap"
 	"leonardo/internal/gapcirc"
 	"leonardo/internal/genome"
+	"leonardo/internal/island"
 	"leonardo/internal/logic"
 	"leonardo/internal/robot"
 )
@@ -134,6 +135,84 @@ func (r *Run) Snapshot() []byte { return r.g.Snapshot() }
 // generation to obs (nil for none).
 func (r *Run) RunCtx(ctx context.Context, obs Observer) (Result, error) {
 	return r.g.RunCtx(ctx, obs)
+}
+
+// IslandParams configures an island-model (archipelago) evolution run:
+// N independent demes, each a full GAP with its own CA-RNG stream
+// derived from the master seed, exchanging champions over a ring every
+// MigrateEvery generations. See internal/island for the determinism
+// rules.
+type IslandParams = island.Params
+
+// IslandResult is the outcome of an archipelago run: the global
+// champion, the deme that found it, and the migration tally.
+type IslandResult = island.Result
+
+// Ring and IsolatedIslands name the archipelago migration topologies.
+const (
+	Ring            = island.Ring
+	IsolatedIslands = island.Isolated
+)
+
+// EvolveIslands runs an archipelago to completion under ctx: every deme
+// advances concurrently (bounded by IslandParams.Workers), migration
+// happens at deterministic barriers, and the run replays bit-identically
+// for any worker count. obs — if non-nil — receives one aggregate Event
+// per epoch.
+func EvolveIslands(ctx context.Context, p IslandParams, obs Observer) (IslandResult, error) {
+	a, err := island.New(p)
+	if err != nil {
+		return IslandResult{}, err
+	}
+	return a.RunCtx(ctx, obs)
+}
+
+// IslandRun is the pausable, resumable handle on an archipelago run,
+// the multi-deme analogue of Run: step it epoch by epoch, snapshot it
+// at any epoch boundary, and resume the exact run bit for bit.
+type IslandRun struct{ a *island.Archipelago }
+
+// NewIslandRun starts a fresh archipelago at the given parameters.
+func NewIslandRun(p IslandParams) (*IslandRun, error) {
+	a, err := island.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &IslandRun{a: a}, nil
+}
+
+// ResumeIslands reconstructs an IslandRun from a Snapshot. The resumed
+// archipelago continues the original trajectory exactly.
+func ResumeIslands(snapshot []byte) (*IslandRun, error) {
+	a, err := island.Restore(snapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &IslandRun{a: a}, nil
+}
+
+// Step advances every deme by one epoch (MigrateEvery generations) and
+// runs the barrier migration.
+func (r *IslandRun) Step() error { return r.a.Step() }
+
+// Done reports whether any deme has converged or exhausted its budget.
+func (r *IslandRun) Done() bool { return r.a.Done() }
+
+// Epoch returns the number of completed epochs (migration barriers).
+func (r *IslandRun) Epoch() int { return r.a.Epochs() }
+
+// Result reports the archipelago outcome so far; valid at any epoch
+// boundary.
+func (r *IslandRun) Result() IslandResult { return r.a.Result() }
+
+// Snapshot serializes the complete archipelago (every deme plus the
+// migration cursor) to a versioned binary blob for ResumeIslands.
+func (r *IslandRun) Snapshot() []byte { return r.a.Snapshot() }
+
+// RunCtx drives the archipelago to completion under ctx, reporting each
+// epoch to obs (nil for none).
+func (r *IslandRun) RunCtx(ctx context.Context, obs Observer) (IslandResult, error) {
+	return r.a.RunCtx(ctx, obs)
 }
 
 // Fitness scores a genome with the paper's three physical rules
