@@ -99,6 +99,11 @@ func run() int {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	// The first signal cancels the run at the next generation boundary so
+	// the final checkpoint and -json summary still happen; releasing the
+	// handler here restores default delivery, so a second signal kills
+	// the process instead of being swallowed during that wind-down.
+	context.AfterFunc(ctx, cancel)
 
 	var resumeData []byte
 	if *resume != "" {

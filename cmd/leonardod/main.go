@@ -1,0 +1,102 @@
+// Command leonardod is the evolution-as-a-service daemon: it hosts
+// many concurrent evolution runs — single-population GAP, island
+// archipelago, and gate-level circuit — behind an HTTP JSON API, with
+// FIFO admission against a bounded worker pool, periodic checkpointing
+// to a spool directory, and crash-safe resume of every in-flight run at
+// startup.
+//
+// Usage:
+//
+//	leonardod [-addr HOST:PORT] [-spool DIR] [-workers N]
+//	          [-queue-depth N] [-snapshot-every N]
+//
+// API (see DESIGN.md §10 and the README "Serving" section):
+//
+//	POST /v1/runs               submit a run spec
+//	GET  /v1/runs               list the registry
+//	GET  /v1/runs/{id}          live generation / best fitness
+//	POST /v1/runs/{id}/cancel   cancel a run
+//	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, cancels every
+// active run at its next generation boundary, writes a final checkpoint
+// for each, and exits; the next start on the same -spool resumes them
+// on their exact trajectories.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leonardo/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address (port 0 picks a free port)")
+	spool := flag.String("spool", "leonardod-spool", "checkpoint directory (empty disables persistence)")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS); admitted runs beyond this queue")
+	queueDepth := flag.Int("queue-depth", 64, "queued runs beyond which submissions get 429")
+	snapshotEvery := flag.Int("snapshot-every", 50, "checkpoint stride in engine steps")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "leonardod: ", log.LstdFlags)
+	m, err := serve.New(serve.Config{
+		Spool:         *spool,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		SnapshotEvery: *snapshotEvery,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		m.Close()
+		return 1
+	}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// scripts (and the CI smoke test) discover the port.
+	logger.Printf("listening on http://%s (spool %q)", ln.Addr(), *spool)
+
+	srv := &http.Server{Handler: serve.NewAPI(m)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Print(err)
+		m.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process instead of being swallowed
+	logger.Print("shutting down: checkpointing active runs")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Print(err)
+	}
+	m.Close()
+	logger.Print("all runs checkpointed; bye")
+	return 0
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -21,6 +22,20 @@ import (
 // reads as a straight-line mirror of the encoder.
 
 const snapMagic = "LEOSNAP\x00"
+
+// Typed decode failures. Every header or payload error returned by
+// SnapshotKind, NewDec, and the sticky decoder wraps one of these, so
+// callers that dispatch on snapshot bytes from untrusted places — spool
+// directories, -resume files, the serve API — can classify the failure
+// with errors.Is instead of matching message text.
+var (
+	// ErrTruncated reports input shorter than the header or the payload
+	// claims — including zero-length input.
+	ErrTruncated = errors.New("snapshot truncated")
+	// ErrBadMagic reports input that does not start with the snapshot
+	// magic: not a snapshot at all.
+	ErrBadMagic = errors.New("bad snapshot magic")
+)
 
 // Enc builds a snapshot byte stream. The zero value is not usable; use
 // NewEnc.
@@ -91,21 +106,22 @@ func (e *Enc) Blob(b []byte) {
 
 // SnapshotKind reports the kind string of an encoded snapshot without
 // decoding its payload — the dispatch hook for callers that accept
-// several snapshot kinds (cmd/evolve -resume chooses between a plain
-// GAP run and an island archipelago; the archipelago restores its
-// per-deme sub-snapshots by kind).
+// several snapshot kinds (cmd/evolve -resume and the serve manager
+// choose between run kinds; the archipelago restores its per-deme
+// sub-snapshots by kind). Short, empty, or foreign input returns an
+// error wrapping ErrTruncated or ErrBadMagic; it never panics.
 func SnapshotKind(data []byte) (string, error) {
 	if len(data) < len(snapMagic)+1 {
-		return "", fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+		return "", fmt.Errorf("engine: %w (%d bytes)", ErrTruncated, len(data))
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return "", fmt.Errorf("engine: bad snapshot magic")
+		return "", fmt.Errorf("engine: %w", ErrBadMagic)
 	}
 	off := len(snapMagic)
 	n := int(data[off])
 	off++
 	if off+n > len(data) {
-		return "", fmt.Errorf("engine: snapshot truncated in kind")
+		return "", fmt.Errorf("engine: %w in kind (%d bytes for a %d-byte kind)", ErrTruncated, len(data)-off, n)
 	}
 	return string(data[off : off+n]), nil
 }
@@ -125,16 +141,16 @@ type Dec struct {
 func NewDec(data []byte, kind string) (*Dec, error) {
 	d := &Dec{data: data}
 	if len(data) < len(snapMagic)+1 {
-		return nil, fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+		return nil, fmt.Errorf("engine: %w (%d bytes)", ErrTruncated, len(data))
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("engine: bad snapshot magic")
+		return nil, fmt.Errorf("engine: %w", ErrBadMagic)
 	}
 	d.off = len(snapMagic)
 	n := int(d.data[d.off])
 	d.off++
 	if d.off+n > len(data) {
-		return nil, fmt.Errorf("engine: snapshot truncated in kind")
+		return nil, fmt.Errorf("engine: %w in kind", ErrTruncated)
 	}
 	got := string(data[d.off : d.off+n])
 	d.off += n
@@ -153,7 +169,7 @@ func (d *Dec) fail(n int) bool {
 		return true
 	}
 	if d.off+n > len(d.data) {
-		d.err = fmt.Errorf("engine: snapshot truncated at offset %d (need %d bytes)", d.off, n)
+		d.err = fmt.Errorf("engine: %w at offset %d (need %d bytes)", ErrTruncated, d.off, n)
 		return true
 	}
 	return false

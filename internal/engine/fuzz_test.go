@@ -2,9 +2,77 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"strings"
 	"testing"
 )
+
+// FuzzSnapshotKind hardens the header sniff on its own: SnapshotKind is
+// the first thing the serve manager and cmd/evolve -resume run on bytes
+// straight from disk, so short, empty, and corrupted input must return
+// a typed error — wrapping ErrTruncated or ErrBadMagic — and never
+// panic. The seed corpus pins the zero-length and truncated-magic
+// cases by construction.
+func FuzzSnapshotKind(f *testing.F) {
+	f.Add([]byte{})                    // zero-length input
+	f.Add([]byte("LEO"))               // truncated inside the magic
+	f.Add([]byte("LEOSNA"))            // truncated one byte short of the magic
+	f.Add([]byte("LEOSNAP\x00"))       // full magic, missing kind length
+	f.Add([]byte("LEOSNAP\x00\x05ga")) // kind length overruns the data
+	f.Add([]byte("XEOSNAP\x00\x03gap"))
+	f.Add(NewEnc("gap", 1).Bytes())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind, err := SnapshotKind(raw)
+		if err == nil {
+			// A successful sniff must be consistent with NewDec on the
+			// same kind: the header the sniff accepted is the header
+			// the decoder accepts.
+			if _, derr := NewDec(raw, kind); derr != nil {
+				t.Fatalf("SnapshotKind = %q but NewDec rejects the header: %v", kind, derr)
+			}
+			return
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("SnapshotKind(%q) error %v wraps neither ErrTruncated nor ErrBadMagic", raw, err)
+		}
+		if !strings.HasPrefix(err.Error(), "engine: ") {
+			t.Fatalf("error %q lost its package prefix", err)
+		}
+	})
+}
+
+// TestSnapshotKindTypedErrors pins the error classification the fuzz
+// target checks dynamically: every short or foreign input maps to the
+// documented sentinel.
+func TestSnapshotKindTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"nil", nil, ErrTruncated},
+		{"empty", []byte{}, ErrTruncated},
+		{"truncated magic", []byte("LEOSNA"), ErrTruncated},
+		{"magic only", []byte("LEOSNAP\x00"), ErrTruncated},
+		{"kind overrun", []byte("LEOSNAP\x00\x0agap"), ErrTruncated},
+		{"bad magic", []byte("NOTASNAPxxxx"), ErrBadMagic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kind, err := SnapshotKind(tc.data)
+			if err == nil {
+				t.Fatalf("accepted %q as kind %q", tc.data, kind)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want wrap of %v", err, tc.want)
+			}
+		})
+	}
+	if kind, err := SnapshotKind(NewEnc("island", 2).Bytes()); err != nil || kind != "island" {
+		t.Fatalf("SnapshotKind(valid) = %q, %v", kind, err)
+	}
+}
 
 // FuzzSnapshotCodec drives the checkpoint codec from both ends.
 // Arbitrary (mutated) bytes must never panic the header sniff or the

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // CtxcancelAnalyzer enforces the cancellation contract of the run
@@ -13,13 +14,26 @@ import (
 // wrappers that delegate to a ctx-aware implementation pass untouched;
 // bounded simulation helpers that deliberately run without a context
 // carry //leo:allow ctx with the reason.
+//
+// In the run-critical packages listed below the contract additionally
+// covers unexported run*/drive* functions: those are the loops a
+// service drives runs on, and an uncancellable one would pin a worker
+// slot until the process dies.
 var CtxcancelAnalyzer = &Analyzer{
 	Name: "ctxcancel",
 	Doc:  "exported Run*/long-loop functions must take a context and check it inside their loop",
 	Run:  runCtxcancel,
 }
 
+// runCriticalPkgs is the replay-critical run-driving set (DESIGN.md
+// §10): packages whose unexported run*/drive* functions are held to
+// the same cancellation contract as exported Run* functions.
+var runCriticalPkgs = map[string]bool{
+	"leonardo/internal/serve": true,
+}
+
 func runCtxcancel(pass *Pass) error {
+	runCritical := runCriticalPkgs[pass.Pkg.Path()]
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -27,15 +41,24 @@ func runCtxcancel(pass *Pass) error {
 				continue
 			}
 			longloop := hasDirective(fd.Doc, dirLongloop)
-			if !longloop {
-				if !fd.Name.IsExported() || len(fd.Name.Name) < 3 || fd.Name.Name[:3] != "Run" {
-					continue
-				}
+			if !longloop && !runDrivingName(fd.Name, runCritical) {
+				continue
 			}
 			checkCtxFunc(pass, fd, longloop)
 		}
 	}
 	return nil
+}
+
+// runDrivingName reports whether the function name opts into the
+// cancellation contract: exported Run* everywhere, plus unexported
+// run*/drive* in run-critical packages.
+func runDrivingName(name *ast.Ident, runCritical bool) bool {
+	if name.IsExported() {
+		return strings.HasPrefix(name.Name, "Run")
+	}
+	return runCritical &&
+		(strings.HasPrefix(name.Name, "run") || strings.HasPrefix(name.Name, "drive"))
 }
 
 func checkCtxFunc(pass *Pass, fd *ast.FuncDecl, longloop bool) {

@@ -137,3 +137,10 @@ func TestSnapcodecNoEncoder(t *testing.T) {
 func TestCtxcancelFixture(t *testing.T) {
 	runFixture(t, lint.CtxcancelAnalyzer, "testdata/src/ctxcancel", "fixture/ctxcancel")
 }
+
+// TestCtxcancelServeCritical type-checks the fixture under the real
+// serve import path: the run-critical package list extends the
+// cancellation contract to unexported run*/drive* functions there.
+func TestCtxcancelServeCritical(t *testing.T) {
+	runFixture(t, lint.CtxcancelAnalyzer, "testdata/src/servecritical", "leonardo/internal/serve")
+}

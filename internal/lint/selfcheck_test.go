@@ -19,6 +19,7 @@ var replayCritical = []string{
 	"leonardo/internal/gapcirc",
 	"leonardo/internal/genome",
 	"leonardo/internal/island",
+	"leonardo/internal/serve",
 }
 
 // TestRepoIsClean is the self-check: the full analyzer suite over the

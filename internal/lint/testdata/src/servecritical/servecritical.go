@@ -1,0 +1,55 @@
+// Package serve here is a leolint fixture type-checked under the real
+// leonardo/internal/serve import path: in a run-critical package the
+// ctxcancel contract extends past exported Run* functions to the
+// unexported run*/drive* loops a service drives runs on.
+package serve
+
+import "context"
+
+func runForever(n int) { // want `runForever loops without taking a context\.Context`
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func driveIgnoring(ctx context.Context, n int) { // want `driveIgnoring takes ctx but never checks it inside its loop`
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func runLoop(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drive is loop-free: a delegating wrapper passes here exactly as an
+// exported Run* wrapper does.
+func drive(ctx context.Context) error { return runLoop(ctx, 8) }
+
+// runBounded carries an audited exemption, same as everywhere else.
+//
+//leo:allow ctx fixture: bounded to eight iterations by construction
+func runBounded(n int) {
+	for i := 0; i < 8 && i < n; i++ {
+		_ = i
+	}
+}
+
+// dispatch loops without a context but is not run*/drive*-named: the
+// extension is scoped to run-driving names, not the whole package.
+func dispatch(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+var _ = runForever
+var _ = driveIgnoring
+var _ = drive
+var _ = runBounded
+var _ = dispatch

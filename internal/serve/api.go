@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"leonardo"
+)
+
+// NewAPI wraps a manager in the leonardod HTTP JSON API:
+//
+//	POST /v1/runs               submit a RunSpec            → 201 Info
+//	GET  /v1/runs               list the registry           → 200 []Info
+//	GET  /v1/runs/{id}          live view of one run        → 200 Info
+//	POST /v1/runs/{id}/cancel   cancel a run                → 200 Info
+//	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)  → 200 bytes
+//	GET  /healthz               liveness                    → 200
+//	GET  /metrics               Prometheus text exposition  → 200
+//
+// Errors come back as {"error": "..."} with the status the registry
+// error maps to: 400 bad spec, 404 unknown run or no snapshot yet, 409
+// already finished, 429 queue full, 503 shutting down.
+func NewAPI(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, req *http.Request) {
+		handleSubmit(m, w, req)
+	})
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		info, err := m.Get(req.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", func(w http.ResponseWriter, req *http.Request) {
+		info, err := m.Cancel(req.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		handleSnapshot(m, w, req)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteMetrics(w)
+	})
+	return mux
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, req *http.Request) {
+	var spec leonardo.RunSpec
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	info, err := m.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+info.ID)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func handleSnapshot(m *Manager, w http.ResponseWriter, req *http.Request) {
+	snap, err := m.Snapshot(req.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(snap)
+}
+
+// writeError maps a registry error onto its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoSnapshot):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrFinished):
+		status = http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

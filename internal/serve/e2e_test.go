@@ -1,0 +1,160 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"leonardo"
+	"leonardo/internal/serve"
+)
+
+// TestEndToEndService is the acceptance scenario of the service layer:
+// four concurrent runs of all three kinds over HTTP, monotone
+// generation progress, /metrics parsing as Prometheus text with the
+// run-state gauges summing to the registry size throughout, shutdown
+// mid-run, restart, and every run finishing on the exact trajectory of
+// an uninterrupted reference run.
+//
+// The gap and island specs use Steps = 7 (unreachable perfect fitness),
+// so run length is exactly MaxGenerations and the shutdown reliably
+// lands mid-run.
+func TestEndToEndService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second service scenario")
+	}
+	specs := []leonardo.RunSpec{
+		{Kind: leonardo.KindGAP, Seed: 7, Steps: 7, MaxGenerations: 8000},
+		{Kind: leonardo.KindGAP, Seed: 8, Steps: 7, MaxGenerations: 8000},
+		{Kind: leonardo.KindIsland, Seed: 9, Steps: 7, Islands: 3, MigrateEvery: 5, MaxGenerations: 4000},
+		{Kind: leonardo.KindCircuit, Seed: 10, Generations: 200},
+	}
+	refs := make([][]byte, len(specs))
+	for i, spec := range specs {
+		refs[i] = runRef(t, spec)
+	}
+
+	dir := t.TempDir()
+	cfg := serve.Config{Spool: dir, Workers: 4, QueueDepth: 8, SnapshotEvery: 25}
+	m1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(serve.NewAPI(m1))
+
+	ids := make([]string, len(specs))
+	bodies := []string{
+		`{"kind":"gap","seed":7,"steps":7,"max_generations":8000}`,
+		`{"kind":"gap","seed":8,"steps":7,"max_generations":8000}`,
+		`{"kind":"island","seed":9,"steps":7,"islands":3,"migrate_every":5,"max_generations":4000}`,
+		`{"kind":"gapcirc","seed":10,"generations":200}`,
+	}
+	for i, body := range bodies {
+		var info serve.Info
+		if code := postJSON(t, srv1.URL+"/v1/runs", body, &info); code != http.StatusCreated {
+			t.Fatalf("submit %d = %d, want 201", i, code)
+		}
+		if info.Kind != specs[i].Kind {
+			t.Fatalf("submit %d kind = %q, want %q", i, info.Kind, specs[i].Kind)
+		}
+		ids[i] = info.ID
+	}
+
+	// Poll until every run shows live progress; along the way assert
+	// monotone generations and consistent metrics.
+	lastGen := make([]int, len(ids))
+	checkProgress := func(url string) bool {
+		allProgressed := true
+		for i, id := range ids {
+			var got serve.Info
+			if code := getJSON(t, url+"/v1/runs/"+id, &got); code != http.StatusOK {
+				t.Fatalf("get %s = %d", id, code)
+			}
+			if got.Event.Generation < lastGen[i] {
+				t.Fatalf("run %s generation went backwards: %d after %d", id, got.Event.Generation, lastGen[i])
+			}
+			lastGen[i] = got.Event.Generation
+			if got.Event.Generation == 0 && !got.State.Terminal() {
+				allProgressed = false
+			}
+		}
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if sum := runStateSum(t, parsePrometheus(t, string(body))); sum != len(ids) {
+			t.Fatalf("run-state gauges sum to %d, registry has %d runs", sum, len(ids))
+		}
+		return allProgressed
+	}
+	waitFor(t, 30*time.Second, "every run to progress", func() bool { return checkProgress(srv1.URL) })
+
+	// Shut down mid-run (the SIGTERM path): every active run writes a
+	// final checkpoint and is classified interrupted.
+	srv1.Close()
+	m1.Close()
+	interrupted := 0
+	for _, id := range ids {
+		got, err := m1.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == serve.StateInterrupted {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		t.Fatal("no run was interrupted by the shutdown; the scenario never exercised resume")
+	}
+
+	// Restart on the same spool: the registry comes back, interrupted
+	// runs resume from their snapshots and finish bit-identically.
+	m2, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	srv2 := httptest.NewServer(serve.NewAPI(m2))
+	defer srv2.Close()
+
+	var list []serve.Info
+	if code := getJSON(t, srv2.URL+"/v1/runs", &list); code != http.StatusOK || len(list) != len(ids) {
+		t.Fatalf("restarted registry has %d runs, want %d", len(list), len(ids))
+	}
+
+	for i := range lastGen {
+		lastGen[i] = 0 // a resumed run restarts from its last checkpoint
+	}
+	waitFor(t, 120*time.Second, "every run to finish after restart", func() bool {
+		checkProgress(srv2.URL)
+		for _, id := range ids {
+			var got serve.Info
+			getJSON(t, srv2.URL+"/v1/runs/"+id, &got)
+			if got.State != serve.StateDone {
+				return false
+			}
+		}
+		return true
+	})
+
+	for i, id := range ids {
+		resp, err := http.Get(srv2.URL + "/v1/runs/" + id + "/snapshot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("snapshot %s = %d", id, resp.StatusCode)
+		}
+		if !bytes.Equal(snap, refs[i]) {
+			t.Errorf("run %s (%s): resumed trajectory diverged from the uninterrupted reference (%d vs %d bytes)",
+				id, specs[i].Kind, len(snap), len(refs[i]))
+		}
+	}
+}

@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"leonardo"
+	"leonardo/internal/engine"
+)
+
+// Registry errors. The API layer maps these onto HTTP status codes.
+var (
+	// ErrQueueFull rejects a submission beyond the admission queue depth
+	// (backpressure; HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrNotFound reports an unknown run id (HTTP 404).
+	ErrNotFound = errors.New("serve: run not found")
+	// ErrClosed rejects operations on a manager that is shutting down
+	// (HTTP 503).
+	ErrClosed = errors.New("serve: manager closed")
+	// ErrFinished rejects cancelling a run that already reached a
+	// terminal state (HTTP 409).
+	ErrFinished = errors.New("serve: run already finished")
+	// ErrBadSpec wraps run-spec validation failures (HTTP 400).
+	ErrBadSpec = errors.New("serve: bad run spec")
+	// ErrNoSnapshot reports a run that has not checkpointed yet
+	// (HTTP 404 on the snapshot endpoint).
+	ErrNoSnapshot = errors.New("serve: no snapshot yet")
+)
+
+// Config parameterizes a Manager. The zero value of every field is a
+// usable default.
+type Config struct {
+	// Spool is the checkpoint directory. Empty disables persistence:
+	// runs live only in memory and nothing survives a restart.
+	Spool string
+	// Workers caps how many runs step concurrently (0 = GOMAXPROCS).
+	// Admitted runs beyond the cap queue FIFO.
+	Workers int
+	// QueueDepth caps the admission queue (0 = 64). Submissions beyond
+	// it fail with ErrQueueFull.
+	QueueDepth int
+	// SnapshotEvery is the checkpoint stride in engine steps —
+	// generations, epochs, or cycle slices depending on kind (0 = 50).
+	SnapshotEvery int
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the run registry: admission, scheduling on a bounded
+// worker pool, checkpointing, cancellation, and resume-on-boot. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+	sp  *spool // nil when persistence is disabled
+	met *metrics
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // ids in admission order
+	queue  []*run   // FIFO, waiting for a worker
+	active int      // runs currently driving
+	seq    int      // id allocator; survives restarts via meta.Seq
+	closed bool
+
+	ctx    context.Context // parent of every run context; Close cancels
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// run is one registry entry. Identity fields are immutable after
+// construction; mutable state lives behind mu. It implements
+// engine.Observer, so the engine loop feeds telemetry straight into the
+// registry entry it belongs to.
+type run struct {
+	m      *Manager
+	id     string
+	seq    int
+	spec   leonardo.RunSpec
+	runner leonardo.Runner
+
+	mu         sync.Mutex
+	state      State
+	ev         leonardo.Event
+	err        error
+	snap       []byte // latest checkpoint bytes
+	cancel     context.CancelFunc
+	userCancel bool
+	resumed    bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	lastGen    int // metric delta baselines
+	lastEval   int
+}
+
+// OnGeneration implements engine.Observer: it mirrors the event into
+// the registry entry and feeds the throughput counters with deltas
+// (clamped at zero — a resumed runner restarts Elapsed but never its
+// monotone counters).
+func (r *run) OnGeneration(ev leonardo.Event) {
+	r.mu.Lock()
+	dg := ev.Generation - r.lastGen
+	de := ev.Evaluations - r.lastEval
+	r.lastGen = ev.Generation
+	r.lastEval = ev.Evaluations
+	r.ev = ev
+	r.mu.Unlock()
+	if dg > 0 {
+		r.m.met.generations.Add(int64(dg))
+	}
+	if de > 0 {
+		r.m.met.evaluations.Add(int64(de))
+	}
+}
+
+// infoLocked snapshots the public view; r.mu must be held.
+func (r *run) infoLocked() Info {
+	return Info{
+		ID:        r.id,
+		Kind:      r.spec.Kind,
+		State:     r.state,
+		Spec:      r.spec,
+		Submitted: stamp(r.submitted),
+		Started:   stamp(r.started),
+		Finished:  stamp(r.finished),
+		Resumed:   r.resumed,
+		Error:     errString(r.err),
+		Event:     r.ev,
+	}
+}
+
+func (r *run) info() Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.infoLocked()
+}
+
+func (r *run) metaLocked() meta {
+	return meta{
+		ID:        r.id,
+		Seq:       r.seq,
+		State:     r.state,
+		Spec:      r.spec,
+		Submitted: stamp(r.submitted),
+		Started:   stamp(r.started),
+		Finished:  stamp(r.finished),
+		Error:     errString(r.err),
+		Event:     r.ev,
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// New builds a manager and, when a spool directory is configured,
+// reloads its registry: terminal runs come back as records, in-flight
+// runs (queued, running, interrupted) are reconstructed — from their
+// latest snapshot when one exists, else fresh from their spec — and
+// requeued in the original admission order. A run that fails to
+// reconstruct is recorded as failed; it never blocks the rest of the
+// registry from booting.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 50
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:  cfg,
+		met:  newMetrics(),
+		runs: make(map[string]*run),
+		ctx:  ctx, cancel: cancel,
+	}
+	if cfg.Spool != "" {
+		sp, err := newSpool(cfg.Spool)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.sp = sp
+		if err := m.reload(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// reload rebuilds the registry from the spool at boot.
+func (m *Manager) reload() error {
+	metas, err := m.sp.loadAll(m.cfg.Logf)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mt := range metas {
+		if mt.Seq > m.seq {
+			m.seq = mt.Seq
+		}
+		r := &run{
+			m: m, id: mt.ID, seq: mt.Seq, spec: mt.Spec,
+			state: mt.State, ev: mt.Event,
+			submitted: unstamp(mt.Submitted),
+			started:   unstamp(mt.Started),
+			finished:  unstamp(mt.Finished),
+		}
+		if mt.Error != "" {
+			r.err = errors.New(mt.Error)
+		}
+		m.runs[mt.ID] = r
+		m.order = append(m.order, mt.ID)
+		if mt.State.Terminal() {
+			continue // record only; snapshot stays on disk for GET
+		}
+		if err := m.reviveLocked(r); err != nil {
+			m.cfg.Logf("serve: %s failed to resume: %v", r.id, err)
+			r.state = StateFailed
+			r.err = err
+			r.finished = now()
+			m.persistMetaLocked(r)
+			continue
+		}
+		r.state = StateQueued
+		r.started = time.Time{}
+		r.err = nil
+		m.persistMetaLocked(r)
+		m.queue = append(m.queue, r)
+	}
+	m.dispatchLocked()
+	return nil
+}
+
+// reviveLocked reconstructs a non-terminal run at boot: from its latest
+// snapshot when one exists (the resumed trajectory is bit-identical to
+// an uninterrupted one), else fresh from its spec.
+func (m *Manager) reviveLocked(r *run) error {
+	snap, err := m.sp.loadSnap(r.id)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		runner, err := leonardo.ResumeAny(snap)
+		if err != nil {
+			return err
+		}
+		// Worker count is pure scheduling: it is the one knob a resume
+		// does not inherit from the snapshot.
+		if w, ok := runner.(interface{ SetWorkers(int) }); ok {
+			w.SetWorkers(r.spec.Workers)
+		}
+		r.runner = runner
+		r.resumed = true
+		r.snap = snap
+	} else {
+		runner, err := r.spec.NewRunner()
+		if err != nil {
+			return err
+		}
+		r.runner = runner
+	}
+	r.ev = r.runner.Event()
+	r.lastGen = r.ev.Generation
+	r.lastEval = r.ev.Evaluations
+	return nil
+}
+
+func unstamp(s string) time.Time {
+	if s == "" {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// Submit validates the spec, constructs the run, and admits it to the
+// FIFO queue. It fails fast with ErrQueueFull when the queue is at
+// depth — backpressure instead of unbounded buffering.
+func (m *Manager) Submit(spec leonardo.RunSpec) (Info, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Info{}, ErrClosed
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return Info{}, ErrQueueFull
+	}
+	m.mu.Unlock()
+
+	// Construct outside the lock: circuit specs compile a full netlist.
+	runner, err := spec.NewRunner()
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Info{}, ErrClosed
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		return Info{}, ErrQueueFull
+	}
+	m.seq++
+	r := &run{
+		m: m, id: fmt.Sprintf("r%06d", m.seq), seq: m.seq,
+		spec: spec, runner: runner,
+		state: StateQueued, submitted: now(),
+		ev: runner.Event(),
+	}
+	r.lastGen = r.ev.Generation
+	r.lastEval = r.ev.Evaluations
+	m.runs[r.id] = r
+	m.order = append(m.order, r.id)
+	m.queue = append(m.queue, r)
+	m.persistMetaLocked(r)
+	m.dispatchLocked()
+	return r.info(), nil
+}
+
+// dispatchLocked starts queued runs while workers are free; m.mu held.
+func (m *Manager) dispatchLocked() {
+	for !m.closed && m.active < m.cfg.Workers && len(m.queue) > 0 {
+		r := m.queue[0]
+		m.queue = m.queue[1:]
+		m.active++
+		ctx, cancel := context.WithCancel(m.ctx)
+		r.mu.Lock()
+		r.cancel = cancel
+		r.state = StateRunning
+		r.started = now()
+		r.mu.Unlock()
+		m.persistMetaLocked(r)
+		m.wg.Add(1)
+		// Each goroutine drives exactly one run; runs share no evolution
+		// state, so scheduling order cannot perturb any trajectory.
+		//leo:allow goroutine one driver per run; trajectories are independent and deterministic
+		go m.drive(ctx, r)
+	}
+}
+
+// drive executes one run to completion (or cancellation) on its worker
+// slot, writes the final checkpoint, classifies the outcome, and frees
+// the slot.
+func (m *Manager) drive(ctx context.Context, r *run) {
+	defer m.wg.Done()
+	err := m.runLoop(ctx, r)
+	m.checkpoint(r)
+
+	var final State
+	switch {
+	case err == nil:
+		final = StateDone
+	case errors.Is(err, context.Canceled):
+		r.mu.Lock()
+		user := r.userCancel
+		r.mu.Unlock()
+		if user {
+			final = StateCancelled
+		} else {
+			final = StateInterrupted // daemon shutdown; resumes next boot
+		}
+		err = nil
+	default:
+		final = StateFailed
+		m.cfg.Logf("serve: %s failed: %v", r.id, err)
+	}
+
+	m.mu.Lock()
+	r.mu.Lock()
+	r.state = final
+	r.err = err
+	r.finished = now()
+	r.cancel = nil
+	r.mu.Unlock()
+	m.persistMetaLocked(r)
+	m.active--
+	m.dispatchLocked()
+	m.mu.Unlock()
+}
+
+// runLoop steps the run in checkpoint strides until it finishes or its
+// context ends. Cancellation lands at the next generation boundary:
+// engine.Steps consults ctx before every step.
+//
+//leo:longloop
+func (m *Manager) runLoop(ctx context.Context, r *run) error {
+	for !r.runner.Done() {
+		if err := engine.Steps(ctx, r.runner, r, m.cfg.SnapshotEvery); err != nil {
+			return err
+		}
+		m.checkpoint(r)
+	}
+	return nil
+}
+
+// checkpoint serializes the run (safe here: the engine is between
+// steps) and persists it to the spool when one is configured.
+func (m *Manager) checkpoint(r *run) {
+	snap := r.runner.Snapshot()
+	r.mu.Lock()
+	r.snap = snap
+	r.mu.Unlock()
+	if m.sp == nil {
+		return
+	}
+	t0 := now()
+	if err := m.sp.saveSnap(r.id, snap); err != nil {
+		m.cfg.Logf("serve: %s checkpoint: %v", r.id, err)
+		return
+	}
+	m.met.snapshotObserved(len(snap), now().Sub(t0))
+}
+
+// persistMetaLocked writes the registry entry to the spool; m.mu held.
+func (m *Manager) persistMetaLocked(r *run) {
+	if m.sp == nil {
+		return
+	}
+	r.mu.Lock()
+	mt := r.metaLocked()
+	r.mu.Unlock()
+	if err := m.sp.saveMeta(mt); err != nil {
+		m.cfg.Logf("serve: %s meta: %v", r.id, err)
+	}
+}
+
+// Get returns the live view of one run.
+func (m *Manager) Get(id string) (Info, error) {
+	m.mu.Lock()
+	r := m.runs[id]
+	m.mu.Unlock()
+	if r == nil {
+		return Info{}, ErrNotFound
+	}
+	return r.info(), nil
+}
+
+// List returns every registered run in admission order.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := make([]Info, 0, len(m.order))
+	for _, id := range m.order {
+		infos = append(infos, m.runs[id].info())
+	}
+	return infos
+}
+
+// Snapshot returns the latest checkpoint bytes for a run, falling back
+// to the spool for runs reloaded as records. ErrNoSnapshot means the
+// run has not reached its first checkpoint.
+func (m *Manager) Snapshot(id string) ([]byte, error) {
+	m.mu.Lock()
+	r := m.runs[id]
+	m.mu.Unlock()
+	if r == nil {
+		return nil, ErrNotFound
+	}
+	r.mu.Lock()
+	snap := r.snap
+	r.mu.Unlock()
+	if snap != nil {
+		return snap, nil
+	}
+	if m.sp != nil {
+		disk, err := m.sp.loadSnap(id)
+		if err != nil {
+			return nil, err
+		}
+		if disk != nil {
+			return disk, nil
+		}
+	}
+	return nil, ErrNoSnapshot
+}
+
+// Cancel stops a run: a queued run is removed from the queue and
+// finalized immediately; a running run is cancelled at its next
+// generation boundary (the final state lands asynchronously). Terminal
+// runs return ErrFinished.
+func (m *Manager) Cancel(id string) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.runs[id]
+	if r == nil {
+		return Info{}, ErrNotFound
+	}
+	r.mu.Lock()
+	state := r.state
+	r.mu.Unlock()
+	switch state {
+	case StateQueued:
+		for i, q := range m.queue {
+			if q == r {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		r.mu.Lock()
+		r.state = StateCancelled
+		r.finished = now()
+		r.mu.Unlock()
+		m.persistMetaLocked(r)
+	case StateRunning:
+		r.mu.Lock()
+		r.userCancel = true
+		cancel := r.cancel
+		r.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		return Info{}, ErrFinished
+	}
+	return r.info(), nil
+}
+
+// QueueDepth reports how many admitted runs are waiting for a worker.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// stateCounts returns the registry tally by state plus queue depth,
+// consistent under one lock acquisition.
+func (m *Manager) stateCounts() (map[State]int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[State]int, len(States))
+	for _, id := range m.order {
+		r := m.runs[id]
+		r.mu.Lock()
+		counts[r.state]++
+		r.mu.Unlock()
+	}
+	return counts, len(m.queue)
+}
+
+// WriteMetrics renders the Prometheus text exposition of the manager.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	counts, depth := m.stateCounts()
+	m.met.writeMetrics(w, counts, depth)
+}
+
+// Close shuts the manager down gracefully: no new admissions, every
+// running run is cancelled and — classified interrupted — writes a
+// final checkpoint before its driver exits, and queued runs stay
+// persisted as queued. A subsequent New on the same spool resumes all
+// of them. Close blocks until every driver goroutine has finished.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}

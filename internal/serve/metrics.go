@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon-wide counters behind GET /metrics. Counters
+// are atomics updated from the run-driver goroutines; gauges derived
+// from the registry (runs by state, queue depth) are computed at
+// scrape time under the manager lock, so the run-state gauges always
+// sum to the registry size.
+type metrics struct {
+	start       time.Time
+	generations atomic.Int64 // generations (epochs, cycle slices) completed
+	evaluations atomic.Int64 // fitness evaluations committed
+	snapshots   atomic.Int64 // checkpoints written to the spool
+	snapBytes   atomic.Int64 // total bytes of those checkpoints
+	snapNanos   atomic.Int64 // total wall time spent writing them
+}
+
+func newMetrics() *metrics { return &metrics{start: now()} }
+
+// snapshotObserved records one spool checkpoint write.
+func (mt *metrics) snapshotObserved(bytes int, elapsed time.Duration) {
+	mt.snapshots.Add(1)
+	mt.snapBytes.Add(int64(bytes))
+	mt.snapNanos.Add(int64(elapsed))
+}
+
+// writeMetrics renders the Prometheus text exposition format. Run-state
+// gauges come from the caller (a consistent registry snapshot); every
+// state is emitted, zeros included, so the series set is stable and the
+// gauges sum to the registry size on every scrape.
+func (mt *metrics) writeMetrics(w io.Writer, byState map[State]int, queueDepth int) {
+	uptime := now().Sub(mt.start).Seconds()
+	gens := mt.generations.Load()
+
+	fmt.Fprintf(w, "# HELP leonardod_runs Runs in the registry by state.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_runs gauge\n")
+	for _, st := range States {
+		fmt.Fprintf(w, "leonardod_runs{state=%q} %d\n", st, byState[st])
+	}
+
+	fmt.Fprintf(w, "# HELP leonardod_queue_depth Admitted runs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_queue_depth gauge\n")
+	fmt.Fprintf(w, "leonardod_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintf(w, "# HELP leonardod_generations_total Generations (epochs, cycle slices) completed across all runs.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_generations_total counter\n")
+	fmt.Fprintf(w, "leonardod_generations_total %d\n", gens)
+
+	fmt.Fprintf(w, "# HELP leonardod_evaluations_total Fitness evaluations committed across all runs.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_evaluations_total counter\n")
+	fmt.Fprintf(w, "leonardod_evaluations_total %d\n", mt.evaluations.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_generations_per_second Mean generation throughput since boot.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_generations_per_second gauge\n")
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(gens) / uptime
+	}
+	fmt.Fprintf(w, "leonardod_generations_per_second %g\n", rate)
+
+	fmt.Fprintf(w, "# HELP leonardod_snapshot_bytes_total Checkpoint bytes written to the spool.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_snapshot_bytes_total counter\n")
+	fmt.Fprintf(w, "leonardod_snapshot_bytes_total %d\n", mt.snapBytes.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_snapshot_latency_seconds Wall time spent writing spool checkpoints.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_snapshot_latency_seconds summary\n")
+	fmt.Fprintf(w, "leonardod_snapshot_latency_seconds_sum %g\n", time.Duration(mt.snapNanos.Load()).Seconds())
+	fmt.Fprintf(w, "leonardod_snapshot_latency_seconds_count %d\n", mt.snapshots.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_uptime_seconds Seconds since the manager booted.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "leonardod_uptime_seconds %g\n", uptime)
+}

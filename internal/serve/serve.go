@@ -1,0 +1,101 @@
+// Package serve is the run-manager subsystem behind cmd/leonardod: it
+// hosts many concurrent evolution runs — single-population GAP, island
+// archipelago, and gate-level circuit — on the shared engine, with
+// per-run cancellation, FIFO admission against a bounded worker pool,
+// periodic snapshot persistence to a spool directory, and crash-safe
+// resume of every in-flight run at startup (DESIGN.md §10).
+//
+// The package is replay-critical in the same sense as the stacks it
+// drives: the manager adds scheduling, persistence, and observation
+// around runs whose trajectories are pure functions of their specs, and
+// it must never perturb them. Wall-clock reads exist only for run
+// metadata and metrics (the audited now helper) and the per-run driver
+// goroutines only race against each other for CPU, never for evolution
+// state.
+//
+//leo:deterministic
+package serve
+
+import (
+	"time"
+
+	"leonardo"
+)
+
+// State is a run's position in the registry lifecycle.
+//
+//	queued ──► running ──► done | failed | cancelled
+//	   │           │
+//	   │           └──► interrupted ──(restart)──► queued
+//	   └──► cancelled
+//
+// Interrupted marks a run checkpointed by a daemon shutdown; it exists
+// only in the spool, and the next boot requeues the run from its
+// snapshot.
+type State string
+
+const (
+	// StateQueued is admitted but not yet driving: waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning is actively stepping on a worker.
+	StateRunning State = "running"
+	// StateDone finished on its own: converged or budget exhausted.
+	StateDone State = "done"
+	// StateFailed hit a non-recoverable stepper or spool error.
+	StateFailed State = "failed"
+	// StateCancelled was stopped by an explicit cancel request.
+	StateCancelled State = "cancelled"
+	// StateInterrupted was checkpointed by a daemon shutdown and will
+	// resume from its snapshot at the next boot.
+	StateInterrupted State = "interrupted"
+)
+
+// States lists every state in a fixed order, so metrics and listings
+// iterate deterministically instead of ranging over a map.
+var States = []State{
+	StateQueued, StateRunning, StateDone,
+	StateFailed, StateCancelled, StateInterrupted,
+}
+
+// Terminal reports whether the state is final: the run will never step
+// again under any manager. Interrupted is not terminal — it is the
+// resume-on-boot state.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Info is the public view of one registered run — the JSON document of
+// GET /v1/runs/{id}. Event carries the live telemetry of the most
+// recent generation (epoch, or cycle slice) the run completed.
+type Info struct {
+	ID        string           `json:"id"`
+	Kind      string           `json:"kind"`
+	State     State            `json:"state"`
+	Spec      leonardo.RunSpec `json:"spec"`
+	Submitted string           `json:"submitted,omitempty"`
+	Started   string           `json:"started,omitempty"`
+	Finished  string           `json:"finished,omitempty"`
+	// Resumed reports that this run was reconstructed from a spool
+	// snapshot at boot rather than built fresh from its spec.
+	Resumed bool           `json:"resumed,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Event   leonardo.Event `json:"event"`
+}
+
+// stamp formats a timestamp for Info; the zero time renders as "".
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+// now returns wall time for run metadata and metrics — never for
+// evolution state, which stays a pure function of the run spec.
+//
+//leo:allow walltime run metadata and metrics only; never feeds evolution state
+func now() time.Time { return time.Now() }

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"leonardo"
+)
+
+// The spool is the manager's crash-safe persistence: one pair of files
+// per run under a flat directory,
+//
+//	<spool>/<id>.meta.json   registry entry (spec, state, timestamps)
+//	<spool>/<id>.snap        latest engine snapshot (LEOSNAP binary)
+//
+// Both are written atomically (temp file + rename on the same
+// filesystem), so a crash never leaves a half-written checkpoint: the
+// spool always holds the previous complete one. The meta file alone is
+// enough to rebuild a run that never checkpointed — the trajectory is a
+// pure function of the spec — and the snapshot, when present, wins.
+
+// meta is the persisted registry entry for one run.
+type meta struct {
+	ID        string           `json:"id"`
+	Seq       int              `json:"seq"`
+	State     State            `json:"state"`
+	Spec      leonardo.RunSpec `json:"spec"`
+	Submitted string           `json:"submitted,omitempty"`
+	Started   string           `json:"started,omitempty"`
+	Finished  string           `json:"finished,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Event     leonardo.Event   `json:"event"`
+}
+
+// spool reads and writes the per-run file pairs in one directory.
+type spool struct{ dir string }
+
+func newSpool(dir string) (*spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: spool: %w", err)
+	}
+	return &spool{dir: dir}, nil
+}
+
+// atomicWrite lands data at path via a temp file and rename, so readers
+// and the next boot never observe a partial file.
+func (s *spool) atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func (s *spool) saveMeta(m meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: spool meta %s: %w", m.ID, err)
+	}
+	path := filepath.Join(s.dir, m.ID+".meta.json")
+	if err := s.atomicWrite(path, data); err != nil {
+		return fmt.Errorf("serve: spool meta %s: %w", m.ID, err)
+	}
+	return nil
+}
+
+func (s *spool) saveSnap(id string, snap []byte) error {
+	path := filepath.Join(s.dir, id+".snap")
+	if err := s.atomicWrite(path, snap); err != nil {
+		return fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+	}
+	return nil
+}
+
+// loadSnap returns the latest checkpoint for id, or nil with no error
+// when the run never checkpointed.
+func (s *spool) loadSnap(id string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, id+".snap"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+	}
+	return data, nil
+}
+
+// loadAll reads every meta file in the spool, sorted by submission
+// sequence, so the boot-time registry preserves the original admission
+// order. Unreadable or unparsable entries are skipped with the error
+// reported to the caller's logger — a corrupt entry must not block the
+// rest of the registry from resuming.
+func (s *spool) loadAll(logf func(string, ...any)) ([]meta, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: spool: %w", err)
+	}
+	var metas []meta
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".meta.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			logf("serve: spool: skipping %s: %v", name, err)
+			continue
+		}
+		var m meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			logf("serve: spool: skipping %s: %v", name, err)
+			continue
+		}
+		if m.ID == "" || m.ID+".meta.json" != name {
+			logf("serve: spool: skipping %s: id %q does not match filename", name, m.ID)
+			continue
+		}
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Seq < metas[j].Seq })
+	return metas, nil
+}

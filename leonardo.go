@@ -118,6 +118,13 @@ func Resume(snapshot []byte) (*Run, error) {
 // Step advances the run one generation.
 func (r *Run) Step() error { return r.g.Step() }
 
+// Event returns the telemetry of the most recent generation; valid at
+// any generation boundary, including immediately after Resume.
+func (r *Run) Event() Event { return r.g.Event() }
+
+// Kind returns the run's snapshot kind tag, KindGAP.
+func (r *Run) Kind() string { return KindGAP }
+
 // Done reports whether the run has converged or hit its generation cap.
 func (r *Run) Done() bool { return r.g.Done() }
 
@@ -194,6 +201,18 @@ func ResumeIslands(snapshot []byte) (*IslandRun, error) {
 // Step advances every deme by one epoch (MigrateEvery generations) and
 // runs the barrier migration.
 func (r *IslandRun) Step() error { return r.a.Step() }
+
+// Event returns the aggregate telemetry of the most recent epoch.
+func (r *IslandRun) Event() Event { return r.a.Event() }
+
+// Kind returns the run's snapshot kind tag, KindIsland.
+func (r *IslandRun) Kind() string { return KindIsland }
+
+// SetWorkers re-chooses the worker bound for the deme fan-out (0 =
+// GOMAXPROCS). Workers is pure scheduling — it never changes the
+// trajectory — so it is safe to set on a resumed archipelago, and it is
+// the one parameter a resume does not inherit from the snapshot.
+func (r *IslandRun) SetWorkers(n int) { r.a.SetWorkers(n) }
 
 // Done reports whether any deme has converged or exhausted its budget.
 func (r *IslandRun) Done() bool { return r.a.Done() }
@@ -343,4 +362,220 @@ func Synthesize(registerFile bool) (fpga.Report, error) {
 		return fpga.Report{}, err
 	}
 	return fpga.Map(sys.Core.Circuit, fpga.XC4036EX), nil
+}
+
+// Run kinds — the snapshot kind tags of the three resumable run
+// shapes. They double as the wire values of RunSpec.Kind and as the
+// strings SnapshotKind reports for a checkpoint file.
+const (
+	// KindGAP is a single behavioural GAP population (Run).
+	KindGAP = "gap"
+	// KindIsland is an island-model archipelago (IslandRun).
+	KindIsland = "island"
+	// KindCircuit is the lane-packed gate-level driver (CircuitRun).
+	KindCircuit = "gapcirc"
+)
+
+// Runner is the kind-agnostic handle on a resumable evolution run: Run,
+// IslandRun, and CircuitRun all satisfy it, and it satisfies
+// engine.Stepper, so one engine loop drives any kind. Step granularity
+// differs by kind — a generation (gap), an epoch (island), or a bounded
+// slice of clock cycles (circuit) — but the contract is shared: Step
+// only between Done checks, Snapshot only between Steps, and a resumed
+// run continues the original trajectory bit for bit.
+type Runner interface {
+	// Step advances one engine step.
+	Step() error
+	// Done reports whether the run has converged or exhausted its
+	// budget.
+	Done() bool
+	// Event returns the most recent step's telemetry.
+	Event() Event
+	// Snapshot serializes the complete run state for ResumeAny.
+	Snapshot() []byte
+	// Kind returns the run's snapshot kind tag (KindGAP, KindIsland,
+	// or KindCircuit).
+	Kind() string
+}
+
+// CircuitRun is the pausable, resumable handle on a gate-level run: up
+// to 64 seeds evolve in the bit-parallel lanes of one compiled GAP
+// circuit, and the complete simulator state checkpoints and resumes
+// cycle-identically. It is the third Runner kind, beside Run and
+// IslandRun.
+type CircuitRun struct{ d *gapcirc.Driver }
+
+// LaneResult is one lane's outcome in a CircuitRun.
+type LaneResult = gapcirc.LaneResult
+
+// NewCircuitRun builds and compiles the gate-level GAP for the
+// parameters, seeds lane l with seeds[l] (at most 64), and returns a
+// run that advances every lane to the given per-lane generation count.
+// maxCycles caps the shared clock as a livelock guard (0 means a
+// generous default).
+func NewCircuitRun(p Params, seeds []uint64, generations, maxCycles int) (*CircuitRun, error) {
+	d, err := gapcirc.NewDriver(p, gapcirc.BuildOpts{}, seeds, generations, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	return &CircuitRun{d: d}, nil
+}
+
+// ResumeCircuit reconstructs a CircuitRun from a Snapshot: the circuit
+// is rebuilt from the serialized parameters (construction is
+// deterministic) and the simulator's sequential state is restored, so
+// the continued run is cycle-identical to one that was never
+// interrupted.
+func ResumeCircuit(snapshot []byte) (*CircuitRun, error) {
+	d, err := gapcirc.RestoreDriver(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &CircuitRun{d: d}, nil
+}
+
+// Step advances the chip a bounded slice of clock cycles.
+func (r *CircuitRun) Step() error { return r.d.Step() }
+
+// Done reports whether every lane has latched its result.
+func (r *CircuitRun) Done() bool { return r.d.Done() }
+
+// Event returns the chip telemetry: the slowest lane's generation, the
+// best fitness across lanes, the shared clock, and lanes finished.
+func (r *CircuitRun) Event() Event { return r.d.Event() }
+
+// Snapshot serializes the driver and the complete simulator state.
+func (r *CircuitRun) Snapshot() []byte { return r.d.Snapshot() }
+
+// Kind returns the run's snapshot kind tag, KindCircuit.
+func (r *CircuitRun) Kind() string { return KindCircuit }
+
+// Results returns the per-lane outcomes (final once Done reports true).
+func (r *CircuitRun) Results() []LaneResult { return r.d.Results() }
+
+// Best returns the best individual across all lanes and its fitness.
+func (r *CircuitRun) Best() (Genome, int) {
+	b, f := r.d.Best()
+	return b.Packed(), f
+}
+
+// RunSpec is the serialized, kind-tagged description of any run the
+// facade can construct — the wire format of leonardod's POST /v1/runs
+// and the one document a service needs to persist to rebuild a run
+// from scratch. Zero-valued fields take the paper defaults (PaperParams
+// for the GA knobs), so {"kind":"gap","seed":1} is a complete spec.
+type RunSpec struct {
+	// Kind selects the run shape: KindGAP, KindIsland, or KindCircuit.
+	Kind string `json:"kind"`
+	// Seed is the master random seed (and the single-lane seed of a
+	// circuit run with no explicit Seeds).
+	Seed uint64 `json:"seed"`
+	// Steps widens the genome beyond the paper's 2-step layout (0 = 2,
+	// the paper; larger values explore the future-work layouts).
+	Steps int `json:"steps,omitempty"`
+	// Population, Selection, Crossover, Mutations, and MaxGenerations
+	// override the paper's GA parameters where non-zero.
+	Population     int     `json:"population,omitempty"`
+	Selection      float64 `json:"selection,omitempty"`
+	Crossover      float64 `json:"crossover,omitempty"`
+	Mutations      int     `json:"mutations,omitempty"`
+	MaxGenerations int     `json:"max_generations,omitempty"`
+	// Islands, MigrateEvery, Topology, and Workers configure a
+	// KindIsland run (see IslandParams). Workers is pure scheduling
+	// and never affects the trajectory.
+	Islands      int    `json:"islands,omitempty"`
+	MigrateEvery int    `json:"migrate_every,omitempty"`
+	Topology     string `json:"topology,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	// Seeds and Generations configure a KindCircuit run: one lane per
+	// seed (at most 64; empty means one lane seeded with Seed), each
+	// run to the per-lane generation target. MaxCycles caps the shared
+	// clock (0 = default livelock guard).
+	Seeds       []uint64 `json:"seeds,omitempty"`
+	Generations int      `json:"generations,omitempty"`
+	MaxCycles   int      `json:"max_cycles,omitempty"`
+}
+
+// base maps the spec's GA knobs onto Params, paper values where zero.
+func (s RunSpec) base() Params {
+	p := PaperParams(s.Seed)
+	if s.Steps != 0 {
+		p.Layout = genome.Layout{Steps: s.Steps, Legs: genome.Legs}
+	}
+	if s.Population != 0 {
+		p.PopulationSize = s.Population
+	}
+	if s.Selection != 0 {
+		p.SelectionThreshold = s.Selection
+	}
+	if s.Crossover != 0 {
+		p.CrossoverThreshold = s.Crossover
+	}
+	if s.Mutations != 0 {
+		p.MutationsPerGeneration = s.Mutations
+	}
+	if s.MaxGenerations != 0 {
+		p.MaxGenerations = s.MaxGenerations
+	}
+	return p
+}
+
+// NewRunner validates the spec and constructs a fresh run of its kind.
+// Parameter errors come back from the underlying constructors with the
+// field that failed.
+func (s RunSpec) NewRunner() (Runner, error) {
+	switch s.Kind {
+	case KindGAP:
+		return NewRun(s.base())
+	case KindIsland:
+		return NewIslandRun(IslandParams{
+			Demes:        s.Islands,
+			MigrateEvery: s.MigrateEvery,
+			Topology:     island.Topology(s.Topology),
+			Workers:      s.Workers,
+			Base:         s.base(),
+		})
+	case KindCircuit:
+		if s.Generations <= 0 {
+			return nil, fmt.Errorf("leonardo: circuit run needs generations > 0, got %d", s.Generations)
+		}
+		seeds := s.Seeds
+		if len(seeds) == 0 {
+			seeds = []uint64{s.Seed}
+		}
+		return NewCircuitRun(s.base(), seeds, s.Generations, s.MaxCycles)
+	case "":
+		return nil, fmt.Errorf("leonardo: run spec has no kind (want %q, %q, or %q)", KindGAP, KindIsland, KindCircuit)
+	default:
+		return nil, fmt.Errorf("leonardo: unknown run kind %q (want %q, %q, or %q)", s.Kind, KindGAP, KindIsland, KindCircuit)
+	}
+}
+
+// SnapshotKind reports the kind tag of a snapshot without decoding its
+// payload — the dispatch hook behind ResumeAny, cmd/evolve -resume, and
+// the serve manager's spool reload. Short or foreign input returns a
+// typed error (engine.ErrTruncated / engine.ErrBadMagic), never a
+// panic.
+func SnapshotKind(snapshot []byte) (string, error) {
+	return engine.SnapshotKind(snapshot)
+}
+
+// ResumeAny reconstructs a Runner of whatever kind the snapshot header
+// names. The resumed run continues the original trajectory exactly,
+// whichever kind it is.
+func ResumeAny(snapshot []byte) (Runner, error) {
+	kind, err := engine.SnapshotKind(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindGAP:
+		return Resume(snapshot)
+	case KindIsland:
+		return ResumeIslands(snapshot)
+	case KindCircuit:
+		return ResumeCircuit(snapshot)
+	default:
+		return nil, fmt.Errorf("leonardo: unsupported snapshot kind %q", kind)
+	}
 }

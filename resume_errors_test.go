@@ -1,0 +1,137 @@
+package leonardo
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"leonardo/internal/engine"
+)
+
+// snapshotOfKind builds a small, valid snapshot of each run kind for
+// the cross-kind rejection table.
+func snapshotOfKind(t *testing.T, kind string) []byte {
+	t.Helper()
+	p := PaperParams(3)
+	p.MaxGenerations = 50
+	switch kind {
+	case KindGAP:
+		r, err := NewRun(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Snapshot()
+	case KindIsland:
+		r, err := NewIslandRun(IslandParams{Demes: 2, MigrateEvery: 3, Base: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Snapshot()
+	case KindCircuit:
+		r, err := NewCircuitRun(p, []uint64{3}, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Snapshot()
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return nil
+}
+
+// TestResumeErrorPaths pins the facade's resume boundary: every resume
+// entry point rejects snapshots of the wrong kind, truncated input, and
+// foreign bytes with a descriptive error — never a panic, never a
+// zero-value run.
+func TestResumeErrorPaths(t *testing.T) {
+	gapSnap := snapshotOfKind(t, KindGAP)
+	islandSnap := snapshotOfKind(t, KindIsland)
+	circuitSnap := snapshotOfKind(t, KindCircuit)
+
+	cases := []struct {
+		name    string
+		resume  func([]byte) error
+		data    []byte
+		wantSub string // substring the error must carry
+		wantIs  error  // sentinel the error must wrap (nil = skip)
+	}{
+		{"Resume on island snapshot",
+			func(b []byte) error { _, err := Resume(b); return err },
+			islandSnap, "snapshot kind", nil},
+		{"Resume on circuit snapshot",
+			func(b []byte) error { _, err := Resume(b); return err },
+			circuitSnap, "snapshot kind", nil},
+		{"ResumeIslands on gap snapshot",
+			func(b []byte) error { _, err := ResumeIslands(b); return err },
+			gapSnap, "snapshot kind", nil},
+		{"ResumeCircuit on island snapshot",
+			func(b []byte) error { _, err := ResumeCircuit(b); return err },
+			islandSnap, "snapshot kind", nil},
+		{"Resume on empty input",
+			func(b []byte) error { _, err := Resume(b); return err },
+			nil, "truncated", engine.ErrTruncated},
+		{"ResumeIslands on empty input",
+			func(b []byte) error { _, err := ResumeIslands(b); return err },
+			nil, "truncated", engine.ErrTruncated},
+		{"ResumeAny on empty input",
+			func(b []byte) error { _, err := ResumeAny(b); return err },
+			nil, "truncated", engine.ErrTruncated},
+		{"ResumeAny on foreign bytes",
+			func(b []byte) error { _, err := ResumeAny(b); return err },
+			[]byte("these are not snapshot bytes"), "magic", engine.ErrBadMagic},
+		{"ResumeAny on unknown kind",
+			func(b []byte) error { _, err := ResumeAny(b); return err },
+			engine.NewEnc("mystery", 1).Bytes(), `unsupported snapshot kind "mystery"`, nil},
+		{"ResumeAny on truncated island snapshot",
+			func(b []byte) error { _, err := ResumeAny(b); return err },
+			islandSnap[:len(islandSnap)-7], "", engine.ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.resume(tc.data)
+			if err == nil {
+				t.Fatal("resume accepted bad input")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Fatalf("error %v does not wrap %v", err, tc.wantIs)
+			}
+		})
+	}
+}
+
+// TestResumeIslandsCorruptedDemeBlob corrupts one nested deme snapshot
+// inside an otherwise-valid island snapshot: the outer header parses,
+// so the failure must come from the deme restore, as a descriptive
+// error rather than a panic or a half-restored archipelago.
+func TestResumeIslandsCorruptedDemeBlob(t *testing.T) {
+	snap := snapshotOfKind(t, KindIsland)
+
+	// Each deme rides in a Blob as a complete nested gap snapshot; find
+	// the first one by its inner header and break its magic.
+	innerHeader := []byte("LEOSNAP\x00\x03gap")
+	at := bytes.Index(snap[1:], innerHeader) + 1 // skip the outer magic itself
+	if at <= 0 {
+		t.Fatal("island snapshot carries no nested gap snapshot")
+	}
+	corrupt := bytes.Clone(snap)
+	corrupt[at] ^= 0xff
+	_, err := ResumeIslands(corrupt)
+	if err == nil {
+		t.Fatal("ResumeIslands accepted a corrupted deme blob")
+	}
+	if !strings.Contains(err.Error(), "deme") && !errors.Is(err, engine.ErrBadMagic) {
+		t.Fatalf("corrupted deme error %q names neither the deme nor the magic failure", err)
+	}
+
+	// Truncating inside the nested blob must also fail cleanly.
+	_, err = ResumeIslands(snap[:at+4])
+	if err == nil {
+		t.Fatal("ResumeIslands accepted a snapshot truncated mid-deme")
+	}
+	if !errors.Is(err, engine.ErrTruncated) {
+		t.Fatalf("mid-deme truncation error %v does not wrap ErrTruncated", err)
+	}
+}
