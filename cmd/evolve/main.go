@@ -5,6 +5,7 @@
 //
 //	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N]
 //	       [-islands N] [-migrate-every N] [-topology ring|none] [-workers N]
+//	       [-lanepack]
 //	       [-progress N] [-json] [-curve]
 //	       [-checkpoint F] [-checkpoint-at N] [-resume F]
 //	       [-cpuprofile F] [-memprofile F]
@@ -24,6 +25,14 @@
 // resumes in island mode regardless of flags. In island mode -progress
 // and -checkpoint-at count epochs (migration intervals), and the replay
 // is bit-identical for any -workers value.
+//
+// -lanepack runs the archipelago on the lane-packed gate-level backend:
+// every deme is one SWAR lane of a single simulated GAP circuit, so an
+// epoch costs one circuit pass per clock cycle for all demes together.
+// -islands chooses the deme count (1 or unset means all 64 lanes); the
+// island-mode flags, checkpointing, and resume semantics are otherwise
+// identical. The population evolves in circuit RAM, so -lanepack implies
+// the paper's three-rule fitness and epoch-granular telemetry.
 package main
 
 import (
@@ -80,6 +89,7 @@ func run() int {
 	migrateEvery := flag.Int("migrate-every", island.DefaultMigrateEvery, "generations between migration barriers (island mode)")
 	topology := flag.String("topology", string(island.Ring), `island migration topology: "ring" or "none"`)
 	workers := flag.Int("workers", 0, "worker goroutines for island mode (0 = GOMAXPROCS; never affects results)")
+	lanepack := flag.Bool("lanepack", false, "run the archipelago lane-packed: one gate-level deme per SWAR lane of a shared simulator (-islands <= 1 means all 64 lanes)")
 	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
 	progress := flag.Int("progress", 0, "report telemetry every N generations")
 	jsonOut := flag.Bool("json", false, "emit the result (and -progress trace) as JSON")
@@ -132,7 +142,8 @@ func run() int {
 			return 1
 		}
 	}
-	if resumedKind == "island" || (resumeData == nil && *islands > 1) {
+	if resumedKind == "island" || resumedKind == "lanepack" ||
+		(resumeData == nil && (*islands > 1 || *lanepack)) {
 		ip := island.Params{
 			Demes:        *islands,
 			MigrateEvery: *migrateEvery,
@@ -140,8 +151,15 @@ func run() int {
 			Workers:      *workers,
 			Base:         base,
 		}
-		return runIslands(ctx, resumeData, *resume, ip,
-			*jsonOut, *progress, *checkpoint, *checkpointAt)
+		if resumeData == nil && *lanepack && ip.Demes <= 1 {
+			ip.Demes = island.MaxLaneDemes
+		}
+		a, err := buildArchipelago(resumeData, resumedKind, *resume, *lanepack, ip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		return runIslands(ctx, a, *jsonOut, *progress, *checkpoint, *checkpointAt)
 	}
 
 	var g *gap.GAP
@@ -278,29 +296,54 @@ func run() int {
 	return 0
 }
 
-// runIslands is the archipelago branch of run: build or resume the
-// archipelago, step it to completion (or to the -checkpoint-at epoch),
+// archipelago is the shared surface of the two island backends:
+// *island.Archipelago (one behavioural or gate-level deme per island)
+// and *island.LanePack (one deme per SWAR lane of a shared simulator).
+type archipelago interface {
+	engine.Stepper
+	Snapshot() []byte
+	Result() island.Result
+	Params() island.Params
+	SetWorkers(int)
+	Epochs() int
+	Migrations() int
+	Demes() int
+}
+
+// buildArchipelago constructs or resumes whichever island backend the
+// snapshot kind (on resume) or the -lanepack flag (fresh run) selects.
+func buildArchipelago(resumeData []byte, resumedKind, resumeName string,
+	lanepack bool, p island.Params) (archipelago, error) {
+	if resumeData == nil {
+		if lanepack {
+			return island.NewLanePack(p)
+		}
+		return island.New(p)
+	}
+	var a archipelago
+	var err error
+	if resumedKind == "lanepack" {
+		a, err = island.RestoreLanePack(resumeData)
+	} else {
+		a, err = island.Restore(resumeData, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Workers is pure scheduling, so it is the one flag a resume
+	// honours; everything else comes from the snapshot.
+	a.SetWorkers(p.Workers)
+	fmt.Fprintf(os.Stderr, "evolve: resumed %q at epoch %d (%d demes)\n",
+		resumeName, a.Epochs(), a.Demes())
+	return a, nil
+}
+
+// runIslands is the archipelago branch of run: step the (possibly
+// resumed) archipelago to completion (or to the -checkpoint-at epoch)
 // and report the cross-deme result. Progress and checkpoints are
 // epoch-granular — one epoch is -migrate-every generations per deme.
-func runIslands(ctx context.Context, resumeData []byte, resumeName string,
-	p island.Params, jsonOut bool, progress int, checkpoint string, checkpointAt int) int {
-	var a *island.Archipelago
-	var err error
-	if resumeData != nil {
-		if a, err = island.Restore(resumeData, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "evolve:", err)
-			return 1
-		}
-		// Workers is pure scheduling, so it is the one flag a resume
-		// honours; everything else comes from the snapshot.
-		a.SetWorkers(p.Workers)
-		fmt.Fprintf(os.Stderr, "evolve: resumed %q at epoch %d (%d demes)\n",
-			resumeName, a.Epochs(), a.Demes())
-	} else if a, err = island.New(p); err != nil {
-		fmt.Fprintln(os.Stderr, "evolve:", err)
-		return 1
-	}
-
+func runIslands(ctx context.Context, a archipelago,
+	jsonOut bool, progress int, checkpoint string, checkpointAt int) int {
 	var observers []engine.Observer
 	var rec *engine.Recorder
 	if progress > 0 {

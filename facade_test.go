@@ -159,3 +159,77 @@ func TestEvolveCtxCancellation(t *testing.T) {
 		t.Fatalf("partial result malformed: %+v", res)
 	}
 }
+
+// TestLanePackRunFacade drives the lane-packed archipelago through the
+// facade: a RunSpec-built run, ResumeAny round-trip mid-run, and
+// bit-identical completion against the uninterrupted twin.
+func TestLanePackRunFacade(t *testing.T) {
+	spec := RunSpec{Kind: KindLanePack, Seed: 23, Islands: 4,
+		Population: 8, MigrateEvery: 5, MaxGenerations: 20}
+	runner, err := spec.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.Kind() != KindLanePack {
+		t.Fatalf("runner kind %q, want %q", runner.Kind(), KindLanePack)
+	}
+	lp := runner.(*LanePackRun)
+
+	ref, err := lp.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Generations != 20 {
+		t.Fatalf("ran %d generations, want the 20-generation budget", ref.Generations)
+	}
+	if got := Fitness(ref.Best.Packed()); got != ref.BestFitness {
+		t.Fatalf("champion rescores to %d, result says %d", got, ref.BestFitness)
+	}
+
+	fresh, err := spec.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := fresh.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := fresh.Snapshot()
+	if kind, err := SnapshotKind(blob); err != nil || kind != KindLanePack {
+		t.Fatalf("snapshot kind %q (%v), want %q", kind, err, KindLanePack)
+	}
+	resumedAny, err := ResumeAny(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, ok := resumedAny.(*LanePackRun)
+	if !ok {
+		t.Fatalf("ResumeAny returned %T, want *LanePackRun", resumedAny)
+	}
+	if resumed.Epoch() != 2 {
+		t.Fatalf("resumed at epoch %d, paused at 2", resumed.Epoch())
+	}
+	res, err := resumed.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != ref.BestFitness || !res.Best.Bits.Equal(ref.Best.Bits) ||
+		res.Migrations != ref.Migrations || res.Generations != ref.Generations {
+		t.Fatalf("resumed lane pack %+v != uninterrupted %+v", res, ref)
+	}
+}
+
+// TestLanePackSpecDefaultsTo64Demes: a lane-packed spec with no island
+// count occupies every simulator lane.
+func TestLanePackSpecDefaultsTo64Demes(t *testing.T) {
+	spec := RunSpec{Kind: KindLanePack, Seed: 1, Population: 8, MaxGenerations: 5}
+	runner, err := spec.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := runner.(*LanePackRun)
+	if got := lp.lp.Params().Demes; got != DefaultLanePackDemes {
+		t.Fatalf("defaulted to %d demes, want %d", got, DefaultLanePackDemes)
+	}
+}

@@ -32,6 +32,24 @@ type CA struct {
 	state uint64
 }
 
+// SeedState is the canonical seed-to-state transform every CA
+// implementation shares (the behavioural model here, the gate-level
+// twins in gapcirc): the seed is masked to the cell count, and a
+// resulting zero is replaced with 1 so the automaton never sits on the
+// all-zero fixed point. Any path that power-on-seeds an automaton must
+// go through this function, or its stream drifts from the others.
+func SeedState(seed uint64, cells int) uint64 {
+	mask := ^uint64(0)
+	if cells < 64 {
+		mask = uint64(1)<<uint(cells) - 1
+	}
+	s := seed & mask
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // NewCA creates an automaton with n cells (1..64) and the given rule
 // vector, seeded with the given state. A zero seed is replaced with 1
 // so the automaton never sits on the all-zero fixed point.
@@ -43,11 +61,7 @@ func NewCA(n int, rules, seed uint64) *CA {
 	if n < 64 {
 		mask = uint64(1)<<uint(n) - 1
 	}
-	s := seed & mask
-	if s == 0 {
-		s = 1
-	}
-	return &CA{n: n, mask: mask, rules: rules & mask, state: s}
+	return &CA{n: n, mask: mask, rules: rules & mask, state: SeedState(seed, n)}
 }
 
 // NewDefault creates the GAP's default generator: 37 cells with the

@@ -1,0 +1,41 @@
+package gapcirc
+
+import (
+	"testing"
+
+	"leonardo/internal/gait"
+	"leonardo/internal/genome"
+)
+
+// TestAllocsHotpath pins the lane-deme hot path: advancing the shared
+// group one generation (the freeze choreography around BusEqMask /
+// SetLane / Step) and the host-side migration kernel (replaceWorst:
+// basis scan plus masked RAM write) must never touch the heap. The
+// static half of the contract is leolint's hotpath analyzer on the
+// //leo:hotpath annotations.
+func TestAllocsHotpath(t *testing.T) {
+	p := laneDemeParams(21)
+	g, err := NewLaneDemes(p, BuildOpts{}, []uint64{3, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the init states so every iteration below does the
+	// same steady-state work.
+	if err := g.ensure(1); err != nil {
+		t.Fatal(err)
+	}
+	tripod := gait.Tripod()
+	target := g.Generations()
+	n := testing.AllocsPerRun(25, func() {
+		target++
+		if err := g.ensure(target); err != nil {
+			t.Fatal(err)
+		}
+		lane := target % g.NumDemes()
+		g.replaceWorst(lane, tripod)           // accepted until the lane saturates
+		g.replaceWorst(lane, genome.Genome(0)) // sub-maximal, rejected once it has
+	})
+	if n != 0 {
+		t.Fatalf("lane-deme hot path allocates %v times per run, want 0", n)
+	}
+}

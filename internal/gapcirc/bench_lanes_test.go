@@ -1,0 +1,97 @@
+package gapcirc
+
+import (
+	"runtime"
+	"testing"
+
+	"leonardo/internal/gap"
+	"leonardo/internal/logic"
+)
+
+// The lane-packing benchmarks measure the tentpole claim: evolving 64
+// demes in the 64 SWAR lanes of ONE simulator costs one circuit pass
+// per clock cycle for all of them, where 64 scalar demes pay one pass
+// each. Total work is held equal — 64 demes × benchLaneGens
+// generations per iteration, paper parameters — and only the packing
+// varies; the headline number is the deme-gen/s metric (deme
+// generations completed per wall-clock second). BENCH_lanes.json
+// reports the capture-machine numbers, and the differential tests in
+// demes_test.go and internal/island prove the two arrangements
+// compute bit-identical trajectories.
+
+// benchLaneGens is how many generations per deme one benchmark
+// iteration advances.
+const benchLaneGens = 2
+
+// benchLaneSeeds returns n distinct seeds (1..n stay distinct under
+// the carng.SeedState transform for any n ≤ 64).
+func benchLaneSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i) + 1
+	}
+	return seeds
+}
+
+// benchParams is the paper configuration with an effectively unlimited
+// generation budget, so steady-state iterations never hit Done.
+func benchParams() gap.Params {
+	p := gap.PaperParams(1)
+	p.MaxGenerations = 1 << 30
+	return p
+}
+
+// reportDemeGens attaches the headline metric plus the gomaxprocs
+// actually in effect (the raw CI output is the record of both).
+func reportDemeGens(b *testing.B, demes int) {
+	b.ReportMetric(float64(demes*benchLaneGens*b.N)/b.Elapsed().Seconds(), "deme-gen/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkLanePacked64 advances 64 lane-packed demes — one shared
+// simulator, one deme per lane — by benchLaneGens generations per
+// iteration.
+func BenchmarkLanePacked64(b *testing.B) {
+	g, err := NewLaneDemes(benchParams(), BuildOpts{}, benchLaneSeeds(logic.Lanes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	gen := 0
+	for i := 0; i < b.N; i++ {
+		gen += benchLaneGens
+		if err := g.ensure(gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportDemeGens(b, logic.Lanes)
+}
+
+// BenchmarkLaneScalar64 advances the same 64 demes as 64 single-lane
+// groups — 64 separate simulators, each paying a full circuit pass per
+// clock cycle for its one resident deme. Same seeds, same per-deme
+// trajectories (bit for bit), 64× the gate evaluations.
+func BenchmarkLaneScalar64(b *testing.B) {
+	seeds := benchLaneSeeds(logic.Lanes)
+	groups := make([]*LaneDemes, len(seeds))
+	for i, seed := range seeds {
+		g, err := NewLaneDemes(benchParams(), BuildOpts{}, []uint64{seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups[i] = g
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	gen := 0
+	for i := 0; i < b.N; i++ {
+		gen += benchLaneGens
+		for _, g := range groups {
+			if err := g.ensure(gen); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportDemeGens(b, logic.Lanes)
+}

@@ -54,6 +54,17 @@ type BuildOpts struct {
 	// identically distributed) values and therefore a different — yet
 	// equally valid — evolutionary trajectory.
 	FreeRunningRNG bool
+	// Freezable adds a "freeze" primary input whose complement gates
+	// every flip-flop enable and reset and every RAM write enable, so
+	// asserting freeze on a lane holds that lane's complete sequential
+	// state — FSM, counters, CA, registers, populations — while other
+	// lanes keep clocking. This is the per-lane clock gate the
+	// lane-packed deme driver (demes.go) uses to park lanes at
+	// generation barriers. With freeze deasserted the circuit behaves
+	// exactly like the default build; without Freezable no gate is
+	// inserted at all and the netlist is node-for-node identical to
+	// before the option existed.
+	Freezable bool
 }
 
 // Core is the structural GAP: the circuit plus the probe signals that
@@ -70,6 +81,10 @@ type Core struct {
 	State     logic.Bus    // FSM state (4 bits)
 	Bank      logic.Signal // which RAM holds the basis population
 	CA        CACircuit
+	// Freeze is the per-lane hold input (valid only when
+	// Opts.Freezable): driving it high on a lane stops that lane's
+	// clock-enabled state cold.
+	Freeze logic.Signal
 
 	// regWords holds the per-word register buses in register-file
 	// mode ([2][population][36]); nil in RAM mode.
@@ -109,10 +124,24 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	selT := uint64(carng.Threshold8(p.SelectionThreshold))
 	xovT := uint64(carng.Threshold8(p.CrossoverThreshold))
 
+	// --- per-lane clock gate ---
+	// run is ANDed into every sequential enable and reset below. In the
+	// default build it is Const1 and gate() folds away without creating
+	// a node, so the netlist is unchanged; with Freezable it is the
+	// complement of the freeze input, turning every AND into a real
+	// clock gate.
+	run := logic.Const1
+	freeze := logic.Const0
+	if opts.Freezable {
+		freeze = c.Input("freeze")
+		run = c.Not(freeze)
+	}
+	gate := func(s logic.Signal) logic.Signal { return c.And(s, run) }
+
 	// --- state register and decoded state lines ---
 	state := make(logic.Bus, stateBits)
 	for i := range state {
-		state[i] = c.FeedbackDFF(logic.Const1, logic.Const0, false)
+		state[i] = c.FeedbackDFF(run, logic.Const0, false)
 	}
 	in := make([]logic.Signal, numStates)
 	for s := 0; s < numStates; s++ {
@@ -127,34 +156,35 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	if opts.FreeRunningRNG {
 		caEn = logic.Const1
 	}
-	ca := BuildDefaultCA(c, p.Seed, caEn)
+	ca := BuildDefaultCA(c, p.Seed, gate(caEn))
 	sampleIdx := ca.SampleBits(idxBits)
 	sample6 := ca.SampleBits(6)
 	sample8 := ca.SampleBits(8)
 
 	// --- counters ---
 	swapNow := in[StSwap]
-	initCnt := c.Counter(idxBits, in[StInitWR], logic.Const0)
-	evalCnt := c.Counter(idxBits, in[StEval], swapNow)
-	pairCnt := c.Counter(idxBits, in[StW2], swapNow)
+	swapG := gate(swapNow)
+	initCnt := c.Counter(idxBits, gate(in[StInitWR]), logic.Const0)
+	evalCnt := c.Counter(idxBits, gate(in[StEval]), swapG)
+	pairCnt := c.Counter(idxBits, gate(in[StW2]), swapG)
 	mutCntBits := bits.Len(uint(maxInt(p.MutationsPerGeneration, 1)))
-	mutCnt := c.Counter(mutCntBits, in[StMutW], swapNow)
-	gen := c.Counter(16, swapNow, logic.Const0)
+	mutCnt := c.Counter(mutCntBits, gate(in[StMutW]), swapG)
+	gen := c.Counter(16, swapG, logic.Const0)
 
 	// --- architectural flags and index registers ---
 	// tsel: which parent the running tournament feeds; toggles each
 	// time a tournament completes (StSelT), so it is 0 for the first
 	// tournament of every pair and 1 for the second.
-	tsel := c.FeedbackDFF(in[StSelT], logic.Const0, false)
+	tsel := c.FeedbackDFF(gate(in[StSelT]), logic.Const0, false)
 	c.ConnectD(tsel, c.Not(tsel))
 	// bank: toggles at each population swap.
-	bank := c.FeedbackDFF(in[StSwap], logic.Const0, false)
+	bank := c.FeedbackDFF(swapG, logic.Const0, false)
 	c.ConnectD(bank, c.Not(bank))
 	bankIs0 := c.Not(bank)
 
-	i1 := c.RegisterBus(sampleIdx, in[StSelI1], logic.Const0)
-	i2 := c.RegisterBus(sampleIdx, in[StSelI2], logic.Const0)
-	mInd := c.RegisterBus(sampleIdx, in[StMut1], logic.Const0)
+	i1 := c.RegisterBus(sampleIdx, gate(in[StSelI1]), logic.Const0)
+	i2 := c.RegisterBus(sampleIdx, gate(in[StSelI2]), logic.Const0)
+	mInd := c.RegisterBus(sampleIdx, gate(in[StMut1]), logic.Const0)
 
 	// --- draw-dependent control ---
 	coinSel := c.LtConst(sample8, selT)
@@ -162,10 +192,10 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	ptOK := c.LtConst(sample6, uint64(b)-1) // crossover offset accepted (< 35)
 	bitOK := c.LtConst(sample6, uint64(b))  // mutation bit accepted (< 36)
 
-	doCross := c.DFF(coinXov, in[StCx], logic.Const0)
+	doCross := c.DFF(coinXov, gate(in[StCx]), logic.Const0)
 	ptPlus1, _ := c.Inc(sample6)
-	point := c.RegisterBus(ptPlus1, c.And(in[StPt], ptOK), logic.Const0)
-	mBit := c.RegisterBus(sample6, c.And(in[StMut2], bitOK), logic.Const0)
+	point := c.RegisterBus(ptPlus1, gate(c.And(in[StPt], ptOK)), logic.Const0)
+	mBit := c.RegisterBus(sample6, gate(c.And(in[StMut2], bitOK)), logic.Const0)
 
 	// --- RAM addressing ---
 	// Basis port: init writes, evaluation scan, tournament reads.
@@ -186,16 +216,17 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	// --- registers fed by RAM outputs (created now, wired below) ---
 	// Candidate-1 latch, parents, mutation hold: FeedbackDFFs so their
 	// D inputs can be connected after the RAMs exist.
+	selF1G := gate(in[StSelF1])
 	g1 := make(logic.Bus, b)
 	for i := range g1 {
-		g1[i] = c.FeedbackDFF(in[StSelF1], logic.Const0, false)
+		g1[i] = c.FeedbackDFF(selF1G, logic.Const0, false)
 	}
 	f1 := make(logic.Bus, FitnessBits)
 	for i := range f1 {
-		f1[i] = c.FeedbackDFF(in[StSelF1], logic.Const0, false)
+		f1[i] = c.FeedbackDFF(selF1G, logic.Const0, false)
 	}
-	loadA := c.And(in[StSelT], c.Not(tsel))
-	loadB := c.And(in[StSelT], tsel)
+	loadA := gate(c.And(in[StSelT], c.Not(tsel)))
+	loadB := gate(c.And(in[StSelT], tsel))
 	parentA := make(logic.Bus, b)
 	parentB := make(logic.Bus, b)
 	for i := 0; i < b; i++ {
@@ -205,7 +236,7 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	// Mutation hold register: captures the target word at the end of
 	// the accepted StMut2 cycle, so StMutW writes hold XOR decode with
 	// no same-cycle RAM read-modify-write path.
-	mutHoldEn := c.And(in[StMut2], bitOK)
+	mutHoldEn := gate(c.And(in[StMut2], bitOK))
 	mutHold := make(logic.Bus, b)
 	for i := range mutHold {
 		mutHold[i] = c.FeedbackDFF(mutHoldEn, logic.Const0, false)
@@ -235,16 +266,18 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	// 4 bits, straight from the CA state like the behavioural
 	// initialiser) ---
 	asm := make(logic.Bus, b)
+	initW0G := gate(in[StInitW0])
+	initW1G := gate(in[StInitW1])
 	for i := 0; i < 32; i++ {
-		asm[i] = c.DFF(ca.Next[i], in[StInitW0], logic.Const0)
+		asm[i] = c.DFF(ca.Next[i], initW0G, logic.Const0)
 	}
 	for i := 32; i < b; i++ {
-		asm[i] = c.DFF(ca.Next[i-32], in[StInitW1], logic.Const0)
+		asm[i] = c.DFF(ca.Next[i-32], initW1G, logic.Const0)
 	}
 
 	// --- the two population RAMs ---
-	basisWE := in[StInitWR]
-	interWE := c.Or(in[StW1], in[StW2], in[StMutW])
+	basisWE := gate(in[StInitWR])
+	interWE := gate(c.Or(in[StW1], in[StW2], in[StMutW]))
 	interDin := c.MuxBus(in[StMutW], childSel, mutData)
 	ram0We := c.Mux(bankIs0, interWE, basisWE)
 	ram1We := c.Mux(bankIs0, basisWE, interWE)
@@ -291,13 +324,13 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 	}
 
 	// --- best-ever register, updated during the evaluation scan ---
-	bestValid := c.DFF(logic.Const1, in[StEval], logic.Const0)
+	bestValid := c.DFF(logic.Const1, gate(in[StEval]), logic.Const0)
 	bestFit := make(logic.Bus, FitnessBits)
 	for i := range bestFit {
 		bestFit[i] = c.FeedbackDFF(logic.Const0, logic.Const0, false) // enable wired below
 	}
 	improved := c.Or(c.Not(bestValid), c.Gt(fit, bestFit))
-	bestEn := c.And(in[StEval], improved)
+	bestEn := gate(c.And(in[StEval], improved))
 	best := make(logic.Bus, b)
 	for i := range best {
 		best[i] = c.DFF(basisData[i], bestEn, logic.Const0)
@@ -362,6 +395,7 @@ func BuildWith(p gap.Params, opts BuildOpts) (*Core, error) {
 		State:     state,
 		Bank:      bank,
 		CA:        ca,
+		Freeze:    freeze,
 	}
 	c.OutputBus("gen", gen)
 	c.OutputBus("bestFit", bestFit)

@@ -1,0 +1,344 @@
+package gapcirc
+
+import (
+	"bytes"
+	"testing"
+
+	"leonardo/internal/fitness"
+	"leonardo/internal/gait"
+	"leonardo/internal/gap"
+	"leonardo/internal/genome"
+	"leonardo/internal/logic"
+)
+
+func laneDemeParams(seed uint64) gap.Params {
+	p := gap.PaperParams(seed)
+	p.PopulationSize = 8
+	return p
+}
+
+// TestFreezableBuildTracksDefault pins the identity half of the
+// Freezable contract: with freeze deasserted, the freezable circuit
+// computes exactly what the default circuit computes, cycle for cycle.
+func TestFreezableBuildTracksDefault(t *testing.T) {
+	p := laneDemeParams(11)
+	ref, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frz, err := BuildWith(p, BuildOpts{Freezable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := ref.Circuit.MustCompile()
+	fs := frz.Circuit.MustCompile()
+	fs.Set(frz.Freeze, false)
+	for cycle := 0; cycle < 8000; cycle++ {
+		rs.Step()
+		fs.Step()
+	}
+	if got, want := fs.GetBus(frz.Gen), rs.GetBus(ref.Gen); got != want {
+		t.Fatalf("freezable Gen %d, default %d", got, want)
+	}
+	if got, want := fs.GetBus(frz.Best), rs.GetBus(ref.Best); got != want {
+		t.Fatalf("freezable Best %#x, default %#x", got, want)
+	}
+	if got, want := fs.GetBus(frz.State), rs.GetBus(ref.State); got != want {
+		t.Fatalf("freezable State %d, default %d", got, want)
+	}
+}
+
+// TestFreezeHoldsLane pins the hold half: a frozen lane's observable
+// state is bit-identical no matter how long the clock runs, while
+// unfrozen lanes keep evolving.
+func TestFreezeHoldsLane(t *testing.T) {
+	p := laneDemeParams(5)
+	co, err := BuildWith(p, BuildOpts{Freezable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := co.Circuit.MustCompile()
+	for l, seed := range []uint64{1, 2, 3} {
+		co.SeedLane(s, l, seed)
+	}
+	s.StepN(3000)
+	s.SetLane(co.Freeze, 1, true)
+	gen := s.GetBusLane(co.Gen, 1)
+	state := s.GetBusLane(co.State, 1)
+	best := s.GetBusLane(co.Best, 1)
+	ca := s.GetBusLane(logic.Bus(co.CA.State), 1)
+	var ram [8]uint64
+	for w := range ram {
+		ram[w] = s.ReadRAMLane("ram0", w, 1)
+	}
+	movedGen0 := s.GetBusLane(co.Gen, 0)
+	s.StepN(5000)
+	if got := s.GetBusLane(co.Gen, 1); got != gen {
+		t.Fatalf("frozen lane Gen moved %d -> %d", gen, got)
+	}
+	if got := s.GetBusLane(co.State, 1); got != state {
+		t.Fatalf("frozen lane State moved %d -> %d", state, got)
+	}
+	if got := s.GetBusLane(co.Best, 1); got != best {
+		t.Fatalf("frozen lane Best moved %#x -> %#x", best, got)
+	}
+	if got := s.GetBusLane(logic.Bus(co.CA.State), 1); got != ca {
+		t.Fatalf("frozen lane CA moved %#x -> %#x", ca, got)
+	}
+	for w := range ram {
+		if got := s.ReadRAMLane("ram0", w, 1); got != ram[w] {
+			t.Fatalf("frozen lane RAM word %d moved %#x -> %#x", w, ram[w], got)
+		}
+	}
+	if got := s.GetBusLane(co.Gen, 0); got <= movedGen0 {
+		t.Fatalf("unfrozen lane 0 stuck at generation %d", got)
+	}
+}
+
+// TestLaneDemesMatchRunSeeds is the core no-migration equivalence: a
+// lane-deme group advanced to n generations holds, per lane, exactly
+// the best genome and fitness that the long-proven RunSeeds batch
+// computes for the same seeds — the freeze choreography must not
+// perturb any lane's own trajectory.
+func TestLaneDemesMatchRunSeeds(t *testing.T) {
+	p := laneDemeParams(1)
+	const generations = 10
+	seeds := []uint64{1, 2, 3, 42, 99}
+
+	core, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.Circuit.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.RunSeeds(sim, seeds, generations, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := NewLaneDemes(p, BuildOpts{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ensure(generations); err != nil {
+		t.Fatal(err)
+	}
+	for l := range seeds {
+		got, gotFit := g.BestLane(l)
+		if got != ref[l].Best || gotFit != ref[l].BestFit {
+			t.Fatalf("lane %d: lane-deme best %v/%d, RunSeeds %v/%d",
+				l, got, gotFit, ref[l].Best, ref[l].BestFit)
+		}
+	}
+}
+
+// TestLaneDemesSnapshotResume checks the group's snapshot round-trip:
+// a restored group continues bit-identically (best registers, basis
+// populations, and the next snapshot's bytes all match the
+// uninterrupted run).
+func TestLaneDemesSnapshotResume(t *testing.T) {
+	p := laneDemeParams(7)
+	seeds := []uint64{4, 5, 6, 7}
+	g, err := NewLaneDemes(p, BuildOpts{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ensure(3); err != nil {
+		t.Fatal(err)
+	}
+	blob := g.Snapshot()
+
+	if err := g.ensure(6); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestoreLaneDemes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Generations() != 3 || r.NumDemes() != len(seeds) {
+		t.Fatalf("restored group at generation %d with %d demes, want 3 and %d",
+			r.Generations(), r.NumDemes(), len(seeds))
+	}
+	if err := r.ensure(6); err != nil {
+		t.Fatal(err)
+	}
+	for l := range seeds {
+		gb, gf := g.BestLane(l)
+		rb, rf := r.BestLane(l)
+		if gb != rb || gf != rf {
+			t.Fatalf("lane %d: resumed best %v/%d, original %v/%d", l, rb, rf, gb, gf)
+		}
+		gp := g.ReadBasisLane(l)
+		rp := r.ReadBasisLane(l)
+		for i := range gp {
+			if gp[i] != rp[i] {
+				t.Fatalf("lane %d individual %d: resumed %v, original %v", l, i, rp[i], gp[i])
+			}
+		}
+	}
+	if !bytes.Equal(g.Snapshot(), r.Snapshot()) {
+		t.Fatal("resumed group's snapshot differs from the uninterrupted run's")
+	}
+}
+
+// TestLaneDemesValidation pins the constructor's argument checks.
+func TestLaneDemesValidation(t *testing.T) {
+	p := laneDemeParams(1)
+	if _, err := NewLaneDemes(p, BuildOpts{}, nil); err == nil {
+		t.Fatal("empty seed list should be rejected")
+	}
+	if _, err := NewLaneDemes(p, BuildOpts{}, make([]uint64, logic.Lanes+1)); err == nil {
+		t.Fatal("oversized seed list should be rejected")
+	}
+	if _, err := NewLaneDemes(p, BuildOpts{}, []uint64{1, 2, 1}); err == nil {
+		t.Fatal("duplicate seeds should be rejected")
+	}
+	if _, err := NewLaneDemes(p, BuildOpts{}, []uint64{0, 1}); err == nil {
+		t.Fatal("seeds collapsing onto one CA state should be rejected")
+	}
+	if _, err := NewLaneDemes(p, BuildOpts{RegisterFile: true}, []uint64{1, 2}); err == nil {
+		t.Fatal("register-file storage should be rejected")
+	}
+	if _, err := NewLaneDemes(p, BuildOpts{FreeRunningRNG: true}, []uint64{1, 2}); err == nil {
+		t.Fatal("free-running RNG should be rejected")
+	}
+}
+
+// TestLaneDemeImmigrate pins the replace-worst policy: a strictly
+// fitter immigrant overwrites exactly the first worst individual of
+// exactly the destination lane; a non-improving immigrant changes
+// nothing.
+func TestLaneDemeImmigrate(t *testing.T) {
+	p := laneDemeParams(3)
+	seeds := []uint64{8, 9, 10}
+	g, err := NewLaneDemes(p, BuildOpts{}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ensure(2); err != nil {
+		t.Fatal(err)
+	}
+	eval := fitness.New()
+	immigrant := gait.Tripod() // maximal fitness by TestTripodAchievesMax
+	if eval.Score(immigrant) != eval.Max() {
+		t.Fatalf("tripod scores %d, want the maximum %d", eval.Score(immigrant), eval.Max())
+	}
+
+	lane := 1
+	before := g.ReadBasisLane(lane)
+	worst, worstFit := 0, eval.Score(before[0])
+	for i, ind := range before {
+		if f := eval.Score(ind); f < worstFit {
+			worst, worstFit = i, f
+		}
+	}
+	if worstFit == eval.Max() {
+		t.Fatalf("seed %d converged by generation 2; pick another test seed", seeds[lane])
+	}
+	otherBefore := g.ReadBasisLane(0)
+
+	d := g.Demes()[lane]
+	if err := d.Immigrate(genome.FromGenome(immigrant)); err != nil {
+		t.Fatal(err)
+	}
+	after := g.ReadBasisLane(lane)
+	for i := range after {
+		want := before[i]
+		if i == worst {
+			want = immigrant
+		}
+		if after[i] != want {
+			t.Fatalf("individual %d: %v after immigration, want %v", i, after[i], want)
+		}
+	}
+	otherAfter := g.ReadBasisLane(0)
+	for i := range otherAfter {
+		if otherAfter[i] != otherBefore[i] {
+			t.Fatalf("lane 0 individual %d changed by immigration into lane %d", i, lane)
+		}
+	}
+
+	// A non-improving immigrant is rejected outright: re-sending the
+	// lane's own current worst individual ties the worst fitness, and
+	// acceptance requires strict improvement.
+	weak := after[0]
+	for _, ind := range after {
+		if eval.Score(ind) < eval.Score(weak) {
+			weak = ind
+		}
+	}
+	if err := d.Immigrate(genome.FromGenome(weak)); err != nil {
+		t.Fatal(err)
+	}
+	unchanged := g.ReadBasisLane(lane)
+	for i := range unchanged {
+		if unchanged[i] != after[i] {
+			t.Fatalf("non-improving immigrant changed individual %d", i)
+		}
+	}
+
+	// Layout mismatches are errors, mirroring the behavioural GAP.
+	bad := genome.NewExtended(genome.Layout{Steps: 4, Legs: 6})
+	if err := d.Immigrate(bad); err == nil {
+		t.Fatal("mismatched immigrant layout should be rejected")
+	}
+}
+
+// TestLaneDemeViewContract pins the island-facing surface: Step
+// advances the group once regardless of which view calls it, Done
+// flips at the generation budget, and Event reports the group cursor.
+func TestLaneDemeViewContract(t *testing.T) {
+	p := laneDemeParams(2)
+	p.MaxGenerations = 3
+	g, err := NewLaneDemes(p, BuildOpts{}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := g.Demes()
+	if len(views) != 2 || views[0].Lane() != 0 || views[1].Lane() != 1 {
+		t.Fatalf("views miswired: %v", views)
+	}
+	if views[0].Done() || views[1].Done() {
+		t.Fatal("fresh group reports Done")
+	}
+	// Both views request their first generation; the group advances once.
+	if err := views[0].Step(); err != nil {
+		t.Fatal(err)
+	}
+	cyclesAfterFirst := g.Cycles()
+	if err := views[1].Step(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cycles() != cyclesAfterFirst {
+		t.Fatal("second view's Step re-advanced a generation the group already reached")
+	}
+	if g.Generations() != 1 {
+		t.Fatalf("group at generation %d after one Step per view, want 1", g.Generations())
+	}
+	for _, v := range views {
+		for !v.Done() {
+			if err := v.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if g.Generations() != 3 {
+		t.Fatalf("group at generation %d after running to Done, want 3", g.Generations())
+	}
+	ev := views[0].Event()
+	if ev.Generation != 3 || ev.LanesDone != 1 {
+		t.Fatalf("event %+v, want generation 3 and the lane done", ev)
+	}
+	if b, f := views[0].Best(); f != g.mustBestFit(0) || b.Layout != genome.PaperLayout {
+		t.Fatalf("view best %v/%d inconsistent with the lane register", b, f)
+	}
+}
+
+// mustBestFit is a test helper reading one lane's best fitness.
+func (g *LaneDemes) mustBestFit(lane int) int {
+	_, f := g.BestLane(lane)
+	return f
+}

@@ -59,8 +59,14 @@ func newDriver(co *Core, s *logic.Sim, seeds []uint64, generations, maxCycles in
 	if len(seeds) > logic.Lanes {
 		return nil, fmt.Errorf("gapcirc: %d seeds exceed the %d simulator lanes", len(seeds), logic.Lanes)
 	}
+	if err := distinctSeeds(co, seeds); err != nil {
+		return nil, err
+	}
 	if s.Cycles() != 0 {
 		return nil, fmt.Errorf("gapcirc: driver needs a freshly compiled simulator, this one has run %d cycles", s.Cycles())
+	}
+	if co.Opts.Freezable {
+		return nil, fmt.Errorf("gapcirc: the driver never freezes lanes; freezable circuits belong to the lane-deme group (NewLaneDemes)")
 	}
 	if generations < 0 {
 		return nil, fmt.Errorf("gapcirc: negative generation target %d", generations)

@@ -2,7 +2,9 @@ package gapcirc
 
 import (
 	"context"
+	"fmt"
 
+	"leonardo/internal/carng"
 	"leonardo/internal/genome"
 	"leonardo/internal/logic"
 )
@@ -21,22 +23,36 @@ import (
 // as 64 separate chips would.
 
 // SeedLane re-seeds one lane's cellular automaton through the DFF
-// state, applying the same transform as BuildCA (mask to the cell
-// count, zero maps to 1). Call it on a freshly compiled simulator,
-// before stepping the clock.
+// state, applying the shared carng.SeedState transform (mask to the
+// cell count, zero maps to 1) — the same one BuildCA and the
+// behavioural carng.NewCA apply, so the three seeding paths cannot
+// drift. Call it on a freshly compiled simulator, before stepping the
+// clock.
 func (co *Core) SeedLane(s *logic.Sim, lane int, seed uint64) {
-	cells := len(co.CA.State)
-	mask := ^uint64(0)
-	if cells < 64 {
-		mask = uint64(1)<<uint(cells) - 1
-	}
-	init := seed & mask
-	if init == 0 {
-		init = 1
-	}
+	init := carng.SeedState(seed, len(co.CA.State))
 	for i, sig := range co.CA.State {
 		s.SetDFFLane(sig, lane, init>>uint(i)&1 != 0)
 	}
+}
+
+// distinctSeeds rejects seed lists that collapse onto one CA state:
+// two lanes with the same effective seed run the exact same
+// trajectory, which silently halves the statistical value of a batch
+// (or, for lane-packed demes, duplicates an island). The comparison
+// uses the transformed state, not the raw seed — the mask-to-cell-count
+// transform aliases raw seeds (0 and 1, or any pair differing only
+// above the cell count).
+func distinctSeeds(co *Core, seeds []uint64) error {
+	cells := len(co.CA.State)
+	for i := range seeds {
+		for j := 0; j < i; j++ {
+			if carng.SeedState(seeds[i], cells) == carng.SeedState(seeds[j], cells) {
+				return fmt.Errorf("gapcirc: seeds %d and %d (%#x, %#x) collapse onto the same CA state %#x",
+					j, i, seeds[j], seeds[i], carng.SeedState(seeds[i], cells))
+			}
+		}
+	}
+	return nil
 }
 
 // BestOfLane returns one lane's best-ever genome and fitness.
@@ -70,7 +86,10 @@ type LaneResult struct {
 // building one circuit per seed and calling RunGenerations on each —
 // the package tests prove it lane by lane.
 //
-// The simulator must be freshly compiled (no cycles run). maxCycles
+// The simulator must be freshly compiled (no cycles run). Seeds must
+// be distinct after the carng.SeedState transform — two seeds that
+// collapse onto one CA state would run the same trajectory twice, so
+// they are rejected rather than silently wasting a lane. maxCycles
 // guards against livelock; 0 means a generous default. RunSeeds is a
 // thin wrapper over the engine-backed Driver (driver.go), which also
 // offers cancellation, progress observation, and checkpointing.

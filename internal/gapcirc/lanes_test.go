@@ -16,7 +16,7 @@ func TestRunSeedsMatchesPerSeedRuns(t *testing.T) {
 	p := gap.PaperParams(1)
 	p.PopulationSize = 8
 	const generations = 10
-	seeds := []uint64{1, 2, 3, 42, 99, 123456, 0xDEADBEEF, 1 << 40}
+	seeds := []uint64{1, 2, 3, 42, 99, 123456, 0xDEADBEEF, 1<<36 | 7}
 
 	core, err := Build(p)
 	if err != nil {
@@ -80,6 +80,17 @@ func TestRunSeedsValidation(t *testing.T) {
 	too := make([]uint64, logic.Lanes+1)
 	if _, err := core.RunSeeds(sim, too, 1, 0); err == nil {
 		t.Fatal("oversized seed list should be rejected")
+	}
+	if _, err := core.RunSeeds(sim, []uint64{1, 2, 1}, 1, 0); err == nil {
+		t.Fatal("duplicate seeds should be rejected")
+	}
+	// Distinct raw seeds that collapse onto one CA state (0 remaps to
+	// 1; bits above the cell count are masked off) are duplicates too.
+	if _, err := core.RunSeeds(sim, []uint64{0, 1}, 1, 0); err == nil {
+		t.Fatal("seeds 0 and 1 collapse onto one CA state and should be rejected")
+	}
+	if _, err := core.RunSeeds(sim, []uint64{1, 1 << 40}, 1, 0); err == nil {
+		t.Fatal("seeds aliasing under the cell-count mask should be rejected")
 	}
 	sim.Step()
 	if _, err := core.RunSeeds(sim, []uint64{1}, 1, 0); err == nil {

@@ -36,17 +36,10 @@ type CACircuit struct {
 }
 
 // BuildCA instantiates the automaton with the given rule vector and
-// power-on seed (transformed exactly like carng.NewCA: masked, zero
-// mapped to 1), clock-enabled by enable.
+// power-on seed (transformed by carng.SeedState, exactly like
+// carng.NewCA: masked, zero mapped to 1), clock-enabled by enable.
 func BuildCA(c *logic.Circuit, cells int, rules, seed uint64, enable logic.Signal) CACircuit {
-	mask := ^uint64(0)
-	if cells < 64 {
-		mask = uint64(1)<<uint(cells) - 1
-	}
-	init := seed & mask
-	if init == 0 {
-		init = 1
-	}
+	init := carng.SeedState(seed, cells)
 	// Declare the state flops first, then build the next-state XORs
 	// and close the feedback.
 	state := make(logic.Bus, cells)

@@ -2,6 +2,7 @@ package island
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"leonardo/internal/engine"
@@ -16,6 +17,11 @@ import (
 // BENCH_island.json reports the numbers.
 func benchRun(b *testing.B, demes, workers, epochs, migrateEvery int) {
 	b.ReportAllocs()
+	// The scheduling comparison is meaningless without knowing how many
+	// cores the run actually had, and the -N name suffix disappears when
+	// GOMAXPROCS is 1 — so record it as a metric in the raw output
+	// itself (BENCH_island.json's methodology reads it from there).
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	for i := 0; i < b.N; i++ {
 		p := endlessParams(uint64(i) + 1)
 		p.Demes = demes

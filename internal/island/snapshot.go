@@ -117,6 +117,20 @@ func Restore(data []byte, obj gap.Objective) (*Archipelago, error) {
 				return nil, fmt.Errorf("island: deme %d: %w", i, err)
 			}
 			demes[i] = dr
+		case "lanedemes":
+			// A single-lane group round-trips as an ordinary deme (its
+			// view's Snapshot is the group snapshot). A multi-lane group
+			// embedded per deme would duplicate the shared simulator; such
+			// archipelagos snapshot through the "lanepack" kind instead.
+			g, err := gapcirc.RestoreLaneDemes(sub)
+			if err != nil {
+				return nil, fmt.Errorf("island: deme %d: %w", i, err)
+			}
+			if g.NumDemes() != 1 {
+				return nil, fmt.Errorf("island: deme %d is a %d-lane group; lane-packed archipelagos restore via RestoreLanePack",
+					i, g.NumDemes())
+			}
+			demes[i] = g.Demes()[0]
 		default:
 			return nil, fmt.Errorf("island: deme %d has unknown snapshot kind %q", i, kind)
 		}

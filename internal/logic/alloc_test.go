@@ -19,6 +19,8 @@ func TestAllocsHotpath(t *testing.T) {
 		s.SetBus(din, sink&0xFF)
 		s.Step()
 		sink += s.GetBus(dout)
+		sink += s.BusEqMask(dout, sink&0xFF)
+		s.WriteRAMLane("m", int(sink&15), int(sink&63), sink)
 	})
 	if n != 0 {
 		t.Fatalf("sim hot path allocates %v times per run, want 0", n)

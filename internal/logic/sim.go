@@ -301,6 +301,30 @@ func (s *Sim) GetBusLane(b Bus, lane int) uint64 {
 	return v
 }
 
+// BusEqMask returns a 64-lane mask with bit l set exactly when the
+// settled bus reads v on lane l. It is the all-lanes form of
+// GetBusLane(b, l) == v at the cost of one word op per bus bit instead
+// of one bus extraction per lane — the primitive a lane-packed driver
+// uses to detect which lanes have reached a barrier condition. Bits of
+// v beyond the bus width make the comparison unsatisfiable.
+//
+//leo:hotpath
+func (s *Sim) BusEqMask(b Bus, v uint64) uint64 {
+	if len(b) < 64 && v>>uint(len(b)) != 0 {
+		return 0
+	}
+	s.settle()
+	m := ^uint64(0)
+	for i, sig := range b {
+		if v>>uint(i)&1 != 0 {
+			m &= s.val[sig]
+		} else {
+			m &^= s.val[sig]
+		}
+	}
+	return m
+}
+
 // GetByName returns the settled value of a named output on lane 0.
 func (s *Sim) GetByName(name string) bool { return s.OutLane(name, 0) }
 
@@ -467,6 +491,28 @@ func (s *Sim) ReadRAMLane(name string, word, lane int) uint64 {
 		}
 	}
 	return v
+}
+
+// WriteRAMLane overwrites a RAM word's contents (low bits of v) on one
+// lane, leaving every other lane's copy untouched — the insert half of
+// the cross-lane migration pair whose extract half is ReadRAMLane.
+// Like LoadRAM it bypasses the write port, so use it only between
+// Steps, at points where the circuit is not mid-write.
+//
+//leo:hotpath
+func (s *Sim) WriteRAMLane(name string, word, lane int, v uint64) {
+	ri := s.ramByName(name)
+	r := s.c.rams[ri]
+	if word < 0 || word >= r.words {
+		panic(fmt.Sprintf("logic: WriteRAMLane(%q, %d) out of range", name, word))
+	}
+	bit := laneBit(lane)
+	mem := s.mems[ri]
+	base := word * r.width
+	for b := 0; b < r.width && b < 64; b++ {
+		mem[base+b] = mem[base+b]&^bit | laneMask(v>>uint(b)&1 != 0)&bit
+	}
+	s.dirty = true
 }
 
 // Stats summarizes a circuit's composition for reports and the FPGA

@@ -264,3 +264,39 @@ func TestSubmitAfterClose(t *testing.T) {
 		t.Fatalf("submit after close = %v, want ErrClosed", err)
 	}
 }
+
+// TestSubmitLanePackRun proves leonardod's run manager drives the
+// lane-packed archipelago kind end to end: submit, run to completion
+// on the worker pool, and match the unmanaged reference trajectory bit
+// for bit through the periodic checkpoints.
+func TestSubmitLanePackRun(t *testing.T) {
+	m, err := serve.New(serve.Config{Workers: 2, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	spec := leonardo.RunSpec{Kind: leonardo.KindLanePack, Seed: 11,
+		Islands: 4, Population: 8, MigrateEvery: 5, MaxGenerations: 20}
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != leonardo.KindLanePack {
+		t.Fatalf("submit info = %+v", info)
+	}
+	waitFor(t, 30*time.Second, "lane-packed run to finish", func() bool {
+		got, err := m.Get(info.ID)
+		return err == nil && got.State == serve.StateDone
+	})
+	got, _ := m.Get(info.ID)
+	if got.Event.Generation != 20 {
+		t.Fatalf("done run reports generation %d, want the 20-generation budget", got.Event.Generation)
+	}
+	snap, err := m.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref := runRef(t, spec); !bytes.Equal(snap, ref) {
+		t.Fatalf("managed snapshot (%d bytes) differs from reference (%d bytes)", len(snap), len(ref))
+	}
+}

@@ -374,6 +374,9 @@ const (
 	KindIsland = "island"
 	// KindCircuit is the lane-packed gate-level driver (CircuitRun).
 	KindCircuit = "gapcirc"
+	// KindLanePack is the lane-packed archipelago: one gate-level deme
+	// per SWAR lane of a single shared simulator (LanePackRun).
+	KindLanePack = "lanepack"
 )
 
 // Runner is the kind-agnostic handle on a resumable evolution run: Run,
@@ -394,7 +397,7 @@ type Runner interface {
 	// Snapshot serializes the complete run state for ResumeAny.
 	Snapshot() []byte
 	// Kind returns the run's snapshot kind tag (KindGAP, KindIsland,
-	// or KindCircuit).
+	// KindCircuit, or KindLanePack).
 	Kind() string
 }
 
@@ -459,13 +462,92 @@ func (r *CircuitRun) Best() (Genome, int) {
 	return b.Packed(), f
 }
 
+// DefaultLanePackDemes is the deme count a lane-packed run takes when
+// the spec leaves Islands zero: all 64 simulator lanes occupied, the
+// configuration the lane packing exists for.
+const DefaultLanePackDemes = island.MaxLaneDemes
+
+// LanePackRun is the pausable, resumable handle on a lane-packed
+// archipelago: up to 64 gate-level demes, one per SWAR lane of a
+// single shared simulator, under the same ring-migration semantics as
+// IslandRun. One Step is one epoch for all demes at once — the gate
+// evaluation is one circuit pass per clock cycle regardless of the
+// deme count, which is the whole point.
+type LanePackRun struct{ lp *island.LanePack }
+
+// NewLanePackRun starts a fresh lane-packed archipelago. p.Demes must
+// not exceed 64 and p.Base.Objective must be nil (the fitness function
+// is baked into the circuit).
+func NewLanePackRun(p IslandParams) (*LanePackRun, error) {
+	lp, err := island.NewLanePack(p)
+	if err != nil {
+		return nil, err
+	}
+	return &LanePackRun{lp: lp}, nil
+}
+
+// ResumeLanePack reconstructs a LanePackRun from a Snapshot. The
+// resumed archipelago continues the original trajectory exactly.
+func ResumeLanePack(snapshot []byte) (*LanePackRun, error) {
+	lp, err := island.RestoreLanePack(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &LanePackRun{lp: lp}, nil
+}
+
+// EvolveLanePack runs a lane-packed archipelago to completion under
+// ctx; obs — if non-nil — receives one aggregate Event per epoch.
+func EvolveLanePack(ctx context.Context, p IslandParams, obs Observer) (IslandResult, error) {
+	lp, err := island.NewLanePack(p)
+	if err != nil {
+		return IslandResult{}, err
+	}
+	return lp.RunCtx(ctx, obs)
+}
+
+// Step advances every lane deme by one epoch (MigrateEvery
+// generations) and runs the barrier migration.
+func (r *LanePackRun) Step() error { return r.lp.Step() }
+
+// Event returns the aggregate telemetry of the most recent epoch.
+func (r *LanePackRun) Event() Event { return r.lp.Event() }
+
+// Kind returns the run's snapshot kind tag, KindLanePack.
+func (r *LanePackRun) Kind() string { return KindLanePack }
+
+// SetWorkers re-chooses the worker bound for the per-deme bookkeeping
+// fan-out (0 = GOMAXPROCS); never affects the trajectory.
+func (r *LanePackRun) SetWorkers(n int) { r.lp.SetWorkers(n) }
+
+// Done reports whether the generation budget is exhausted.
+func (r *LanePackRun) Done() bool { return r.lp.Done() }
+
+// Epoch returns the number of completed epochs (migration barriers).
+func (r *LanePackRun) Epoch() int { return r.lp.Archipelago().Epochs() }
+
+// Result reports the archipelago outcome so far; valid at any epoch
+// boundary.
+func (r *LanePackRun) Result() IslandResult { return r.lp.Result() }
+
+// Snapshot serializes the archipelago header plus the single shared
+// simulator state for ResumeLanePack.
+func (r *LanePackRun) Snapshot() []byte { return r.lp.Snapshot() }
+
+// RunCtx drives the archipelago to completion under ctx, reporting
+// each epoch to obs (nil for none).
+func (r *LanePackRun) RunCtx(ctx context.Context, obs Observer) (IslandResult, error) {
+	return r.lp.RunCtx(ctx, obs)
+}
+
 // RunSpec is the serialized, kind-tagged description of any run the
 // facade can construct — the wire format of leonardod's POST /v1/runs
 // and the one document a service needs to persist to rebuild a run
 // from scratch. Zero-valued fields take the paper defaults (PaperParams
 // for the GA knobs), so {"kind":"gap","seed":1} is a complete spec.
 type RunSpec struct {
-	// Kind selects the run shape: KindGAP, KindIsland, or KindCircuit.
+	// Kind selects the run shape: KindGAP, KindIsland, KindCircuit, or
+	// KindLanePack.
 	Kind string `json:"kind"`
 	// Seed is the master random seed (and the single-lane seed of a
 	// circuit run with no explicit Seeds).
@@ -481,8 +563,9 @@ type RunSpec struct {
 	Mutations      int     `json:"mutations,omitempty"`
 	MaxGenerations int     `json:"max_generations,omitempty"`
 	// Islands, MigrateEvery, Topology, and Workers configure a
-	// KindIsland run (see IslandParams). Workers is pure scheduling
-	// and never affects the trajectory.
+	// KindIsland or KindLanePack run (see IslandParams). Workers is
+	// pure scheduling and never affects the trajectory. A lane-packed
+	// run with Islands zero takes DefaultLanePackDemes (64).
 	Islands      int    `json:"islands,omitempty"`
 	MigrateEvery int    `json:"migrate_every,omitempty"`
 	Topology     string `json:"topology,omitempty"`
@@ -535,6 +618,18 @@ func (s RunSpec) NewRunner() (Runner, error) {
 			Workers:      s.Workers,
 			Base:         s.base(),
 		})
+	case KindLanePack:
+		demes := s.Islands
+		if demes == 0 {
+			demes = DefaultLanePackDemes
+		}
+		return NewLanePackRun(IslandParams{
+			Demes:        demes,
+			MigrateEvery: s.MigrateEvery,
+			Topology:     island.Topology(s.Topology),
+			Workers:      s.Workers,
+			Base:         s.base(),
+		})
 	case KindCircuit:
 		if s.Generations <= 0 {
 			return nil, fmt.Errorf("leonardo: circuit run needs generations > 0, got %d", s.Generations)
@@ -545,9 +640,9 @@ func (s RunSpec) NewRunner() (Runner, error) {
 		}
 		return NewCircuitRun(s.base(), seeds, s.Generations, s.MaxCycles)
 	case "":
-		return nil, fmt.Errorf("leonardo: run spec has no kind (want %q, %q, or %q)", KindGAP, KindIsland, KindCircuit)
+		return nil, fmt.Errorf("leonardo: run spec has no kind (want %q, %q, %q, or %q)", KindGAP, KindIsland, KindCircuit, KindLanePack)
 	default:
-		return nil, fmt.Errorf("leonardo: unknown run kind %q (want %q, %q, or %q)", s.Kind, KindGAP, KindIsland, KindCircuit)
+		return nil, fmt.Errorf("leonardo: unknown run kind %q (want %q, %q, %q, or %q)", s.Kind, KindGAP, KindIsland, KindCircuit, KindLanePack)
 	}
 }
 
@@ -575,6 +670,8 @@ func ResumeAny(snapshot []byte) (Runner, error) {
 		return ResumeIslands(snapshot)
 	case KindCircuit:
 		return ResumeCircuit(snapshot)
+	case KindLanePack:
+		return ResumeLanePack(snapshot)
 	default:
 		return nil, fmt.Errorf("leonardo: unsupported snapshot kind %q", kind)
 	}
