@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"leonardo"
+)
+
+// TestClusterSIGKILLEndToEnd is the fleet acceptance scenario with real
+// process isolation: two leonardod binaries share one archipelago over
+// localhost HTTP, one is SIGKILLed mid-epoch — no shutdown handler, no
+// final checkpoint — and restarted on its spool. The fleet must finish
+// with merged snapshots byte-equal to an uninterrupted single-node
+// island run: the killed node resumes from its last durable barrier,
+// peers acknowledge its re-sent batches as duplicates, and the epochs
+// it missed replay from its durable inbox.
+func TestClusterSIGKILLEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second two-process scenario")
+	}
+
+	bin := filepath.Join(t.TempDir(), "leonardod")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building leonardod: %v\n%s", err, out)
+	}
+
+	// The fleet registry is static, so both ports must be known before
+	// either node starts: claim two listeners, note the ports, free them.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ids := []string{"a", "b"}
+	peerFlag := fmt.Sprintf("%s=http://%s,%s=http://%s", ids[0], addrs[0], ids[1], addrs[1])
+	spools := []string{t.TempDir(), t.TempDir()}
+
+	start := func(i int) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(bin,
+			"-addr", addrs[i], "-spool", spools[i],
+			"-node-id", ids[i], "-peers", peerFlag,
+			"-snapshot-every", "2", "-epoch-timeout", "120s")
+		logPath := filepath.Join(spools[i], "stderr.log")
+		logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = logFile
+		cmd.Stdout = logFile
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			logFile.Close()
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		waitUntil(t, 30*time.Second, "node "+ids[i]+" /healthz", func() bool {
+			resp, err := http.Get("http://" + addrs[i] + "/healthz")
+			if err != nil {
+				return false
+			}
+			resp.Body.Close()
+			return resp.StatusCode == http.StatusOK
+		})
+		return cmd
+	}
+
+	start(0)
+	nodeB := start(1)
+
+	// Reference: the identical spec as a single-node island run,
+	// uninterrupted, in-process. Steps 7 keeps the run from converging,
+	// so both shards last exactly MaxGenerations.
+	spec := leonardo.RunSpec{
+		Kind: leonardo.KindCluster, Name: "e2e", Seed: 21,
+		Steps: 7, Islands: 6, MigrateEvery: 2, MaxGenerations: 300,
+	}
+	refSpec := spec
+	refSpec.Kind = leonardo.KindIsland
+	refSpec.Name = ""
+	ref, err := refSpec.NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.Done() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Snapshot()
+
+	// The same named spec goes to every node of the fleet.
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIDs := make([]string, 2)
+	for i := range addrs {
+		resp, err := http.Post("http://"+addrs[i]+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("node %s submit = %d: %s", ids[i], resp.StatusCode, data)
+		}
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &info); err != nil {
+			t.Fatal(err)
+		}
+		runIDs[i] = info.ID
+	}
+
+	// Wait for node b to pass at least one durable barrier mid-run,
+	// then SIGKILL it: no shutdown path runs, the spool holds whatever
+	// was checkpointed, and the inbox holds every batch it acked.
+	waitUntil(t, 60*time.Second, "node b to checkpoint a mid-run barrier", func() bool {
+		snap, code := getSnapshot(t, addrs[1], runIDs[1])
+		if code != http.StatusOK {
+			return false
+		}
+		r, err := leonardo.ResumeCluster(snap, nil)
+		return err == nil && r.Epoch() >= 2 && !r.Done()
+	})
+	if err := nodeB.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	nodeB.Wait()
+
+	start(1) // reboot on the same spool, same address, same registry
+
+	// Both shards finish; the rebooted node resumes the same run id.
+	for i := range addrs {
+		waitUntil(t, 120*time.Second, "node "+ids[i]+" shard to finish", func() bool {
+			st, resumed := runState(t, addrs[i], runIDs[i])
+			if st == "done" && i == 1 && !resumed {
+				t.Fatalf("node b finished without resuming from its spool")
+			}
+			return st == "done"
+		})
+	}
+
+	parts := make([][]byte, 2)
+	for i := range addrs {
+		snap, code := getSnapshot(t, addrs[i], runIDs[i])
+		if code != http.StatusOK {
+			t.Fatalf("node %s final snapshot = %d", ids[i], code)
+		}
+		parts[i] = snap
+	}
+	merged, err := leonardo.MergeClusterSnapshots(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, want) {
+		t.Fatal("2-process fleet with a SIGKILLed node diverged from the uninterrupted single-node run")
+	}
+
+	// The survivor's metrics must show real migration traffic and the
+	// duplicate deliveries the killed node's replay produced.
+	resp, err := http.Get("http://" + addrs[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"leonardod_migration_emigrants_sent_total",
+		"leonardod_migration_emigrants_received_total",
+		"leonardod_epoch_barrier_wait_seconds_count",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Fatalf("node a /metrics is missing %s", series)
+		}
+	}
+}
+
+func getSnapshot(t *testing.T, addr, runID string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/runs/" + runID + "/snapshot")
+	if err != nil {
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0
+	}
+	return data, resp.StatusCode
+}
+
+func runState(t *testing.T, addr, runID string) (state string, resumed bool) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/runs/" + runID)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	var info struct {
+		State   string `json:"state"`
+		Resumed bool   `json:"resumed"`
+		Error   string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", false
+	}
+	if info.State == "failed" {
+		t.Fatalf("shard %s on %s failed: %s", runID, addr, info.Error)
+	}
+	return info.State, info.Resumed
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

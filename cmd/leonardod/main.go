@@ -9,16 +9,25 @@
 //
 //	leonardod [-addr HOST:PORT] [-spool DIR] [-workers N]
 //	          [-queue-depth N] [-snapshot-every N]
+//	          [-node-id ID -peers ID=URL,ID=URL,... [-epoch-timeout D]]
 //
-// API (see DESIGN.md §10 and the README "Serving" section):
+// API (see DESIGN.md §10 and §12 and the README "Serving" and
+// "Multi-node" sections):
 //
 //	POST /v1/runs               submit a run spec
 //	GET  /v1/runs               list the registry
 //	GET  /v1/runs/{id}          live generation / best fitness
 //	POST /v1/runs/{id}/cancel   cancel a run
 //	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)
+//	POST /v1/migrate            peer-to-peer migration batches
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text exposition
+//
+// -node-id and -peers join the daemon to a fleet: K nodes sharding one
+// island archipelago, exchanging champions over POST /v1/migrate at
+// every epoch barrier (DESIGN.md §12). Every node must be started with
+// the same -peers set (its own id included) and receive the same
+// "cluster" run spec.
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, cancels every
 // active run at its next generation boundary, writes a final checkpoint
@@ -30,11 +39,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,15 +60,24 @@ func run() int {
 	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS); admitted runs beyond this queue")
 	queueDepth := flag.Int("queue-depth", 64, "queued runs beyond which submissions get 429")
 	snapshotEvery := flag.Int("snapshot-every", 50, "checkpoint stride in engine steps")
+	nodeID := flag.String("node-id", "", "this node's id in a leonardod fleet (requires -peers)")
+	peers := flag.String("peers", "", "fleet registry as id=url,id=url,... including this node")
+	epochTimeout := flag.Duration("epoch-timeout", 0, "epoch barrier timeout before degrading to no-migration (0 = 30s)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "leonardod: ", log.LstdFlags)
+	clusterCfg, err := clusterConfig(*nodeID, *peers, *epochTimeout)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
 	m, err := serve.New(serve.Config{
 		Spool:         *spool,
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		SnapshotEvery: *snapshotEvery,
 		Logf:          logger.Printf,
+		Cluster:       clusterCfg,
 	})
 	if err != nil {
 		logger.Print(err)
@@ -99,4 +119,27 @@ func run() int {
 	m.Close()
 	logger.Print("all runs checkpointed; bye")
 	return 0
+}
+
+// clusterConfig parses -node-id/-peers/-epoch-timeout into a
+// serve.ClusterConfig; both flags empty means a standalone node.
+func clusterConfig(nodeID, peers string, epochTimeout time.Duration) (*serve.ClusterConfig, error) {
+	if nodeID == "" && peers == "" {
+		return nil, nil
+	}
+	if nodeID == "" || peers == "" {
+		return nil, errors.New("-node-id and -peers must be set together")
+	}
+	reg := make(map[string]string)
+	for _, ent := range strings.Split(peers, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=url", ent)
+		}
+		if _, dup := reg[id]; dup {
+			return nil, fmt.Errorf("-peers names node %q twice", id)
+		}
+		reg[id] = url
+	}
+	return &serve.ClusterConfig{NodeID: nodeID, Peers: reg, EpochTimeout: epochTimeout}, nil
 }

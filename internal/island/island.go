@@ -32,6 +32,7 @@ package island
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"leonardo/internal/engine"
 	"leonardo/internal/fitness"
@@ -179,8 +180,21 @@ type Archipelago struct {
 	obj   gap.Objective
 	demes []Deme
 
+	// Sharding state: a plain archipelago owns all p.Demes demes
+	// (shard nil, offset 0, tr nil meaning Loopback). A shard built by
+	// NewShard or RestoreShard owns the contiguous global range
+	// [offset, offset+len(demes)) and exchanges migrants through tr.
+	shard  *Shard
+	offset int
+	tr     Transport
+
 	epochs   int // completed epochs (the migration cursor)
-	migrants int // immigrants accepted so far
+	migrants int // immigrants accepted locally so far
+
+	// fleetDone records that the epoch barrier reported some shard in
+	// the fleet finished; for the loopback transport it simply mirrors
+	// the local done status.
+	fleetDone bool
 
 	// DemeObs, if non-nil, receives every deme's per-generation events
 	// in deme index order after each epoch. Aggregate events still flow
@@ -230,6 +244,36 @@ func NewWithDemes(p Params, demes []Deme) (*Archipelago, error) {
 	return &Archipelago{p: p, obj: resolveObjective(p.Base), demes: ds}, nil
 }
 
+// NewShard builds this node's shard of a fleet-wide archipelago: the
+// behavioural GAP demes in sh.Range(p.Demes), each seeded with
+// DemeSeed(p.Base.Seed, globalIndex) — exactly the seed the same deme
+// would get in a single-node run, which is what makes the K-node and
+// 1-node trajectories comparable deme for deme. tr carries migration
+// traffic (nil means Loopback, only sensible for sh.Nodes == 1).
+func NewShard(p Params, sh Shard, tr Transport) (*Archipelago, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if err := sh.Validate(p.Demes); err != nil {
+		return nil, err
+	}
+	lo, hi := sh.Range(p.Demes)
+	demes := make([]Deme, hi-lo)
+	for i := range demes {
+		bp := p.Base
+		bp.Seed = DemeSeed(p.Base.Seed, lo+i)
+		g, err := gap.New(bp)
+		if err != nil {
+			return nil, fmt.Errorf("island: deme %d: %w", lo+i, err)
+		}
+		demes[i] = g
+	}
+	s := sh
+	return &Archipelago{p: p, obj: resolveObjective(p.Base), demes: demes,
+		shard: &s, offset: lo, tr: tr}, nil
+}
+
 // withDefaults fills the zero-value knobs exactly once, at
 // construction, so Snapshot records the resolved values.
 func (p Params) withDefaults() Params {
@@ -264,8 +308,28 @@ func (a *Archipelago) Params() Params { return a.p }
 // does not inherit from the snapshot.
 func (a *Archipelago) SetWorkers(n int) { a.p.Workers = n }
 
-// Demes returns the number of islands.
+// Demes returns the number of local islands (for a shard, the slice
+// this node owns; Params().Demes is the global count).
 func (a *Archipelago) Demes() int { return len(a.demes) }
+
+// Shard returns the fleet placement and true if this archipelago is a
+// shard of a distributed run.
+func (a *Archipelago) Shard() (Shard, bool) {
+	if a.shard == nil {
+		return Shard{}, false
+	}
+	return *a.shard, true
+}
+
+// transport returns the migration transport, defaulting to Loopback so
+// archipelagos built before sharding existed (and restored "island"
+// snapshots) behave exactly as they always did.
+func (a *Archipelago) transport() Transport {
+	if a.tr == nil {
+		return Loopback{}
+	}
+	return a.tr
+}
 
 // Deme returns island i (for inspection; mutating it mid-run breaks
 // replay).
@@ -306,52 +370,89 @@ func (a *Archipelago) Step() error {
 	if a.DemeObs != nil {
 		for i, evs := range events {
 			for _, ev := range evs {
-				a.DemeObs.OnDemeGeneration(DemeEvent{Deme: i, Event: ev})
+				a.DemeObs.OnDemeGeneration(DemeEvent{Deme: a.offset + i, Event: ev})
 			}
 		}
 	}
 	a.epochs++
-	return a.migrate()
+	if err := a.migrate(); err != nil {
+		return err
+	}
+	// Done handshake: a deme finishing anywhere in the fleet ends the
+	// archipelago in this epoch, exactly as a local deme finishing ends
+	// a single-node run. For Loopback this just mirrors localDone.
+	fleet, err := a.transport().Barrier(a.epochs, a.localDone())
+	if err != nil {
+		return fmt.Errorf("island: epoch %d barrier: %w", a.epochs, err)
+	}
+	a.fleetDone = fleet
+	return nil
 }
 
-// migrate runs the barrier exchange: every deme's champion is latched
-// first (so replacements cannot cascade within one barrier), then deme
-// i's champion immigrates into deme (i+1) mod N via the destination's
-// own tournament draw. Non-Settler destinations are skipped; demes that
-// already finished keep their final population untouched.
+// migrate runs the barrier exchange — the single latch-then-commit
+// implementation every transport shares. Every local deme's champion is
+// latched first (so replacements cannot cascade within one barrier) and
+// handed to the transport as epoch-stamped emigrants addressed ring-wise
+// to global deme (g+1) mod Demes; the returned immigrants — however they
+// travelled — are committed in global source order, each via the
+// destination deme's own tournament draw. Non-Settler destinations are
+// skipped; demes that already finished keep their final population
+// untouched.
 func (a *Archipelago) migrate() error {
-	if a.p.Topology != Ring || len(a.demes) < 2 {
+	global := a.p.Demes
+	if a.p.Topology != Ring || global < 2 {
 		return nil
 	}
-	emigrants := make([]genome.Extended, len(a.demes))
+	out := make([]Emigrant, len(a.demes))
 	for i, d := range a.demes {
 		b, _ := d.Best()
-		emigrants[i] = b.Clone()
+		g := a.offset + i
+		out[i] = Emigrant{Epoch: a.epochs, From: g, To: (g + 1) % global, Genome: b.Clone()}
 	}
-	for i, e := range emigrants {
-		dst := a.demes[(i+1)%len(a.demes)]
+	in, err := a.transport().Exchange(a.epochs, out)
+	if err != nil {
+		return fmt.Errorf("island: epoch %d exchange: %w", a.epochs, err)
+	}
+	// Each global deme emigrates at most once per epoch, so sorting by
+	// source index makes the commit order unique regardless of how the
+	// transport interleaved batches.
+	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	for _, e := range in {
+		li := e.To - a.offset
+		if li < 0 || li >= len(a.demes) {
+			return fmt.Errorf("island: immigrant %d -> %d lands outside local demes [%d, %d)",
+				e.From, e.To, a.offset, a.offset+len(a.demes))
+		}
+		dst := a.demes[li]
 		s, ok := dst.(Settler)
 		if !ok || dst.Done() {
 			continue
 		}
-		if err := s.Immigrate(e); err != nil {
-			return fmt.Errorf("island: migration %d -> %d: %w", i, (i+1)%len(a.demes), err)
+		if err := s.Immigrate(e.Genome); err != nil {
+			return fmt.Errorf("island: migration %d -> %d: %w", e.From, e.To, err)
 		}
 		a.migrants++
 	}
 	return nil
 }
 
-// Done implements engine.Stepper: the archipelago is finished as soon
-// as any deme is — a converged deme ends the whole search (its champion
-// is the answer), an exhausted one means the budget ran out.
-func (a *Archipelago) Done() bool {
+// localDone reports whether any local deme is finished.
+func (a *Archipelago) localDone() bool {
 	for _, d := range a.demes {
 		if d.Done() {
 			return true
 		}
 	}
 	return false
+}
+
+// Done implements engine.Stepper: the archipelago is finished as soon
+// as any deme is — a converged deme ends the whole search (its champion
+// is the answer), an exhausted one means the budget ran out. For a
+// shard, a deme finishing on any other node counts too (learned at the
+// epoch barrier).
+func (a *Archipelago) Done() bool {
+	return a.fleetDone || a.localDone()
 }
 
 // Event implements engine.Stepper with the aggregate telemetry of the

@@ -1,0 +1,319 @@
+package island
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"leonardo/internal/fitness"
+)
+
+// In-process fleet transport: K shards in one test binary, synchronized
+// at every epoch barrier with a condition variable. This pins the
+// Transport abstraction independently of HTTP — the serve-layer tests
+// re-prove the same equivalence over real sockets.
+
+type memFleet struct {
+	nodes int
+	demes int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	exch  map[int][][]Emigrant // epoch → per-node emigrant batches
+	exchN map[int]int
+	done  map[int][]*bool // epoch → per-node done flags
+	doneN map[int]int
+}
+
+func newMemFleet(nodes, demes int) *memFleet {
+	f := &memFleet{
+		nodes: nodes, demes: demes,
+		exch:  map[int][][]Emigrant{},
+		exchN: map[int]int{},
+		done:  map[int][]*bool{},
+		doneN: map[int]int{},
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *memFleet) transport(node int) Transport { return &memTransport{f: f, node: node} }
+
+type memTransport struct {
+	f    *memFleet
+	node int
+}
+
+func (t *memTransport) Exchange(epoch int, out []Emigrant) ([]Emigrant, error) {
+	f := t.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.exch[epoch] == nil {
+		f.exch[epoch] = make([][]Emigrant, f.nodes)
+	}
+	if f.exch[epoch][t.node] == nil {
+		f.exch[epoch][t.node] = append([]Emigrant{}, out...)
+		f.exchN[epoch]++
+		f.cond.Broadcast()
+	}
+	for f.exchN[epoch] < f.nodes {
+		f.cond.Wait()
+	}
+	lo, hi := (Shard{Nodes: f.nodes, Index: t.node}).Range(f.demes)
+	var in []Emigrant
+	for _, batch := range f.exch[epoch] {
+		for _, e := range batch {
+			if e.To >= lo && e.To < hi {
+				in = append(in, e)
+			}
+		}
+	}
+	return in, nil
+}
+
+func (t *memTransport) Barrier(epoch int, localDone bool) (bool, error) {
+	f := t.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done[epoch] == nil {
+		f.done[epoch] = make([]*bool, f.nodes)
+	}
+	if f.done[epoch][t.node] == nil {
+		d := localDone
+		f.done[epoch][t.node] = &d
+		f.doneN[epoch]++
+		f.cond.Broadcast()
+	}
+	for f.doneN[epoch] < f.nodes {
+		f.cond.Wait()
+	}
+	fleet := false
+	for _, d := range f.done[epoch] {
+		fleet = fleet || *d
+	}
+	return fleet, nil
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, tc := range []struct{ nodes, demes int }{
+		{1, 1}, {1, 4}, {2, 4}, {2, 5}, {3, 4}, {3, 7}, {4, 4}, {5, 64},
+	} {
+		next := 0
+		for k := 0; k < tc.nodes; k++ {
+			sh := Shard{Nodes: tc.nodes, Index: k}
+			if err := sh.Validate(tc.demes); err != nil {
+				t.Fatalf("%d/%d shard %d: %v", tc.nodes, tc.demes, k, err)
+			}
+			lo, hi := sh.Range(tc.demes)
+			if lo != next {
+				t.Fatalf("%d/%d shard %d starts at %d, want %d (ranges must tile)", tc.nodes, tc.demes, k, lo, next)
+			}
+			if hi <= lo {
+				t.Fatalf("%d/%d shard %d is empty [%d, %d)", tc.nodes, tc.demes, k, lo, hi)
+			}
+			for g := lo; g < hi; g++ {
+				if own := OwnerOf(tc.nodes, tc.demes, g); own != k {
+					t.Fatalf("%d/%d: OwnerOf(%d) = %d, want %d", tc.nodes, tc.demes, g, own, k)
+				}
+			}
+			next = hi
+		}
+		if next != tc.demes {
+			t.Fatalf("%d/%d: ranges end at %d, want %d", tc.nodes, tc.demes, next, tc.demes)
+		}
+	}
+	if err := (Shard{Nodes: 5, Index: 0}).Validate(4); err == nil {
+		t.Fatal("5 nodes over 4 demes validated; every node needs a deme")
+	}
+	if err := (Shard{Nodes: 2, Index: 2}).Validate(4); err == nil {
+		t.Fatal("out-of-range shard index validated")
+	}
+}
+
+// runFleet drives a K-shard fleet of p over the in-memory transport
+// until every shard reports Done, then returns the per-shard snapshots
+// in node order. steps > 0 limits each shard to that many epochs
+// instead ("run to a mid-run barrier").
+func runFleet(t *testing.T, p Params, nodes, steps int, resume [][]byte) [][]byte {
+	t.Helper()
+	f := newMemFleet(nodes, p.Demes)
+	shards := make([]*Archipelago, nodes)
+	for k := range shards {
+		var err error
+		if resume != nil {
+			shards[k], err = RestoreShard(resume[k], p.Base.Objective, f.transport(k))
+		} else {
+			shards[k], err = NewShard(p, Shard{Nodes: nodes, Index: k}, f.transport(k))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for k := range shards {
+		wg.Add(1)
+		//leo:allow goroutine test fleet: one driver per shard, joined below; the transport barrier synchronizes them
+		go func(k int) {
+			defer wg.Done()
+			for n := 0; (steps <= 0 || n < steps) && !shards[k].Done(); n++ {
+				if err := shards[k].Step(); err != nil {
+					errs[k] = err
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+	}
+	snaps := make([][]byte, nodes)
+	for k, s := range shards {
+		snaps[k] = s.Snapshot()
+	}
+	return snaps
+}
+
+// TestShardDifferential is the distributed determinism contract at the
+// island layer: the same parameters run on 1, 2, 3 and 4 shards produce
+// — after MergeShardSnapshots — the byte-identical "island" snapshot of
+// the single-node run, with identical migration totals folded in.
+func TestShardDifferential(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		p := endlessParams(seed)
+		p.Base.MaxGenerations = 40 // 8 epochs of 5 generations
+
+		ref, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !ref.Done() {
+			if err := ref.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := ref.Snapshot()
+
+		for nodes := 1; nodes <= 4; nodes++ {
+			snaps := runFleet(t, p, nodes, 0, nil)
+			got, err := MergeShardSnapshots(snaps)
+			if err != nil {
+				t.Fatalf("seed %d, %d nodes: merge: %v", seed, nodes, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: %d-node merged snapshot differs from the single-node run", seed, nodes)
+			}
+		}
+	}
+}
+
+// TestShardDifferentialConverging re-proves the equivalence on a run
+// that ends by convergence rather than budget: the fleet-done barrier
+// must stop every shard in the same epoch a single-node run stops in.
+func TestShardDifferentialConverging(t *testing.T) {
+	p := testParams(3)
+	p.Base.MaxGenerations = 400
+
+	ref, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.Done() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Snapshot()
+	if !ref.Result().Converged {
+		t.Logf("run exhausted its budget without converging; equivalence still checked")
+	}
+
+	for _, nodes := range []int{2, 3} {
+		snaps := runFleet(t, p, nodes, 0, nil)
+		got, err := MergeShardSnapshots(snaps)
+		if err != nil {
+			t.Fatalf("%d nodes: merge: %v", nodes, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%d-node merged snapshot differs from the single-node run", nodes)
+		}
+	}
+}
+
+// TestShardResume: every shard checkpoints at a mid-run barrier, the
+// fleet is torn down, restored from the "cluster" snapshots, and run to
+// completion — finishing byte-identical to an uninterrupted single-node
+// run.
+func TestShardResume(t *testing.T) {
+	p := endlessParams(11)
+	p.Base.MaxGenerations = 40
+
+	ref, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.Done() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Snapshot()
+
+	const nodes = 3
+	mid := runFleet(t, p, nodes, 3, nil)
+	for k, snap := range mid {
+		s, err := RestoreShard(snap, p.Base.Objective, nil)
+		if err != nil {
+			t.Fatalf("shard %d restore: %v", k, err)
+		}
+		if sh, ok := s.Shard(); !ok || sh.Index != k || sh.Nodes != nodes {
+			t.Fatalf("shard %d restored placement = %+v, %v", k, sh, ok)
+		}
+		if s.Epochs() != 3 {
+			t.Fatalf("shard %d restored at epoch %d, want 3", k, s.Epochs())
+		}
+	}
+	final := runFleet(t, p, nodes, 0, mid)
+	got, err := MergeShardSnapshots(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed 3-node fleet diverged from the uninterrupted single-node run")
+	}
+}
+
+// TestMergeShardSnapshotsRejects pins the merge validation: wrong part
+// counts, duplicate indexes, and mixed epochs are refused.
+func TestMergeShardSnapshotsRejects(t *testing.T) {
+	p := endlessParams(5)
+	p.Base.MaxGenerations = 40
+	snaps := runFleet(t, p, 2, 2, nil)
+
+	if _, err := MergeShardSnapshots(nil); err == nil {
+		t.Fatal("merged zero parts")
+	}
+	if _, err := MergeShardSnapshots(snaps[:1]); err == nil {
+		t.Fatal("merged 1 of 2 parts")
+	}
+	if _, err := MergeShardSnapshots([][]byte{snaps[0], snaps[0]}); err == nil {
+		t.Fatal("merged a duplicated shard index")
+	}
+	skewed := runFleet(t, p, 2, 3, snaps)
+	if _, err := MergeShardSnapshots([][]byte{snaps[0], skewed[1]}); err == nil {
+		t.Fatal("merged snapshots from different epochs")
+	}
+	// The single-shard degenerate fleet merges to a valid island
+	// snapshot even mid-run.
+	one := runFleet(t, p, 1, 2, nil)
+	merged, err := MergeShardSnapshots(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(merged, unreachable{fitness.New()}); err != nil {
+		t.Fatalf("merged single-shard snapshot does not restore: %v", err)
+	}
+}

@@ -22,24 +22,77 @@ const (
 	snapVersion = 1
 )
 
-// Snapshot serializes the complete archipelago state.
-func (a *Archipelago) Snapshot() []byte {
-	e := engine.NewEnc(snapKind, snapVersion)
-	e.Int(a.p.Demes)
-	e.Int(a.p.MigrateEvery)
-	e.Blob([]byte(a.p.Topology))
+// encodeHeader writes the archipelago parameter header — the exact
+// byte layout shared by the "island" and "cluster" kinds, which is what
+// lets MergeShardSnapshots reassemble shard snapshots into a
+// byte-identical single-node snapshot.
+func encodeHeader(e *engine.Enc, p Params) {
+	e.Int(p.Demes)
+	e.Int(p.MigrateEvery)
+	e.Blob([]byte(p.Topology))
 	// Base parameters, mirrored from the gap snapshot layout (the
 	// objective and any warm-start population are not serialized, as
 	// there).
-	e.Int(a.p.Base.Layout.Steps)
-	e.Int(a.p.Base.Layout.Legs)
-	e.Int(a.p.Base.PopulationSize)
-	e.F64(a.p.Base.SelectionThreshold)
-	e.F64(a.p.Base.CrossoverThreshold)
-	e.Int(a.p.Base.MutationsPerGeneration)
-	e.Int(a.p.Base.MaxGenerations)
-	e.U64(a.p.Base.Seed)
-	e.Bool(a.p.Base.RecordHistory)
+	e.Int(p.Base.Layout.Steps)
+	e.Int(p.Base.Layout.Legs)
+	e.Int(p.Base.PopulationSize)
+	e.F64(p.Base.SelectionThreshold)
+	e.F64(p.Base.CrossoverThreshold)
+	e.Int(p.Base.MutationsPerGeneration)
+	e.Int(p.Base.MaxGenerations)
+	e.U64(p.Base.Seed)
+	e.Bool(p.Base.RecordHistory)
+}
+
+// decodeHeader reads the parameter header written by encodeHeader. obj
+// is attached as the per-deme objective (nil means the paper's
+// three-rule evaluator).
+func decodeHeader(d *engine.Dec, obj gap.Objective) Params {
+	return Params{
+		Demes:        d.Int(),
+		MigrateEvery: d.Int(),
+		Topology:     Topology(d.Blob()),
+		Base: gap.Params{
+			Layout:                 genome.Layout{Steps: d.Int(), Legs: d.Int()},
+			PopulationSize:         d.Int(),
+			SelectionThreshold:     d.F64(),
+			CrossoverThreshold:     d.F64(),
+			MutationsPerGeneration: d.Int(),
+			MaxGenerations:         d.Int(),
+			Seed:                   d.U64(),
+			RecordHistory:          d.Bool(),
+			Objective:              obj,
+		},
+	}
+}
+
+// validateHeader rejects decoded parameters that a constructor could
+// never have produced (defaults are resolved at construction, before
+// any snapshot is taken).
+func validateHeader(p Params, epochs, migrants int) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("island: snapshot parameters invalid: %w", err)
+	}
+	if p.MigrateEvery <= 0 || p.Base.MaxGenerations <= 0 {
+		return fmt.Errorf("island: snapshot has unresolved defaults (interval %d, cap %d)",
+			p.MigrateEvery, p.Base.MaxGenerations)
+	}
+	if epochs < 0 || migrants < 0 {
+		return fmt.Errorf("island: snapshot cursor (%d epochs, %d migrants) is negative", epochs, migrants)
+	}
+	return nil
+}
+
+// Snapshot serializes the complete archipelago state. A plain
+// archipelago snapshots as the "island" kind; a shard (NewShard /
+// RestoreShard) as the "cluster" kind, which additionally records the
+// fleet placement and carries only the local demes.
+func (a *Archipelago) Snapshot() []byte {
+	if a.shard != nil {
+		return a.shardSnapshot()
+	}
+	e := engine.NewEnc(snapKind, snapVersion)
+	encodeHeader(e, a.p)
 	// Migration cursor.
 	e.Int(a.epochs)
 	e.Int(a.migrants)
@@ -63,36 +116,14 @@ func Restore(data []byte, obj gap.Objective) (*Archipelago, error) {
 	if d.Version != snapVersion {
 		return nil, fmt.Errorf("island: snapshot version %d, want %d", d.Version, snapVersion)
 	}
-	p := Params{
-		Demes:        d.Int(),
-		MigrateEvery: d.Int(),
-		Topology:     Topology(d.Blob()),
-		Base: gap.Params{
-			Layout:                 genome.Layout{Steps: d.Int(), Legs: d.Int()},
-			PopulationSize:         d.Int(),
-			SelectionThreshold:     d.F64(),
-			CrossoverThreshold:     d.F64(),
-			MutationsPerGeneration: d.Int(),
-			MaxGenerations:         d.Int(),
-			Seed:                   d.U64(),
-			RecordHistory:          d.Bool(),
-			Objective:              obj,
-		},
-	}
+	p := decodeHeader(d, obj)
 	epochs := d.Int()
 	migrants := d.Int()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("island: snapshot parameters invalid: %w", err)
-	}
-	if p.MigrateEvery <= 0 || p.Base.MaxGenerations <= 0 {
-		return nil, fmt.Errorf("island: snapshot has unresolved defaults (interval %d, cap %d)",
-			p.MigrateEvery, p.Base.MaxGenerations)
-	}
-	if epochs < 0 || migrants < 0 {
-		return nil, fmt.Errorf("island: snapshot cursor (%d epochs, %d migrants) is negative", epochs, migrants)
+	if err := validateHeader(p, epochs, migrants); err != nil {
+		return nil, err
 	}
 	demes := make([]Deme, p.Demes)
 	for i := range demes {
@@ -100,40 +131,11 @@ func Restore(data []byte, obj gap.Objective) (*Archipelago, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		kind, err := engine.SnapshotKind(sub)
+		dm, err := restoreDeme(sub, obj, i)
 		if err != nil {
-			return nil, fmt.Errorf("island: deme %d: %w", i, err)
+			return nil, err
 		}
-		switch kind {
-		case "gap":
-			g, err := gap.Restore(sub, obj)
-			if err != nil {
-				return nil, fmt.Errorf("island: deme %d: %w", i, err)
-			}
-			demes[i] = g
-		case "gapcirc":
-			dr, err := gapcirc.RestoreDriver(sub)
-			if err != nil {
-				return nil, fmt.Errorf("island: deme %d: %w", i, err)
-			}
-			demes[i] = dr
-		case "lanedemes":
-			// A single-lane group round-trips as an ordinary deme (its
-			// view's Snapshot is the group snapshot). A multi-lane group
-			// embedded per deme would duplicate the shared simulator; such
-			// archipelagos snapshot through the "lanepack" kind instead.
-			g, err := gapcirc.RestoreLaneDemes(sub)
-			if err != nil {
-				return nil, fmt.Errorf("island: deme %d: %w", i, err)
-			}
-			if g.NumDemes() != 1 {
-				return nil, fmt.Errorf("island: deme %d is a %d-lane group; lane-packed archipelagos restore via RestoreLanePack",
-					i, g.NumDemes())
-			}
-			demes[i] = g.Demes()[0]
-		default:
-			return nil, fmt.Errorf("island: deme %d has unknown snapshot kind %q", i, kind)
-		}
+		demes[i] = dm
 	}
 	if err := d.Finish(); err != nil {
 		return nil, err
@@ -145,4 +147,44 @@ func Restore(data []byte, obj gap.Objective) (*Archipelago, error) {
 		epochs:   epochs,
 		migrants: migrants,
 	}, nil
+}
+
+// restoreDeme rebuilds deme i (global index, for error context) from
+// its sub-snapshot, dispatching on the sub-snapshot's kind so mixed
+// archipelagos round-trip too.
+func restoreDeme(sub []byte, obj gap.Objective, i int) (Deme, error) {
+	kind, err := engine.SnapshotKind(sub)
+	if err != nil {
+		return nil, fmt.Errorf("island: deme %d: %w", i, err)
+	}
+	switch kind {
+	case "gap":
+		g, err := gap.Restore(sub, obj)
+		if err != nil {
+			return nil, fmt.Errorf("island: deme %d: %w", i, err)
+		}
+		return g, nil
+	case "gapcirc":
+		dr, err := gapcirc.RestoreDriver(sub)
+		if err != nil {
+			return nil, fmt.Errorf("island: deme %d: %w", i, err)
+		}
+		return dr, nil
+	case "lanedemes":
+		// A single-lane group round-trips as an ordinary deme (its
+		// view's Snapshot is the group snapshot). A multi-lane group
+		// embedded per deme would duplicate the shared simulator; such
+		// archipelagos snapshot through the "lanepack" kind instead.
+		g, err := gapcirc.RestoreLaneDemes(sub)
+		if err != nil {
+			return nil, fmt.Errorf("island: deme %d: %w", i, err)
+		}
+		if g.NumDemes() != 1 {
+			return nil, fmt.Errorf("island: deme %d is a %d-lane group; lane-packed archipelagos restore via RestoreLanePack",
+				i, g.NumDemes())
+		}
+		return g.Demes()[0], nil
+	default:
+		return nil, fmt.Errorf("island: deme %d has unknown snapshot kind %q", i, kind)
+	}
 }

@@ -15,12 +15,23 @@ import (
 //	GET  /v1/runs/{id}          live view of one run        → 200 Info
 //	POST /v1/runs/{id}/cancel   cancel a run                → 200 Info
 //	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)  → 200 bytes
+//	POST /v1/migrate            peer migration batch        → 200 ack
 //	GET  /healthz               liveness                    → 200
 //	GET  /metrics               Prometheus text exposition  → 200
 //
+// The snapshot endpoint serves only complete, durable checkpoints: a
+// live run that has not written its first one yet answers 409 (retry
+// shortly), a terminal run that never checkpointed answers 404.
+//
+// /v1/migrate is node-to-node traffic: peers of a cluster-configured
+// node deliver epoch-stamped emigrant batches here. Delivery is
+// idempotent — the ack distinguishes "accepted" from "duplicate", and
+// both mean the sender can stop retrying.
+//
 // Errors come back as {"error": "..."} with the status the registry
-// error maps to: 400 bad spec, 404 unknown run or no snapshot yet, 409
-// already finished, 429 queue full, 503 shutting down.
+// error maps to: 400 bad spec, 404 unknown run or no snapshot, 409
+// already finished or snapshot pending, 429 queue full, 503 shutting
+// down.
 func NewAPI(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, req *http.Request) {
@@ -47,6 +58,9 @@ func NewAPI(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/runs/{id}/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		handleSnapshot(m, w, req)
+	})
+	mux.HandleFunc("POST /v1/migrate", func(w http.ResponseWriter, req *http.Request) {
+		handleMigrate(m, w, req)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -86,15 +100,35 @@ func handleSnapshot(m *Manager, w http.ResponseWriter, req *http.Request) {
 	w.Write(snap)
 }
 
+// handleMigrate applies one inbound peer batch with idempotent
+// delivery semantics. The 200 ack — accepted or duplicate — is the
+// sender's license to stop retrying, so it is only written after the
+// batch is durable on this node.
+func handleMigrate(m *Manager, w http.ResponseWriter, req *http.Request) {
+	var b wireBatch
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	status, err := m.Migrate(b)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, migrateAck{Status: status})
+}
+
 // writeError maps a registry error onto its HTTP status.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrBadSpec):
+	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrNoCluster):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoSnapshot):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrFinished):
+	case errors.Is(err, ErrFinished), errors.Is(err, ErrSnapshotPending):
 		status = http.StatusConflict
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests

@@ -243,7 +243,9 @@ func TestAPIBackpressure(t *testing.T) {
 }
 
 // TestAPISnapshotBeforeFirstCheckpoint: a queued run has no snapshot
-// yet; the endpoint says 404 rather than serving empty bytes.
+// yet; the endpoint says 409 (pending — retry after the first
+// checkpoint stride) rather than serving empty bytes, and a cancelled
+// run that never checkpointed says 404.
 func TestAPISnapshotBeforeFirstCheckpoint(t *testing.T) {
 	m, err := serve.New(serve.Config{Workers: 1, QueueDepth: 4})
 	if err != nil {
@@ -261,12 +263,15 @@ func TestAPISnapshotBeforeFirstCheckpoint(t *testing.T) {
 	if code := postJSON(t, srv.URL+"/v1/runs", long, &queued); code != http.StatusCreated {
 		t.Fatalf("second submit = %d", code)
 	}
-	if code := getJSON(t, srv.URL+"/v1/runs/"+queued.ID+"/snapshot", nil); code != http.StatusNotFound {
-		t.Fatalf("snapshot of queued run = %d, want 404", code)
+	if code := getJSON(t, srv.URL+"/v1/runs/"+queued.ID+"/snapshot", nil); code != http.StatusConflict {
+		t.Fatalf("snapshot of queued run = %d, want 409", code)
 	}
 	var buf bytes.Buffer
 	m.WriteMetrics(&buf)
 	parsePrometheus(t, buf.String()) // direct render parses too
 	postJSON(t, srv.URL+"/v1/runs/"+queued.ID+"/cancel", ``, nil)
 	postJSON(t, srv.URL+"/v1/runs/"+first.ID+"/cancel", ``, nil)
+	if code := getJSON(t, srv.URL+"/v1/runs/"+queued.ID+"/snapshot", nil); code != http.StatusNotFound {
+		t.Fatalf("snapshot of cancelled never-run run = %d, want 404", code)
+	}
 }

@@ -1,0 +1,364 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"leonardo"
+	"leonardo/internal/serve"
+)
+
+// Fleet tests: K managers, each wrapped in a real HTTP server on a
+// localhost socket, exchanging migration batches through POST
+// /v1/migrate — the full production path minus process isolation (the
+// cmd/leonardod e2e covers separate processes and SIGKILL).
+
+// testNode is one leonardod node of an in-test fleet.
+type testNode struct {
+	id   string
+	dir  string
+	addr string
+	m    *serve.Manager
+	srv  *http.Server
+}
+
+// startFleet boots K cluster-configured managers with HTTP servers on
+// pre-claimed localhost listeners, so every node knows every URL before
+// any node starts.
+func startFleet(t *testing.T, k int, timeout time.Duration) []*testNode {
+	t.Helper()
+	ids := []string{"a", "b", "c", "d", "e"}[:k]
+	nodes := make([]*testNode, k)
+	listeners := make([]net.Listener, k)
+	peers := make(map[string]string, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[ids[i]] = "http://" + ln.Addr().String()
+		nodes[i] = &testNode{id: ids[i], dir: t.TempDir(), addr: ln.Addr().String()}
+	}
+	for i, n := range nodes {
+		bootNode(t, n, peers, timeout, listeners[i])
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	})
+	return nodes
+}
+
+// bootNode builds the node's manager and serves its API on ln.
+func bootNode(t *testing.T, n *testNode, peers map[string]string, timeout time.Duration, ln net.Listener) {
+	t.Helper()
+	m, err := serve.New(serve.Config{
+		Spool: n.dir, Workers: 2, SnapshotEvery: 2,
+		Cluster: &serve.ClusterConfig{NodeID: n.id, Peers: peers, EpochTimeout: timeout},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.m = m
+	n.srv = &http.Server{Handler: serve.NewAPI(m)}
+	srv := n.srv
+	//leo:allow goroutine test HTTP server; serves the node API until the test stops it
+	go srv.Serve(ln)
+}
+
+// stop tears the node down; safe to call twice.
+func (n *testNode) stop() {
+	if n.srv != nil {
+		n.srv.Close()
+		n.srv = nil
+	}
+	if n.m != nil {
+		n.m.Close()
+		n.m = nil
+	}
+}
+
+// restart simulates a reboot: the manager reloads from its spool and
+// the API comes back on the same address.
+func (n *testNode) restart(t *testing.T, peers map[string]string, timeout time.Duration) {
+	t.Helper()
+	n.stop()
+	var ln net.Listener
+	// The freed port can linger in TIME_WAIT briefly; retry the bind.
+	waitFor(t, 10*time.Second, "rebind "+n.addr, func() bool {
+		var err error
+		ln, err = net.Listen("tcp", n.addr)
+		return err == nil
+	})
+	bootNode(t, n, peers, timeout, ln)
+}
+
+// clusterSpec is the shared fleet spec: Steps 7 keeps the run from
+// converging, so it lasts exactly MaxGenerations on every node.
+func clusterSpec(name string, seed uint64) leonardo.RunSpec {
+	return leonardo.RunSpec{
+		Kind: leonardo.KindCluster, Name: name, Seed: seed,
+		Steps: 7, Islands: 6, MigrateEvery: 2, MaxGenerations: 16,
+	}
+}
+
+// islandRef runs the equivalent single-node island run to completion.
+func islandRef(t *testing.T, spec leonardo.RunSpec) []byte {
+	t.Helper()
+	ref := spec
+	ref.Kind = leonardo.KindIsland
+	ref.Name = ""
+	return runRef(t, ref)
+}
+
+// submitFleet submits the same spec to every node and returns the ids.
+func submitFleet(t *testing.T, nodes []*testNode, spec leonardo.RunSpec) []string {
+	t.Helper()
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		info, err := n.m.Submit(spec)
+		if err != nil {
+			t.Fatalf("node %s: %v", n.id, err)
+		}
+		ids[i] = info.ID
+	}
+	return ids
+}
+
+// waitFleetDone waits until the run is terminal on every node and
+// fails the test unless every shard ended in want.
+func waitFleetDone(t *testing.T, nodes []*testNode, ids []string, want serve.State) {
+	t.Helper()
+	for i, n := range nodes {
+		i, n := i, n
+		waitFor(t, 60*time.Second, "node "+n.id+" shard to finish", func() bool {
+			info, err := n.m.Get(ids[i])
+			return err == nil && info.State.Terminal()
+		})
+		info, err := n.m.Get(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != want {
+			t.Fatalf("node %s shard ended %s (%s), want %s", n.id, info.State, info.Error, want)
+		}
+	}
+}
+
+// mergeFleet collects the shard snapshots and merges them into the
+// canonical island snapshot.
+func mergeFleet(t *testing.T, nodes []*testNode, ids []string) []byte {
+	t.Helper()
+	parts := make([][]byte, len(nodes))
+	for i, n := range nodes {
+		snap, err := n.m.Snapshot(ids[i])
+		if err != nil {
+			t.Fatalf("node %s snapshot: %v", n.id, err)
+		}
+		if kind, err := leonardo.SnapshotKind(snap); err != nil || kind != leonardo.KindCluster {
+			t.Fatalf("node %s snapshot kind = %q, %v", n.id, kind, err)
+		}
+		parts[i] = snap
+	}
+	merged, err := leonardo.MergeClusterSnapshots(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// TestClusterDifferential is the tentpole's correctness anchor at the
+// serve layer: a 3-node fleet exchanging migrants over real localhost
+// HTTP produces — merged — the byte-identical island snapshot of a
+// single-node run of the same spec.
+func TestClusterDifferential(t *testing.T) {
+	spec := clusterSpec("diff", 5)
+	want := islandRef(t, spec)
+
+	nodes := startFleet(t, 3, 60*time.Second)
+	ids := submitFleet(t, nodes, spec)
+	waitFleetDone(t, nodes, ids, serve.StateDone)
+	if got := mergeFleet(t, nodes, ids); !bytes.Equal(got, want) {
+		t.Fatal("3-node fleet merged snapshot differs from the single-node island run")
+	}
+
+	// The migration metrics observed real traffic on every node.
+	for _, n := range nodes {
+		var buf bytes.Buffer
+		n.m.WriteMetrics(&buf)
+		samples := parsePrometheus(t, buf.String())
+		if samples["leonardod_cluster_peers"] != 2 {
+			t.Fatalf("node %s peers gauge = %v, want 2", n.id, samples["leonardod_cluster_peers"])
+		}
+		if samples["leonardod_migration_emigrants_sent_total"] == 0 {
+			t.Fatalf("node %s sent no emigrants over HTTP", n.id)
+		}
+		if samples["leonardod_migration_emigrants_received_total"] == 0 {
+			t.Fatalf("node %s received no emigrants over HTTP", n.id)
+		}
+		if samples["leonardod_migration_degraded_epochs_total"] != 0 {
+			t.Fatalf("node %s degraded %v epochs; the differential demands none", n.id, samples["leonardod_migration_degraded_epochs_total"])
+		}
+		if samples["leonardod_epoch_barrier_wait_seconds_count"] == 0 {
+			t.Fatalf("node %s recorded no barrier waits", n.id)
+		}
+	}
+}
+
+// TestClusterSingleNode: the degenerate 1-node fleet takes the
+// no-peers fast path and must still match the island run bit for bit.
+func TestClusterSingleNode(t *testing.T) {
+	spec := clusterSpec("solo", 8)
+	want := islandRef(t, spec)
+
+	nodes := startFleet(t, 1, 30*time.Second)
+	ids := submitFleet(t, nodes, spec)
+	waitFleetDone(t, nodes, ids, serve.StateDone)
+	if got := mergeFleet(t, nodes, ids); !bytes.Equal(got, want) {
+		t.Fatal("1-node cluster snapshot differs from the island run")
+	}
+}
+
+// TestClusterNodeRestart: one node of a 2-node fleet is torn down
+// mid-run and rebooted from its spool. The resumed shard replays from
+// its checkpointed barrier — duplicate batches acknowledged, missed
+// immigrants re-read from the durable inbox — and the fleet still
+// finishes byte-identical to the uninterrupted single-node run.
+func TestClusterNodeRestart(t *testing.T) {
+	spec := clusterSpec("revive", 13)
+	spec.MaxGenerations = 200 // 100 epochs: a wide window to kill mid-run
+	want := islandRef(t, spec)
+
+	nodes := startFleet(t, 2, 120*time.Second)
+	peers := map[string]string{}
+	for _, n := range nodes {
+		peers[n.id] = "http://" + n.addr
+	}
+	ids := submitFleet(t, nodes, spec)
+
+	// Let node b checkpoint at least one barrier, then kill it mid-run.
+	waitFor(t, 60*time.Second, "node b to checkpoint a barrier", func() bool {
+		snap, err := nodes[1].m.Snapshot(ids[1])
+		if err != nil {
+			return false
+		}
+		r, err := leonardo.ResumeCluster(snap, nil)
+		return err == nil && r.Epoch() >= 1 && !r.Done()
+	})
+	nodes[1].stop()
+	nodes[1].restart(t, peers, 120*time.Second)
+
+	// The rebooted manager resumes the shard under the same run id.
+	waitFleetDone(t, nodes, ids, serve.StateDone)
+	info, err := nodes[1].m.Get(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Resumed {
+		t.Fatal("rebooted shard did not resume from its spool snapshot")
+	}
+	if got := mergeFleet(t, nodes, ids); !bytes.Equal(got, want) {
+		t.Fatal("fleet with a restarted node diverged from the uninterrupted single-node run")
+	}
+}
+
+// TestMigrateIdempotent pins the inbox contract over HTTP: first
+// delivery accepted, re-delivery acknowledged as duplicate, and the
+// validation rejections (unknown run 404, bad peer/phase 400) that the
+// sender's retry loop depends on.
+func TestMigrateIdempotent(t *testing.T) {
+	// A 2-node config with only node a booted: b's address is claimed
+	// but never served, so a's outbound sends retry harmlessly while
+	// the test plays node b by hand.
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+	peers := map[string]string{
+		"a": "http://" + lnA.Addr().String(),
+		"b": "http://" + lnB.Addr().String(),
+	}
+	a := &testNode{id: "a", dir: t.TempDir(), addr: lnA.Addr().String()}
+	bootNode(t, a, peers, 120*time.Second, lnA)
+	defer a.stop()
+	url := peers["a"] + "/v1/migrate"
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ack struct {
+			Status string `json:"status"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, ack.Status
+	}
+
+	// No session yet: the sender must keep retrying, so 404 — not 200.
+	if code, _ := post(`{"run":"idem","src":"b","epoch":1,"phase":"exchange"}`); code != http.StatusNotFound {
+		t.Fatalf("delivery before the run exists = %d, want 404", code)
+	}
+
+	info, err := a.m.Submit(clusterSpec("idem", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if code, st := post(`{"run":"idem","src":"b","epoch":1,"phase":"exchange"}`); code != http.StatusOK || st != "accepted" {
+		t.Fatalf("first delivery = %d %q, want 200 accepted", code, st)
+	}
+	if code, st := post(`{"run":"idem","src":"b","epoch":1,"phase":"exchange"}`); code != http.StatusOK || st != "duplicate" {
+		t.Fatalf("re-delivery = %d %q, want 200 duplicate (acknowledged, not re-applied)", code, st)
+	}
+
+	// Validation rejections are permanent errors, not retryable 404s.
+	if code, _ := post(`{"run":"idem","src":"z","epoch":1,"phase":"exchange"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown source node = %d, want 400", code)
+	}
+	if code, _ := post(`{"run":"idem","src":"b","epoch":1,"phase":"sideways"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown phase = %d, want 400", code)
+	}
+	if code, _ := post(`{"run":"idem","src":"b","epoch":0,"phase":"status"}`); code != http.StatusBadRequest {
+		t.Fatalf("epoch 0 = %d, want 400", code)
+	}
+	if code, _ := post(`{"run":"no/slash allowed","src":"b","epoch":1,"phase":"status"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad run name = %d, want 400", code)
+	}
+
+	// The duplicate counter saw exactly the one re-delivery.
+	var buf bytes.Buffer
+	a.m.WriteMetrics(&buf)
+	samples := parsePrometheus(t, buf.String())
+	if samples["leonardod_migration_duplicate_deliveries_total"] != 1 {
+		t.Fatalf("duplicate counter = %v, want 1", samples["leonardod_migration_duplicate_deliveries_total"])
+	}
+
+	// Cancel unparks the run from its barrier wait well before the
+	// 120s epoch timeout.
+	if _, err := a.m.Cancel(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, "cancelled shard to finalize", func() bool {
+		got, err := a.m.Get(info.ID)
+		return err == nil && got.State == serve.StateCancelled
+	})
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The migration inbox is the durable half of idempotent delivery: a
+// batch is persisted here BEFORE it is acknowledged, so an
+// acknowledgement always means "safe on the receiver's disk". Senders
+// retry until acknowledged; receivers that crash replay their epochs
+// from the inbox instead of the network, which is what makes a SIGKILL
+// mid-epoch recoverable bit-identically (DESIGN.md §12).
+//
+// One file per (run, source node, phase, epoch):
+//
+//	<spool>/inbox/<run>.<src>.<phase>.<epoch>.json
+//
+// Run names and node ids are restricted to [A-Za-z0-9_-], so the dots
+// are unambiguous separators. Files for epochs at or below a run's
+// durable checkpoint are pruned after every successful checkpoint write
+// — a resume never needs epochs it has already replayed past.
+
+// inbox persists migration batches under one directory.
+type inbox struct{ dir string }
+
+func newInbox(dir string) (*inbox, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: inbox: %w", err)
+	}
+	return &inbox{dir: dir}, nil
+}
+
+func (ib *inbox) path(b wireBatch) string {
+	return filepath.Join(ib.dir, fmt.Sprintf("%s.%s.%s.%d.json", b.Run, b.Src, b.Phase, b.Epoch))
+}
+
+// save persists one batch atomically (temp file + rename); it must
+// return nil only once the batch is durable, because the caller
+// acknowledges the delivery on our word.
+func (ib *inbox) save(b wireBatch) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("serve: inbox: %w", err)
+	}
+	tmp, err := os.CreateTemp(ib.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: inbox: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: inbox: write %s: %v %v %v", ib.path(b), werr, serr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), ib.path(b)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: inbox: %w", err)
+	}
+	return nil
+}
+
+// loadAll reads every persisted batch, grouped by run name. Unparsable
+// files are skipped with a log line — a corrupt inbox entry must not
+// block the node from booting (the sender will re-deliver it anyway if
+// it is still needed).
+func (ib *inbox) loadAll(logf func(string, ...any)) map[string][]wireBatch {
+	entries, err := os.ReadDir(ib.dir)
+	if err != nil {
+		logf("serve: inbox: %v", err)
+		return nil
+	}
+	out := make(map[string][]wireBatch)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(ib.dir, name))
+		if err != nil {
+			logf("serve: inbox: skipping %s: %v", name, err)
+			continue
+		}
+		var b wireBatch
+		if err := json.Unmarshal(data, &b); err != nil {
+			logf("serve: inbox: skipping %s: %v", name, err)
+			continue
+		}
+		if filepath.Base(ib.path(b)) != name {
+			logf("serve: inbox: skipping %s: contents name batch %s/%s/%s/%d", name, b.Run, b.Src, b.Phase, b.Epoch)
+			continue
+		}
+		out[b.Run] = append(out[b.Run], b)
+	}
+	return out
+}
+
+// prune removes every batch of the run with epoch ≤ through — epochs
+// the run's durable checkpoint has replayed past. drop removes the
+// run's batches unconditionally (a fresh submission reusing the name).
+func (ib *inbox) prune(run string, through int, drop bool) {
+	entries, err := os.ReadDir(ib.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		parts := strings.Split(strings.TrimSuffix(name, ".json"), ".")
+		if !strings.HasSuffix(name, ".json") || len(parts) != 4 || parts[0] != run {
+			continue
+		}
+		epoch, err := strconv.Atoi(parts[3])
+		if err != nil {
+			continue
+		}
+		if drop || epoch <= through {
+			os.Remove(filepath.Join(ib.dir, name))
+		}
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,9 +30,13 @@ var (
 	ErrFinished = errors.New("serve: run already finished")
 	// ErrBadSpec wraps run-spec validation failures (HTTP 400).
 	ErrBadSpec = errors.New("serve: bad run spec")
-	// ErrNoSnapshot reports a run that has not checkpointed yet
-	// (HTTP 404 on the snapshot endpoint).
-	ErrNoSnapshot = errors.New("serve: no snapshot yet")
+	// ErrNoSnapshot reports a run that finished without ever
+	// checkpointing (HTTP 404 on the snapshot endpoint).
+	ErrNoSnapshot = errors.New("serve: no snapshot")
+	// ErrSnapshotPending reports a live run that has not written its
+	// first atomic checkpoint yet (HTTP 409 on the snapshot endpoint —
+	// retryable, unlike ErrNoSnapshot).
+	ErrSnapshotPending = errors.New("serve: no checkpoint yet; retry after the first snapshot stride")
 )
 
 // Config parameterizes a Manager. The zero value of every field is a
@@ -50,15 +56,20 @@ type Config struct {
 	SnapshotEvery int
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
+	// Cluster joins this node to a leonardod fleet; nil runs the node
+	// standalone (cluster submissions are rejected). With a Spool
+	// configured the migration inbox persists under <Spool>/inbox.
+	Cluster *ClusterConfig
 }
 
 // Manager owns the run registry: admission, scheduling on a bounded
 // worker pool, checkpointing, cancellation, and resume-on-boot. All
 // methods are safe for concurrent use.
 type Manager struct {
-	cfg Config
-	sp  *spool // nil when persistence is disabled
-	met *metrics
+	cfg     Config
+	sp      *spool // nil when persistence is disabled
+	met     *metrics
+	cluster *cluster // nil when the node is not part of a fleet
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -189,19 +200,42 @@ func New(cfg Config) (*Manager, error) {
 		runs: make(map[string]*run),
 		ctx:  ctx, cancel: cancel,
 	}
+	// The cluster — registry, sessions, durable inbox — must exist
+	// before reload: resumed cluster runs re-enter their migration
+	// sessions during reviveLocked.
+	if cfg.Cluster != nil {
+		inboxDir := ""
+		if cfg.Spool != "" {
+			inboxDir = filepath.Join(cfg.Spool, "inbox")
+		}
+		cl, err := newCluster(*cfg.Cluster, inboxDir, cfg.Logf)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.cluster = cl
+	}
 	if cfg.Spool != "" {
 		sp, err := newSpool(cfg.Spool)
 		if err != nil {
+			m.shutdownCluster()
 			cancel()
 			return nil, err
 		}
 		m.sp = sp
 		if err := m.reload(); err != nil {
+			m.shutdownCluster()
 			cancel()
 			return nil, err
 		}
 	}
 	return m, nil
+}
+
+func (m *Manager) shutdownCluster() {
+	if m.cluster != nil {
+		m.cluster.close()
+	}
 }
 
 // reload rebuilds the registry from the spool at boot.
@@ -258,9 +292,17 @@ func (m *Manager) reviveLocked(r *run) error {
 		return err
 	}
 	if snap != nil {
-		runner, err := leonardo.ResumeAny(snap)
-		if err != nil {
-			return err
+		var runner leonardo.Runner
+		if kind, err := leonardo.SnapshotKind(snap); err == nil && kind == leonardo.KindCluster {
+			runner, err = m.resumeClusterRunner(r.spec, snap)
+			if err != nil {
+				return err
+			}
+		} else {
+			runner, err = leonardo.ResumeAny(snap)
+			if err != nil {
+				return err
+			}
 		}
 		// Worker count is pure scheduling: it is the one knob a resume
 		// does not inherit from the snapshot.
@@ -270,6 +312,12 @@ func (m *Manager) reviveLocked(r *run) error {
 		r.runner = runner
 		r.resumed = true
 		r.snap = snap
+	} else if r.spec.Kind == leonardo.KindCluster {
+		runner, err := m.newClusterRunner(r.spec, false)
+		if err != nil {
+			return err
+		}
+		r.runner = runner
 	} else {
 		runner, err := r.spec.NewRunner()
 		if err != nil {
@@ -310,7 +358,13 @@ func (m *Manager) Submit(spec leonardo.RunSpec) (Info, error) {
 	m.mu.Unlock()
 
 	// Construct outside the lock: circuit specs compile a full netlist.
-	runner, err := spec.NewRunner()
+	var runner leonardo.Runner
+	var err error
+	if spec.Kind == leonardo.KindCluster {
+		runner, err = m.newClusterRunner(spec, true)
+	} else {
+		runner, err = spec.NewRunner()
+	}
 	if err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
@@ -417,21 +471,33 @@ func (m *Manager) runLoop(ctx context.Context, r *run) error {
 }
 
 // checkpoint serializes the run (safe here: the engine is between
-// steps) and persists it to the spool when one is configured.
+// steps) and persists it to the spool when one is configured. r.snap —
+// what GET /v1/runs/{id}/snapshot serves — is published only AFTER the
+// atomic spool write succeeds, so the endpoint never hands out a
+// checkpoint that is not also durable: "latest snapshot" and "what a
+// restart resumes from" are always the same bytes. Without a spool the
+// in-memory copy is all there is and publishes immediately.
 func (m *Manager) checkpoint(r *run) {
 	snap := r.runner.Snapshot()
+	if m.sp != nil {
+		t0 := now()
+		if err := m.sp.saveSnap(r.id, snap); err != nil {
+			m.cfg.Logf("serve: %s checkpoint: %v", r.id, err)
+			return // keep serving the previous durable checkpoint
+		}
+		m.met.snapshotObserved(len(snap), now().Sub(t0))
+	}
 	r.mu.Lock()
 	r.snap = snap
 	r.mu.Unlock()
-	if m.sp == nil {
-		return
+	// A durable cluster checkpoint retires the inbox epochs it has
+	// replayed past. The epoch comes from the runner's cached barrier
+	// state — exactly what was just persisted.
+	if m.cluster != nil && r.spec.Kind == leonardo.KindCluster {
+		if ep, ok := r.runner.(interface{ Epoch() int }); ok {
+			m.cluster.prune(r.spec.Name, ep.Epoch())
+		}
 	}
-	t0 := now()
-	if err := m.sp.saveSnap(r.id, snap); err != nil {
-		m.cfg.Logf("serve: %s checkpoint: %v", r.id, err)
-		return
-	}
-	m.met.snapshotObserved(len(snap), now().Sub(t0))
 }
 
 // persistMetaLocked writes the registry entry to the spool; m.mu held.
@@ -458,20 +524,45 @@ func (m *Manager) Get(id string) (Info, error) {
 	return r.info(), nil
 }
 
-// List returns every registered run in admission order.
+// List returns every registered run ordered by submission time, run id
+// as the tiebreak — a total, deterministic order that survives
+// restarts (admission order alone does not: a reload rebuilds m.order
+// from directory listings). The sort compares the time.Time values,
+// not their RFC 3339 stamps: the stamps truncate trailing fractional
+// zeros, so their lexicographic order is not chronological.
 func (m *Manager) List() []Info {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	infos := make([]Info, 0, len(m.order))
+	type entry struct {
+		at   time.Time
+		info Info
+	}
+	entries := make([]entry, 0, len(m.order))
 	for _, id := range m.order {
-		infos = append(infos, m.runs[id].info())
+		r := m.runs[id]
+		r.mu.Lock()
+		entries = append(entries, entry{r.submitted, r.infoLocked()})
+		r.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].at.Equal(entries[j].at) {
+			return entries[i].at.Before(entries[j].at)
+		}
+		return entries[i].info.ID < entries[j].info.ID
+	})
+	infos := make([]Info, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info
 	}
 	return infos
 }
 
-// Snapshot returns the latest checkpoint bytes for a run, falling back
-// to the spool for runs reloaded as records. ErrNoSnapshot means the
-// run has not reached its first checkpoint.
+// Snapshot returns the latest complete checkpoint for a run, falling
+// back to the spool for runs reloaded as records. A live run that has
+// not reached its first checkpoint is ErrSnapshotPending (retryable,
+// HTTP 409); a terminal run that never checkpointed is ErrNoSnapshot
+// (HTTP 404). The in-memory copy is published atomically after the
+// spool write, so this never serves a torn or non-durable state.
 func (m *Manager) Snapshot(id string) ([]byte, error) {
 	m.mu.Lock()
 	r := m.runs[id]
@@ -481,6 +572,7 @@ func (m *Manager) Snapshot(id string) ([]byte, error) {
 	}
 	r.mu.Lock()
 	snap := r.snap
+	terminal := r.state.Terminal()
 	r.mu.Unlock()
 	if snap != nil {
 		return snap, nil
@@ -494,7 +586,10 @@ func (m *Manager) Snapshot(id string) ([]byte, error) {
 			return disk, nil
 		}
 	}
-	return nil, ErrNoSnapshot
+	if terminal {
+		return nil, ErrNoSnapshot
+	}
+	return nil, ErrSnapshotPending
 }
 
 // Cancel stops a run: a queued run is removed from the queue and
@@ -532,6 +627,11 @@ func (m *Manager) Cancel(id string) (Info, error) {
 		if cancel != nil {
 			cancel()
 		}
+		// A cluster run may be parked at an epoch barrier; wake it so
+		// cancellation does not ride out the epoch timeout.
+		if m.cluster != nil && r.spec.Kind == leonardo.KindCluster {
+			m.cluster.abortRun(r.spec.Name)
+		}
 	default:
 		return Info{}, ErrFinished
 	}
@@ -560,10 +660,14 @@ func (m *Manager) stateCounts() (map[State]int, int) {
 	return counts, len(m.queue)
 }
 
-// WriteMetrics renders the Prometheus text exposition of the manager.
+// WriteMetrics renders the Prometheus text exposition of the manager,
+// plus the per-node migration counters on cluster-configured nodes.
 func (m *Manager) WriteMetrics(w io.Writer) {
 	counts, depth := m.stateCounts()
 	m.met.writeMetrics(w, counts, depth)
+	if m.cluster != nil {
+		m.cluster.met.writeMetrics(w, len(m.cluster.peers))
+	}
 }
 
 // Close shuts the manager down gracefully: no new admissions, every
@@ -581,5 +685,9 @@ func (m *Manager) Close() {
 	m.closed = true
 	m.mu.Unlock()
 	m.cancel()
+	// Closing the cluster releases any driver blocked in an epoch
+	// barrier wait or sender retry; it must precede the join below or a
+	// cluster run could hold Close hostage for a full epoch timeout.
+	m.shutdownCluster()
 	m.wg.Wait()
 }

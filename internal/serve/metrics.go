@@ -77,3 +77,51 @@ func (mt *metrics) writeMetrics(w io.Writer, byState map[State]int, queueDepth i
 	fmt.Fprintf(w, "# TYPE leonardod_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "leonardod_uptime_seconds %g\n", uptime)
 }
+
+// clusterMetrics holds the per-node migration counters of a
+// cluster-configured node; emitted after the manager metrics.
+type clusterMetrics struct {
+	emigrantsSent       atomic.Int64 // champions shipped to peers (first acks only)
+	emigrantsReceived   atomic.Int64 // champions accepted from peers (first deliveries)
+	duplicateDeliveries atomic.Int64 // re-deliveries acknowledged without re-applying
+	degradedEpochs      atomic.Int64 // barriers that timed out into no-migration
+	barrierWaits        atomic.Int64 // completed barrier waits
+	barrierNanos        atomic.Int64 // total wall time blocked in them
+}
+
+func newClusterMetrics() *clusterMetrics { return &clusterMetrics{} }
+
+// barrierObserved records one epoch-barrier wait (either phase).
+func (cm *clusterMetrics) barrierObserved(elapsed time.Duration) {
+	cm.barrierWaits.Add(1)
+	cm.barrierNanos.Add(int64(elapsed))
+}
+
+// writeMetrics renders the migration counters; peers is the fleet size
+// minus this node.
+func (cm *clusterMetrics) writeMetrics(w io.Writer, peers int) {
+	fmt.Fprintf(w, "# HELP leonardod_cluster_peers Peer nodes this node exchanges migration batches with.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_cluster_peers gauge\n")
+	fmt.Fprintf(w, "leonardod_cluster_peers %d\n", peers)
+
+	fmt.Fprintf(w, "# HELP leonardod_migration_emigrants_sent_total Champions shipped to peer nodes.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_migration_emigrants_sent_total counter\n")
+	fmt.Fprintf(w, "leonardod_migration_emigrants_sent_total %d\n", cm.emigrantsSent.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_migration_emigrants_received_total Champions accepted from peer nodes.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_migration_emigrants_received_total counter\n")
+	fmt.Fprintf(w, "leonardod_migration_emigrants_received_total %d\n", cm.emigrantsReceived.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_migration_duplicate_deliveries_total Batch re-deliveries acknowledged without being re-applied.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_migration_duplicate_deliveries_total counter\n")
+	fmt.Fprintf(w, "leonardod_migration_duplicate_deliveries_total %d\n", cm.duplicateDeliveries.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_migration_degraded_epochs_total Epoch barriers that timed out and degraded to no-migration.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_migration_degraded_epochs_total counter\n")
+	fmt.Fprintf(w, "leonardod_migration_degraded_epochs_total %d\n", cm.degradedEpochs.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_epoch_barrier_wait_seconds Wall time cluster runs spent blocked at epoch barriers.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_epoch_barrier_wait_seconds summary\n")
+	fmt.Fprintf(w, "leonardod_epoch_barrier_wait_seconds_sum %g\n", time.Duration(cm.barrierNanos.Load()).Seconds())
+	fmt.Fprintf(w, "leonardod_epoch_barrier_wait_seconds_count %d\n", cm.barrierWaits.Load())
+}

@@ -377,6 +377,10 @@ const (
 	// KindLanePack is the lane-packed archipelago: one gate-level deme
 	// per SWAR lane of a single shared simulator (LanePackRun).
 	KindLanePack = "lanepack"
+	// KindCluster is one node's shard of a distributed archipelago
+	// (ClusterRun): a contiguous block of the global deme space plus the
+	// fleet placement, exchanged over a MigrationTransport.
+	KindCluster = "cluster"
 )
 
 // Runner is the kind-agnostic handle on a resumable evolution run: Run,
@@ -546,9 +550,14 @@ func (r *LanePackRun) RunCtx(ctx context.Context, obs Observer) (IslandResult, e
 // from scratch. Zero-valued fields take the paper defaults (PaperParams
 // for the GA knobs), so {"kind":"gap","seed":1} is a complete spec.
 type RunSpec struct {
-	// Kind selects the run shape: KindGAP, KindIsland, KindCircuit, or
-	// KindLanePack.
+	// Kind selects the run shape: KindGAP, KindIsland, KindCircuit,
+	// KindLanePack, or KindCluster.
 	Kind string `json:"kind"`
+	// Name identifies a KindCluster run fleet-wide: the same spec —
+	// same name included — must be submitted to every node, and the
+	// name keys the migration traffic between them. Single-node kinds
+	// ignore it.
+	Name string `json:"name,omitempty"`
 	// Seed is the master random seed (and the single-lane seed of a
 	// circuit run with no explicit Seeds).
 	Seed uint64 `json:"seed"`
@@ -603,6 +612,21 @@ func (s RunSpec) base() Params {
 	return p
 }
 
+// IslandParams maps the spec's archipelago knobs onto IslandParams —
+// the same mapping NewRunner applies for KindIsland, exported so a
+// cluster-configured service can shard the identical parameters across
+// nodes (the sharded construction must match the single-node one for
+// the distributed trajectory to replay).
+func (s RunSpec) IslandParams() IslandParams {
+	return IslandParams{
+		Demes:        s.Islands,
+		MigrateEvery: s.MigrateEvery,
+		Topology:     island.Topology(s.Topology),
+		Workers:      s.Workers,
+		Base:         s.base(),
+	}
+}
+
 // NewRunner validates the spec and constructs a fresh run of its kind.
 // Parameter errors come back from the underlying constructors with the
 // field that failed.
@@ -611,25 +635,15 @@ func (s RunSpec) NewRunner() (Runner, error) {
 	case KindGAP:
 		return NewRun(s.base())
 	case KindIsland:
-		return NewIslandRun(IslandParams{
-			Demes:        s.Islands,
-			MigrateEvery: s.MigrateEvery,
-			Topology:     island.Topology(s.Topology),
-			Workers:      s.Workers,
-			Base:         s.base(),
-		})
+		return NewIslandRun(s.IslandParams())
 	case KindLanePack:
-		demes := s.Islands
-		if demes == 0 {
-			demes = DefaultLanePackDemes
+		p := s.IslandParams()
+		if p.Demes == 0 {
+			p.Demes = DefaultLanePackDemes
 		}
-		return NewLanePackRun(IslandParams{
-			Demes:        demes,
-			MigrateEvery: s.MigrateEvery,
-			Topology:     island.Topology(s.Topology),
-			Workers:      s.Workers,
-			Base:         s.base(),
-		})
+		return NewLanePackRun(p)
+	case KindCluster:
+		return nil, fmt.Errorf("leonardo: %q runs shard one archipelago across a leonardod fleet; submit the spec to every cluster-configured node (or use NewClusterRun with an explicit shard and transport)", KindCluster)
 	case KindCircuit:
 		if s.Generations <= 0 {
 			return nil, fmt.Errorf("leonardo: circuit run needs generations > 0, got %d", s.Generations)
@@ -672,6 +686,8 @@ func ResumeAny(snapshot []byte) (Runner, error) {
 		return ResumeCircuit(snapshot)
 	case KindLanePack:
 		return ResumeLanePack(snapshot)
+	case KindCluster:
+		return nil, fmt.Errorf("leonardo: %q snapshots are one node's shard of a distributed run; resume with ResumeCluster and a migration transport, or merge the fleet's shards with MergeClusterSnapshots first", kind)
 	default:
 		return nil, fmt.Errorf("leonardo: unsupported snapshot kind %q", kind)
 	}
