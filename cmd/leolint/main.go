@@ -1,19 +1,30 @@
 // Command leolint runs the repository's invariant analyzers
-// (internal/lint): determinism, hotpath, snapcodec, and ctxcancel. It
-// works in two modes:
+// (internal/lint): determinism, hotpath, snapcodec, ctxcancel,
+// dettaint, lockheld, and goleak. It works in two modes:
 //
 // Standalone, over package patterns:
 //
 //	leolint ./...
 //
 // As a vet tool, so the go command drives it package by package with
-// cached export data:
+// cached export data and fact files:
 //
 //	go vet -vettool=$(which leolint) ./...
 //
 // In both modes diagnostics print as file:line:col: analyzer: message
-// and a non-zero exit reports that violations were found. The
-// -analyzers flag restricts the run to a comma-separated subset.
+// and a non-zero exit reports that violations were found; -json prints
+// them as a JSON array of {file,line,col,analyzer,message} objects
+// instead. The -analyzers flag restricts the run to a comma-separated
+// subset. When the full suite runs, stale //leo:allow directives —
+// exemptions that no longer suppress anything — are reported too.
+//
+// Cross-package analysis works in both modes. Standalone, packages are
+// type-checked in dependency order and facts flow through one in-memory
+// store. Under go vet, each package is a separate process: the tool
+// serializes the facts of the package it just analyzed into the .vetx
+// file the go command caches (VetxOutput), and re-hydrates dependency
+// facts from the .vetx files the config maps (PackageVetx) — the same
+// lifecycle x/tools' unitchecker uses.
 package main
 
 import (
@@ -38,12 +49,14 @@ func main() {
 		return
 	}
 	if len(os.Args) == 2 && os.Args[1] == "-flags" {
-		fmt.Println(`[{"Name":"analyzers","Bool":false,"Usage":"comma-separated analyzer subset (default: all)"}]`)
+		fmt.Println(`[{"Name":"analyzers","Bool":false,"Usage":"comma-separated analyzer subset (default: all)"},` +
+			`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
 		return
 	}
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: leolint [-analyzers determinism,hotpath,...] <packages>\n")
+		fmt.Fprintf(os.Stderr, "usage: leolint [-analyzers determinism,hotpath,...] [-json] <packages>\n")
 		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which leolint) <packages>\n")
 		flag.PrintDefaults()
 	}
@@ -55,17 +68,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// The stale-allow audit is only sound when every analyzer runs: a
+	// subset would count other analyzers' exemptions as stale.
+	audit := *names == ""
 
 	// The go command invokes vet tools with a single *.cfg argument.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(vetMode(args[0], analyzers))
+		os.Exit(vetMode(args[0], analyzers, audit, *jsonOut))
 	}
 
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(standalone(args, analyzers))
+	os.Exit(standalone(args, analyzers, audit, *jsonOut))
 }
 
 func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
@@ -88,7 +104,41 @@ func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
-func standalone(patterns []string, analyzers []*lint.Analyzer) int {
+// jsonDiag is the machine-readable diagnostic shape for -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emit prints diagnostics to w in the selected format and reports
+// whether there were any.
+func emit(w io.Writer, diags []lint.Diagnostic, jsonOut bool) bool {
+	if jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return len(diags) > 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags) > 0
+}
+
+func standalone(patterns []string, analyzers []*lint.Analyzer, audit, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -99,19 +149,12 @@ func standalone(patterns []string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	found := false
-	for _, pkg := range pkgs {
-		diags, err := lint.Analyze(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		for _, d := range diags {
-			found = true
-			fmt.Println(d)
-		}
+	diags, err := lint.AnalyzeAll(pkgs, lint.Options{Analyzers: analyzers, AuditAllows: audit})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
-	if found {
+	if emit(os.Stdout, diags, jsonOut) {
 		return 1
 	}
 	return 0
@@ -139,7 +182,7 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func vetMode(cfgPath string, analyzers []*lint.Analyzer) int {
+func vetMode(cfgPath string, analyzers []*lint.Analyzer, audit, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -150,16 +193,27 @@ func vetMode(cfgPath string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "leolint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The analyzers exchange no facts, but the go command caches the
-	// vetx output file, so always produce it.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("leolint\n"), 0o666); err != nil {
+	// Dependencies outside the module carry no directives and export no
+	// facts; skip the type-check entirely and cache an empty fact file.
+	if !lint.ModulePackage(cfg.ImportPath) {
+		return writeVetx(cfg.VetxOutput, lint.NewFacts(), cfg.ImportPath)
+	}
+	// Re-hydrate the facts of in-module dependencies from their cached
+	// vetx files.
+	facts := lint.NewFacts()
+	for path, file := range cfg.PackageVetx {
+		if !lint.ModulePackage(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		if err := facts.DecodePackage(path, data, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if mapped, ok := cfg.ImportMap[path]; ok {
@@ -186,15 +240,41 @@ func vetMode(cfgPath string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	diags, err := lint.Analyze(pkg, analyzers)
+	diags, err := lint.AnalyzeAll([]*lint.Package{pkg}, lint.Options{
+		Analyzers:   analyzers,
+		Facts:       facts,
+		AuditAllows: audit && !cfg.VetxOnly,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if code := writeVetx(cfg.VetxOutput, facts, cfg.ImportPath); code != 0 {
+		return code
 	}
-	if len(diags) > 0 {
+	// A VetxOnly run exists to produce facts for dependents; its
+	// diagnostics will be reported when the package is vetted directly.
+	if cfg.VetxOnly {
+		return 0
+	}
+	if emit(os.Stderr, diags, jsonOut) {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx serializes pkgPath's facts to the go command's cache file.
+func writeVetx(path string, facts *lint.Facts, pkgPath string) int {
+	if path == "" {
+		return 0
+	}
+	data, err := facts.EncodePackage(pkgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	return 0

@@ -232,7 +232,7 @@ func CountLUTs(c *logic.Circuit, k int) int {
 func sortedLeaves(m map[logic.Signal]bool) []logic.Signal {
 	out := make([]logic.Signal, 0, len(m))
 	for s := range m {
-		out = append(out, s)
+		out = append(out, s) //leo:allow maprange collect-then-sort: order is fixed on the next line
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -21,6 +23,9 @@ import (
 //	maprange   — range over a map that appends to an outer variable or
 //	             prints, i.e. feeds iteration-ordered output
 //	goroutine  — go statements anywhere but inside engine.Map
+//
+// The same four impurity classes seed the dettaint analyzer, which
+// propagates them across package boundaries through exported facts.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall clocks, global math/rand, ordered map iteration, and stray goroutines in replay-critical packages",
@@ -38,15 +43,8 @@ func runDeterminism(pass *Pass) error {
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkWallClock(pass, n)
-			case *ast.Ident:
-				checkGlobalRand(pass, n)
-			case *ast.RangeStmt:
-				checkMapRange(pass, n)
-			case *ast.GoStmt:
-				checkGoStmt(pass, file, n)
+			for _, s := range taintSitesAt(pass, file, n) {
+				pass.Reportf(s.pos(), s.check, "%s", s.msg)
 			}
 			return true
 		})
@@ -54,15 +52,54 @@ func runDeterminism(pass *Pass) error {
 	return nil
 }
 
-func checkWallClock(pass *Pass, call *ast.CallExpr) {
-	fn := calleeFunc(pass.Info, call)
+// taintSite is one source position whose construct breaks replay
+// determinism, with the suppression key it reports under.
+type taintSite struct {
+	node  ast.Node
+	check string
+	msg   string
+}
+
+func (s taintSite) pos() token.Pos { return s.node.Pos() }
+
+// taintSitesAt collects the determinism violations rooted at one AST
+// node. It is shared between the determinism analyzer (which reports
+// each site directly) and dettaint (which turns unsuppressed sites
+// into impurity facts for cross-package propagation).
+func taintSitesAt(pass *Pass, file *ast.File, n ast.Node) []taintSite {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if name := wallClockName(pass.Info, n); name != "" {
+			return []taintSite{{n, "walltime",
+				fmt.Sprintf("time.%s in a replay-critical package: wall clocks are nondeterministic across runs", name)}}
+		}
+	case *ast.Ident:
+		if name := globalRandName(pass.Info, n); name != "" {
+			return []taintSite{{n, "globalrand",
+				fmt.Sprintf("global math/rand.%s in a replay-critical package: use a seeded *rand.Rand or the CA RNG", name)}}
+		}
+	case *ast.RangeStmt:
+		return mapRangeSites(pass, n)
+	case *ast.GoStmt:
+		if !engineMapExempt(pass, file, n) {
+			return []taintSite{{n, "goroutine",
+				"goroutine spawn in a replay-critical package: route concurrency through engine.Map"}}
+		}
+	}
+	return nil
+}
+
+// wallClockName returns the time package function name when the call
+// reads a wall clock (time.Now, time.Since), else "".
+func wallClockName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-		return
+		return ""
 	}
 	if fn.Name() == "Now" || fn.Name() == "Since" {
-		pass.Reportf(call.Pos(), "walltime",
-			"time.%s in a replay-critical package: wall clocks are nondeterministic across runs", fn.Name())
+		return fn.Name()
 	}
+	return ""
 }
 
 // randConstructors are the math/rand package-level functions that build
@@ -75,40 +112,42 @@ var randConstructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
-func checkGlobalRand(pass *Pass, id *ast.Ident) {
-	fn, ok := pass.Info.Uses[id].(*types.Func)
+// globalRandName returns the math/rand function name when the
+// identifier uses the process-global source, else "". Methods on
+// *rand.Rand carry an explicit, seedable source; only package-level
+// functions hit the shared global state.
+func globalRandName(info *types.Info, id *ast.Ident) string {
+	fn, ok := info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return
+		return ""
 	}
 	path := fn.Pkg().Path()
 	if path != "math/rand" && path != "math/rand/v2" {
-		return
+		return ""
 	}
-	// Methods on *rand.Rand carry an explicit, seedable source; only
-	// package-level functions hit the shared global state.
 	if fn.Type().(*types.Signature).Recv() != nil {
-		return
+		return ""
 	}
 	if randConstructors[fn.Name()] {
-		return
+		return ""
 	}
-	pass.Reportf(id.Pos(), "globalrand",
-		"global math/rand.%s in a replay-critical package: use a seeded *rand.Rand or the CA RNG", fn.Name())
+	return fn.Name()
 }
 
-// checkMapRange flags map iterations that feed ordered output: Go's map
+// mapRangeSites flags map iterations that feed ordered output: Go's map
 // iteration order is randomized, so appending to an outer slice or
 // printing inside the loop produces run-dependent sequences. Sorting
 // the keys first (and allowing the collection loop with
 // //leo:allow maprange) is the deterministic pattern.
-func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+func mapRangeSites(pass *Pass, rng *ast.RangeStmt) []taintSite {
 	tv, ok := pass.Info.Types[rng.X]
 	if !ok {
-		return
+		return nil
 	}
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
+		return nil
 	}
+	var sites []taintSite
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -116,8 +155,8 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
 		}
 		// Printing from inside the iteration.
 		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-			pass.Reportf(call.Pos(), "maprange",
-				"fmt.%s inside map iteration: map order is randomized per run", fn.Name())
+			sites = append(sites, taintSite{call, "maprange",
+				fmt.Sprintf("fmt.%s inside map iteration: map order is randomized per run", fn.Name())})
 			return true
 		}
 		// append to a variable declared outside the loop body.
@@ -126,22 +165,23 @@ func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
 				if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
 					obj := pass.Info.Uses[target]
 					if obj != nil && obj.Pos().IsValid() && (obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()) {
-						pass.Reportf(call.Pos(), "maprange",
-							"append to %s inside map iteration: order is randomized per run; sort keys first", target.Name)
+						sites = append(sites, taintSite{call, "maprange",
+							fmt.Sprintf("append to %s inside map iteration: order is randomized per run; sort keys first", target.Name)})
 					}
 				}
 			}
 		}
 		return true
 	})
+	return sites
 }
 
-func checkGoStmt(pass *Pass, file *ast.File, g *ast.GoStmt) {
-	if pass.Pkg.Path() == enginePkgPath {
-		if fd := funcFor(file, g.Pos()); fd != nil && fd.Name.Name == "Map" && fd.Recv == nil {
-			return
-		}
+// engineMapExempt reports whether the go statement is inside
+// engine.Map, the one sanctioned goroutine spawn point.
+func engineMapExempt(pass *Pass, file *ast.File, g *ast.GoStmt) bool {
+	if pass.Pkg.Path() != enginePkgPath {
+		return false
 	}
-	pass.Reportf(g.Pos(), "goroutine",
-		"goroutine spawn in a replay-critical package: route concurrency through engine.Map")
+	fd := funcFor(file, g.Pos())
+	return fd != nil && fd.Name.Name == "Map" && fd.Recv == nil
 }

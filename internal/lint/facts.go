@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Facts are the whole-program half of the analyzer suite, a stdlib
+// mirror of golang.org/x/tools/go/analysis facts: an analyzer running
+// over one package may attach a fact to an object (a function, a type)
+// or to the package itself, and the same analyzer running later over a
+// *dependent* package can read it back. Packages are analyzed in
+// dependency order (Load returns them topologically sorted), so by the
+// time a pass asks about an imported object, the owning package's
+// facts already exist.
+//
+// In standalone mode the store lives in memory for the whole run. Under
+// the go vet protocol each package runs in its own process; there the
+// store is serialized to the .vetx file the go command caches per
+// package (EncodePackage) and re-hydrated from the dependency vetx
+// files the config hands us (DecodePackage) — the same lifecycle
+// x/tools' unitchecker gives its facts.
+
+// Fact is a value an analyzer attaches to an object or package. Fact
+// types must be pointers to JSON-serializable structs and are
+// registered through Analyzer.FactTypes so the vetx codec can decode
+// them by type name.
+type Fact interface{ AFact() }
+
+// factKey addresses one fact: the owning package, the object within it
+// ("" for a package-level fact), the analyzer that produced it, and
+// the fact's concrete type name (one analyzer may export several fact
+// types).
+type factKey struct {
+	pkg      string
+	obj      string
+	analyzer string
+	ftype    string
+}
+
+// Facts is the fact store shared by every pass of one analysis run.
+type Facts struct {
+	m map[factKey]Fact
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]Fact)} }
+
+// objKey names an object stably across processes. For functions and
+// methods types.Func.FullName already includes the receiver
+// ("(pkg.T).m") and so distinguishes methods from package-level
+// functions; everything else is addressed package-qualified by name.
+func objKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return obj.Name()
+}
+
+func factType(f Fact) string { return reflect.TypeOf(f).Elem().Name() }
+
+func (s *Facts) export(analyzer string, pkg *types.Package, obj types.Object, f Fact) {
+	key := factKey{pkg: pkg.Path(), analyzer: analyzer, ftype: factType(f)}
+	if obj != nil {
+		key.obj = objKey(obj)
+	}
+	s.m[key] = f
+}
+
+// get copies a stored fact into dst (a pointer to the fact's struct
+// type) and reports whether one was found.
+func (s *Facts) get(analyzer string, pkgPath, obj string, dst Fact) bool {
+	f, ok := s.m[factKey{pkg: pkgPath, obj: obj, analyzer: analyzer, ftype: factType(dst)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// wireFact is one serialized fact: the object key (empty for package
+// facts), the fact type name, and its JSON body.
+type wireFact struct {
+	Object string          `json:"object,omitempty"`
+	Type   string          `json:"type"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// EncodePackage serializes every fact attached to pkgPath's objects
+// (and the package itself) for the vetx file. Output is deterministic:
+// facts sort by (analyzer, object, type), so the go command's vetx
+// cache keys stay stable.
+func (s *Facts) EncodePackage(pkgPath string) ([]byte, error) {
+	out := make(map[string][]wireFact) // analyzer -> facts
+	for k, f := range s.m {
+		if k.pkg != pkgPath {
+			continue
+		}
+		val, err := json.Marshal(f)
+		if err != nil {
+			return nil, fmt.Errorf("lint: encoding %s fact %s: %w", k.analyzer, k.ftype, err)
+		}
+		out[k.analyzer] = append(out[k.analyzer], wireFact{Object: k.obj, Type: k.ftype, Value: val})
+	}
+	for _, facts := range out {
+		sort.Slice(facts, func(i, j int) bool {
+			if facts[i].Object != facts[j].Object {
+				return facts[i].Object < facts[j].Object
+			}
+			return facts[i].Type < facts[j].Type
+		})
+	}
+	return json.MarshalIndent(out, "", "\t")
+}
+
+// DecodePackage re-hydrates facts for one dependency package from its
+// vetx bytes. Fact types resolve through the FactTypes declarations of
+// the given analyzers; facts of unknown analyzers or types are skipped
+// (an older tool version may have written them).
+func (s *Facts) DecodePackage(pkgPath string, data []byte, analyzers []*Analyzer) error {
+	var in map[string][]wireFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("lint: decoding facts of %s: %w", pkgPath, err)
+	}
+	protos := make(map[string]map[string]reflect.Type) // analyzer -> type name -> struct type
+	for _, a := range analyzers {
+		if len(a.FactTypes) == 0 {
+			continue
+		}
+		byName := make(map[string]reflect.Type, len(a.FactTypes))
+		for _, ft := range a.FactTypes {
+			byName[factType(ft)] = reflect.TypeOf(ft).Elem()
+		}
+		protos[a.Name] = byName
+	}
+	for analyzer, facts := range in {
+		byName := protos[analyzer]
+		if byName == nil {
+			continue
+		}
+		for _, wf := range facts {
+			typ, ok := byName[wf.Type]
+			if !ok {
+				continue
+			}
+			fv := reflect.New(typ)
+			if err := json.Unmarshal(wf.Value, fv.Interface()); err != nil {
+				return fmt.Errorf("lint: decoding %s fact %s of %s: %w", analyzer, wf.Type, pkgPath, err)
+			}
+			s.m[factKey{pkg: pkgPath, obj: wf.Object, analyzer: analyzer, ftype: wf.Type}] = fv.Interface().(Fact)
+		}
+	}
+	return nil
+}
+
+// ExportObjectFact attaches a fact to obj, visible to this analyzer's
+// passes over packages that import obj's package.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.facts.export(p.Analyzer.Name, obj.Pkg(), obj, f)
+}
+
+// ImportObjectFact copies the fact this analyzer attached to obj into
+// f and reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), objKey(obj), f)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	p.facts.export(p.Analyzer.Name, p.Pkg, nil, f)
+}
+
+// ImportPackageFact copies the fact this analyzer attached to pkg into
+// f and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkg.Path(), "", f)
+}

@@ -86,7 +86,36 @@ func runFixture(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wants := collectWants(t, pkg)
+	reconcile(t, diags, collectWants(t, pkg))
+}
+
+// runFactFixture loads several fixture directories as one dependency
+// chain (earlier entries are importable by later ones), runs a single
+// analyzer over all of them with a shared fact store, and reconciles
+// the combined diagnostics against the want comments of every package.
+func runFactFixture(t *testing.T, a *lint.Analyzer, fixtures []lint.FixtureDir) {
+	t.Helper()
+	pkgs, err := lint.LoadDirs(moduleDir(t), fixtures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzeAll(pkgs, lint.Options{Analyzers: []*lint.Analyzer{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[string]map[int][]*expectation)
+	for _, pkg := range pkgs {
+		for file, byLine := range collectWants(t, pkg) {
+			wants[file] = byLine
+		}
+	}
+	reconcile(t, diags, wants)
+}
+
+// reconcile matches each diagnostic against a want expectation on its
+// line, and each expectation against a diagnostic.
+func reconcile(t *testing.T, diags []lint.Diagnostic, wants map[string]map[int][]*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		claimed := false
 		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
@@ -143,4 +172,69 @@ func TestCtxcancelFixture(t *testing.T) {
 // cancellation contract to unexported run*/drive* functions there.
 func TestCtxcancelServeCritical(t *testing.T) {
 	runFixture(t, lint.CtxcancelAnalyzer, "testdata/src/servecritical", "leonardo/internal/serve")
+}
+
+// TestDettaintFixture proves impurity facts flow from a non-critical
+// dependency into a deterministic dependent, with inline and
+// doc-comment-scoped allows pruning individual edges.
+func TestDettaintFixture(t *testing.T) {
+	runFactFixture(t, lint.DettaintAnalyzer, []lint.FixtureDir{
+		{Dir: "testdata/src/dettaint/impure", Path: "fixture/dettaint/impure"},
+		{Dir: "testdata/src/dettaint/det", Path: "fixture/dettaint/det"},
+	})
+}
+
+func TestLockheldFixture(t *testing.T) {
+	runFixture(t, lint.LockheldAnalyzer, "testdata/src/lockheld", "fixture/lockheld")
+}
+
+// TestLockfactsFixture proves blocking and lock-order information
+// crosses package boundaries: package b reverses a's lock order and
+// blocks through a's exported function.
+func TestLockfactsFixture(t *testing.T) {
+	runFactFixture(t, lint.LockheldAnalyzer, []lint.FixtureDir{
+		{Dir: "testdata/src/lockfacts/a", Path: "fixture/lockfacts/a"},
+		{Dir: "testdata/src/lockfacts/b", Path: "fixture/lockfacts/b"},
+	})
+}
+
+func TestGoleakFixture(t *testing.T) {
+	runFixture(t, lint.GoleakAnalyzer, "testdata/src/goleak", "fixture/goleak")
+}
+
+// TestAllowAuditFixture runs the full suite with auditing over a
+// package holding one used and one stale exemption: exactly the stale
+// one must be reported, under the non-suppressible audit name. Want
+// comments cannot express this (they cannot share the directive's
+// line), so the expected set is asserted directly.
+func TestAllowAuditFixture(t *testing.T) {
+	pkgs, err := lint.LoadDirs(moduleDir(t), []lint.FixtureDir{
+		{Dir: "testdata/src/allowaudit", Path: "fixture/allowaudit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzeAll(pkgs, lint.Options{AuditAllows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 stale-allow report: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != lint.AuditAnalyzerName {
+		t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, lint.AuditAnalyzerName)
+	}
+	if !strings.Contains(d.Message, "hotpath") || !strings.Contains(d.Message, "suppresses no diagnostic") {
+		t.Errorf("unexpected audit message: %s", d.Message)
+	}
+	// Without auditing the same run is clean: the used allow suppresses
+	// its diagnostic silently.
+	clean, err := lint.AnalyzeAll(pkgs, lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Errorf("unaudited run should be clean, got %v", clean)
+	}
 }

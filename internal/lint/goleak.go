@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoleakAnalyzer requires every goroutine launched in a replay-critical
+// or run-critical package to have a tied lifetime — some mechanism by
+// which the spawner (or its owner) can observe or force the goroutine's
+// exit. The daemon's fleet runs unattended; a goroutine with no tie
+// outlives its run, holds its captures forever, and shows up only as
+// slow memory growth on a node nobody is watching.
+//
+// A spawn counts as tied (suppression key "goleak") when any of:
+//
+//   - a context.Context flows into the goroutine (argument to the
+//     called function, or used inside the function literal's body);
+//   - the body calls sync.WaitGroup Done or Wait, so a joiner exists;
+//   - the body sends on, receives from, or closes a channel declared
+//     outside the goroutine, i.e. a done/result channel joins it.
+//
+// Intentionally untied goroutines carry //leo:allow goleak with a
+// reason, which the stale-allow audit keeps honest.
+var GoleakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "require goroutines in replay/run-critical packages to have a tied lifetime (ctx, WaitGroup, or done channel)",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) error {
+	if !pass.packageHasDirective(dirDeterministic) && !runCriticalPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if engineMapExempt(pass, file, g) || goStmtTied(pass, file, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goleak",
+				"goroutine without a tied lifetime: pass a context, join with a WaitGroup, or signal a done channel")
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtTied reports whether the goroutine's lifetime is observable by
+// its spawner.
+func goStmtTied(pass *Pass, file *ast.File, g *ast.GoStmt) bool {
+	// A context argument ties the callee (it is expected to honor
+	// cancellation — ctxcancel enforces that side).
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	// Inspect the body actually run: a function literal's own, or the
+	// declaration of a same-package named function.
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calleeFunc(pass.Info, g.Call); fn != nil && fn.Pkg() == pass.Pkg {
+			if decl := declOf(pass, fn); decl != nil {
+				if sig := fn.Type().(*types.Signature); sig.Params() != nil {
+					for i := 0; i < sig.Params().Len(); i++ {
+						if isContextType(sig.Params().At(i).Type()) {
+							return true
+						}
+					}
+				}
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		return false
+	}
+	return bodyTied(pass, body)
+}
+
+// bodyTied scans a goroutine body for lifetime ties: context use,
+// WaitGroup join, or an operation on a channel declared outside the
+// body.
+func bodyTied(pass *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	external := func(e ast.Expr) bool {
+		return isChan(pass, e) && declaredOutside(pass, e, body)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil {
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+					tied = true
+				}
+			}
+			// close(done) on an outer channel signals completion.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 && external(n.Args[0]) {
+					tied = true
+				}
+			}
+		case *ast.SendStmt:
+			if external(n.Chan) {
+				tied = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && external(n.X) {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if external(n.X) {
+				tied = true
+			}
+		case *ast.SelectStmt:
+			// Any comm clause on an outer channel is a join point.
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.SendStmt:
+						if external(m.Chan) {
+							tied = true
+						}
+					case *ast.UnaryExpr:
+						if m.Op == token.ARROW && external(m.X) {
+							tied = true
+						}
+					}
+					return !tied
+				})
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isChan reports whether e has channel type.
+func isChan(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// declaredOutside reports whether the root object of e (an identifier
+// or field selection) is declared outside body — the channel existed
+// before the goroutine, so someone else holds the other end.
+func declaredOutside(pass *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		// A field of a receiver/captured struct: the struct is outside.
+		return true
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}
+
+// declOf finds the FuncDecl defining fn in the package's files.
+func declOf(pass *Pass, fn *types.Func) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj == fn {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}

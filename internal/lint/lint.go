@@ -1,9 +1,10 @@
 // Package lint is leolint: a suite of static analyzers that
-// machine-enforce the repository's determinism, hot-path, snapshot, and
-// cancellation invariants (DESIGN.md §8). The analyzers mirror the
-// golang.org/x/tools/go/analysis shape — Analyzer, Pass, Diagnostic —
-// but are built entirely on the standard library's go/ast, go/types,
-// and go/importer, so the module stays dependency-free.
+// machine-enforce the repository's determinism, hot-path, snapshot,
+// cancellation, and concurrency invariants (DESIGN.md §8, §13). The
+// analyzers mirror the golang.org/x/tools/go/analysis shape —
+// Analyzer, Pass, Diagnostic, and exported Facts for whole-program
+// results — but are built entirely on the standard library's go/ast,
+// go/types, and go/importer, so the module stays dependency-free.
 //
 // The analyzers are driven by source directives:
 //
@@ -17,6 +18,10 @@
 // own line and the line below it; placed in a function's doc comment it
 // suppresses the check for the whole function. Every allow should carry
 // a reason — the directive is an audited exemption, not an off switch.
+// The driver tracks which allows actually suppressed something; with
+// auditing enabled (the default when the full suite runs), an allow
+// that suppresses nothing is itself reported, so exemptions cannot
+// outlive the code they excused.
 package lint
 
 import (
@@ -28,12 +33,26 @@ import (
 	"strings"
 )
 
+// modulePath is this repository's module path; facts are only computed
+// for and exchanged between packages under it.
+const modulePath = "leonardo"
+
+// ModulePackage reports whether path belongs to this module — the set
+// of packages the analyzers compute facts for.
+func ModulePackage(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
 // Analyzer is one named invariant check, the local mirror of
 // golang.org/x/tools/go/analysis.Analyzer.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass) error
+	// FactTypes declares the fact types this analyzer exports, as nil
+	// pointers of the concrete types (e.g. (*impureFact)(nil)). Only
+	// declared types survive the vetx round trip.
+	FactTypes []Fact
+	Run       func(*Pass) error
 }
 
 // Pass holds one type-checked package for one analyzer run.
@@ -44,8 +63,9 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts  *Facts
+	allows *allowIndex
 	diags  []Diagnostic
-	allows map[string]map[int][]string // filename -> line -> allowed checks
 }
 
 // Diagnostic is one reported violation.
@@ -63,7 +83,7 @@ func (d Diagnostic) String() string {
 // for check covers the position or the enclosing function.
 func (p *Pass) Reportf(pos token.Pos, check string, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allowedAt(position, check) {
+	if p.allows.allowedAt(position, check) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -73,10 +93,22 @@ func (p *Pass) Reportf(pos token.Pos, check string, format string, args ...any) 
 	})
 }
 
+// allowed reports whether check is suppressed at pos without recording
+// a diagnostic — for analyzers that must know whether a site is
+// exempted (e.g. taint collection) rather than report it.
+func (p *Pass) allowed(pos token.Pos, check string) bool {
+	return p.allows.allowedAt(p.Fset.Position(pos), check)
+}
+
 // Diagnostics returns the diagnostics reported so far, in file order.
 func (p *Pass) Diagnostics() []Diagnostic {
-	sort.SliceStable(p.diags, func(i, j int) bool {
-		a, b := p.diags[i].Pos, p.diags[j].Pos
+	sortDiagnostics(p.diags)
+	return p.diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -85,7 +117,6 @@ func (p *Pass) Diagnostics() []Diagnostic {
 		}
 		return a.Column < b.Column
 	})
-	return p.diags
 }
 
 // Directive names.
@@ -112,86 +143,104 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	return false
 }
 
-// allowsIn extracts the checks allowed by //leo:allow directives in a
-// comment group.
-func allowsIn(doc *ast.CommentGroup) []string {
-	if doc == nil {
-		return nil
-	}
-	var checks []string
-	for _, c := range doc.List {
-		if !strings.HasPrefix(c.Text, dirAllow+" ") {
-			continue
-		}
-		rest := strings.TrimPrefix(c.Text, dirAllow+" ")
-		if f := strings.Fields(rest); len(f) > 0 {
-			checks = append(checks, f[0])
-		}
-	}
-	return checks
+// allowEntry is one //leo:allow directive with its usage state: the
+// audit reports entries that never suppressed a diagnostic.
+type allowEntry struct {
+	check string
+	pos   token.Position // the directive comment itself
+	used  bool
 }
 
-// buildAllows indexes every //leo:allow comment in the pass by file and
-// line. A directive covers its own line and the next line, so it can
-// ride at the end of the offending line or on a line of its own above
-// the statement.
-func (p *Pass) buildAllows() {
-	p.allows = make(map[string]map[int][]string)
-	add := func(pos token.Position, check string) {
-		byLine := p.allows[pos.Filename]
+// allowIndex maps file/line positions to the allow directives covering
+// them. One entry may cover several lines (its own, the next, and — for
+// function-doc allows — the whole body), but it is a single audited
+// exemption either way.
+type allowIndex struct {
+	byFile map[string]map[int][]*allowEntry
+	all    []*allowEntry
+}
+
+// buildAllowIndex indexes every //leo:allow comment of the package. A
+// directive covers its own line and the next line, so it can ride at
+// the end of the offending line or on a line of its own above the
+// statement; in a function's doc comment it covers the whole body.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{byFile: make(map[string]map[int][]*allowEntry)}
+	add := func(file string, line int, e *allowEntry) {
+		byLine := ix.byFile[file]
 		if byLine == nil {
-			byLine = make(map[int][]string)
-			p.allows[pos.Filename] = byLine
+			byLine = make(map[int][]*allowEntry)
+			ix.byFile[file] = byLine
 		}
-		byLine[pos.Line] = append(byLine[pos.Line], check)
+		byLine[line] = append(byLine[line], e)
 	}
-	for _, f := range p.Files {
+	for _, f := range files {
+		// One entry per directive comment, registered on its own line and
+		// the line below.
+		entries := make(map[*ast.Comment]*allowEntry)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, dirAllow+" ") {
+				rest, ok := strings.CutPrefix(c.Text, dirAllow+" ")
+				if !ok {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, dirAllow+" ")
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
 					continue
 				}
-				add(p.Fset.Position(c.Pos()), fields[0])
+				pos := fset.Position(c.Pos())
+				e := &allowEntry{check: fields[0], pos: pos}
+				entries[c] = e
+				ix.all = append(ix.all, e)
+				add(pos.Filename, pos.Line, e)
+				add(pos.Filename, pos.Line+1, e)
 			}
 		}
-		// Function-doc allows cover the whole function body.
+		// Function-doc allows additionally cover the whole function body —
+		// the same entry, so one suppression anywhere marks it used.
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+			if !ok || fd.Body == nil || fd.Doc == nil {
 				continue
 			}
-			for _, check := range allowsIn(fd.Doc) {
-				start := p.Fset.Position(fd.Body.Pos()).Line
-				end := p.Fset.Position(fd.Body.End()).Line
-				pos := p.Fset.Position(fd.Pos())
-				for line := start; line <= end; line++ {
-					add(token.Position{Filename: pos.Filename, Line: line}, check)
+			for _, c := range fd.Doc.List {
+				e, ok := entries[c]
+				if !ok {
+					continue
+				}
+				start := fset.Position(fd.Body.Pos())
+				end := fset.Position(fd.Body.End())
+				for line := start.Line; line <= end.Line; line++ {
+					add(start.Filename, line, e)
 				}
 			}
 		}
 	}
+	return ix
 }
 
-// allowedAt reports whether check is suppressed at position: a matching
-// //leo:allow on the same line or the line above.
-func (p *Pass) allowedAt(pos token.Position, check string) bool {
-	byLine := p.allows[pos.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, c := range byLine[line] {
-			if c == check {
-				return true
-			}
+// allowedAt reports whether check is suppressed at position and marks
+// the matching directive as used.
+func (ix *allowIndex) allowedAt(pos token.Position, check string) bool {
+	for _, e := range ix.byFile[pos.Filename][pos.Line] {
+		if e.check == check {
+			e.used = true
+			return true
 		}
 	}
 	return false
+}
+
+// stale returns the directives that never suppressed anything, in
+// source order.
+func (ix *allowIndex) stale() []*allowEntry {
+	var out []*allowEntry
+	for _, e := range ix.all {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // packageHasDirective reports whether any file of the pass carries a
@@ -219,6 +268,11 @@ func funcFor(file *ast.File, pos token.Pos) *ast.FuncDecl {
 	return nil
 }
 
+// AuditAnalyzerName labels the stale-allow diagnostics the driver
+// emits; it is not a selectable analyzer and cannot itself be
+// suppressed.
+const AuditAnalyzerName = "allowaudit"
+
 // Analyzers returns the leolint suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -226,12 +280,60 @@ func Analyzers() []*Analyzer {
 		HotpathAnalyzer,
 		SnapcodecAnalyzer,
 		CtxcancelAnalyzer,
+		DettaintAnalyzer,
+		LockheldAnalyzer,
+		GoleakAnalyzer,
 	}
 }
 
-// Analyze runs every analyzer of the suite over one loaded package
-// and returns the combined diagnostics.
-func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Options configures an AnalyzeAll run.
+type Options struct {
+	// Analyzers is the checks to run (nil = the full suite).
+	Analyzers []*Analyzer
+	// Facts carries cross-package analysis results. nil allocates a
+	// fresh store — correct for a whole-module standalone run, where
+	// packages arrive in dependency order and populate it as they go.
+	// The vet protocol passes a store pre-seeded from dependency vetx
+	// files instead.
+	Facts *Facts
+	// AuditAllows additionally reports //leo:allow directives that
+	// suppressed no diagnostic. Only meaningful when every analyzer
+	// runs: a subset run would see other analyzers' exemptions as
+	// stale.
+	AuditAllows bool
+}
+
+// AnalyzeAll runs the analyzers over the packages — which must be in
+// dependency order for cross-package facts to resolve (Load returns
+// them that way) — and returns the combined diagnostics of the
+// analyzed (target) packages. Dependency-only packages (Package.DepOnly)
+// contribute facts but no diagnostics.
+func AnalyzeAll(pkgs []*Package, opts Options) ([]Diagnostic, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	facts := opts.Facts
+	if facts == nil {
+		facts = NewFacts()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analyzePackage(pkg, analyzers, facts, opts.AuditAllows)
+		if err != nil {
+			return out, err
+		}
+		if !pkg.DepOnly {
+			out = append(out, diags...)
+		}
+	}
+	return out, nil
+}
+
+// analyzePackage runs every analyzer over one package against the
+// shared fact store, then audits the package's allow directives.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, facts *Facts, audit bool) ([]Diagnostic, error) {
+	allows := buildAllowIndex(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -240,14 +342,32 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			facts:    facts,
+			allows:   allows,
 		}
-		pass.buildAllows()
 		if err := a.Run(pass); err != nil {
 			return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		out = append(out, pass.Diagnostics()...)
 	}
+	if audit {
+		for _, e := range allows.stale() {
+			out = append(out, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: AuditAnalyzerName,
+				Message:  fmt.Sprintf("//leo:allow %s suppresses no diagnostic; remove the stale exemption", e.check),
+			})
+		}
+		sortDiagnostics(out)
+	}
 	return out, nil
+}
+
+// Analyze runs analyzers over one loaded package with a private fact
+// store and no audit — the single-package entry point fixtures and the
+// vet protocol build on.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return AnalyzeAll([]*Package{pkg}, Options{Analyzers: analyzers})
 }
 
 // isContextType reports whether t is context.Context.

@@ -24,6 +24,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks a module package loaded only because an analyzed
+	// package imports it: its facts feed downstream passes, but it is
+	// not itself a diagnostic target.
+	DepOnly bool
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -32,6 +36,7 @@ type listEntry struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 }
 
@@ -63,7 +68,7 @@ func goList(dir string, args ...string) ([]listEntry, error) {
 	return entries, nil
 }
 
-const listFields = "-json=ImportPath,Dir,Export,GoFiles,Standard"
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,Imports,Standard"
 
 // exportLookup builds the import resolver for a set of listed packages:
 // a map from import path to gc export data file, wrapped in the
@@ -83,6 +88,24 @@ func exportLookup(fset *token.FileSet, entries []listEntry) types.Importer {
 		return os.Open(f)
 	}
 	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// memImporter resolves imports from already-type-checked packages
+// first, falling back to gc export data for everything else (standard
+// library, out-of-module dependencies). Reusing the source-checked
+// *types.Package for in-module dependencies is what lets analyzers
+// attach facts to dependency objects and see the very same objects
+// from a dependent package's pass.
+type memImporter struct {
+	mem      map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *memImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mem[path]; ok {
+		return pkg, nil
+	}
+	return m.fallback.Import(path)
 }
 
 // newInfo allocates the types.Info maps every analyzer relies on.
@@ -116,9 +139,51 @@ func typeCheck(fset *token.FileSet, path string, filenames []string, imp types.I
 	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// topoOrder sorts the module packages of entries into dependency order
+// (every package after all of its imports) with lexicographic order as
+// the tiebreak, via depth-first postorder over sorted import edges.
+func topoOrder(entries []listEntry) []listEntry {
+	byPath := make(map[string]listEntry, len(entries))
+	var roots []string
+	for _, e := range entries {
+		if e.Standard || len(e.GoFiles) == 0 || !ModulePackage(e.ImportPath) {
+			continue
+		}
+		byPath[e.ImportPath] = e
+		roots = append(roots, e.ImportPath)
+	}
+	sort.Strings(roots)
+	var out []listEntry
+	visited := make(map[string]bool, len(byPath))
+	var visit func(path string)
+	visit = func(path string) {
+		e, ok := byPath[path]
+		if !ok || visited[path] {
+			return
+		}
+		visited[path] = true
+		imports := append([]string(nil), e.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			visit(imp)
+		}
+		out = append(out, e)
+	}
+	for _, path := range roots {
+		visit(path)
+	}
+	return out
+}
+
 // Load lists, parses, and type-checks the packages matching the
-// patterns (e.g. "./..."), resolved relative to dir. Standard-library
-// and out-of-module packages are dependencies only, never analyzed.
+// patterns (e.g. "./..."), resolved relative to dir, in topological
+// dependency order — each package type-checks against the live
+// *types.Package of its in-module dependencies instead of re-reading
+// their export data, and the returned order is what AnalyzeAll needs
+// for facts to flow from dependency to dependent. Module packages that
+// are dependencies but match no pattern are loaded with DepOnly set;
+// standard-library and out-of-module packages resolve through gc
+// export data and are never analyzed.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
 	if err != nil {
@@ -133,12 +198,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := exportLookup(fset, entries)
+	imp := &memImporter{
+		mem:      make(map[string]*types.Package),
+		fallback: exportLookup(fset, entries),
+	}
 	var pkgs []*Package
-	for _, e := range entries {
-		if !wanted[e.ImportPath] || e.Standard || len(e.GoFiles) == 0 {
-			continue
-		}
+	for _, e := range topoOrder(entries) {
 		names := make([]string, len(e.GoFiles))
 		for i, g := range e.GoFiles {
 			names[i] = filepath.Join(e.Dir, g)
@@ -148,9 +213,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkg.Dir = e.Dir
+		pkg.DepOnly = !wanted[e.ImportPath]
+		imp.mem[e.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
 }
 
@@ -165,34 +231,52 @@ func CheckFiles(pkgPath string, filenames []string, lookup func(string) (io.Read
 	return typeCheck(fset, pkgPath, filenames, imp)
 }
 
-// LoadDir parses and type-checks the .go files of one directory as a
-// single package with the given import path, resolving its imports
-// through `go list -export` run in moduleDir. This is the fixture
-// loader: testdata directories are invisible to the go tool, but their
-// imports (standard library or this module's packages) resolve exactly
-// as they would in a real package. pkgPath is the package path to
-// type-check under; fixtures that exercise package-path-dependent rules
-// (e.g. the engine.Map goroutine exemption) pick the path they need.
-func LoadDir(dir, moduleDir, pkgPath string) (*Package, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil {
-		return nil, err
-	}
-	if len(matches) == 0 {
-		return nil, fmt.Errorf("lint: no .go files in %s", dir)
-	}
-	sort.Strings(matches)
+// FixtureDir names one testdata directory to load as a package under an
+// explicit import path.
+type FixtureDir struct {
+	Dir  string // directory holding the fixture's .go files
+	Path string // package path to type-check under
+}
+
+// LoadDirs parses and type-checks a sequence of fixture directories,
+// each as one package, in the given order — later fixtures may import
+// earlier ones by their declared paths, which is how multi-package
+// fact fixtures (an impure dependency, a deterministic dependent) are
+// assembled from testdata. Other imports (standard library or this
+// module's packages) resolve through `go list -export` run in
+// moduleDir, exactly as they would in a real package.
+func LoadDirs(moduleDir string, fixtures []FixtureDir) ([]*Package, error) {
 	fset := token.NewFileSet()
-	// Parse once without types to harvest the import set.
+	// Parse once without types to harvest the import set that must come
+	// from the real build (everything not provided by the fixtures
+	// themselves).
+	fixturePaths := make(map[string]bool, len(fixtures))
+	for _, fx := range fixtures {
+		fixturePaths[fx.Path] = true
+	}
 	importSet := make(map[string]bool)
-	for _, name := range matches {
-		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+	fileLists := make([][]string, len(fixtures))
+	for i, fx := range fixtures {
+		matches, err := filepath.Glob(filepath.Join(fx.Dir, "*.go"))
 		if err != nil {
 			return nil, err
 		}
-		for _, spec := range f.Imports {
-			path := spec.Path.Value
-			importSet[path[1:len(path)-1]] = true
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("lint: no .go files in %s", fx.Dir)
+		}
+		sort.Strings(matches)
+		fileLists[i] = matches
+		for _, name := range matches {
+			f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range f.Imports {
+				path := spec.Path.Value
+				if path := path[1 : len(path)-1]; !fixturePaths[path] {
+					importSet[path] = true
+				}
+			}
 		}
 	}
 	args := []string{"-export", listFields, "-deps"}
@@ -200,20 +284,40 @@ func LoadDir(dir, moduleDir, pkgPath string) (*Package, error) {
 		args = append(args, path)
 	}
 	sort.Strings(args[3:])
-	var imp types.Importer
+	var entries []listEntry
 	if len(importSet) > 0 {
-		entries, err := goList(moduleDir, args...)
+		var err error
+		entries, err = goList(moduleDir, args...)
 		if err != nil {
 			return nil, err
 		}
-		imp = exportLookup(fset, entries)
-	} else {
-		imp = exportLookup(fset, nil)
 	}
-	pkg, err := typeCheck(fset, pkgPath, matches, imp)
+	imp := &memImporter{
+		mem:      make(map[string]*types.Package),
+		fallback: exportLookup(fset, entries),
+	}
+	var pkgs []*Package
+	for i, fx := range fixtures {
+		pkg, err := typeCheck(fset, fx.Path, fileLists[i], imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = fx.Dir
+		imp.mem[fx.Path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a
+// single package with the given import path — the single-package
+// fixture loader. pkgPath is the package path to type-check under;
+// fixtures that exercise package-path-dependent rules (e.g. the
+// engine.Map goroutine exemption) pick the path they need.
+func LoadDir(dir, moduleDir, pkgPath string) (*Package, error) {
+	pkgs, err := LoadDirs(moduleDir, []FixtureDir{{Dir: dir, Path: pkgPath}})
 	if err != nil {
 		return nil, err
 	}
-	pkg.Dir = dir
-	return pkg, nil
+	return pkgs[0], nil
 }

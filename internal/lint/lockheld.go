@@ -1,0 +1,568 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockheldAnalyzer guards the concurrency substrate of the serve and
+// cluster layer: a sync.Mutex or RWMutex held across a blocking
+// operation stalls every other goroutine contending for it, and two
+// locks taken in opposite orders on different code paths deadlock under
+// load. Both bugs hide across function and package boundaries, so the
+// analyzer exports facts: per function, the lock keys it acquires
+// (locksFact) and whether it blocks (blockingFact); per package, the
+// observed lock-ordering edges (lockGraphFact).
+//
+// Checks (suppression keys in parentheses):
+//
+//	lockheld  — a blocking operation (channel send/receive, select
+//	            without default, WaitGroup.Wait, time.Sleep, net
+//	            dials, net/http round trips, or a call to a function
+//	            known to block) between a Lock and its matching Unlock
+//	lockorder — lock B acquired while holding A on one path, and A
+//	            while holding B on another, anywhere in the module
+//
+// Regions pair each Lock with the next matching Unlock of the same
+// lock key in the same function scope; a deferred Unlock extends the
+// region to the end of the scope. Function literals are separate
+// scopes, and statements under `go` or `defer` do not execute inside
+// the region, so region scans skip them.
+var LockheldAnalyzer = &Analyzer{
+	Name:      "lockheld",
+	Doc:       "forbid blocking while holding a mutex and inconsistent lock acquisition order",
+	FactTypes: []Fact{(*locksFact)(nil), (*blockingFact)(nil), (*lockGraphFact)(nil)},
+	Run:       runLockheld,
+}
+
+// locksFact summarizes the lock keys a function acquires (directly or
+// through calls), so callers can extend ordering edges across packages.
+type locksFact struct {
+	Keys []string
+}
+
+func (*locksFact) AFact() {}
+
+// blockingFact marks a function that performs a blocking operation, so
+// a caller holding a lock across the call is flagged.
+type blockingFact struct {
+	Op string
+}
+
+func (*blockingFact) AFact() {}
+
+// lockEdge records that To was acquired while From was held.
+type lockEdge struct {
+	From, To string
+}
+
+// lockGraphFact is a package's observed lock-ordering edges, merged
+// with those of its dependencies so cycles spanning packages surface
+// in whichever package closes them.
+type lockGraphFact struct {
+	Edges []lockEdge
+}
+
+func (*lockGraphFact) AFact() {}
+
+// lockEvent is one Lock/Unlock call inside a scope.
+type lockEvent struct {
+	pos      token.Pos
+	key      string
+	op       string // "Lock", "Unlock", "RLock", "RUnlock"
+	deferred bool
+}
+
+// lockScope is one function body (FuncDecl or FuncLit), with nested
+// function literals excluded — they run on their own goroutine or at
+// their own call time, not under this scope's locks.
+type lockScope struct {
+	fn     *types.Func // nil for function literals
+	body   *ast.BlockStmt
+	events []lockEvent
+	comms  []posRange // select comm-clause operand ranges (not free ops)
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func inRanges(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func runLockheld(pass *Pass) error {
+	scopes := collectLockScopes(pass)
+
+	// Per-function summaries, fed by local sweeps and imported facts.
+	acquired := make(map[*types.Func]map[string]bool)
+	blocks := make(map[*types.Func]string)
+
+	// blockingOp resolves whether node n is a blocking operation,
+	// consulting local summaries and imported facts for calls.
+	blockingOp := func(sc *lockScope, n ast.Node) string {
+		if op := directBlockingOp(pass, n, sc.comms); op != "" {
+			return op
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil {
+			return ""
+		}
+		if op, ok := blocks[callee]; ok && op != "" {
+			return fmt.Sprintf("call to %s (%s)", shortName(callee), op)
+		}
+		var f blockingFact
+		if pass.ImportObjectFact(callee, &f) {
+			return fmt.Sprintf("call to %s (%s)", shortName(callee), f.Op)
+		}
+		return ""
+	}
+	// calleeLocks resolves the lock keys a callee acquires.
+	calleeLocks := func(call *ast.CallExpr) []string {
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil {
+			return nil
+		}
+		if keys, ok := acquired[callee]; ok {
+			return sortedKeys(keys)
+		}
+		var f locksFact
+		if pass.ImportObjectFact(callee, &f) {
+			return f.Keys
+		}
+		return nil
+	}
+
+	// Seed direct summaries: lock keys acquired and syntactic blocking
+	// ops per function (deferred calls still block their caller, so
+	// defer payloads count here).
+	for _, sc := range scopes {
+		if sc.fn == nil {
+			continue
+		}
+		keys := make(map[string]bool)
+		for _, e := range sc.events {
+			if e.op == "Lock" || e.op == "RLock" {
+				keys[e.key] = true
+			}
+		}
+		if len(keys) > 0 {
+			acquired[sc.fn] = keys
+		}
+		inScope(sc.body, true, func(n ast.Node) {
+			if blocks[sc.fn] == "" {
+				if op := directBlockingOp(pass, n, sc.comms); op != "" {
+					blocks[sc.fn] = op
+				}
+			}
+		})
+	}
+	// Propagate through local call chains until stable (facts from
+	// dependencies are already final — packages analyze in dependency
+	// order).
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range scopes {
+			if sc.fn == nil {
+				continue
+			}
+			inScope(sc.body, true, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if blocks[sc.fn] == "" {
+					if op := blockingOp(sc, call); op != "" {
+						blocks[sc.fn] = op
+						changed = true
+					}
+				}
+				for _, key := range calleeLocks(call) {
+					if !acquired[sc.fn][key] {
+						if acquired[sc.fn] == nil {
+							acquired[sc.fn] = make(map[string]bool)
+						}
+						acquired[sc.fn][key] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Region scan: blocking ops and nested acquisitions between each
+	// Lock and its matching Unlock.
+	edges := make(map[lockEdge]token.Pos) // first local position of each edge
+	for _, sc := range scopes {
+		for _, lock := range sc.events {
+			if lock.op != "Lock" && lock.op != "RLock" {
+				continue
+			}
+			end := regionEnd(sc.events, lock, sc.body)
+			inScope(sc.body, false, func(n ast.Node) {
+				if n.Pos() <= lock.pos || n.Pos() >= end {
+					return
+				}
+				if op := blockingOp(sc, n); op != "" {
+					pass.Reportf(n.Pos(), "lockheld",
+						"%s while holding %s; release the lock before blocking", op, lock.key)
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, key, op := lockCall(pass, call); op == "Lock" || op == "RLock" {
+						if key != "" && key != lock.key {
+							addEdge(edges, lockEdge{lock.key, key}, call.Pos())
+						}
+					} else if op == "" {
+						for _, key := range calleeLocks(call) {
+							if key != lock.key {
+								addEdge(edges, lockEdge{lock.key, key}, call.Pos())
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Merge dependency edges, then report local edges whose reverse
+	// exists anywhere in the merged graph.
+	merged := make(map[lockEdge]bool, len(edges))
+	for e := range edges {
+		merged[e] = true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var f lockGraphFact
+		if pass.ImportPackageFact(imp, &f) {
+			for _, e := range f.Edges {
+				merged[e] = true
+			}
+		}
+	}
+	for _, e := range sortedEdges(edges) {
+		if merged[lockEdge{e.To, e.From}] {
+			pass.Reportf(edges[e], "lockorder",
+				"%s acquired while holding %s, but the opposite order exists elsewhere; pick one order", e.To, e.From)
+		}
+	}
+
+	// Export facts for downstream packages.
+	for fn, keys := range acquired {
+		if fn.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(fn, &locksFact{Keys: sortedKeys(keys)})
+		}
+	}
+	for fn, op := range blocks {
+		if fn.Pkg() == pass.Pkg && op != "" {
+			pass.ExportObjectFact(fn, &blockingFact{Op: op})
+		}
+	}
+	if len(merged) > 0 {
+		out := make([]lockEdge, 0, len(merged))
+		for e := range merged {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].From != out[j].From {
+				return out[i].From < out[j].From
+			}
+			return out[i].To < out[j].To
+		})
+		pass.ExportPackageFact(&lockGraphFact{Edges: out})
+	}
+	return nil
+}
+
+func addEdge(edges map[lockEdge]token.Pos, e lockEdge, pos token.Pos) {
+	if _, ok := edges[e]; !ok {
+		edges[e] = pos
+	}
+}
+
+func sortedEdges(m map[lockEdge]token.Pos) []lockEdge {
+	out := make([]lockEdge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectLockScopes returns every function body of the package — each
+// FuncDecl and each FuncLit is its own scope — with its lock events
+// and select comm-clause ranges precomputed.
+func collectLockScopes(pass *Pass) []*lockScope {
+	var scopes []*lockScope
+	add := func(fn *types.Func, body *ast.BlockStmt) {
+		scopes = append(scopes, &lockScope{
+			fn:     fn,
+			body:   body,
+			events: lockEventsIn(pass, body),
+			comms:  commRanges(body),
+		})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			add(fn, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					add(nil, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return scopes
+}
+
+// commRanges collects the operand ranges of select communication
+// clauses: a send or receive there is the select's choice, not a free
+// blocking operation (the SelectStmt itself is judged as a whole).
+func commRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			out = append(out, posRange{cc.Comm.Pos(), cc.Comm.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// inScope walks body in source order, always skipping nested function
+// literals and `go` payloads; includeDefer controls whether deferred
+// calls are visited (they block their caller eventually, but never run
+// inside a lock region, whose unlocks are themselves deferred earlier).
+func inScope(body *ast.BlockStmt, includeDefer bool, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			if !includeDefer {
+				return false
+			}
+		}
+		if n != nil && n != ast.Node(body) {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// lockEventsIn collects the Lock/Unlock calls of one scope in source
+// order, tagging unlocks registered through defer.
+func lockEventsIn(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if _, key, op := lockCall(pass, n); op != "" && key != "" {
+					events = append(events, lockEvent{pos: n.Pos(), key: key, op: op, deferred: deferred})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// regionEnd finds where the region opened by lock closes: the next
+// matching non-deferred unlock of the same key, or the scope's end when
+// the unlock is deferred or absent (a lock leaking past what we can
+// see is treated as held to the end).
+func regionEnd(events []lockEvent, lock lockEvent, body *ast.BlockStmt) token.Pos {
+	unlockOp := "Unlock"
+	if lock.op == "RLock" {
+		unlockOp = "RUnlock"
+	}
+	for _, e := range events {
+		if e.pos <= lock.pos || e.key != lock.key || e.op != unlockOp {
+			continue
+		}
+		if e.deferred {
+			return body.End()
+		}
+		return e.pos
+	}
+	return body.End()
+}
+
+// lockCall resolves a call to the sync.Mutex/RWMutex Lock/Unlock
+// family: the receiver expression, a stable key naming the lock, and
+// the operation name ("" op when the call is not a lock operation).
+func lockCall(pass *Pass, call *ast.CallExpr) (ast.Expr, string, string) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || namedOf(recv.Type()) == nil {
+		return nil, "", ""
+	}
+	switch name := namedOf(recv.Type()).Obj().Name(); name {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", ""
+	}
+	x := ast.Unparen(sel.X)
+	return x, lockKeyOf(pass, x), fn.Name()
+}
+
+// lockKeyOf names the mutex a receiver expression denotes, stably
+// across packages: "pkgpath.Type.field" for struct fields,
+// "pkgpath.var" for package-level mutexes, the bare name for locals,
+// and "pkgpath.Type.Mutex" when the lock is embedded and the receiver
+// is the containing struct itself.
+func lockKeyOf(pass *Pass, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok {
+			if named := namedOf(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Path(), named.Obj().Name(), sel.Obj().Name())
+			}
+			return sel.Obj().Name()
+		}
+		// Qualified identifier: a package-level mutex of another package.
+		if obj := pass.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return x.Name
+		}
+		if v, ok := obj.(*types.Var); ok && !mutexType(v.Type()) {
+			// Embedded mutex: t.Lock() on the containing value.
+			if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("%s.%s.Mutex", named.Obj().Pkg().Path(), named.Obj().Name())
+			}
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return x.Name
+	}
+	return ""
+}
+
+// namedOf unwraps a pointer to the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// mutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func mutexType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// blockingCalls is the curated set of standard-library calls that
+// block: synchronization waits, sleeps, and network round trips.
+// sync.Cond.Wait is deliberately absent: its contract requires holding
+// the lock — Wait atomically releases it while parked.
+var blockingCalls = map[string]string{
+	"(*sync.WaitGroup).Wait":    "sync.WaitGroup.Wait",
+	"time.Sleep":                "time.Sleep",
+	"net/http.Get":              "http.Get",
+	"net/http.Post":             "http.Post",
+	"net/http.PostForm":         "http.PostForm",
+	"net/http.Head":             "http.Head",
+	"(*net/http.Client).Do":     "http.Client.Do",
+	"(*net/http.Client).Get":    "http.Client.Get",
+	"(*net/http.Client).Post":   "http.Client.Post",
+	"net.Dial":                  "net.Dial",
+	"net.DialTimeout":           "net.DialTimeout",
+	"(*net.Dialer).Dial":        "net.Dialer.Dial",
+	"(*net.Dialer).DialContext": "net.Dialer.DialContext",
+}
+
+// directBlockingOp reports the blocking operation n performs by its own
+// syntax or by calling a known-blocking standard-library function
+// ("" when none). comms excludes send/receive operands of select
+// clauses, which the enclosing SelectStmt accounts for.
+func directBlockingOp(pass *Pass, n ast.Node, comms []posRange) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if !inRanges(comms, n.Pos()) {
+			return "channel send"
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && !inRanges(comms, n.Pos()) {
+			return "channel receive"
+		}
+	case *ast.RangeStmt:
+		if tv, ok := pass.Info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return "channel receive (range)"
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has default: non-blocking poll
+			}
+		}
+		return "select"
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.Info, n); fn != nil {
+			return blockingCalls[fn.FullName()]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,22 @@
+// Package allowaudit is the stale-allow audit fixture: one exemption
+// suppresses a real diagnostic (and must not be reported), one
+// suppresses nothing (and must be). The audit test asserts the exact
+// diagnostic set rather than using want comments — a want comment
+// cannot share a line with the directive it describes.
+//
+//leo:deterministic
+package allowaudit
+
+import "time"
+
+// Stamp reads the clock under an audited exemption: the allow is used.
+func Stamp() int64 {
+	return time.Now().UnixNano() //leo:allow walltime fixture: sanctioned wall-clock read
+}
+
+// Quiet is pure; its exemption excuses nothing and is stale.
+//
+//leo:allow hotpath fixture: stale exemption
+func Quiet() int {
+	return 1
+}

@@ -1,0 +1,48 @@
+// Package det is the deterministic side of the dettaint fixture: every
+// call into impure's tainted functions must be flagged at the call
+// site, even though the impurity lives in the other package.
+//
+//leo:deterministic
+package det
+
+import "fixture/dettaint/impure"
+
+// Tick calls a directly impure function.
+func Tick() int64 {
+	return impure.Now() // want `call to impure\.Now breaks replay determinism: walltime \(impure\.Now\)`
+}
+
+// Deep calls a transitively impure function.
+func Deep() int64 {
+	return impure.Chain() // want `call to impure\.Chain breaks replay determinism: calls impure\.Now: walltime \(impure\.Now\)`
+}
+
+// Indirect launders the impurity through a local helper: the helper is
+// marked impure by the local fixpoint, and the cross-package edge is
+// still reported where it crosses.
+func Indirect() int64 {
+	return helper()
+}
+
+func helper() int64 {
+	return impure.Now() // want `call to impure\.Now breaks replay determinism`
+}
+
+// Fine calls a pure function of the impure package — no taint.
+func Fine() int {
+	return impure.Pure(1)
+}
+
+// Audited accepts one propagated edge with an inline exemption.
+func Audited() int64 {
+	return impure.Now() //leo:allow dettaint fixture: sanctioned impurity
+}
+
+// DocAllowed accepts propagated edges for its whole body via a
+// doc-comment-scoped exemption.
+//
+//leo:allow dettaint fixture: audited for the whole function
+func DocAllowed() int64 {
+	x := impure.Now()
+	return x + impure.Chain()
+}

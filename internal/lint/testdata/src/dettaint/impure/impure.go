@@ -1,0 +1,16 @@
+// Package impure is the dependency side of the dettaint fixture: not
+// replay-critical itself, so the determinism analyzer ignores it, but
+// its functions carry impurity that must propagate to deterministic
+// callers through facts.
+package impure
+
+import "time"
+
+// Now reads the wall clock — directly impure.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Chain is impure only transitively, through Now.
+func Chain() int64 { return Now() + 1 }
+
+// Pure has no taint.
+func Pure(x int) int { return x + 1 }

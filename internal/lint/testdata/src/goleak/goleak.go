@@ -1,0 +1,69 @@
+// Package goleak exercises the tied-lifetime heuristics: goroutines in
+// a replay-critical package must be joinable through a context, a
+// WaitGroup, or a channel the spawner can see.
+//
+//leo:deterministic
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func untiedLit() {
+	go func() { // want `goroutine without a tied lifetime`
+		work()
+	}()
+}
+
+func untiedNamed() {
+	go work() // want `goroutine without a tied lifetime`
+}
+
+func ctxArg(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func ctxInBody(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func waitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func doneChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func resultChannel() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+// allowed spawns a fire-and-forget goroutine deliberately.
+func allowed() {
+	//leo:allow goleak fixture: process-lifetime helper
+	go work()
+}

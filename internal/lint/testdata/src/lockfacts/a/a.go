@@ -1,0 +1,28 @@
+// Package a is the dependency side of the cross-package lockheld
+// fixture: it owns two package-level locks, takes them in A-then-B
+// order (recorded in its lock-graph fact), and exports a function
+// known to block (recorded as a blocking fact).
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	LA sync.Mutex
+	LB sync.Mutex
+)
+
+// LockBoth acquires LA then LB — the canonical order.
+func LockBoth() {
+	LA.Lock()
+	LB.Lock()
+	LB.Unlock()
+	LA.Unlock()
+}
+
+// Blocks sleeps; callers holding a lock across this call are flagged.
+func Blocks() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,26 @@
+// Package b is the dependent side of the cross-package lockheld
+// fixture: it reverses a's lock order and blocks through a's exported
+// function while holding a lock — both detectable only through facts.
+package b
+
+import "fixture/lockfacts/a"
+
+// Reversed acquires LB then LA, the opposite of a.LockBoth.
+func Reversed() {
+	a.LB.Lock()
+	a.LA.Lock() // want `fixture/lockfacts/a\.LA acquired while holding fixture/lockfacts/a\.LB, but the opposite order exists elsewhere`
+	a.LA.Unlock()
+	a.LB.Unlock()
+}
+
+// Held blocks through a cross-package call while holding LA.
+func Held() {
+	a.LA.Lock()
+	a.Blocks() // want `call to a\.Blocks \(time\.Sleep\) while holding fixture/lockfacts/a\.LA`
+	a.LA.Unlock()
+}
+
+// Fine keeps the canonical order by delegating to a.
+func Fine() {
+	a.LockBoth()
+}

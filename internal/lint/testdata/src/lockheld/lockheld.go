@@ -1,0 +1,95 @@
+// Package lockheld exercises the single-package half of the lockheld
+// analyzer: blocking operations inside lock regions, region pairing
+// with plain and deferred unlocks, select-with-default as a
+// non-blocking poll, and reversed acquisition order between two locks.
+package lockheld
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	mu2 sync.Mutex
+	ch  chan int
+}
+
+func (b *box) sendHeld() {
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send while holding fixture/lockheld\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) sendReleased() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+func (b *box) recvDeferHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch // want `channel receive while holding fixture/lockheld\.box\.mu`
+}
+
+func (b *box) pollHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (b *box) selectHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while holding fixture/lockheld\.box\.mu`
+	case v := <-b.ch:
+		return v
+	}
+}
+
+func (b *box) waitHeld(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding fixture/lockheld\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) heldTransitively() {
+	b.mu.Lock()
+	b.drain() // want `call to \(lockheld\.box\)\.drain \(channel receive\) while holding fixture/lockheld\.box\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) drain() {
+	<-b.ch
+}
+
+func (b *box) allowedSend() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 2 //leo:allow lockheld fixture: send is bounded by a buffered channel
+}
+
+func (b *box) spawnNotHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		<-b.ch // runs outside the region: its own scope, no lock held
+	}()
+}
+
+func (b *box) ab() {
+	b.mu.Lock()
+	b.mu2.Lock() // want `fixture/lockheld\.box\.mu2 acquired while holding fixture/lockheld\.box\.mu, but the opposite order exists elsewhere`
+	b.mu2.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) ba() {
+	b.mu2.Lock()
+	b.mu.Lock() // want `fixture/lockheld\.box\.mu acquired while holding fixture/lockheld\.box\.mu2, but the opposite order exists elsewhere`
+	b.mu.Unlock()
+	b.mu2.Unlock()
+}

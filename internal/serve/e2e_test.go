@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
@@ -26,6 +27,26 @@ func TestEndToEndService(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second service scenario")
 	}
+	// Runtime complement to the static goleak analyzer: after both
+	// manager generations shut down, the goroutine count must return to
+	// its pre-test baseline — a drive, session, or HTTP goroutine that
+	// outlives Close is a leak the fleet would accumulate.
+	baseline := runtime.NumGoroutine()
+	defer func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= baseline {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+					runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
 	specs := []leonardo.RunSpec{
 		{Kind: leonardo.KindGAP, Seed: 7, Steps: 7, MaxGenerations: 8000},
 		{Kind: leonardo.KindGAP, Seed: 8, Steps: 7, MaxGenerations: 8000},
