@@ -6,6 +6,7 @@
 //	evolve [-seed N] [-pop N] [-sel P] [-xov P] [-mut N] [-maxgen N]
 //	       [-islands N] [-migrate-every N] [-topology ring|none] [-workers N]
 //	       [-lanepack]
+//	       [-repertoire] [-grid HxS] [-batch N] [-evals N]
 //	       [-progress N] [-json] [-curve]
 //	       [-checkpoint F] [-checkpoint-at N] [-resume F]
 //	       [-cpuprofile F] [-memprofile F]
@@ -33,6 +34,15 @@
 // island-mode flags, checkpointing, and resume semantics are otherwise
 // identical. The population evolves in circuit RAM, so -lanepack implies
 // the paper's three-rule fitness and epoch-granular telemetry.
+//
+// -repertoire grows a MAP-Elites quality-diversity archive instead of a
+// single champion: a -grid HxS lattice over (final heading, per-cycle
+// stride displacement), each cell keeping the fittest gait with that
+// behaviour, -batch candidates per step up to an -evals budget. The
+// archive checkpoints and resumes like the other kinds — a snapshot
+// file written in repertoire mode resumes in repertoire mode — and
+// replays bit-identically for any -workers value. -progress and
+// -checkpoint-at count batches.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"leonardo/internal/genome"
 	"leonardo/internal/island"
 	"leonardo/internal/prof"
+	"leonardo/internal/repertoire"
 	"leonardo/internal/robot"
 	"leonardo/internal/stats"
 )
@@ -77,6 +88,22 @@ type output struct {
 	Trace       []engine.Event `json:"trace,omitempty"`
 }
 
+// repertoireOutput is the -json document of a -repertoire run: archive
+// coverage and work counters plus every elite.
+type repertoireOutput struct {
+	Cancelled   bool               `json:"cancelled,omitempty"`
+	Filled      int                `json:"filled"`
+	Cells       int                `json:"cells"`
+	BestFitness int                `json:"best_fitness"`
+	MaxFitness  int                `json:"max_fitness"`
+	Batches     int                `json:"batches"`
+	Evaluations int                `json:"evaluations"`
+	Draws       uint64             `json:"draws"`
+	Checkpoint  string             `json:"checkpoint,omitempty"`
+	Elites      []repertoire.Elite `json:"elites,omitempty"`
+	Trace       []engine.Event     `json:"trace,omitempty"`
+}
+
 func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for the cellular-automaton generator")
 	pop := flag.Int("pop", 32, "population size (even)")
@@ -90,6 +117,10 @@ func run() int {
 	topology := flag.String("topology", string(island.Ring), `island migration topology: "ring" or "none"`)
 	workers := flag.Int("workers", 0, "worker goroutines for island mode (0 = GOMAXPROCS; never affects results)")
 	lanepack := flag.Bool("lanepack", false, "run the archipelago lane-packed: one gate-level deme per SWAR lane of a shared simulator (-islands <= 1 means all 64 lanes)")
+	repertoireMode := flag.Bool("repertoire", false, "grow a MAP-Elites gait repertoire over (heading, stride) cells instead of a single champion")
+	grid := flag.String("grid", "", `repertoire grid as "HxS" heading sectors x stride bands (empty = 16x8)`)
+	batch := flag.Int("batch", 0, "repertoire candidates evaluated per batch (0 = default)")
+	evals := flag.Int("evals", 0, "repertoire evaluation budget (0 = default)")
 	curve := flag.Bool("curve", false, "plot the fitness-vs-generation curve")
 	progress := flag.Int("progress", 0, "report telemetry every N generations")
 	jsonOut := flag.Bool("json", false, "emit the result (and -progress trace) as JSON")
@@ -142,6 +173,38 @@ func run() int {
 			return 1
 		}
 	}
+	// Repertoire dispatch first: like the island split, the snapshot
+	// kind — not the flags — decides how a file resumes.
+	if resumedKind == "repertoire" || (resumeData == nil && *repertoireMode) {
+		rp := repertoire.Params{
+			Batch:          *batch,
+			MaxEvaluations: *evals,
+			Seed:           *seed,
+			Workers:        *workers,
+		}
+		if *grid != "" {
+			if n, err := fmt.Sscanf(*grid, "%dx%d", &rp.Headings, &rp.Strides); n != 2 || err != nil {
+				fmt.Fprintf(os.Stderr, "evolve: -grid %q is not of the form HxS (e.g. 16x8)\n", *grid)
+				return 1
+			}
+		}
+		var rep *repertoire.Repertoire
+		if resumeData != nil {
+			if rep, err = repertoire.Restore(resumeData); err != nil {
+				fmt.Fprintln(os.Stderr, "evolve:", err)
+				return 1
+			}
+			rep.SetWorkers(*workers)
+			filled, total := rep.Coverage()
+			fmt.Fprintf(os.Stderr, "evolve: resumed %q at batch %d (%d/%d cells)\n",
+				*resume, rep.Batches(), filled, total)
+		} else if rep, err = repertoire.New(rp); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		return runRepertoire(ctx, rep, *jsonOut, *progress, *checkpoint, *checkpointAt)
+	}
+
 	if resumedKind == "island" || resumedKind == "lanepack" ||
 		(resumeData == nil && (*islands > 1 || *lanepack)) {
 		ip := island.Params{
@@ -444,6 +507,105 @@ func runIslands(ctx context.Context, a archipelago,
 	fmt.Print(gait.Diagram(res.Best, 2))
 	m := robot.Walk(res.Best, robot.Trial{Cycles: 5})
 	fmt.Println("\nsimulated walk (5 cycles):", m)
+
+	if cancelled {
+		return 130
+	}
+	return 0
+}
+
+// runRepertoire is the MAP-Elites branch of run: step the (possibly
+// resumed) archive to its evaluation budget (or to the -checkpoint-at
+// batch) and report coverage plus the elites. Progress and checkpoints
+// are batch-granular.
+func runRepertoire(ctx context.Context, rep *repertoire.Repertoire,
+	jsonOut bool, progress int, checkpoint string, checkpointAt int) int {
+	var observers []engine.Observer
+	var rec *engine.Recorder
+	if progress > 0 {
+		rec = &engine.Recorder{Every: progress}
+		observers = append(observers, rec)
+		if !jsonOut {
+			every := progress
+			observers = append(observers, engine.FuncObserver(func(ev engine.Event) {
+				if ev.Generation%every == 0 {
+					filled, total := rep.Coverage()
+					fmt.Fprintf(os.Stderr, "batch %5d  evals %7d  cells %4d/%4d  best %2d  mean %5.1f\n",
+						ev.Generation, ev.Evaluations, filled, total, ev.BestEver, ev.MeanFitness)
+				}
+			}))
+		}
+	}
+	var obs engine.Observer
+	if len(observers) > 0 {
+		obs = engine.MultiObserver(observers)
+	}
+
+	limit := -1
+	if checkpointAt > 0 {
+		limit = checkpointAt - rep.Batches()
+		if limit < 0 {
+			limit = 0
+		}
+	}
+	runErr := engine.Steps(ctx, rep, obs, limit)
+	cancelled := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !cancelled {
+		fmt.Fprintln(os.Stderr, "evolve:", runErr)
+		return 1
+	}
+	res := rep.Result()
+
+	if checkpoint != "" {
+		if err := os.WriteFile(checkpoint, rep.Snapshot(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "evolve: snapshot at batch %d written to %q\n", rep.Batches(), checkpoint)
+	}
+
+	if jsonOut {
+		out := repertoireOutput{
+			Cancelled:   cancelled,
+			Filled:      res.Filled,
+			Cells:       res.Cells,
+			BestFitness: res.BestFitness,
+			MaxFitness:  res.MaxFitness,
+			Batches:     res.Batches,
+			Evaluations: res.Evaluations,
+			Draws:       res.Draws,
+			Checkpoint:  checkpoint,
+			Elites:      rep.Elites(),
+		}
+		if rec != nil {
+			out.Trace = rec.Events()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "evolve:", err)
+			return 1
+		}
+		if cancelled {
+			return 130
+		}
+		return 0
+	}
+
+	fmt.Printf("repertoire: %d/%d cells after %d evaluations in %d batches (best fitness %d/%d)\n",
+		res.Filled, res.Cells, res.Evaluations, res.Batches, res.BestFitness, res.MaxFitness)
+	fmt.Printf("random draws consumed: %d\n\n", res.Draws)
+
+	fmt.Println("elites (heading rad, stride mm/cycle, fitness):")
+	for _, el := range rep.Elites() {
+		fmt.Printf("  %+6.3f  %7.2f  %2d  %s\n", el.HeadingRad, el.StrideMM, el.Fitness, el.Genome)
+	}
+	if res.Filled > 0 {
+		fmt.Println("\nbest elite gait diagram (2 cycles):")
+		fmt.Print(gait.Diagram(genome.FromGenome(res.Best.Genome), 2))
+		m := robot.WalkGenome(res.Best.Genome, robot.Trial{Cycles: 5})
+		fmt.Println("\nsimulated walk (5 cycles):", m)
+	}
 
 	if cancelled {
 		return 130

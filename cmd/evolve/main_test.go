@@ -157,3 +157,72 @@ func TestInterruptIslandRun(t *testing.T) {
 		t.Fatalf("checkpoint sniffs as %q, %v", kind, err)
 	}
 }
+
+// TestRepertoirePauseAndResume drives the MAP-Elites branch through the
+// checkpoint lifecycle: pause at a batch, confirm the snapshot sniffs
+// as "repertoire", resume it (kind-sniffed, no -repertoire flag), and
+// check the finished archive matches an uninterrupted run of the same
+// parameters — the CLI-level version of the differential wall.
+func TestRepertoirePauseAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "repertoire.snap")
+	args := []string{"-seed", "3", "-grid", "8x4", "-batch", "32", "-evals", "2000"}
+
+	// Paused first half.
+	cmd, _, stderr := evolveCmd(t, append([]string{"-repertoire",
+		"-json", "-checkpoint", ckpt, "-checkpoint-at", "10"}, args...)...)
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("paused run: %v\nstderr:\n%s", err, stderr)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint written at pause: %v", err)
+	}
+	if kind, err := engine.SnapshotKind(data); err != nil || kind != "repertoire" {
+		t.Fatalf("checkpoint sniffs as %q, %v", kind, err)
+	}
+
+	// Resume to completion — the snapshot kind selects the branch, the
+	// -repertoire flag stays off. -workers differs on purpose: it must
+	// not change the archive.
+	final := filepath.Join(dir, "final.snap")
+	cmd2, stdout2, stderr2 := evolveCmd(t,
+		"-resume", ckpt, "-workers", "8", "-json", "-checkpoint", final)
+	if err := cmd2.Run(); err != nil {
+		t.Fatalf("resumed run: %v\nstderr:\n%s", err, stderr2)
+	}
+	var out struct {
+		Filled      int `json:"filled"`
+		Cells       int `json:"cells"`
+		BestFitness int `json:"best_fitness"`
+		Evaluations int `json:"evaluations"`
+	}
+	if err := json.Unmarshal(stdout2.Bytes(), &out); err != nil {
+		t.Fatalf("resume summary: %v\nstdout: %s", err, stdout2)
+	}
+	if out.Cells != 32 || out.Filled < 1 || out.Evaluations < 2000 {
+		t.Fatalf("resumed archive summary inconsistent: %+v", out)
+	}
+
+	// Uninterrupted reference run with the same parameters.
+	ref := filepath.Join(dir, "reference.snap")
+	cmd3, _, stderr3 := evolveCmd(t, append([]string{"-repertoire",
+		"-json", "-checkpoint", ref}, args...)...)
+	if err := cmd3.Run(); err != nil {
+		t.Fatalf("reference run: %v\nstderr:\n%s", err, stderr3)
+	}
+	finalData, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refData, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(finalData, refData) {
+		t.Fatal("resumed archive differs from uninterrupted run")
+	}
+}

@@ -1,6 +1,7 @@
 package leonardo_test
 
 import (
+	"context"
 	"fmt"
 
 	"leonardo"
@@ -45,6 +46,55 @@ func ExampleEvolve() {
 	// Output:
 	// converged: true
 	// fitness: 26 / 26
+}
+
+// Growing a quality-diversity gait repertoire, checkpointing it
+// mid-run, resuming, and querying the finished archive for a
+// behaviour. The interrupted run finishes bit-identically to an
+// uninterrupted one, so the lookup below is deterministic.
+func ExampleEvolveRepertoire() {
+	p := leonardo.RepertoireParams{
+		Headings:       8,
+		Strides:        4,
+		Cycles:         2,
+		Batch:          32,
+		MaxEvaluations: 3200,
+		Seed:           3,
+	}
+
+	// Step a fresh run halfway, snapshot it, and throw the run away —
+	// the snapshot alone carries the full state.
+	run, err := leonardo.NewRepertoireRun(p)
+	if err != nil {
+		panic(err)
+	}
+	for run.Batches() < 50 {
+		if err := run.Step(); err != nil {
+			panic(err)
+		}
+	}
+	checkpoint := run.Snapshot()
+
+	// Resume from bytes and drive the archive to its budget.
+	resumed, err := leonardo.ResumeRepertoire(checkpoint)
+	if err != nil {
+		panic(err)
+	}
+	res, err := resumed.RunCtx(context.Background(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("best:", res.BestFitness, "/", res.MaxFitness)
+
+	// O(1) behaviour query: the fittest gait that walks straight ahead
+	// (heading 0) at about 30 mm per cycle.
+	if elite, ok := resumed.Lookup(0, 30); ok {
+		m := leonardo.Walk(elite.Genome, 2)
+		fmt.Printf("lookup fitness %d, walked %.0f mm\n", elite.Fitness, m.DistanceMM)
+	}
+	// Output:
+	// best: 26 / 26
+	// lookup fitness 26, walked 60 mm
 }
 
 // The gait diagram of one tripod cycle: '#' stance, '.' swing.

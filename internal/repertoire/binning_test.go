@@ -1,0 +1,171 @@
+package repertoire
+
+import (
+	"math"
+	"testing"
+
+	"leonardo/internal/robot"
+)
+
+// TestBinEdges is the table-driven edge wall for descriptor binning:
+// exact cell boundaries, the ±π heading seam, non-finite descriptors,
+// and degenerate 1×1 / 1×N grids.
+func TestBinEdges(t *testing.T) {
+	g84 := Grid{Headings: 8, Strides: 4, StrideMaxMM: 40}
+	g11 := Grid{Headings: 1, Strides: 1, StrideMaxMM: 40}
+	g15 := Grid{Headings: 1, Strides: 5, StrideMaxMM: 40}
+	g41 := Grid{Headings: 4, Strides: 1, StrideMaxMM: 40}
+	band := 2 * math.Pi / 8 // heading band width on the 8x4 grid
+
+	cases := []struct {
+		name    string
+		g       Grid
+		heading float64
+		stride  float64
+		wantH   int
+		wantS   int
+		wantOK  bool
+	}{
+		// Heading boundaries on the 8-band grid: band h covers
+		// [-π + h·band, -π + (h+1)·band).
+		{"heading lower edge", g84, -math.Pi, 1, 0, 0, true},
+		{"heading interior", g84, -math.Pi + band/2, 1, 0, 0, true},
+		{"heading band boundary belongs to upper band", g84, -math.Pi + band, 1, 1, 0, true},
+		{"heading zero starts band H/2", g84, 0, 1, 4, 0, true},
+		{"heading just below zero", g84, -1e-12, 1, 3, 0, true},
+		{"heading top of range wraps to band 0", g84, math.Pi, 1, 0, 0, true},
+		{"heading just below +pi stays in last band", g84, math.Pi - 1e-9, 1, 7, 0, true},
+		{"heading wraps past +pi", g84, math.Pi + band/2, 1, 0, 0, true},
+		{"heading wraps below -pi", g84, -math.Pi - band/2, 1, 7, 0, true},
+		{"heading wraps many turns", g84, 4*math.Pi + band/2, 1, 4, 0, true},
+
+		// Stride boundaries: band s covers [s·10, (s+1)·10), closed at
+		// the top so stride == max lands in the last band.
+		{"stride zero", g84, 0, 0, 4, 0, true},
+		{"stride interior", g84, 0, 15, 4, 1, true},
+		{"stride band boundary belongs to upper band", g84, 0, 10, 4, 1, true},
+		{"stride at max closes the top band", g84, 0, 40, 4, 3, true},
+		{"stride just below max", g84, 0, 40 - 1e-9, 4, 3, true},
+		{"stride above max rejected", g84, 0, 40 + 1e-9, 0, 0, false},
+		{"stride negative rejected", g84, 0, -1e-9, 0, 0, false},
+
+		// Non-finite descriptors, as produced by a degenerate
+		// RigidMotion fit, always reject.
+		{"NaN heading rejected", g84, math.NaN(), 1, 0, 0, false},
+		{"+Inf heading rejected", g84, math.Inf(1), 1, 0, 0, false},
+		{"-Inf heading rejected", g84, math.Inf(-1), 1, 0, 0, false},
+		{"NaN stride rejected", g84, 0, math.NaN(), 0, 0, false},
+		{"+Inf stride rejected", g84, 0, math.Inf(1), 0, 0, false},
+		{"-Inf stride rejected", g84, 0, math.Inf(-1), 0, 0, false},
+		{"both NaN rejected", g84, math.NaN(), math.NaN(), 0, 0, false},
+
+		// 1×1 grid: everything finite and in stride range is cell (0,0).
+		{"1x1 accepts any heading", g11, 2.9, 17, 0, 0, true},
+		{"1x1 accepts boundary stride", g11, -math.Pi, 40, 0, 0, true},
+		{"1x1 still rejects NaN", g11, math.NaN(), 1, 0, 0, false},
+		{"1x1 still rejects out-of-range stride", g11, 0, 41, 0, 0, false},
+
+		// 1×N and N×1 degenerate axes.
+		{"1x5 bins stride only", g15, 1.3, 24, 0, 3, true},
+		{"1x5 top stride closes", g15, -3, 40, 0, 4, true},
+		{"4x1 bins heading only", g41, math.Pi/2 + 0.1, 39, 3, 0, true},
+		{"4x1 heading seam", g41, math.Pi, 0, 0, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, s, ok := tc.g.Bin(tc.heading, tc.stride)
+			if h != tc.wantH || s != tc.wantS || ok != tc.wantOK {
+				t.Fatalf("Bin(%v, %v) = (%d,%d,%v), want (%d,%d,%v)",
+					tc.heading, tc.stride, h, s, ok, tc.wantH, tc.wantS, tc.wantOK)
+			}
+		})
+	}
+}
+
+// TestWrapHeading pins the wrap convention: half-open [-π, π), +π maps
+// to -π, non-finite values pass through for the caller to reject.
+func TestWrapHeading(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, -math.Pi},
+		{-math.Pi, -math.Pi},
+		{3 * math.Pi, -math.Pi},
+		{-3 * math.Pi, -math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{2 * math.Pi, 0},
+		{-2 * math.Pi, 0},
+		{5, 5 - 2*math.Pi},
+		{-5, -5 + 2*math.Pi},
+	}
+	for _, tc := range cases {
+		if got := WrapHeading(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("WrapHeading(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if got := WrapHeading(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("WrapHeading(NaN) = %v, want NaN", got)
+	}
+	if got := WrapHeading(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("WrapHeading(+Inf) = %v, want +Inf", got)
+	}
+	for _, theta := range []float64{-100, -math.Pi, -1, 0, 1, math.Pi, 100} {
+		w := WrapHeading(theta)
+		if w < -math.Pi || w >= math.Pi {
+			t.Errorf("WrapHeading(%v) = %v escapes [-π, π)", theta, w)
+		}
+	}
+}
+
+// TestCellCenterRoundTrips checks that every cell center bins back into
+// its own cell — the property Lookup relies on.
+func TestCellCenterRoundTrips(t *testing.T) {
+	for _, g := range []Grid{
+		{Headings: 16, Strides: 8, StrideMaxMM: 80},
+		{Headings: 1, Strides: 1, StrideMaxMM: 5},
+		{Headings: 1, Strides: 7, StrideMaxMM: 33},
+		{Headings: 5, Strides: 1, StrideMaxMM: 0.125},
+		{Headings: 3, Strides: 3, StrideMaxMM: 1e-9},
+	} {
+		for h := 0; h < g.Headings; h++ {
+			for s := 0; s < g.Strides; s++ {
+				heading, stride := g.CellCenter(h, s)
+				bh, bs, ok := g.Bin(heading, stride)
+				if !ok || bh != h || bs != s {
+					t.Fatalf("grid %dx%d: center of (%d,%d) bins to (%d,%d,%v)",
+						g.Headings, g.Strides, h, s, bh, bs, ok)
+				}
+			}
+		}
+	}
+}
+
+// TestBinDegenerateRigidMotion feeds Bin the descriptors produced from
+// degenerate stance geometry end to end: no stance feet yield no
+// motion (ok=false from RigidMotion, caller substitutes zeros which
+// bin fine), and a hand-built NaN twist is rejected at the bin.
+func TestBinDegenerateRigidMotion(t *testing.T) {
+	g := Grid{Headings: 8, Strides: 4, StrideMaxMM: 40}
+
+	if _, _, _, ok := robot.RigidMotion(nil, nil); ok {
+		t.Fatal("RigidMotion(nil, nil) claims a motion")
+	}
+	// The robot integrator treats that as "stay put": zero displacement
+	// descriptors, which must land in a valid cell rather than reject.
+	if _, _, ok := g.Bin(0, 0); !ok {
+		t.Fatal("zero descriptors from an all-swing step must bin")
+	}
+
+	// A NaN that leaks through arithmetic on a corrupted stride must be
+	// rejected at the bin, never crash.
+	v, omega, _, ok := robot.RigidMotion(
+		[]robot.Vec2{{X: 0, Y: 0}},
+		[]robot.Vec2{{X: math.NaN(), Y: 0}},
+	)
+	if !ok {
+		t.Fatal("single NaN stride is length-matched; RigidMotion should still report ok")
+	}
+	heading := math.Atan2(v.Y, v.X) + omega
+	if _, _, ok := g.Bin(heading, math.Hypot(v.X, v.Y)); ok {
+		t.Fatal("NaN-contaminated descriptors must not bin")
+	}
+}

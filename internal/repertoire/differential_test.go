@@ -1,0 +1,137 @@
+package repertoire
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"leonardo/internal/engine"
+)
+
+// TestWorkerCountInvariance is the repertoire determinism contract:
+// the same parameters stepped on one worker and on eight produce
+// byte-identical archive snapshots and identical telemetry
+// trajectories. Worker count is pure scheduling — every random draw
+// happens single-threaded in the plan phase, engine.Map only fills
+// per-candidate result slots, and the commit folds them in candidate
+// index order under a strict-improvement rule, so nothing downstream
+// may observe the worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		type trace struct {
+			snap  []byte
+			bests []int
+			fills []int
+		}
+		run := func(workers int) trace {
+			p := testParams(seed)
+			p.Workers = workers
+			r, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tr trace
+			obs := engine.FuncObserver(func(ev engine.Event) {
+				tr.bests = append(tr.bests, ev.BestEver)
+				filled, _ := r.Coverage()
+				tr.fills = append(tr.fills, filled)
+			})
+			if err := engine.Steps(context.Background(), r, obs, 12); err != nil {
+				t.Fatal(err)
+			}
+			tr.snap = r.Snapshot()
+			return tr
+		}
+		one := run(1)
+		eight := run(8)
+		if !bytes.Equal(one.snap, eight.snap) {
+			t.Fatalf("seed %d: snapshots differ between workers=1 and workers=8", seed)
+		}
+		if len(one.bests) != len(eight.bests) {
+			t.Fatalf("seed %d: trajectory lengths differ: %d vs %d", seed, len(one.bests), len(eight.bests))
+		}
+		for i := range one.bests {
+			if one.bests[i] != eight.bests[i] || one.fills[i] != eight.fills[i] {
+				t.Fatalf("seed %d: trajectories diverge at batch %d: best %d vs %d, coverage %d vs %d",
+					seed, i, one.bests[i], eight.bests[i], one.fills[i], eight.fills[i])
+			}
+		}
+	}
+}
+
+// TestResumeMatchesUninterrupted pins the replay contract: snapshot at
+// a mid-run batch boundary, restore, and run to the budget — the final
+// archive must be byte-identical to a run that was never interrupted,
+// at every snapshot point along the way.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	p := testParams(13)
+	straight, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkpoints [][]byte
+	for !straight.Done() {
+		if err := engine.Steps(context.Background(), straight, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		checkpoints = append(checkpoints, straight.Snapshot())
+	}
+	final := checkpoints[len(checkpoints)-1]
+
+	for _, cut := range []int{0, len(checkpoints) / 2, len(checkpoints) - 2} {
+		resumed, err := Restore(checkpoints[cut])
+		if err != nil {
+			t.Fatalf("restore at batch %d: %v", cut+1, err)
+		}
+		if got := resumed.Snapshot(); !bytes.Equal(got, checkpoints[cut]) {
+			t.Fatalf("restore at batch %d does not round-trip its own snapshot", cut+1)
+		}
+		step := cut + 1
+		for !resumed.Done() {
+			if err := engine.Steps(context.Background(), resumed, nil, 1); err != nil {
+				t.Fatal(err)
+			}
+			if got := resumed.Snapshot(); !bytes.Equal(got, checkpoints[step]) {
+				t.Fatalf("resume from batch %d diverges at batch %d", cut+1, step+1)
+			}
+			step++
+		}
+		if !bytes.Equal(resumed.Snapshot(), final) {
+			t.Fatalf("resume from batch %d: final archive differs from uninterrupted run", cut+1)
+		}
+	}
+}
+
+// TestResumeInvariantAcrossWorkers combines both axes: a snapshot
+// taken on 1 worker, resumed on 8 (and the reverse), must finish
+// byte-identical to runs that never switched.
+func TestResumeInvariantAcrossWorkers(t *testing.T) {
+	p := testParams(21)
+	p.Workers = 1
+	r, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Steps(context.Background(), r, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	mid := r.Snapshot()
+
+	finish := func(snapshot []byte, workers int) []byte {
+		res, err := Restore(snapshot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.SetWorkers(workers)
+		if err := engine.Run(context.Background(), res, nil); err != nil {
+			t.Fatal(err)
+		}
+		return res.Snapshot()
+	}
+	a := finish(mid, 1)
+	b := finish(mid, 8)
+	c := finish(mid, 3)
+	if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+		t.Fatal("resume diverges across worker counts")
+	}
+}

@@ -1,0 +1,673 @@
+// Package repertoire implements a quality-diversity gait archive: a
+// deterministic MAP-Elites grid over the behavior space (heading,
+// stride displacement), filled by batch candidate evaluation. Where
+// the GAP (internal/gap) converges on one champion, this search keeps
+// the best gait found for every cell of a descriptor grid — the
+// precomputed artifact that answers "give me a gait that walks at
+// heading θ with stride s" in O(1) (Cully & Mouret, Evolving a
+// Behavioral Repertoire for a Walking Robot).
+//
+// One Step is one batch:
+//
+//  1. plan — every random decision (parent selection, mutation bit
+//     positions, bootstrap genomes) is drawn single-threaded from one
+//     splitmix64 stream, before any evaluation starts;
+//  2. evaluate — candidates are scored concurrently on the bounded
+//     engine.Map pool: rule fitness through the packed LUT fast path
+//     (fitness.Evaluator.ScorePacked) and behavior descriptors from the
+//     kinematic simulator (robot.Walk, which fits stance-foot strides
+//     to a rigid body twist via robot.RigidMotion). Evaluation is pure:
+//     it draws nothing and mutates nothing shared;
+//  3. commit — results are folded into the grid single-threaded in
+//     candidate index order, an elite is replaced only on strictly
+//     better fitness, and curiosity counters are updated.
+//
+// Because the stream is consumed only in phases 1 and 3, and phase 2
+// is pure with results committed in index order, the archive replays
+// bit-identically for every worker count, across processes, and across
+// snapshot/resume boundaries — the same contract as the island
+// archipelago, pinned by this package's differential tests.
+//
+// Parent selection is curiosity-proportional: each cell carries a
+// counter that grows when its offspring enter the archive and shrinks
+// when they are discarded, so selection pressure flows toward elites
+// whose neighborhoods are still being discovered.
+//
+// This package is replay-critical: runs must replay bit-identically
+// across processes and resumes (leolint enforces DESIGN.md §8).
+//
+//leo:deterministic
+package repertoire
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/fitness"
+	"leonardo/internal/genome"
+	"leonardo/internal/robot"
+)
+
+// Defaults for the zero-valued Params knobs, resolved once at
+// construction so snapshots record the effective values.
+const (
+	// DefaultHeadings x DefaultStrides is the default grid: 16 heading
+	// sectors (22.5° each) by 8 stride bands.
+	DefaultHeadings = 16
+	DefaultStrides  = 8
+	// DefaultStrideMaxMM spans the physically reachable per-cycle
+	// displacement: each of the two steps in a cycle can stroke the
+	// body by at most the full 2*StrideHalf foot throw.
+	DefaultStrideMaxMM = 2 * robot.StrideHalf * genome.StepsPerGenome
+	// DefaultCycles is the trial length (gait cycles) per evaluation.
+	DefaultCycles = 4
+	// DefaultBatch is the number of candidates evaluated per Step.
+	DefaultBatch = 64
+	// DefaultMutationBits is the number of single-bit flips breeding a
+	// child from its parent elite.
+	DefaultMutationBits = 2
+	// DefaultMaxEvaluations bounds a run whose grid never fills.
+	DefaultMaxEvaluations = 200000
+)
+
+// MaxCells bounds the grid size (and what Restore accepts).
+const MaxCells = 1 << 16
+
+// Grid is the descriptor-space discretization: Headings circular
+// sectors over the final heading in [-π, π), crossed with Strides
+// linear bands over the per-cycle displacement in [0, StrideMaxMM].
+// It is pure geometry — binning only — shared by the live archive,
+// Lookup, and the fuzz harness.
+type Grid struct {
+	// Headings is the number of heading sectors (≥ 1). The heading
+	// axis is circular: +π and -π name the same sector.
+	Headings int
+	// Strides is the number of stride-displacement bands (≥ 1).
+	Strides int
+	// StrideMaxMM is the top of the stride axis; displacements above
+	// it (or below zero) fall outside the grid.
+	StrideMaxMM float64
+}
+
+// Validate reports whether the grid is usable.
+func (g Grid) Validate() error {
+	if g.Headings < 1 || g.Strides < 1 {
+		return fmt.Errorf("repertoire: grid %dx%d needs at least one cell per axis", g.Headings, g.Strides)
+	}
+	// Per-axis bounds first, so the product below cannot overflow.
+	if g.Headings > MaxCells || g.Strides > MaxCells || g.Headings*g.Strides > MaxCells {
+		return fmt.Errorf("repertoire: grid %dx%d exceeds %d cells", g.Headings, g.Strides, MaxCells)
+	}
+	if math.IsNaN(g.StrideMaxMM) || math.IsInf(g.StrideMaxMM, 0) || g.StrideMaxMM <= 0 {
+		return fmt.Errorf("repertoire: stride range %v must be a positive finite bound", g.StrideMaxMM)
+	}
+	return nil
+}
+
+// Cells returns the total cell count.
+func (g Grid) Cells() int { return g.Headings * g.Strides }
+
+// Bin maps a descriptor pair to its cell coordinates. ok is false when
+// either descriptor is NaN/Inf or the stride falls outside
+// [0, StrideMaxMM]; it never panics, and when ok is true the
+// coordinates are always in-grid. The heading axis wraps at ±π (the
+// two names of the seam land in the same sector); the stride axis is
+// closed at the top, so strideMM == StrideMaxMM lands in the last
+// band.
+func (g Grid) Bin(headingRad, strideMM float64) (h, s int, ok bool) {
+	if math.IsNaN(headingRad) || math.IsInf(headingRad, 0) ||
+		math.IsNaN(strideMM) || math.IsInf(strideMM, 0) {
+		return 0, 0, false
+	}
+	if strideMM < 0 || strideMM > g.StrideMaxMM {
+		return 0, 0, false
+	}
+	theta := WrapHeading(headingRad)
+	h = int(math.Floor((theta + math.Pi) / (2 * math.Pi) * float64(g.Headings)))
+	// Floating-point roundup at the seam (theta just under +π can
+	// scale to exactly Headings) folds back into the last sector.
+	if h >= g.Headings {
+		h = g.Headings - 1
+	}
+	if h < 0 {
+		h = 0
+	}
+	s = int(math.Floor(strideMM / g.StrideMaxMM * float64(g.Strides)))
+	if s >= g.Strides {
+		s = g.Strides - 1
+	}
+	return h, s, true
+}
+
+// CellIndex flattens cell coordinates into the canonical cell order
+// (heading-major). It panics on out-of-grid coordinates.
+func (g Grid) CellIndex(h, s int) int {
+	if h < 0 || h >= g.Headings || s < 0 || s >= g.Strides {
+		panic(fmt.Sprintf("repertoire: cell (%d,%d) outside %dx%d grid", h, s, g.Headings, g.Strides))
+	}
+	return h*g.Strides + s
+}
+
+// CellCenter returns the descriptor values at the middle of a cell.
+func (g Grid) CellCenter(h, s int) (headingRad, strideMM float64) {
+	if h < 0 || h >= g.Headings || s < 0 || s >= g.Strides {
+		panic(fmt.Sprintf("repertoire: cell (%d,%d) outside %dx%d grid", h, s, g.Headings, g.Strides))
+	}
+	headingRad = -math.Pi + (float64(h)+0.5)*2*math.Pi/float64(g.Headings)
+	strideMM = (float64(s) + 0.5) * g.StrideMaxMM / float64(g.Strides)
+	return headingRad, strideMM
+}
+
+// WrapHeading normalizes an angle to [-π, π); +π wraps to -π, so the
+// circular heading axis has one name per direction. NaN/Inf pass
+// through unchanged (Bin rejects them).
+func WrapHeading(theta float64) float64 {
+	if math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return theta
+	}
+	w := math.Mod(theta+math.Pi, 2*math.Pi)
+	if w < 0 {
+		w += 2 * math.Pi
+	}
+	return w - math.Pi
+}
+
+// Params configures a repertoire run. The zero value of every knob but
+// Seed takes the package default.
+//
+//leo:snapshot
+type Params struct {
+	// Headings, Strides, and StrideMaxMM define the descriptor grid
+	// (see Grid); zero values take DefaultHeadings / DefaultStrides /
+	// DefaultStrideMaxMM.
+	Headings    int
+	Strides     int
+	StrideMaxMM float64
+	// Cycles is the trial length per evaluation (gait cycles; 0 means
+	// DefaultCycles). Descriptors are measured over this horizon, so it
+	// is part of the archive's identity and is serialized.
+	Cycles int
+	// Batch is the number of candidates planned, evaluated, and
+	// committed per Step (0 means DefaultBatch).
+	Batch int
+	// MutationBits is the number of single-bit flips breeding a child
+	// (0 means DefaultMutationBits). Flipping the same bit twice
+	// un-flips it; positions are drawn independently.
+	MutationBits int
+	// MaxEvaluations caps the run (0 means DefaultMaxEvaluations): the
+	// run is Done once at least this many candidates were evaluated.
+	MaxEvaluations int
+	// Seed is the master seed; the run's splitmix64 stream starts from
+	// one splitmix64 round over it, mirroring island.DemeSeed.
+	Seed uint64
+	// Workers bounds the engine.Map pool evaluating a batch (0 means
+	// GOMAXPROCS). It never affects the archive — only wall time — and
+	// is re-chosen per process.
+	//
+	//leo:allow snapcodec runtime worker bound; never affects the archive, re-chosen per process
+	Workers int
+}
+
+// Grid returns the descriptor grid of the parameters.
+func (p Params) Grid() Grid {
+	return Grid{Headings: p.Headings, Strides: p.Strides, StrideMaxMM: p.StrideMaxMM}
+}
+
+// withDefaults resolves the zero-valued knobs exactly once, at
+// construction, so Snapshot records the effective values.
+func (p Params) withDefaults() Params {
+	if p.Headings == 0 {
+		p.Headings = DefaultHeadings
+	}
+	if p.Strides == 0 {
+		p.Strides = DefaultStrides
+	}
+	if p.StrideMaxMM == 0 {
+		p.StrideMaxMM = DefaultStrideMaxMM
+	}
+	if p.Cycles == 0 {
+		p.Cycles = DefaultCycles
+	}
+	if p.Batch == 0 {
+		p.Batch = DefaultBatch
+	}
+	if p.MutationBits == 0 {
+		p.MutationBits = DefaultMutationBits
+	}
+	if p.MaxEvaluations == 0 {
+		p.MaxEvaluations = DefaultMaxEvaluations
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Grid().Validate(); err != nil {
+		return err
+	}
+	if p.Cycles < 0 || p.Batch < 0 || p.MutationBits < 0 || p.MaxEvaluations < 0 {
+		return fmt.Errorf("repertoire: negative knob in %+v", p)
+	}
+	if p.Batch > 1<<20 {
+		return fmt.Errorf("repertoire: batch %d too large", p.Batch)
+	}
+	// Bound per-candidate work so a corrupted snapshot cannot turn a
+	// restored run into an unbounded trial.
+	if p.Cycles > 1<<12 {
+		return fmt.Errorf("repertoire: %d cycles per trial too large", p.Cycles)
+	}
+	if p.MutationBits > genome.Bits {
+		return fmt.Errorf("repertoire: %d mutation bits exceed the %d-bit genome", p.MutationBits, genome.Bits)
+	}
+	return nil
+}
+
+// Elite is one occupied cell of the archive: the best genome found so
+// far for its cell, the measured fitness and descriptors it earned the
+// cell with, and the curiosity counter steering parent selection.
+//
+//leo:snapshot
+type Elite struct {
+	// Genome is the packed 36-bit gait.
+	Genome genome.Genome
+	// Fitness is the paper's three-rule score of Genome (packed LUT
+	// path); replacement requires a strictly higher value.
+	Fitness int
+	// HeadingRad and StrideMM are the measured descriptors: final
+	// heading (radians, wrapped to [-π, π)) and per-cycle displacement
+	// (mm) over the run's trial horizon.
+	HeadingRad float64
+	StrideMM   float64
+	// Curiosity counts archive entries bred from this cell minus
+	// discarded offspring, floored at zero; selection weight is
+	// Curiosity + 1.
+	Curiosity int
+}
+
+// rng is the run's random stream: splitmix64, the same finalizer the
+// archipelago derives deme seeds with (island.DemeSeed), here clocked
+// as a sequential generator. Its whole state is one word, so snapshots
+// capture the stream exactly.
+type rng struct {
+	state uint64
+	draws uint64
+}
+
+// newRNG derives the stream from the master seed by one splitmix64
+// round, so runs with adjacent seeds start far apart.
+func newRNG(seed uint64) rng { return rng{state: splitmix64(seed)} }
+
+// splitmix64 is the bijective finalizer round.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// next returns the next 64-bit sample and counts the draw.
+func (r *rng) next() uint64 {
+	r.draws++
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// below returns a uniform value in [0, n) by rejection over k-bit
+// samples, k the width of n-1 — the same discipline as the GAP's
+// drawBelow, so the draw count stays input-independent in expectation
+// and every retry is captured by the draw counter.
+func (r *rng) below(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("repertoire: below(%d) with non-positive bound would never terminate", n))
+	}
+	k := bits.Len(uint(n - 1))
+	if k == 0 {
+		return 0
+	}
+	mask := uint64(1)<<uint(k) - 1
+	for {
+		v := int(r.next() & mask)
+		if v < n {
+			return v
+		}
+	}
+}
+
+// Repertoire is the MAP-Elites archive and its batch evolution loop.
+// It implements engine.Stepper (one Step is one batch) and the
+// Snapshot/Restore contract of the run engine. Create with New,
+// restore with Restore.
+type Repertoire struct {
+	p    Params
+	eval fitness.Evaluator
+	rng  rng
+
+	// cells and filled hold the grid in CellIndex order.
+	cells  []Elite
+	filled []bool
+	nfill  int
+
+	batches  int
+	evals    int
+	adds     int // candidates that entered an empty cell
+	improves int // candidates that replaced an elite
+
+	// plan/result are per-Step scratch, reused across batches.
+	plan    []candidate
+	results []outcome
+}
+
+// candidate is one planned evaluation: the genome to score and the
+// cell it was bred from (-1 for a random bootstrap individual).
+type candidate struct {
+	g      genome.Genome
+	parent int
+}
+
+// outcome is one candidate's pure evaluation result.
+type outcome struct {
+	fitness    int
+	headingRad float64
+	strideMM   float64
+	cell       int // flattened cell index, -1 if the descriptors fell off-grid
+}
+
+// New builds an empty archive for the parameters. Zero-valued knobs
+// take the package defaults before validation, so Params{Seed: s} is a
+// complete configuration.
+func New(p Params) (*Repertoire, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Grid().Cells()
+	return &Repertoire{
+		p:       p,
+		eval:    fitness.New(),
+		rng:     newRNG(p.Seed),
+		cells:   make([]Elite, n),
+		filled:  make([]bool, n),
+		plan:    make([]candidate, p.Batch),
+		results: make([]outcome, p.Batch),
+	}, nil
+}
+
+// Params returns the run configuration (defaults resolved) — useful
+// after Restore, where the caller never held the original value.
+func (r *Repertoire) Params() Params { return r.p }
+
+// SetWorkers re-chooses the worker bound (0 = GOMAXPROCS). Workers is
+// pure scheduling — it never changes the archive — so it is safe to
+// set on a restored run, and it is the one parameter a resume does not
+// inherit from the snapshot.
+func (r *Repertoire) SetWorkers(n int) { r.p.Workers = n }
+
+// Coverage returns how many cells hold an elite and the total count.
+func (r *Repertoire) Coverage() (filled, total int) { return r.nfill, len(r.cells) }
+
+// Batches returns the number of completed batches (engine steps).
+func (r *Repertoire) Batches() int { return r.batches }
+
+// Evaluations returns the number of candidates evaluated so far.
+func (r *Repertoire) Evaluations() int { return r.evals }
+
+// Draws returns the number of random samples consumed so far.
+func (r *Repertoire) Draws() uint64 { return r.rng.draws }
+
+// Lookup bins a descriptor query and returns the elite of that cell.
+// It is O(1): one Bin call and one slice index. ok is false when the
+// query falls outside the grid or the cell is still empty.
+func (r *Repertoire) Lookup(headingRad, strideMM float64) (Elite, bool) {
+	h, s, ok := r.p.Grid().Bin(headingRad, strideMM)
+	if !ok {
+		return Elite{}, false
+	}
+	i := r.p.Grid().CellIndex(h, s)
+	if !r.filled[i] {
+		return Elite{}, false
+	}
+	return r.cells[i], true
+}
+
+// EliteAt returns the elite of cell (h, s), if occupied.
+func (r *Repertoire) EliteAt(h, s int) (Elite, bool) {
+	i := r.p.Grid().CellIndex(h, s)
+	if !r.filled[i] {
+		return Elite{}, false
+	}
+	return r.cells[i], true
+}
+
+// Elites returns the occupied cells in canonical cell order.
+func (r *Repertoire) Elites() []Elite {
+	out := make([]Elite, 0, r.nfill)
+	for i, e := range r.cells {
+		if r.filled[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Step implements engine.Stepper: one batch. The random stream is
+// consumed only in the single-threaded plan and commit phases, so the
+// archive trajectory is identical for every worker count.
+func (r *Repertoire) Step() error {
+	r.planBatch()
+	if err := r.evaluateBatch(); err != nil {
+		return err
+	}
+	r.commitBatch()
+	r.batches++
+	return nil
+}
+
+// planBatch draws this batch's candidates: random genomes while the
+// archive is empty (bootstrap), curiosity-proportional parents plus
+// MutationBits single-bit flips once it holds elites.
+func (r *Repertoire) planBatch() {
+	for i := range r.plan {
+		if r.nfill == 0 {
+			r.plan[i] = candidate{g: genome.Genome(r.rng.next()) & genome.Mask, parent: -1}
+			continue
+		}
+		parent := r.selectParent()
+		g := r.cells[parent].Genome
+		for m := 0; m < r.p.MutationBits; m++ {
+			g ^= 1 << uint(r.rng.below(genome.Bits))
+		}
+		r.plan[i] = candidate{g: g, parent: parent}
+	}
+}
+
+// selectParent draws an occupied cell with probability proportional to
+// Curiosity + 1, by one draw over the cumulative weight in cell order.
+func (r *Repertoire) selectParent() int {
+	total := 0
+	for i := range r.cells {
+		if r.filled[i] {
+			total += r.cells[i].Curiosity + 1
+		}
+	}
+	t := r.rng.below(total)
+	for i := range r.cells {
+		if !r.filled[i] {
+			continue
+		}
+		t -= r.cells[i].Curiosity + 1
+		if t < 0 {
+			return i
+		}
+	}
+	panic("repertoire: curiosity weights changed during selection")
+}
+
+// evaluateBatch scores the planned candidates concurrently. Each task
+// is pure — packed LUT fitness plus one kinematic trial — and commits
+// into its own index, so scheduling never reaches the archive.
+func (r *Repertoire) evaluateBatch() error {
+	g := r.p.Grid()
+	cycles := r.p.Cycles
+	_, err := engine.Map(nil, r.p.Workers, len(r.plan), func(i int) (struct{}, error) {
+		r.results[i] = evaluate(r.eval, g, r.plan[i].g, cycles)
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// evaluate is the pure per-candidate measurement: rule fitness through
+// the packed LUT path and descriptors from one simulated trial.
+func evaluate(eval fitness.Evaluator, g Grid, cand genome.Genome, cycles int) outcome {
+	out := outcome{fitness: eval.ScorePacked(cand), cell: -1}
+	out.headingRad, out.strideMM = Descriptors(cand, cycles)
+	if h, s, ok := g.Bin(out.headingRad, out.strideMM); ok {
+		out.cell = g.CellIndex(h, s)
+	}
+	return out
+}
+
+// Descriptors measures a genome's behavior descriptors: the final
+// heading (radians, wrapped to [-π, π)) and the net displacement per
+// gait cycle (mm) over a trial of the given length. This is the
+// function Lookup results are validated against: re-simulating an
+// elite must land back in its cell.
+func Descriptors(g genome.Genome, cycles int) (headingRad, strideMM float64) {
+	if cycles <= 0 {
+		cycles = DefaultCycles
+	}
+	m := robot.WalkGenome(g, robot.Trial{Cycles: cycles})
+	return WrapHeading(m.HeadingDeg * math.Pi / 180), m.DisplacementMM / float64(cycles)
+}
+
+// commitBatch folds the batch into the grid in candidate index order:
+// empty cells are filled, occupied cells are replaced only on strictly
+// better fitness, and each candidate's parent earns or loses curiosity
+// by the outcome. Strict replacement is what makes the fold
+// order-insensitive across batches of equal candidates — a tie never
+// depends on which copy arrived first.
+func (r *Repertoire) commitBatch() {
+	for i := range r.plan {
+		c, res := r.plan[i], r.results[i]
+		r.evals++
+		success := false
+		if res.cell >= 0 {
+			el := Elite{
+				Genome:     c.g,
+				Fitness:    res.fitness,
+				HeadingRad: res.headingRad,
+				StrideMM:   res.strideMM,
+			}
+			switch {
+			case !r.filled[res.cell]:
+				r.cells[res.cell] = el
+				r.filled[res.cell] = true
+				r.nfill++
+				r.adds++
+				success = true
+			case res.fitness > r.cells[res.cell].Fitness:
+				// Replacement resets curiosity: the new elite's
+				// neighborhood is unexplored.
+				r.cells[res.cell] = el
+				r.improves++
+				success = true
+			}
+		}
+		if c.parent >= 0 {
+			switch {
+			case success:
+				r.cells[c.parent].Curiosity++
+			case r.cells[c.parent].Curiosity > 0:
+				r.cells[c.parent].Curiosity--
+			}
+		}
+	}
+}
+
+// Done implements engine.Stepper: the evaluation budget is exhausted.
+func (r *Repertoire) Done() bool { return r.evals >= r.p.MaxEvaluations }
+
+// Event implements engine.Stepper: Generation counts batches,
+// BestFitness/BestEver the best elite score, MeanFitness the mean over
+// occupied cells, and Evaluations/Draws the run totals.
+func (r *Repertoire) Event() engine.Event {
+	ev := engine.Event{
+		Generation:  r.batches,
+		Evaluations: r.evals,
+		Draws:       r.rng.draws,
+	}
+	sum := 0
+	for i := range r.cells {
+		if !r.filled[i] {
+			continue
+		}
+		if f := r.cells[i].Fitness; f > ev.BestFitness {
+			ev.BestFitness = f
+		}
+		sum += r.cells[i].Fitness
+	}
+	ev.BestEver = ev.BestFitness
+	if r.nfill > 0 {
+		ev.MeanFitness = float64(sum) / float64(r.nfill)
+	}
+	return ev
+}
+
+// Result summarizes the archive so far; valid at any batch boundary.
+type Result struct {
+	// Filled and Cells are the archive coverage.
+	Filled, Cells int
+	// Best is the highest-fitness elite (zero when the archive is
+	// empty); BestFitness its score and MaxFitness the rule maximum.
+	Best                    Elite
+	BestFitness, MaxFitness int
+	// Batches, Evaluations, Adds, and Improvements count the work:
+	// batches committed, candidates evaluated, empty cells filled, and
+	// elites replaced.
+	Batches, Evaluations, Adds, Improvements int
+	// Draws is the number of random samples consumed.
+	Draws uint64
+}
+
+// Result reports the run outcome so far.
+func (r *Repertoire) Result() Result {
+	res := Result{
+		Filled:       r.nfill,
+		Cells:        len(r.cells),
+		MaxFitness:   r.eval.Max(),
+		Batches:      r.batches,
+		Evaluations:  r.evals,
+		Adds:         r.adds,
+		Improvements: r.improves,
+		Draws:        r.rng.draws,
+	}
+	have := false
+	for i := range r.cells {
+		if r.filled[i] && (!have || r.cells[i].Fitness > res.BestFitness) {
+			res.Best = r.cells[i]
+			res.BestFitness = r.cells[i].Fitness
+			have = true
+		}
+	}
+	return res
+}
+
+// RunCtx drives the run to completion under ctx, reporting one Event
+// per batch to obs (nil for none). Cancellation lands on the next
+// batch boundary; the partial archive stays valid and the run can
+// continue — from this value or from a Snapshot.
+func (r *Repertoire) RunCtx(ctx context.Context, obs engine.Observer) (Result, error) {
+	err := engine.Run(ctx, r, obs)
+	return r.Result(), err
+}

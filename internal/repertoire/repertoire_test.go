@@ -1,0 +1,251 @@
+package repertoire
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"leonardo/internal/engine"
+	"leonardo/internal/genome"
+)
+
+// testParams is a small, fast configuration the suite shares: a coarse
+// grid and short trials keep a full run in tens of milliseconds.
+func testParams(seed uint64) Params {
+	return Params{
+		Headings:       8,
+		Strides:        4,
+		Cycles:         2,
+		Batch:          16,
+		MaxEvaluations: 640,
+		Seed:           seed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Params{
+		{Headings: -1},
+		{Strides: -3},
+		{StrideMaxMM: -1},
+		{StrideMaxMM: math.NaN()},
+		{StrideMaxMM: math.Inf(1)},
+		{Headings: 1 << 10, Strides: 1 << 10},
+		{Batch: -1},
+		{MaxEvaluations: -5},
+	}
+	for _, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) accepted invalid parameters", p)
+		}
+	}
+	r, err := New(Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Params()
+	if p.Headings != DefaultHeadings || p.Strides != DefaultStrides ||
+		p.Cycles != DefaultCycles || p.Batch != DefaultBatch ||
+		p.MutationBits != DefaultMutationBits || p.MaxEvaluations != DefaultMaxEvaluations ||
+		p.StrideMaxMM != DefaultStrideMaxMM {
+		t.Fatalf("defaults not resolved: %+v", p)
+	}
+}
+
+// TestArchiveFillsAndConverges drives a small run to its budget and
+// checks the archive invariants: coverage grows, every elite's stored
+// descriptors bin into the cell it occupies, and the best elite
+// reaches the rule maximum (26 is reliably found in a few hundred
+// evaluations at this grid).
+func TestArchiveFillsAndConverges(t *testing.T) {
+	r, err := New(Params{Headings: 8, Strides: 4, Cycles: 2, Batch: 32, MaxEvaluations: 6400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunCtx(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Filled < 8 {
+		t.Fatalf("archive holds only %d/%d cells after %d evaluations", res.Filled, res.Cells, res.Evaluations)
+	}
+	if res.BestFitness != res.MaxFitness {
+		t.Fatalf("best fitness %d/%d after %d evaluations", res.BestFitness, res.MaxFitness, res.Evaluations)
+	}
+	if res.Evaluations < r.Params().MaxEvaluations {
+		t.Fatalf("run stopped at %d evaluations, budget %d", res.Evaluations, r.Params().MaxEvaluations)
+	}
+	g := r.Params().Grid()
+	for h := 0; h < g.Headings; h++ {
+		for s := 0; s < g.Strides; s++ {
+			el, ok := r.EliteAt(h, s)
+			if !ok {
+				continue
+			}
+			bh, bs, bok := g.Bin(el.HeadingRad, el.StrideMM)
+			if !bok || bh != h || bs != s {
+				t.Fatalf("elite of cell (%d,%d) stores descriptors that bin to (%d,%d,%v)", h, s, bh, bs, bok)
+			}
+		}
+	}
+}
+
+// TestLookupReturnsInCellGenome is the acceptance-criteria check:
+// Lookup(heading, stride) must return a genome whose re-simulated
+// descriptors fall in the queried cell.
+func TestLookupReturnsInCellGenome(t *testing.T) {
+	r, err := New(testParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunCtx(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Params().Grid()
+	queries := 0
+	for h := 0; h < g.Headings; h++ {
+		for s := 0; s < g.Strides; s++ {
+			qh, qs := g.CellCenter(h, s)
+			el, ok := r.Lookup(qh, qs)
+			if !ok {
+				continue
+			}
+			queries++
+			heading, stride := Descriptors(el.Genome, r.Params().Cycles)
+			rh, rs, rok := g.Bin(heading, stride)
+			if !rok || rh != h || rs != s {
+				t.Fatalf("Lookup(%.3f, %.2f) genome %v re-simulates to cell (%d,%d,%v), queried (%d,%d)",
+					qh, qs, el.Genome, rh, rs, rok, h, s)
+			}
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no occupied cell answered a center query")
+	}
+	// Off-grid and empty-cell queries answer ok=false, never panic.
+	if _, ok := r.Lookup(math.NaN(), 1); ok {
+		t.Fatal("NaN heading answered a lookup")
+	}
+	if _, ok := r.Lookup(0, -1); ok {
+		t.Fatal("negative stride answered a lookup")
+	}
+	if _, ok := r.Lookup(0, r.Params().StrideMaxMM*2); ok {
+		t.Fatal("out-of-range stride answered a lookup")
+	}
+}
+
+// TestStrictImprovementReplacement pins the replacement rule at the
+// commit layer: an equal-fitness candidate never displaces the
+// incumbent, a strictly better one does and resets curiosity.
+func TestStrictImprovementReplacement(t *testing.T) {
+	r, err := New(testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := 5
+	incumbent := Elite{Genome: 0xABC, Fitness: 10, Curiosity: 3}
+	r.cells[cell] = incumbent
+	r.filled[cell] = true
+	r.nfill = 1
+
+	commit := func(g genome.Genome, fit int) {
+		r.plan = []candidate{{g: g, parent: -1}}
+		r.results = []outcome{{fitness: fit, cell: cell}}
+		r.commitBatch()
+	}
+	commit(0xDEF, 10) // tie: incumbent stays
+	if r.cells[cell].Genome != incumbent.Genome || r.improves != 0 {
+		t.Fatalf("equal fitness displaced the incumbent: %+v", r.cells[cell])
+	}
+	commit(0x123, 9) // worse: incumbent stays
+	if r.cells[cell].Genome != incumbent.Genome {
+		t.Fatalf("worse fitness displaced the incumbent: %+v", r.cells[cell])
+	}
+	commit(0x456, 11) // strictly better: replaced, curiosity reset
+	if r.cells[cell].Genome != 0x456 || r.cells[cell].Fitness != 11 || r.improves != 1 {
+		t.Fatalf("strict improvement did not replace: %+v", r.cells[cell])
+	}
+	if r.cells[cell].Curiosity != 0 {
+		t.Fatalf("replacement kept curiosity %d, want a reset to 0", r.cells[cell].Curiosity)
+	}
+}
+
+// TestCuriosityAccounting pins the parent-credit rule: archive entry
+// increments the parent's counter, a discard decrements it, floored at
+// zero.
+func TestCuriosityAccounting(t *testing.T) {
+	r, err := New(testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := 2
+	r.cells[parent] = Elite{Genome: 1, Fitness: 5}
+	r.filled[parent] = true
+	r.nfill = 1
+
+	r.plan = []candidate{{g: 2, parent: parent}}
+	r.results = []outcome{{fitness: 7, cell: 9}}
+	r.commitBatch()
+	if got := r.cells[parent].Curiosity; got != 1 {
+		t.Fatalf("successful offspring: curiosity %d, want 1", got)
+	}
+	r.plan = []candidate{{g: 3, parent: parent}, {g: 4, parent: parent}, {g: 5, parent: parent}}
+	r.results = []outcome{{fitness: 0, cell: -1}, {fitness: 0, cell: -1}, {fitness: 0, cell: -1}}
+	r.commitBatch()
+	if got := r.cells[parent].Curiosity; got != 0 {
+		t.Fatalf("discarded offspring: curiosity %d, want floor at 0", got)
+	}
+}
+
+// TestEventTelemetry checks the stepper telemetry against the run
+// state after a few batches.
+func TestEventTelemetry(t *testing.T) {
+	r, err := New(testParams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Steps(context.Background(), r, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	ev := r.Event()
+	if ev.Generation != 3 || ev.Generation != r.Batches() {
+		t.Fatalf("Generation %d, want 3", ev.Generation)
+	}
+	if ev.Evaluations != 3*r.Params().Batch || ev.Evaluations != r.Evaluations() {
+		t.Fatalf("Evaluations %d, want %d", ev.Evaluations, 3*r.Params().Batch)
+	}
+	if ev.Draws == 0 || ev.Draws != r.Draws() {
+		t.Fatalf("Draws %d inconsistent with %d", ev.Draws, r.Draws())
+	}
+	res := r.Result()
+	if ev.BestFitness != res.BestFitness || ev.BestEver != res.BestFitness {
+		t.Fatalf("best fitness %d/%d, result says %d", ev.BestFitness, ev.BestEver, res.BestFitness)
+	}
+	if res.Adds < 1 || res.Filled != res.Adds {
+		t.Fatalf("adds %d vs filled %d after fresh batches", res.Adds, res.Filled)
+	}
+}
+
+// TestCancellation: the engine contract — cancelling the context stops
+// the run at the next batch boundary with a valid partial archive.
+func TestCancellation(t *testing.T) {
+	p := testParams(5)
+	p.MaxEvaluations = 1 << 30
+	r, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err = r.RunCtx(ctx, engine.FuncObserver(func(engine.Event) {
+		n++
+		if n == 4 {
+			cancel()
+		}
+	}))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r.Batches() != 4 {
+		t.Fatalf("run stopped after %d batches, want 4", r.Batches())
+	}
+}

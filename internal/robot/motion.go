@@ -24,10 +24,17 @@ import "math"
 //
 // All-equal strides reduce to the familiar straight-walk case
 // v = -ṗ̄, ω = 0.
-func RigidMotion(feet, strides []Vec2) (v Vec2, omega float64, slip float64) {
+//
+// ok reports whether the inputs define a motion at all: it is false
+// when there are no stance feet (n == 0) or when feet and strides
+// disagree in length, and the zero twist returned alongside it is a
+// sentinel, not a solution. Coincident feet (all p_i equal) leave the
+// rotation unobservable; the solver then fixes ω = 0 and reports
+// ok = true, since the translational part is still well-defined.
+func RigidMotion(feet, strides []Vec2) (v Vec2, omega float64, slip float64, ok bool) {
 	n := len(feet)
 	if n == 0 || n != len(strides) {
-		return Vec2{}, 0, 0
+		return Vec2{}, 0, 0, false
 	}
 	var pBar, sBar Vec2
 	for i := range feet {
@@ -61,7 +68,7 @@ func RigidMotion(feet, strides []Vec2) (v Vec2, omega float64, slip float64) {
 		ry := v.Y + omega*feet[i].X + strides[i].Y
 		slip += math.Hypot(rx, ry)
 	}
-	return v, omega, slip
+	return v, omega, slip, true
 }
 
 // Pose is the robot's world-frame pose: position of the body centre

@@ -11,9 +11,9 @@ func TestRigidMotionStraight(t *testing.T) {
 	// All feet commanded the same stride: pure translation, no slip.
 	feet := []Vec2{{100, 100}, {0, 100}, {-100, -100}}
 	strides := []Vec2{{-40, 0}, {-40, 0}, {-40, 0}}
-	v, omega, slip := RigidMotion(feet, strides)
-	if v.X != 40 || v.Y != 0 || omega != 0 || slip > 1e-9 {
-		t.Fatalf("v=%v omega=%v slip=%v", v, omega, slip)
+	v, omega, slip, ok := RigidMotion(feet, strides)
+	if !ok || v.X != 40 || v.Y != 0 || omega != 0 || slip > 1e-9 {
+		t.Fatalf("v=%v omega=%v slip=%v ok=%v", v, omega, slip, ok)
 	}
 }
 
@@ -27,7 +27,10 @@ func TestRigidMotionPureRotation(t *testing.T) {
 	for i, p := range feet {
 		strides[i] = Vec2{X: w * p.Y, Y: -w * p.X} // = -w*J*p
 	}
-	v, omega, slip := RigidMotion(feet, strides)
+	v, omega, slip, ok := RigidMotion(feet, strides)
+	if !ok {
+		t.Fatal("tangential strides on a circle are a valid motion")
+	}
 	if math.Abs(omega-w) > 1e-12 {
 		t.Fatalf("omega = %v, want %v", omega, w)
 	}
@@ -49,8 +52,8 @@ func TestRigidMotionRecoversRandomTwists(t *testing.T) {
 			// stride = -(v + w*J*p)
 			strides[i] = Vec2{X: -(vx - w*p.Y), Y: -(vy + w*p.X)}
 		}
-		gv, gw, slip := RigidMotion(feet, strides)
-		return math.Abs(gv.X-vx) < 1e-9 && math.Abs(gv.Y-vy) < 1e-9 &&
+		gv, gw, slip, ok := RigidMotion(feet, strides)
+		return ok && math.Abs(gv.X-vx) < 1e-9 && math.Abs(gv.Y-vy) < 1e-9 &&
 			math.Abs(gw-w) < 1e-12 && slip < 1e-6
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -79,7 +82,7 @@ func TestRigidMotionLeastSquaresOptimality(t *testing.T) {
 			feet[i] = Vec2{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
 			strides[i] = Vec2{rng.Float64()*80 - 40, rng.Float64()*20 - 10}
 		}
-		v, w, _ := RigidMotion(feet, strides)
+		v, w, _, _ := RigidMotion(feet, strides)
 		base := cost(feet, strides, v.X, v.Y, w)
 		for _, d := range []struct{ dvx, dvy, dw float64 }{
 			{1e-3, 0, 0}, {-1e-3, 0, 0}, {0, 1e-3, 0}, {0, -1e-3, 0},
@@ -93,17 +96,49 @@ func TestRigidMotionLeastSquaresOptimality(t *testing.T) {
 }
 
 func TestRigidMotionDegenerate(t *testing.T) {
-	if v, w, s := RigidMotion(nil, nil); v != (Vec2{}) || w != 0 || s != 0 {
-		t.Fatal("empty input should be a no-op")
+	// No stance feet: the zero twist is a sentinel, flagged by ok=false.
+	if v, w, s, ok := RigidMotion(nil, nil); ok || v != (Vec2{}) || w != 0 || s != 0 {
+		t.Fatalf("empty input: v=%v w=%v s=%v ok=%v, want zeros with ok=false", v, w, s, ok)
 	}
-	// Single foot: translation follows it, no rotation.
-	v, w, s := RigidMotion([]Vec2{{50, 0}}, []Vec2{{-10, 0}})
-	if v.X != 10 || w != 0 || s > 1e-9 {
-		t.Fatalf("single-foot: v=%v w=%v s=%v", v, w, s)
+	// Single foot: translation follows it, no rotation — a valid motion.
+	v, w, s, ok := RigidMotion([]Vec2{{50, 0}}, []Vec2{{-10, 0}})
+	if !ok || v.X != 10 || w != 0 || s > 1e-9 {
+		t.Fatalf("single-foot: v=%v w=%v s=%v ok=%v", v, w, s, ok)
 	}
-	// Mismatched lengths: no-op.
-	if v, _, _ := RigidMotion([]Vec2{{1, 1}}, nil); v != (Vec2{}) {
-		t.Fatal("mismatched lengths should be a no-op")
+	// Mismatched lengths: sentinel zeros, ok=false.
+	if v, _, _, ok := RigidMotion([]Vec2{{1, 1}}, nil); ok || v != (Vec2{}) {
+		t.Fatal("mismatched lengths must report ok=false with a zero twist")
+	}
+	if _, _, _, ok := RigidMotion([]Vec2{{1, 1}}, []Vec2{{1, 0}, {0, 1}}); ok {
+		t.Fatal("length mismatch the other way must report ok=false")
+	}
+}
+
+// TestRigidMotionCoincidentFeet pins the singular case: when every
+// stance foot sits at the same point, the normal-equation denominator
+// Σ|p̂|² is zero, rotation is unobservable, and the solver must fix
+// ω = 0 (never NaN/Inf) while still solving the translation. Inputs
+// here are ok=true — the motion exists, it is just not unique in ω.
+func TestRigidMotionCoincidentFeet(t *testing.T) {
+	feet := []Vec2{{30, 40}, {30, 40}, {30, 40}}
+	strides := []Vec2{{-5, 2}, {-5, 2}, {-5, 2}}
+	v, w, s, ok := RigidMotion(feet, strides)
+	if !ok {
+		t.Fatal("coincident feet still define a translation; want ok=true")
+	}
+	if w != 0 {
+		t.Fatalf("omega = %v, want exactly 0 for a singular rotation", w)
+	}
+	if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsInf(v.X, 0) || math.IsInf(v.Y, 0) {
+		t.Fatalf("translation is not finite: %v", v)
+	}
+	if math.Abs(v.X-5) > 1e-12 || math.Abs(v.Y+2) > 1e-12 || s > 1e-9 {
+		t.Fatalf("v=%v slip=%v, want v=(5,-2) slip=0", v, s)
+	}
+	// Disagreeing strides at one point: all disagreement is slip.
+	_, w2, s2, ok2 := RigidMotion([]Vec2{{0, 0}, {0, 0}}, []Vec2{{-10, 0}, {10, 0}})
+	if !ok2 || w2 != 0 || math.IsNaN(s2) || s2 <= 0 {
+		t.Fatalf("disagreeing coincident strides: w=%v slip=%v ok=%v", w2, s2, ok2)
 	}
 }
 

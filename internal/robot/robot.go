@@ -302,9 +302,12 @@ func (r *Robot) Step(obstacleAt float64) PhaseResult {
 			feet = append(feet, FootPosition(leg, before.Forward[l]))
 			strides = append(strides, stride)
 		}
-		v, omega, slip := RigidMotion(feet, strides)
-		res.Twist, res.Omega, res.Slip = v, omega, slip
-		res.Displacement = v.X
+		// ok is false only when every leg is in swing: no stance feet,
+		// so the body has nothing to push against and stays put.
+		if v, omega, slip, ok := RigidMotion(feet, strides); ok {
+			res.Twist, res.Omega, res.Slip = v, omega, slip
+			res.Displacement = v.X
+		}
 	}
 
 	// Stability during the phase: with no stable support the body

@@ -300,3 +300,50 @@ func TestSubmitLanePackRun(t *testing.T) {
 		t.Fatalf("managed snapshot (%d bytes) differs from reference (%d bytes)", len(snap), len(ref))
 	}
 }
+
+// TestSubmitRepertoireRun proves the manager drives the MAP-Elites
+// repertoire kind end to end: submit a "repertoire" spec with a "HxS"
+// grid, run it to its evaluation budget on the worker pool, and match
+// the unmanaged reference archive bit for bit.
+func TestSubmitRepertoireRun(t *testing.T) {
+	m, err := serve.New(serve.Config{Workers: 2, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	spec := leonardo.RunSpec{Kind: leonardo.KindRepertoire, Seed: 7,
+		Grid: "8x4", Batch: 32, Evaluations: 2000}
+	info, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != leonardo.KindRepertoire {
+		t.Fatalf("submit info = %+v", info)
+	}
+	waitFor(t, 30*time.Second, "repertoire run to finish", func() bool {
+		got, err := m.Get(info.ID)
+		return err == nil && got.State == serve.StateDone
+	})
+	got, _ := m.Get(info.ID)
+	if got.Event.Evaluations < 2000 {
+		t.Fatalf("done run reports %d evaluations, want the 2000 budget", got.Event.Evaluations)
+	}
+	snap, err := m.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := leonardo.SnapshotKind(snap); err != nil || kind != leonardo.KindRepertoire {
+		t.Fatalf("managed snapshot kind = %q, %v", kind, err)
+	}
+	if ref := runRef(t, spec); !bytes.Equal(snap, ref) {
+		t.Fatalf("managed snapshot (%d bytes) differs from reference (%d bytes)", len(snap), len(ref))
+	}
+	// The finished archive resumes and answers behaviour queries.
+	run, err := leonardo.ResumeRepertoire(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled, total := run.Coverage(); filled < 1 || total != 32 {
+		t.Fatalf("resumed archive coverage %d/%d", filled, total)
+	}
+}

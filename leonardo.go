@@ -36,6 +36,7 @@ import (
 	"leonardo/internal/genome"
 	"leonardo/internal/island"
 	"leonardo/internal/logic"
+	"leonardo/internal/repertoire"
 	"leonardo/internal/robot"
 )
 
@@ -381,13 +382,17 @@ const (
 	// (ClusterRun): a contiguous block of the global deme space plus the
 	// fleet placement, exchanged over a MigrationTransport.
 	KindCluster = "cluster"
+	// KindRepertoire is a MAP-Elites quality-diversity archive over
+	// (heading, stride) descriptor cells (RepertoireRun).
+	KindRepertoire = "repertoire"
 )
 
 // Runner is the kind-agnostic handle on a resumable evolution run: Run,
-// IslandRun, and CircuitRun all satisfy it, and it satisfies
-// engine.Stepper, so one engine loop drives any kind. Step granularity
-// differs by kind — a generation (gap), an epoch (island), or a bounded
-// slice of clock cycles (circuit) — but the contract is shared: Step
+// IslandRun, CircuitRun, LanePackRun, and RepertoireRun all satisfy it,
+// and it satisfies engine.Stepper, so one engine loop drives any kind.
+// Step granularity differs by kind — a generation (gap), an epoch
+// (island), a bounded slice of clock cycles (circuit), or a candidate
+// batch (repertoire) — but the contract is shared: Step
 // only between Done checks, Snapshot only between Steps, and a resumed
 // run continues the original trajectory bit for bit.
 type Runner interface {
@@ -401,7 +406,7 @@ type Runner interface {
 	// Snapshot serializes the complete run state for ResumeAny.
 	Snapshot() []byte
 	// Kind returns the run's snapshot kind tag (KindGAP, KindIsland,
-	// KindCircuit, or KindLanePack).
+	// KindCircuit, KindLanePack, or KindRepertoire).
 	Kind() string
 }
 
@@ -544,6 +549,112 @@ func (r *LanePackRun) RunCtx(ctx context.Context, obs Observer) (IslandResult, e
 	return r.lp.RunCtx(ctx, obs)
 }
 
+// RepertoireParams configures a quality-diversity repertoire run: a
+// MAP-Elites grid over final heading (circular, in [-π, π)) crossed
+// with per-cycle stride displacement, every cell holding the fittest
+// gait found with that behaviour. Zero-valued knobs take the package
+// defaults, so RepertoireParams{Seed: s} is a complete configuration.
+type RepertoireParams = repertoire.Params
+
+// RepertoireResult is the outcome of a repertoire run: coverage,
+// the best elite, and the work counters.
+type RepertoireResult = repertoire.Result
+
+// RepertoireElite is one occupied cell of the archive: the best genome
+// found so far for that (heading, stride) behaviour, with its measured
+// descriptors.
+type RepertoireElite = repertoire.Elite
+
+// RepertoireGrid is the descriptor-space discretization of a
+// repertoire (pure geometry: binning and cell centers).
+type RepertoireGrid = repertoire.Grid
+
+// EvolveRepertoire runs a MAP-Elites repertoire to its evaluation
+// budget under ctx: candidates evaluate concurrently (bounded by
+// RepertoireParams.Workers) through the packed-LUT fitness fast path
+// and the rigid-motion descriptor fit, and the run replays
+// bit-identically for any worker count. obs — if non-nil — receives
+// one aggregate Event per batch.
+func EvolveRepertoire(ctx context.Context, p RepertoireParams, obs Observer) (RepertoireResult, error) {
+	r, err := repertoire.New(p)
+	if err != nil {
+		return RepertoireResult{}, err
+	}
+	return r.RunCtx(ctx, obs)
+}
+
+// RepertoireRun is the pausable, resumable handle on a repertoire run:
+// step it one batch at a time, snapshot it at any batch boundary, and
+// resume the exact run bit for bit. Once filled, the archive answers
+// O(1) behaviour queries through Lookup.
+type RepertoireRun struct{ r *repertoire.Repertoire }
+
+// NewRepertoireRun starts a fresh repertoire at the given parameters.
+func NewRepertoireRun(p RepertoireParams) (*RepertoireRun, error) {
+	r, err := repertoire.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &RepertoireRun{r: r}, nil
+}
+
+// ResumeRepertoire reconstructs a RepertoireRun from a Snapshot. The
+// resumed run continues the original trajectory exactly.
+func ResumeRepertoire(snapshot []byte) (*RepertoireRun, error) {
+	r, err := repertoire.Restore(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &RepertoireRun{r: r}, nil
+}
+
+// Step plans, evaluates, and commits one batch of candidates.
+func (r *RepertoireRun) Step() error { return r.r.Step() }
+
+// Event returns the aggregate telemetry of the most recent batch.
+func (r *RepertoireRun) Event() Event { return r.r.Event() }
+
+// Kind returns the run's snapshot kind tag, KindRepertoire.
+func (r *RepertoireRun) Kind() string { return KindRepertoire }
+
+// SetWorkers re-chooses the worker bound for the batch evaluation
+// fan-out (0 = GOMAXPROCS); pure scheduling, never affects the archive.
+func (r *RepertoireRun) SetWorkers(n int) { r.r.SetWorkers(n) }
+
+// Done reports whether the evaluation budget is exhausted.
+func (r *RepertoireRun) Done() bool { return r.r.Done() }
+
+// Batches returns the number of completed batches.
+func (r *RepertoireRun) Batches() int { return r.r.Batches() }
+
+// Coverage returns the occupied and total cell counts.
+func (r *RepertoireRun) Coverage() (filled, total int) { return r.r.Coverage() }
+
+// Lookup returns the elite whose cell contains the queried behaviour —
+// final heading in radians and per-cycle stride displacement in mm —
+// in O(1). ok is false when the descriptors fall outside the grid or
+// the cell is still empty.
+func (r *RepertoireRun) Lookup(headingRad, strideMM float64) (RepertoireElite, bool) {
+	return r.r.Lookup(headingRad, strideMM)
+}
+
+// Elites returns every occupied cell's elite in canonical cell order.
+func (r *RepertoireRun) Elites() []RepertoireElite { return r.r.Elites() }
+
+// Result reports the repertoire outcome so far; valid at any batch
+// boundary.
+func (r *RepertoireRun) Result() RepertoireResult { return r.r.Result() }
+
+// Snapshot serializes the complete run state (parameters, RNG, work
+// counters, every elite) for ResumeRepertoire.
+func (r *RepertoireRun) Snapshot() []byte { return r.r.Snapshot() }
+
+// RunCtx drives the repertoire to its evaluation budget under ctx,
+// reporting each batch to obs (nil for none).
+func (r *RepertoireRun) RunCtx(ctx context.Context, obs Observer) (RepertoireResult, error) {
+	return r.r.RunCtx(ctx, obs)
+}
+
 // RunSpec is the serialized, kind-tagged description of any run the
 // facade can construct — the wire format of leonardod's POST /v1/runs
 // and the one document a service needs to persist to rebuild a run
@@ -586,6 +697,41 @@ type RunSpec struct {
 	Seeds       []uint64 `json:"seeds,omitempty"`
 	Generations int      `json:"generations,omitempty"`
 	MaxCycles   int      `json:"max_cycles,omitempty"`
+	// Grid, Batch, and Evaluations configure a KindRepertoire run: the
+	// descriptor grid as "HxS" (e.g. "16x8"; empty means the package
+	// default), the candidates evaluated per batch, and the total
+	// evaluation budget. Workers applies here too.
+	Grid        string `json:"grid,omitempty"`
+	Batch       int    `json:"batch,omitempty"`
+	Evaluations int    `json:"evaluations,omitempty"`
+}
+
+// ParseGrid parses a "HxS" grid string ("16x8") into its axis sizes.
+func ParseGrid(s string) (headings, strides int, err error) {
+	if n, err := fmt.Sscanf(s, "%dx%d", &headings, &strides); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("leonardo: grid %q is not of the form HxS (e.g. 16x8)", s)
+	}
+	return headings, strides, nil
+}
+
+// RepertoireParams maps the spec's repertoire knobs onto
+// RepertoireParams — the same mapping NewRunner applies for
+// KindRepertoire.
+func (s RunSpec) RepertoireParams() (RepertoireParams, error) {
+	p := RepertoireParams{
+		Seed:           s.Seed,
+		Batch:          s.Batch,
+		MaxEvaluations: s.Evaluations,
+		Workers:        s.Workers,
+	}
+	if s.Grid != "" {
+		h, st, err := ParseGrid(s.Grid)
+		if err != nil {
+			return RepertoireParams{}, err
+		}
+		p.Headings, p.Strides = h, st
+	}
+	return p, nil
 }
 
 // base maps the spec's GA knobs onto Params, paper values where zero.
@@ -653,10 +799,16 @@ func (s RunSpec) NewRunner() (Runner, error) {
 			seeds = []uint64{s.Seed}
 		}
 		return NewCircuitRun(s.base(), seeds, s.Generations, s.MaxCycles)
+	case KindRepertoire:
+		p, err := s.RepertoireParams()
+		if err != nil {
+			return nil, err
+		}
+		return NewRepertoireRun(p)
 	case "":
-		return nil, fmt.Errorf("leonardo: run spec has no kind (want %q, %q, %q, or %q)", KindGAP, KindIsland, KindCircuit, KindLanePack)
+		return nil, fmt.Errorf("leonardo: run spec has no kind (want %q, %q, %q, %q, or %q)", KindGAP, KindIsland, KindCircuit, KindLanePack, KindRepertoire)
 	default:
-		return nil, fmt.Errorf("leonardo: unknown run kind %q (want %q, %q, %q, or %q)", s.Kind, KindGAP, KindIsland, KindCircuit, KindLanePack)
+		return nil, fmt.Errorf("leonardo: unknown run kind %q (want %q, %q, %q, %q, or %q)", s.Kind, KindGAP, KindIsland, KindCircuit, KindLanePack, KindRepertoire)
 	}
 }
 
@@ -686,6 +838,8 @@ func ResumeAny(snapshot []byte) (Runner, error) {
 		return ResumeCircuit(snapshot)
 	case KindLanePack:
 		return ResumeLanePack(snapshot)
+	case KindRepertoire:
+		return ResumeRepertoire(snapshot)
 	case KindCluster:
 		return nil, fmt.Errorf("leonardo: %q snapshots are one node's shard of a distributed run; resume with ResumeCluster and a migration transport, or merge the fleet's shards with MergeClusterSnapshots first", kind)
 	default:
