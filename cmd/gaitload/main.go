@@ -1,0 +1,362 @@
+// Command gaitload is the load-test harness for the gait-serving read
+// path (DESIGN.md §15): it hammers a running leonardod's GET /v1/gaits
+// with concurrent lookup queries drawn from a run's own archive,
+// histograms the end-to-end latency, scrapes the daemon's cache
+// counters, and writes a BENCH_serve.json-shaped report.
+//
+// Usage:
+//
+//	gaitload [-addr URL] [-run ID] [-duration D] [-concurrency N]
+//	         [-seed N] [-out FILE] [-budget-p99 D]
+//
+// With no -run it submits a small repertoire run of its own and waits
+// for the first checkpoint, so the smoke invocation is one command
+// against a fresh daemon. With -budget-p99 the exit status enforces a
+// latency budget: 1 when the measured p99 exceeds it (the CI
+// serve-load job's assertion), 2 on setup failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "leonardod base URL")
+	runID := flag.String("run", "", "repertoire run to query (empty submits a fresh one)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window")
+	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
+	seed := flag.Int64("seed", 1, "query-sequence seed")
+	out := flag.String("out", "", "write the JSON report here (empty = stdout only)")
+	budgetP99 := flag.Duration("budget-p99", 0, "fail (exit 1) when p99 exceeds this (0 disables)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gaitload: ", log.LstdFlags)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	id := *runID
+	if id == "" {
+		var err error
+		id, err = submitRepertoire(client, *addr)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		logger.Printf("submitted repertoire run %s", id)
+	}
+	queries, err := awaitArchive(client, *addr, id, logger)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	logger.Printf("run %s serves %d occupied cells; loading for %v at concurrency %d",
+		id, len(queries), *duration, *concurrency)
+
+	before, err := scrapeCache(client, *addr)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	res := load(client, *addr, id, queries, *duration, *concurrency, *seed)
+	after, err := scrapeCache(client, *addr)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+
+	report := buildReport(*addr, id, *duration, *concurrency, len(queries), res, before, after)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			logger.Print(err)
+			return 2
+		}
+		logger.Printf("report written to %s", *out)
+	}
+
+	if *budgetP99 > 0 && res.quantile(0.99) > *budgetP99 {
+		logger.Printf("p99 %v exceeds budget %v", res.quantile(0.99), *budgetP99)
+		return 1
+	}
+	return 0
+}
+
+// submitRepertoire posts a small repertoire spec and returns its id.
+func submitRepertoire(client *http.Client, addr string) (string, error) {
+	spec := map[string]any{
+		"kind":        "repertoire",
+		"seed":        7,
+		"grid":        "16x8",
+		"batch":       64,
+		"evaluations": 30000,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("submit: %w", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &info); err != nil || info.ID == "" {
+		return "", fmt.Errorf("submit: bad response %q: %v", data, err)
+	}
+	return info.ID, nil
+}
+
+// query is one lookup target: the measured descriptors of an elite,
+// which always bin back into the elite's own cell.
+type query struct{ heading, stride float64 }
+
+// awaitArchive polls GET /v1/gaits?run=ID until the archive is
+// queryable, then returns the measured descriptors of every occupied
+// cell.
+func awaitArchive(client *http.Client, addr, id string, logger *log.Logger) ([]query, error) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := client.Get(addr + "/v1/gaits?run=" + id)
+		if err != nil {
+			return nil, fmt.Errorf("listing: %w", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var doc struct {
+				Filled int `json:"filled"`
+				Elites []struct {
+					Measured struct {
+						Heading float64 `json:"heading"`
+						Stride  float64 `json:"stride"`
+					} `json:"measured"`
+				} `json:"elites"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return nil, fmt.Errorf("listing: %v in %q", err, data)
+			}
+			if len(doc.Elites) > 0 {
+				qs := make([]query, len(doc.Elites))
+				for i, e := range doc.Elites {
+					qs[i] = query{e.Measured.Heading, e.Measured.Stride}
+				}
+				return qs, nil
+			}
+		case http.StatusConflict:
+			// No checkpoint yet; keep waiting.
+		default:
+			return nil, fmt.Errorf("listing: %s: %s", resp.Status, data)
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("listing: run never became queryable")
+		}
+		logger.Printf("waiting for %s to checkpoint an archive...", id)
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// latency histogram: log-spaced buckets, ~3 per decade from 10µs up.
+var bucketBounds = func() []time.Duration {
+	var b []time.Duration
+	for _, base := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		b = append(b, base, 2*base, 5*base)
+	}
+	return append(b, 10*time.Second)
+}()
+
+type result struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	non200   atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+	buckets  []atomic.Int64 // one per bucketBounds entry; last is +Inf-ish
+}
+
+func (r *result) observe(d time.Duration) {
+	r.requests.Add(1)
+	r.sumNanos.Add(int64(d))
+	for {
+		old := r.maxNanos.Load()
+		if int64(d) <= old || r.maxNanos.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	i := sort.Search(len(bucketBounds), func(i int) bool { return d <= bucketBounds[i] })
+	if i == len(bucketBounds) {
+		i--
+	}
+	r.buckets[i].Add(1)
+}
+
+// quantile returns the upper bound of the bucket where the q-quantile
+// lands — a conservative (rounded-up) estimate.
+func (r *result) quantile(q float64) time.Duration {
+	total := r.requests.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var cum int64
+	for i := range r.buckets {
+		cum += r.buckets[i].Load()
+		if cum > rank {
+			return bucketBounds[i]
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// load fires lookup queries from concurrency workers for the window.
+func load(client *http.Client, addr, id string, queries []query, window time.Duration, concurrency int, seed int64) *result {
+	res := &result{buckets: make([]atomic.Int64, len(bucketBounds))}
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var sb strings.Builder
+			for time.Now().Before(deadline) {
+				q := queries[rng.Intn(len(queries))]
+				sb.Reset()
+				sb.WriteString(addr)
+				sb.WriteString("/v1/gaits?run=")
+				sb.WriteString(id)
+				sb.WriteString("&heading=")
+				sb.WriteString(strconv.FormatFloat(q.heading, 'g', -1, 64))
+				sb.WriteString("&stride=")
+				sb.WriteString(strconv.FormatFloat(q.stride, 'g', -1, 64))
+				t0 := time.Now()
+				resp, err := client.Get(sb.String())
+				if err != nil {
+					res.errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.observe(time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					res.non200.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
+
+// cacheCounters is the slice of /metrics the report cares about.
+type cacheCounters struct {
+	hits, misses, decodes int64
+}
+
+func scrapeCache(client *http.Client, addr string) (cacheCounters, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return cacheCounters{}, fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return cacheCounters{}, fmt.Errorf("metrics: %w", err)
+	}
+	var c cacheCounters
+	for _, line := range strings.Split(string(data), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "leonardod_gait_cache_hits_total":
+			c.hits = n
+		case "leonardod_gait_cache_misses_total":
+			c.misses = n
+		case "leonardod_gait_cache_decodes_total":
+			c.decodes = n
+		}
+	}
+	return c, nil
+}
+
+func buildReport(addr, id string, window time.Duration, concurrency, cells int, res *result, before, after cacheCounters) map[string]any {
+	total := res.requests.Load()
+	qps := float64(total) / window.Seconds()
+	mean := time.Duration(0)
+	if total > 0 {
+		mean = time.Duration(res.sumNanos.Load() / total)
+	}
+	hits := after.hits - before.hits
+	misses := after.misses - before.misses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	hist := make([]map[string]any, 0, len(bucketBounds))
+	for i := range res.buckets {
+		if n := res.buckets[i].Load(); n > 0 {
+			hist = append(hist, map[string]any{
+				"le_us": bucketBounds[i].Microseconds(),
+				"count": n,
+			})
+		}
+	}
+	return map[string]any{
+		"description": "gaitload: GET /v1/gaits lookup latency against a live leonardod",
+		"config": map[string]any{
+			"addr": addr, "run": id, "duration": window.String(),
+			"concurrency": concurrency, "occupied_cells": cells,
+		},
+		"results": map[string]any{
+			"requests": total,
+			"errors":   res.errors.Load(),
+			"non_200":  res.non200.Load(),
+			"qps":      qps,
+			"latency_us": map[string]any{
+				"mean": mean.Microseconds(),
+				"p50":  res.quantile(0.50).Microseconds(),
+				"p90":  res.quantile(0.90).Microseconds(),
+				"p99":  res.quantile(0.99).Microseconds(),
+				"max":  time.Duration(res.maxNanos.Load()).Microseconds(),
+			},
+			"cache": map[string]any{
+				"hits": hits, "misses": misses,
+				"decodes":  after.decodes - before.decodes,
+				"hit_rate": hitRate,
+			},
+		},
+		"histogram": hist,
+	}
+}

@@ -9,19 +9,30 @@
 //
 //	leonardod [-addr HOST:PORT] [-spool DIR] [-workers N]
 //	          [-queue-depth N] [-snapshot-every N]
+//	          [-gait-cache N] [-event-buffer N]
 //	          [-node-id ID -peers ID=URL,ID=URL,... [-epoch-timeout D]]
 //
-// API (see DESIGN.md §10 and §12 and the README "Serving" and
-// "Multi-node" sections):
+// API (see DESIGN.md §10, §12, and §15 and the README "Serving",
+// "Multi-node", and "Querying gaits" sections):
 //
 //	POST /v1/runs               submit a run spec
-//	GET  /v1/runs               list the registry
+//	GET  /v1/runs               list the registry (?limit=&after= paginates)
 //	GET  /v1/runs/{id}          live generation / best fitness
 //	POST /v1/runs/{id}/cancel   cancel a run
-//	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)
+//	GET  /v1/runs/{id}/snapshot latest checkpoint (binary; ETag/304)
+//	GET  /v1/runs/{id}/events   progress stream (Server-Sent Events)
+//	GET  /v1/gaits              gait lookup / archive listing
 //	POST /v1/migrate            peer-to-peer migration batches
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text exposition
+//
+// GET /v1/gaits?run=ID&heading=RAD&stride=MM serves the gait of the
+// repertoire cell the query bins into, straight from an in-memory
+// decoded-archive cache (-gait-cache bounds how many archives stay
+// decoded); snapshots live in a content-addressed store under
+// <spool>/store. GET /v1/runs/{id}/events pushes per-generation
+// progress; -event-buffer bounds how far back a late subscriber can
+// replay.
 //
 // -node-id and -peers join the daemon to a fleet: K nodes sharding one
 // island archipelago, exchanging champions over POST /v1/migrate at
@@ -60,6 +71,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS); admitted runs beyond this queue")
 	queueDepth := flag.Int("queue-depth", 64, "queued runs beyond which submissions get 429")
 	snapshotEvery := flag.Int("snapshot-every", 50, "checkpoint stride in engine steps")
+	gaitCache := flag.Int("gait-cache", 0, "decoded gait archives kept in memory (0 = 64)")
+	eventBuffer := flag.Int("event-buffer", 0, "SSE progress events retained per run for replay (0 = 256)")
 	nodeID := flag.String("node-id", "", "this node's id in a leonardod fleet (requires -peers)")
 	peers := flag.String("peers", "", "fleet registry as id=url,id=url,... including this node")
 	epochTimeout := flag.Duration("epoch-timeout", 0, "epoch barrier timeout before degrading to no-migration (0 = 30s)")
@@ -76,6 +89,8 @@ func run() int {
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		SnapshotEvery: *snapshotEvery,
+		GaitCache:     *gaitCache,
+		EventBuffer:   *eventBuffer,
 		Logf:          logger.Printf,
 		Cluster:       clusterCfg,
 	})

@@ -1,0 +1,57 @@
+package gaitserve_test
+
+import (
+	"testing"
+
+	"leonardo/internal/gaitserve"
+	"leonardo/internal/repertoire"
+)
+
+// TestAllocsHotpath pins the gait-query path — Archive.Lookup plus the
+// AppendLookup response encode into a reused buffer — at 0 allocs/op
+// (ALLOCS_hotpath.json "gaitserve"). The serve handler reuses response
+// buffers from a pool, so steady-state queries must not touch the
+// heap. Skipped under -race: the race runtime instruments allocations.
+func TestAllocsHotpath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	snap := evolveSnap(t, 31)
+	arch, err := repertoire.DecodeArchive(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := arch.Grid()
+	// Pick an occupied cell to query so the encode path runs in full.
+	heading, stride := 0.0, 0.0
+	found := false
+	for h := 0; h < g.Headings && !found; h++ {
+		for s := 0; s < g.Strides && !found; s++ {
+			if _, ok := arch.EliteAt(h, s); ok {
+				heading, stride = g.CellCenter(h, s)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("evolved archive has no occupied cell")
+	}
+
+	buf := make([]byte, 0, 512)
+	query := func() {
+		el, ok := arch.Lookup(heading, stride)
+		if !ok {
+			t.Fatal("lookup missed an occupied cell")
+		}
+		h, s, _ := g.Bin(heading, stride)
+		buf = gaitserve.AppendLookup(buf[:0], "r000001", heading, stride, h, s, el)
+		if len(buf) == 0 {
+			t.Fatal("empty response")
+		}
+	}
+	query() // warm up: let the buffer reach steady-state capacity
+
+	if n := testing.AllocsPerRun(200, query); n != 0 {
+		t.Fatalf("gait query path allocates %.1f allocs/op, budget 0", n)
+	}
+}

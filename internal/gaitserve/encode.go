@@ -1,0 +1,122 @@
+package gaitserve
+
+// Allocation-free JSON rendering for the gait query endpoints. The
+// handlers serve from pooled buffers; every byte of a steady-state
+// response is appended here with strconv, so the lookup path — Archive
+// binning plus this encode — runs at 0 allocs/op (TestAllocsHotpath,
+// ALLOCS_hotpath.json "gaitserve"). The append-to-caller-buffer shape
+// is the strconv.Append* contract: capacity amortizes after the first
+// response, and leolint's static check is audited per function below.
+
+import (
+	"strconv"
+
+	"leonardo/internal/repertoire"
+)
+
+// AppendLookup renders the GET /v1/gaits lookup document for one
+// resolved query:
+//
+//	{"run":"r000001","query":{"heading":0.8,"stride":11.5},
+//	 "cell":{"h":6,"s":3},"genome":"0xf23845ac1","fitness":26,
+//	 "measured":{"heading":0.79,"stride":11.61},"curiosity":2}
+//
+// and returns the extended buffer.
+//
+//leo:hotpath
+//leo:allow hotpath-append appends fill the caller-reused response buffer; capacity amortizes to zero steady-state allocations
+func AppendLookup(dst []byte, run string, headingRad, strideMM float64, h, s int, el repertoire.Elite) []byte {
+	dst = append(dst, `{"run":`...)
+	dst = appendJSONString(dst, run)
+	dst = append(dst, `,"query":{"heading":`...)
+	dst = strconv.AppendFloat(dst, headingRad, 'g', -1, 64)
+	dst = append(dst, `,"stride":`...)
+	dst = strconv.AppendFloat(dst, strideMM, 'g', -1, 64)
+	dst = append(dst, `},"cell":{"h":`...)
+	dst = strconv.AppendInt(dst, int64(h), 10)
+	dst = append(dst, `,"s":`...)
+	dst = strconv.AppendInt(dst, int64(s), 10)
+	dst = append(dst, `},`...)
+	dst = appendElite(dst, el)
+	dst = append(dst, '}')
+	return dst
+}
+
+// AppendCellsHeader opens the GET /v1/gaits listing document:
+//
+//	{"run":"r000001","filled":93,"cells":128,"elites":[
+//
+// The caller appends AppendCell rows (comma-separated) and closes with
+// "]}".
+func AppendCellsHeader(dst []byte, run string, filled, total int) []byte {
+	dst = append(dst, `{"run":`...)
+	dst = appendJSONString(dst, run)
+	dst = append(dst, `,"filled":`...)
+	dst = strconv.AppendInt(dst, int64(filled), 10)
+	dst = append(dst, `,"cells":`...)
+	dst = strconv.AppendInt(dst, int64(total), 10)
+	dst = append(dst, `,"elites":[`...)
+	return dst
+}
+
+// AppendCell renders one occupied cell of the listing:
+//
+//	{"cell":{"h":6,"s":3},"genome":"0xf23845ac1","fitness":26,
+//	 "measured":{"heading":0.79,"stride":11.61},"curiosity":2}
+//
+//leo:hotpath
+//leo:allow hotpath-append appends fill the caller-reused response buffer; capacity amortizes to zero steady-state allocations
+func AppendCell(dst []byte, h, s int, el repertoire.Elite) []byte {
+	dst = append(dst, `{"cell":{"h":`...)
+	dst = strconv.AppendInt(dst, int64(h), 10)
+	dst = append(dst, `,"s":`...)
+	dst = strconv.AppendInt(dst, int64(s), 10)
+	dst = append(dst, `},`...)
+	dst = appendElite(dst, el)
+	dst = append(dst, '}')
+	return dst
+}
+
+// appendElite renders the shared elite fields (no braces): the packed
+// genome as a hex literal, its rule fitness, the descriptors it was
+// measured at, and its curiosity counter.
+//
+//leo:hotpath
+//leo:allow hotpath-append appends fill the caller-reused response buffer; capacity amortizes to zero steady-state allocations
+func appendElite(dst []byte, el repertoire.Elite) []byte {
+	dst = append(dst, `"genome":"0x`...)
+	dst = strconv.AppendUint(dst, uint64(el.Genome), 16)
+	dst = append(dst, `","fitness":`...)
+	dst = strconv.AppendInt(dst, int64(el.Fitness), 10)
+	dst = append(dst, `,"measured":{"heading":`...)
+	dst = strconv.AppendFloat(dst, el.HeadingRad, 'g', -1, 64)
+	dst = append(dst, `,"stride":`...)
+	dst = strconv.AppendFloat(dst, el.StrideMM, 'g', -1, 64)
+	dst = append(dst, `},"curiosity":`...)
+	dst = strconv.AppendInt(dst, int64(el.Curiosity), 10)
+	return dst
+}
+
+// appendJSONString quotes a string with the minimal JSON escapes (run
+// ids are short ASCII; anything below 0x20, the quote, and the
+// backslash escape as \u00XX or the two-character forms).
+//
+//leo:hotpath
+//leo:allow hotpath-append appends fill the caller-reused response buffer; capacity amortizes to zero steady-state allocations
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c >= 0x20:
+			dst = append(dst, c)
+		default:
+			const hexdigits = "0123456789abcdef"
+			dst = append(dst, '\\', 'u', '0', '0', hexdigits[c>>4], hexdigits[c&0xf])
+		}
+	}
+	dst = append(dst, '"')
+	return dst
+}

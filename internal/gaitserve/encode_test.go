@@ -1,0 +1,170 @@
+package gaitserve_test
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+
+	"leonardo/internal/gaitserve"
+	"leonardo/internal/repertoire"
+)
+
+// lookupDoc mirrors the AppendLookup document for decode-validation.
+type lookupDoc struct {
+	Run   string `json:"run"`
+	Query struct {
+		Heading float64 `json:"heading"`
+		Stride  float64 `json:"stride"`
+	} `json:"query"`
+	Cell struct {
+		H int `json:"h"`
+		S int `json:"s"`
+	} `json:"cell"`
+	Genome    string  `json:"genome"`
+	Fitness   int     `json:"fitness"`
+	Measured  measure `json:"measured"`
+	Curiosity int     `json:"curiosity"`
+}
+
+type measure struct {
+	Heading float64 `json:"heading"`
+	Stride  float64 `json:"stride"`
+}
+
+func TestAppendLookupIsValidJSON(t *testing.T) {
+	el := repertoire.Elite{
+		Genome:     0xf23845ac1,
+		Fitness:    26,
+		HeadingRad: -2.7488935718910690836548129603696,
+		StrideMM:   11.61,
+		Curiosity:  2,
+	}
+	out := gaitserve.AppendLookup(nil, "r000017", 0.8125, 11.5, 6, 3, el)
+
+	var doc lookupDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Run != "r000017" {
+		t.Fatalf("run = %q", doc.Run)
+	}
+	if doc.Query.Heading != 0.8125 || doc.Query.Stride != 11.5 {
+		t.Fatalf("query = %+v", doc.Query)
+	}
+	if doc.Cell.H != 6 || doc.Cell.S != 3 {
+		t.Fatalf("cell = %+v", doc.Cell)
+	}
+	g, err := strconv.ParseUint(doc.Genome[2:], 16, 64)
+	if err != nil || doc.Genome[:2] != "0x" || g != uint64(el.Genome) {
+		t.Fatalf("genome = %q (parsed %#x, %v), want %#x", doc.Genome, g, err, uint64(el.Genome))
+	}
+	if doc.Fitness != el.Fitness || doc.Curiosity != el.Curiosity {
+		t.Fatalf("fitness/curiosity = %d/%d", doc.Fitness, doc.Curiosity)
+	}
+	// 'g' format with precision -1 is exact: the parsed float must
+	// round-trip to the identical bits.
+	if doc.Measured.Heading != el.HeadingRad || doc.Measured.Stride != el.StrideMM {
+		t.Fatalf("measured = %+v, want (%v, %v)", doc.Measured, el.HeadingRad, el.StrideMM)
+	}
+}
+
+func TestAppendListingIsValidJSON(t *testing.T) {
+	els := []repertoire.Elite{
+		{Genome: 1, Fitness: 3, HeadingRad: 0, StrideMM: 0.25, Curiosity: 0},
+		{Genome: math.MaxUint32, Fitness: -1, HeadingRad: math.Pi, StrideMM: 40, Curiosity: 9},
+	}
+	out := gaitserve.AppendCellsHeader(nil, "r2", len(els), 32)
+	for i, el := range els {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = gaitserve.AppendCell(out, i, i+1, el)
+	}
+	out = append(out, "]}"...)
+
+	var doc struct {
+		Run    string `json:"run"`
+		Filled int    `json:"filled"`
+		Cells  int    `json:"cells"`
+		Elites []struct {
+			Cell struct {
+				H int `json:"h"`
+				S int `json:"s"`
+			} `json:"cell"`
+			Genome    string  `json:"genome"`
+			Fitness   int     `json:"fitness"`
+			Measured  measure `json:"measured"`
+			Curiosity int     `json:"curiosity"`
+		} `json:"elites"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("listing is not JSON: %v\n%s", err, out)
+	}
+	if doc.Run != "r2" || doc.Filled != 2 || doc.Cells != 32 {
+		t.Fatalf("header = %q %d/%d", doc.Run, doc.Filled, doc.Cells)
+	}
+	if len(doc.Elites) != len(els) {
+		t.Fatalf("elites = %d, want %d", len(doc.Elites), len(els))
+	}
+	for i, el := range els {
+		got := doc.Elites[i]
+		if got.Cell.H != i || got.Cell.S != i+1 {
+			t.Fatalf("elite %d cell = %+v", i, got.Cell)
+		}
+		g, err := strconv.ParseUint(got.Genome[2:], 16, 64)
+		if err != nil || g != uint64(el.Genome) {
+			t.Fatalf("elite %d genome = %q (%v)", i, got.Genome, err)
+		}
+		if got.Fitness != el.Fitness || got.Curiosity != el.Curiosity ||
+			got.Measured.Heading != el.HeadingRad || got.Measured.Stride != el.StrideMM {
+			t.Fatalf("elite %d = %+v, want %+v", i, got, el)
+		}
+	}
+}
+
+// TestAppendLookupEscaping: run ids are caller-controlled strings; the
+// hand-rolled quoting must agree with encoding/json on hostile input.
+func TestAppendLookupEscaping(t *testing.T) {
+	for _, run := range []string{
+		`plain`, `with"quote`, `back\slash`, "ctrl\x01\x1f\n\ttab", "",
+	} {
+		out := gaitserve.AppendLookup(nil, run, 0, 0, 0, 0, repertoire.Elite{})
+		var doc lookupDoc
+		if err := json.Unmarshal(out, &doc); err != nil {
+			t.Fatalf("run %q: not JSON: %v\n%s", run, err, out)
+		}
+		if doc.Run != run {
+			t.Fatalf("run %q round-tripped to %q", run, doc.Run)
+		}
+	}
+}
+
+// TestAppendLookupMatchesEncodingJSON pins the numeric formatting: for
+// every float the encoder emits, encoding/json of the parsed document
+// must re-parse to identical values (no precision loss anywhere).
+func TestAppendLookupMatchesEncodingJSON(t *testing.T) {
+	el := repertoire.Elite{
+		Genome:     0xdeadbeef,
+		Fitness:    12,
+		HeadingRad: 1.0 / 3.0,
+		StrideMM:   0.1,
+		Curiosity:  1,
+	}
+	out := gaitserve.AppendLookup(nil, "r1", -math.Pi, 1e-3, 2, 1, el)
+	var doc lookupDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 lookupDoc
+	if err := json.Unmarshal(re, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc2 != doc {
+		t.Fatalf("lossy round trip:\n first %+v\nsecond %+v", doc, doc2)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package gaitserve_test
+
+// raceEnabled reports whether the race detector instruments this build
+// (its shadow-memory bookkeeping makes allocation counts meaningless).
+const raceEnabled = true

@@ -1,0 +1,194 @@
+package gaitserve
+
+// Hub is the progress broker behind GET /v1/runs/{id}/events: run
+// drivers publish one Progress per engine step (and one final event at
+// the terminal state), the HTTP handler replays a late subscriber the
+// retained tail and then follows live. Replacing client polling with a
+// push stream is the point: a thousand dashboards watching one run
+// cost one Publish fan-out per generation instead of a thousand GETs.
+//
+// Retention is a bounded per-run ring (RingSize events). A subscriber
+// that arrives late — or resumes with Last-Event-ID — replays whatever
+// the ring still holds, oldest first; anything older is gone, which
+// the SSE contract is fine with (event ids are the run's monotone
+// sequence numbers, so a client can detect the gap). The ring is
+// storage, not a queue: slow subscribers never block Publish and never
+// build per-subscriber backlogs — they just read the ring at their own
+// pace and may skip.
+//
+// The Hub spawns no goroutines. Publish signals registered subscribers
+// with a non-blocking send on their one-slot channels; the handler
+// goroutine owns the blocking select (channel, heartbeat, request
+// context).
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Progress is one SSE event: a run's telemetry at one engine step,
+// plus archive coverage for repertoire runs. It is the JSON "data:"
+// payload, with Seq doubling as the SSE event id.
+type Progress struct {
+	// Seq is the monotone per-run event number (from 0).
+	Seq int64 `json:"seq"`
+	// State is the registry state at publish time ("running", "done", ...).
+	State string `json:"state"`
+	// Generation, Evaluations, BestFitness, and MeanFitness mirror the
+	// run's engine Event.
+	Generation  int     `json:"generation"`
+	Evaluations int     `json:"evaluations"`
+	BestFitness int     `json:"best_fitness"`
+	MeanFitness float64 `json:"mean_fitness"`
+	// Filled and Cells are the archive coverage of a repertoire run
+	// (both zero for other kinds).
+	Filled int `json:"filled,omitempty"`
+	Cells  int `json:"cells,omitempty"`
+	// Final marks the last event of a run's stream: the terminal state.
+	Final bool `json:"final,omitempty"`
+}
+
+// DefaultRingSize is the per-run events retained when the cap is zero.
+const DefaultRingSize = 256
+
+// Hub fans run progress out to SSE subscribers; safe for concurrent
+// use.
+type Hub struct {
+	ring int
+
+	published atomic.Int64
+	subs      atomic.Int64
+
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+// stream is one run's retained tail and its live subscribers.
+type stream struct {
+	// events is a circular buffer: count events, oldest at head.
+	events []Progress
+	head   int
+	count  int
+	next   int64 // next Seq to assign
+	closed bool
+	subs   map[chan struct{}]struct{}
+}
+
+// NewHub builds a hub retaining ring events per run (0 = DefaultRingSize).
+func NewHub(ring int) *Hub {
+	if ring <= 0 {
+		ring = DefaultRingSize
+	}
+	return &Hub{ring: ring, streams: make(map[string]*stream)}
+}
+
+// Subscribers returns the live subscriber count (the SSE gauge).
+func (h *Hub) Subscribers() int64 { return h.subs.Load() }
+
+// Published returns the total events published (the SSE counter).
+func (h *Hub) Published() int64 { return h.published.Load() }
+
+func (h *Hub) streamLocked(id string) *stream {
+	st := h.streams[id]
+	if st == nil {
+		st = &stream{
+			events: make([]Progress, h.ring),
+			subs:   make(map[chan struct{}]struct{}),
+		}
+		h.streams[id] = st
+	}
+	return st
+}
+
+// Publish appends one event to a run's stream (stamping its Seq) and
+// wakes every subscriber. Publishing to a closed stream is dropped —
+// the terminal event was already the last word.
+func (h *Hub) Publish(id string, p Progress) {
+	h.mu.Lock()
+	st := h.streamLocked(id)
+	if st.closed {
+		h.mu.Unlock()
+		return
+	}
+	p.Seq = st.next
+	st.next++
+	if p.Final {
+		st.closed = true
+	}
+	i := (st.head + st.count) % len(st.events)
+	if st.count == len(st.events) {
+		st.head = (st.head + 1) % len(st.events) // overwrite the oldest
+	} else {
+		st.count++
+	}
+	st.events[i] = p
+	for ch := range st.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled; the subscriber will drain the ring
+		}
+	}
+	h.mu.Unlock()
+	h.published.Add(1)
+}
+
+// Closed reports whether a run's stream has published its final event.
+func (h *Hub) Closed(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.streams[id]
+	return st != nil && st.closed
+}
+
+// Sub is one subscriber's handle: a cursor over the ring plus the wake
+// channel the handler selects on. Close it when the response ends.
+type Sub struct {
+	h  *Hub
+	id string
+	ch chan struct{}
+}
+
+// Subscribe registers a subscriber on a run's stream. The stream need
+// not exist yet — subscribing to a run that has not published creates
+// the empty stream and waits.
+func (h *Hub) Subscribe(id string) *Sub {
+	ch := make(chan struct{}, 1)
+	h.mu.Lock()
+	h.streamLocked(id).subs[ch] = struct{}{}
+	h.mu.Unlock()
+	h.subs.Add(1)
+	return &Sub{h: h, id: id, ch: ch}
+}
+
+// Ready returns the wake channel: one token is deposited (never more)
+// whenever the stream has new events since the subscriber last drained.
+func (s *Sub) Ready() <-chan struct{} { return s.ch }
+
+// Since appends the retained events with Seq > after to dst, oldest
+// first, and reports whether the stream has closed. A late subscriber
+// passes after = -1 (or its Last-Event-ID) and replays the whole tail.
+func (s *Sub) Since(after int64, dst []Progress) (evs []Progress, closed bool) {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	st := s.h.streams[s.id]
+	if st == nil {
+		return dst, false
+	}
+	for k := 0; k < st.count; k++ {
+		ev := st.events[(st.head+k)%len(st.events)]
+		if ev.Seq > after {
+			dst = append(dst, ev)
+		}
+	}
+	return dst, st.closed
+}
+
+// Close unregisters the subscriber.
+func (s *Sub) Close() {
+	s.h.mu.Lock()
+	if st := s.h.streams[s.id]; st != nil {
+		delete(st.subs, s.ch)
+	}
+	s.h.mu.Unlock()
+	s.h.subs.Add(-1)
+}

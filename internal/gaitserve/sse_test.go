@@ -1,0 +1,183 @@
+package gaitserve_test
+
+import (
+	"sync"
+	"testing"
+
+	"leonardo/internal/gaitserve"
+)
+
+func TestHubPublishSubscribe(t *testing.T) {
+	h := gaitserve.NewHub(8)
+	sub := h.Subscribe("r1")
+	defer sub.Close()
+
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", h.Subscribers())
+	}
+
+	h.Publish("r1", gaitserve.Progress{State: "running", Generation: 1, BestFitness: 10})
+	select {
+	case <-sub.Ready():
+	default:
+		t.Fatal("Publish did not signal the subscriber")
+	}
+	evs, closed := sub.Since(-1, nil)
+	if closed {
+		t.Fatal("stream closed prematurely")
+	}
+	if len(evs) != 1 || evs[0].Seq != 0 || evs[0].Generation != 1 {
+		t.Fatalf("evs = %+v", evs)
+	}
+
+	// Cursor semantics: after draining up to seq 0, nothing new.
+	evs, _ = sub.Since(0, evs[:0])
+	if len(evs) != 0 {
+		t.Fatalf("drained cursor returned %+v", evs)
+	}
+}
+
+// TestHubLateSubscriberReplays: a subscriber arriving after the run
+// finished replays the retained tail and sees the closed stream —
+// the property the SSE endpoint's late-dashboard case relies on.
+func TestHubLateSubscriberReplays(t *testing.T) {
+	h := gaitserve.NewHub(8)
+	for g := 1; g <= 3; g++ {
+		h.Publish("r1", gaitserve.Progress{State: "running", Generation: g})
+	}
+	h.Publish("r1", gaitserve.Progress{State: "done", Generation: 3, Final: true})
+
+	sub := h.Subscribe("r1")
+	defer sub.Close()
+	evs, closed := sub.Since(-1, nil)
+	if !closed {
+		t.Fatal("stream with a final event not reported closed")
+	}
+	if len(evs) != 4 {
+		t.Fatalf("replayed %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if !evs[3].Final || evs[3].State != "done" {
+		t.Fatalf("last event = %+v, want final done", evs[3])
+	}
+
+	// Resume semantics: Last-Event-ID 1 replays only 2..3.
+	evs, _ = sub.Since(1, evs[:0])
+	if len(evs) != 2 || evs[0].Seq != 2 || evs[1].Seq != 3 {
+		t.Fatalf("resume replayed %+v", evs)
+	}
+}
+
+// TestHubRingBounded: the ring holds the newest N events; seqs keep
+// counting so a subscriber can detect the gap.
+func TestHubRingBounded(t *testing.T) {
+	h := gaitserve.NewHub(4)
+	for g := 0; g < 10; g++ {
+		h.Publish("r1", gaitserve.Progress{Generation: g})
+	}
+	sub := h.Subscribe("r1")
+	defer sub.Close()
+	evs, _ := sub.Since(-1, nil)
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := int64(6 + i)
+		if ev.Seq != want || ev.Generation != int(want) {
+			t.Fatalf("event %d = %+v, want seq %d", i, ev, want)
+		}
+	}
+}
+
+// TestHubPublishAfterFinalDropped: the terminal event is the last word.
+func TestHubPublishAfterFinalDropped(t *testing.T) {
+	h := gaitserve.NewHub(4)
+	h.Publish("r1", gaitserve.Progress{State: "done", Final: true})
+	if !h.Closed("r1") {
+		t.Fatal("stream not closed after final event")
+	}
+	h.Publish("r1", gaitserve.Progress{State: "zombie"})
+	sub := h.Subscribe("r1")
+	defer sub.Close()
+	evs, closed := sub.Since(-1, nil)
+	if !closed || len(evs) != 1 || evs[0].State != "done" {
+		t.Fatalf("closed=%v evs=%+v, want single final event", closed, evs)
+	}
+	if h.Published() != 1 {
+		t.Fatalf("published = %d, want 1", h.Published())
+	}
+}
+
+// TestHubSlowSubscriberNeverBlocks: publishing with a subscriber that
+// never drains must not block — the wake channel coalesces to one
+// token and the ring overwrites.
+func TestHubSlowSubscriberNeverBlocks(t *testing.T) {
+	h := gaitserve.NewHub(4)
+	sub := h.Subscribe("r1")
+	defer sub.Close()
+	for g := 0; g < 100; g++ {
+		h.Publish("r1", gaitserve.Progress{Generation: g}) // must not deadlock
+	}
+	evs, _ := sub.Since(-1, nil)
+	if len(evs) != 4 || evs[3].Generation != 99 {
+		t.Fatalf("slow subscriber sees %+v", evs)
+	}
+}
+
+// TestHubConcurrent exercises publish/subscribe/drain churn under
+// -race: per-run seqs must stay monotone and dense from each reader's
+// point of view, and counters must balance.
+func TestHubConcurrent(t *testing.T) {
+	h := gaitserve.NewHub(64)
+	ids := []string{"ra", "rb"}
+	var wg sync.WaitGroup
+
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for g := 0; g < 200; g++ {
+				h.Publish(id, gaitserve.Progress{State: "running", Generation: g})
+			}
+			h.Publish(id, gaitserve.Progress{State: "done", Final: true})
+		}(id)
+	}
+	for _, id := range ids {
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				sub := h.Subscribe(id)
+				defer sub.Close()
+				after := int64(-1)
+				var buf []gaitserve.Progress
+				for {
+					evs, closed := sub.Since(after, buf[:0])
+					for _, ev := range evs {
+						if ev.Seq <= after {
+							t.Errorf("%s: seq went backwards: %d after %d", id, ev.Seq, after)
+							return
+						}
+						after = ev.Seq
+					}
+					buf = evs
+					if closed {
+						return
+					}
+					<-sub.Ready()
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after close, want 0", h.Subscribers())
+	}
+	if h.Published() != 2*201 {
+		t.Fatalf("published = %d, want %d", h.Published(), 2*201)
+	}
+}

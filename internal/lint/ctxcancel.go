@@ -29,7 +29,8 @@ var CtxcancelAnalyzer = &Analyzer{
 // §10): packages whose unexported run*/drive* functions are held to
 // the same cancellation contract as exported Run* functions.
 var runCriticalPkgs = map[string]bool{
-	"leonardo/internal/serve": true,
+	"leonardo/internal/serve":     true,
+	"leonardo/internal/gaitserve": true,
 }
 
 func runCtxcancel(pass *Pass) error {

@@ -1,0 +1,127 @@
+package repertoire
+
+// The read-only decoded view of an archive. The serve layer's gait
+// query path (internal/gaitserve) holds decoded repertoire snapshots in
+// an in-memory cache and answers GET /v1/gaits from them; it needs the
+// archive's geometry and elites but none of the evolution machinery —
+// no evaluator, no RNG, no batch scratch — and above all no way to
+// mutate a cached archive out from under concurrent readers. Archive is
+// that view: immutable after DecodeArchive, safe for any number of
+// concurrent readers, with the same O(1) Lookup as the live run.
+
+// Archive is an immutable decoded repertoire snapshot: the descriptor
+// grid plus every occupied cell, without the evolution state. All
+// methods are read-only and safe for concurrent use.
+type Archive struct {
+	grid   Grid
+	cycles int
+	evals  int
+	cells  []Elite
+	filled []bool
+	nfill  int
+}
+
+// DecodeArchive decodes a repertoire snapshot into a read-only view.
+// It accepts exactly the bytes Snapshot produces (same codec, same
+// validation as Restore), so an archive decoded from the store is
+// elite-for-elite identical to the run that wrote it.
+func DecodeArchive(snapshot []byte) (*Archive, error) {
+	// Restore is the one decoder of the wire format; going through it
+	// means the view can never drift from what a resumed run would see.
+	r, err := Restore(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{
+		grid:   r.p.Grid(),
+		cycles: r.p.Cycles,
+		evals:  r.evals,
+		cells:  r.cells,
+		filled: r.filled,
+		nfill:  r.nfill,
+	}, nil
+}
+
+// View returns the read-only decoded view of the live archive's
+// current state. The view shares the run's cell storage, so it is only
+// safe to read while the run is not stepping — callers that need an
+// independent lifetime should decode a Snapshot instead.
+func (r *Repertoire) View() *Archive {
+	return &Archive{
+		grid:   r.p.Grid(),
+		cycles: r.p.Cycles,
+		evals:  r.evals,
+		cells:  r.cells,
+		filled: r.filled,
+		nfill:  r.nfill,
+	}
+}
+
+// Grid returns the descriptor-space discretization.
+func (a *Archive) Grid() Grid { return a.grid }
+
+// Cycles returns the trial horizon the descriptors were measured over.
+func (a *Archive) Cycles() int { return a.cycles }
+
+// Evaluations returns how many candidates the run had evaluated when
+// the snapshot was taken.
+func (a *Archive) Evaluations() int { return a.evals }
+
+// Coverage returns how many cells hold an elite and the total count.
+func (a *Archive) Coverage() (filled, total int) { return a.nfill, len(a.cells) }
+
+// Lookup bins a descriptor query and returns the elite of that cell —
+// the gait-serving hot path: one Bin call, one slice index, zero
+// allocations. ok is false when the query falls outside the grid or
+// the cell is empty.
+//
+//leo:hotpath
+func (a *Archive) Lookup(headingRad, strideMM float64) (Elite, bool) {
+	h, s, ok := a.grid.Bin(headingRad, strideMM)
+	if !ok {
+		return Elite{}, false
+	}
+	i := a.grid.CellIndex(h, s)
+	if !a.filled[i] {
+		return Elite{}, false
+	}
+	return a.cells[i], true
+}
+
+// EliteAt returns the elite of cell (h, s), if occupied. It panics on
+// out-of-grid coordinates, like Grid.CellIndex.
+func (a *Archive) EliteAt(h, s int) (Elite, bool) {
+	i := a.grid.CellIndex(h, s)
+	if !a.filled[i] {
+		return Elite{}, false
+	}
+	return a.cells[i], true
+}
+
+// Filled reports whether the flattened cell index holds an elite —
+// the allocation-free iteration primitive for listing endpoints:
+//
+//	for i := 0; i < a.Grid().Cells(); i++ {
+//		if a.Filled(i) { use(a.Cell(i)) }
+//	}
+//
+//leo:hotpath
+func (a *Archive) Filled(i int) bool { return a.filled[i] }
+
+// Cell returns the elite at a flattened cell index (zero Elite when
+// the cell is empty; check Filled first).
+//
+//leo:hotpath
+func (a *Archive) Cell(i int) Elite { return a.cells[i] }
+
+// Elites returns the occupied cells in canonical cell order. It
+// allocates; the query path uses Filled/Cell instead.
+func (a *Archive) Elites() []Elite {
+	out := make([]Elite, 0, a.nfill)
+	for i, e := range a.cells {
+		if a.filled[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package repertoire_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"leonardo/internal/repertoire"
+)
+
+// evolveSmall runs a small repertoire to its budget and returns it.
+func evolveSmall(t *testing.T, seed uint64) *repertoire.Repertoire {
+	t.Helper()
+	r, err := repertoire.New(repertoire.Params{
+		Headings: 8, Strides: 4, Cycles: 2,
+		Batch: 32, MaxEvaluations: 1024, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunCtx(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDecodeArchiveMatchesRun pins the read path against the write
+// path: every query the live archive answers, the decoded view must
+// answer identically — the equivalence GET /v1/gaits relies on.
+func TestDecodeArchiveMatchesRun(t *testing.T) {
+	r := evolveSmall(t, 11)
+	snap := r.Snapshot()
+	a, err := repertoire.DecodeArchive(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af, at := a.Coverage(); true {
+		rf, rt := r.Coverage()
+		if af != rf || at != rt {
+			t.Fatalf("view coverage %d/%d, run %d/%d", af, at, rf, rt)
+		}
+	}
+	if a.Grid() != r.Params().Grid() {
+		t.Fatalf("view grid %+v, run grid %+v", a.Grid(), r.Params().Grid())
+	}
+	if a.Cycles() != r.Params().Cycles {
+		t.Fatalf("view cycles %d, run %d", a.Cycles(), r.Params().Cycles)
+	}
+	if a.Evaluations() != r.Evaluations() {
+		t.Fatalf("view evaluations %d, run %d", a.Evaluations(), r.Evaluations())
+	}
+	g := a.Grid()
+	for h := 0; h < g.Headings; h++ {
+		for s := 0; s < g.Strides; s++ {
+			heading, stride := g.CellCenter(h, s)
+			re, rok := r.Lookup(heading, stride)
+			ae, aok := a.Lookup(heading, stride)
+			if rok != aok || re != ae {
+				t.Fatalf("cell (%d,%d): view (%+v, %v), run (%+v, %v)", h, s, ae, aok, re, rok)
+			}
+			re, rok = r.EliteAt(h, s)
+			ae, aok = a.EliteAt(h, s)
+			if rok != aok || re != ae {
+				t.Fatalf("EliteAt (%d,%d): view (%+v, %v), run (%+v, %v)", h, s, ae, aok, re, rok)
+			}
+		}
+	}
+	// Elites and the Filled/Cell iteration agree with each other.
+	elites := a.Elites()
+	n := 0
+	for i := 0; i < g.Cells(); i++ {
+		if a.Filled(i) {
+			if a.Cell(i) != elites[n] {
+				t.Fatalf("Cell(%d) = %+v, Elites[%d] = %+v", i, a.Cell(i), n, elites[n])
+			}
+			n++
+		}
+	}
+	if n != len(elites) {
+		t.Fatalf("Filled count %d, Elites %d", n, len(elites))
+	}
+}
+
+// TestDecodeArchiveRoundTripsBytes: decoding is read-only — the
+// snapshot taken from a run that produced a view must round-trip
+// byte-identically through Restore+Snapshot after views were taken.
+func TestDecodeArchiveRoundTripsBytes(t *testing.T) {
+	r := evolveSmall(t, 12)
+	snap := r.Snapshot()
+	if _, err := repertoire.DecodeArchive(snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repertoire.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Snapshot(), snap) {
+		t.Fatal("snapshot changed across DecodeArchive + Restore round trip")
+	}
+}
+
+func TestDecodeArchiveRejectsGarbage(t *testing.T) {
+	if _, err := repertoire.DecodeArchive(nil); err == nil {
+		t.Fatal("DecodeArchive(nil) accepted")
+	}
+	if _, err := repertoire.DecodeArchive([]byte("not a snapshot")); err == nil {
+		t.Fatal("DecodeArchive(garbage) accepted")
+	}
+}
+
+func TestLiveView(t *testing.T) {
+	r := evolveSmall(t, 13)
+	v := r.View()
+	vf, vt := v.Coverage()
+	rf, rt := r.Coverage()
+	if vf != rf || vt != rt {
+		t.Fatalf("live view coverage %d/%d, run %d/%d", vf, vt, rf, rt)
+	}
+	g := v.Grid()
+	heading, stride := g.CellCenter(0, 0)
+	ve, vok := v.Lookup(heading, stride)
+	re, rok := r.Lookup(heading, stride)
+	if vok != rok || ve != re {
+		t.Fatalf("live view lookup (%+v, %v), run (%+v, %v)", ve, vok, re, rok)
+	}
+}

@@ -3,25 +3,53 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"leonardo"
+	"leonardo/internal/gaitserve"
 )
 
 // NewAPI wraps a manager in the leonardod HTTP JSON API:
 //
 //	POST /v1/runs               submit a RunSpec            → 201 Info
 //	GET  /v1/runs               list the registry           → 200 []Info
+//	                            (?limit=N&after=ID paginates)
 //	GET  /v1/runs/{id}          live view of one run        → 200 Info
 //	POST /v1/runs/{id}/cancel   cancel a run                → 200 Info
 //	GET  /v1/runs/{id}/snapshot latest checkpoint (binary)  → 200 bytes
+//	                            (ETag + If-None-Match → 304)
+//	GET  /v1/runs/{id}/events   progress stream             → 200 SSE
+//	GET  /v1/gaits              gait lookup / listing       → 200 JSON
 //	POST /v1/migrate            peer migration batch        → 200 ack
 //	GET  /healthz               liveness                    → 200
 //	GET  /metrics               Prometheus text exposition  → 200
 //
 // The snapshot endpoint serves only complete, durable checkpoints: a
 // live run that has not written its first one yet answers 409 (retry
-// shortly), a terminal run that never checkpointed answers 404.
+// shortly), a terminal run that never checkpointed answers 404. Its
+// ETag is the checkpoint's sha256 straight from the content-addressed
+// store, so a poller revalidating with If-None-Match costs an index
+// lookup and an empty 304 until the run actually checkpoints again.
+//
+// GET /v1/gaits?run=ID&heading=RAD&stride=MM answers "which gait walks
+// that way" from the run's decoded archive: the elite of the cell the
+// query bins into, or 404 when the cell is empty or the query falls
+// off the grid. Without heading/stride it lists every occupied cell.
+// Responses are rendered allocation-free into pooled buffers
+// (//leo:hotpath); archives come from the manager's singleflight LRU
+// cache, so steady-state queries never touch the store.
+//
+// GET /v1/runs/{id}/events streams progress as Server-Sent Events: one
+// event per engine step (JSON gaitserve.Progress, the event id is the
+// per-run sequence number), a final event when the run reaches a
+// terminal state, then the stream closes. A late subscriber replays
+// the retained tail (Config.EventBuffer events); Last-Event-ID or
+// ?after=SEQ resumes past what a client already saw.
 //
 // /v1/migrate is node-to-node traffic: peers of a cluster-configured
 // node deliver epoch-stamped emigrant batches here. Delivery is
@@ -38,7 +66,7 @@ func NewAPI(m *Manager) http.Handler {
 		handleSubmit(m, w, req)
 	})
 	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		handleList(m, w, req)
 	})
 	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, req *http.Request) {
 		info, err := m.Get(req.PathValue("id"))
@@ -58,6 +86,12 @@ func NewAPI(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/runs/{id}/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		handleSnapshot(m, w, req)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/events", func(w http.ResponseWriter, req *http.Request) {
+		handleEvents(m, w, req)
+	})
+	mux.HandleFunc("GET /v1/gaits", func(w http.ResponseWriter, req *http.Request) {
+		handleGaits(m, w, req)
 	})
 	mux.HandleFunc("POST /v1/migrate", func(w http.ResponseWriter, req *http.Request) {
 		handleMigrate(m, w, req)
@@ -89,15 +123,195 @@ func handleSubmit(m *Manager, w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleList serves the registry, optionally paginated: ?limit=N caps
+// the page, ?after=ID resumes past the last id of the previous page.
+func handleList(m *Manager, w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, m.ListPage(limit, q.Get("after")))
+}
+
 func handleSnapshot(m *Manager, w http.ResponseWriter, req *http.Request) {
-	snap, err := m.Snapshot(req.PathValue("id"))
+	snap, etag, err := m.SnapshotETag(req.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if etagMatch(req.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	w.Write(snap)
+}
+
+// etagMatch implements If-None-Match for a strong validator: any
+// listed tag (weak-prefixed or not) equal to etag, or "*", matches.
+func etagMatch(header, etag string) bool {
+	for header != "" {
+		var part string
+		part, header, _ = strings.Cut(header, ",")
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// gaitBufs pools response buffers for the gait endpoints: rendering is
+// pure appends (gaitserve encoders), so a steady QPS reuses a few
+// steady-state buffers and the query path stays allocation-free.
+var gaitBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// handleGaits answers GET /v1/gaits. With heading+stride it is the hot
+// lookup; with only run= it lists every occupied cell.
+func handleGaits(m *Manager, w http.ResponseWriter, req *http.Request) {
+	t0 := now()
+	q := req.URL.Query()
+	id := q.Get("run")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "run parameter is required"})
+		return
+	}
+	arch, err := m.Archive(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	hs, ss := q.Get("heading"), q.Get("stride")
+	bufp := gaitBufs.Get().(*[]byte)
+	defer gaitBufs.Put(bufp)
+	buf := (*bufp)[:0]
+
+	if hs == "" && ss == "" {
+		filled, total := arch.Coverage()
+		buf = gaitserve.AppendCellsHeader(buf, id, filled, total)
+		g := arch.Grid()
+		first := true
+		for i := 0; i < g.Cells(); i++ {
+			if !arch.Filled(i) {
+				continue
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = gaitserve.AppendCell(buf, i/g.Strides, i%g.Strides, arch.Cell(i))
+		}
+		buf = append(buf, "]}"...)
+	} else {
+		heading, herr := strconv.ParseFloat(hs, 64)
+		stride, serr := strconv.ParseFloat(ss, 64)
+		if hs == "" || ss == "" || herr != nil || serr != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "heading and stride must both be numbers"})
+			return
+		}
+		h, s, ok := arch.Grid().Bin(heading, stride)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "query falls outside the descriptor grid"})
+			return
+		}
+		el, ok := arch.Lookup(heading, stride)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no gait evolved for cell (%d,%d) yet", h, s)})
+			return
+		}
+		buf = gaitserve.AppendLookup(buf, id, heading, stride, h, s, el)
+	}
+
+	*bufp = buf
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+	m.met.gaitObserved(now().Sub(t0))
+}
+
+// sseHeartbeat keeps idle event streams alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// handleEvents streams a run's progress as Server-Sent Events. The
+// handler goroutine does all the work — subscribe, replay, follow —
+// so the hub itself never spawns goroutines; the stream ends at the
+// run's final event or when the client goes away.
+func handleEvents(m *Manager, w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	sub, err := m.Events(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer sub.Close()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "response writer does not support streaming"})
+		return
+	}
+
+	after := int64(-1)
+	if v := req.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			after = n
+		}
+	} else if v := req.URL.Query().Get("after"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			after = n
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ticker := time.NewTicker(sseHeartbeat)
+	defer ticker.Stop()
+	var evs []gaitserve.Progress
+	for {
+		var closed bool
+		evs, closed = sub.Since(after, evs[:0])
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, data)
+			after = ev.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			// An explicit end event lets clients distinguish "run over"
+			// from a dropped connection and stop reconnecting.
+			fmt.Fprint(w, "event: end\ndata: {}\n\n")
+			fl.Flush()
+			return
+		}
+		select {
+		case <-sub.Ready():
+		case <-req.Context().Done():
+			return
+		case <-ticker.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
 }
 
 // handleMigrate applies one inbound peer batch with idempotent
@@ -124,7 +338,7 @@ func handleMigrate(m *Manager, w http.ResponseWriter, req *http.Request) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrNoCluster):
+	case errors.Is(err, ErrBadSpec), errors.Is(err, ErrNoCluster), errors.Is(err, ErrWrongKind):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoSnapshot):
 		status = http.StatusNotFound

@@ -1,0 +1,488 @@
+package serve_test
+
+// End-to-end walls for the gait-serving read path (DESIGN.md §15):
+// evolve a repertoire through the service API, then prove GET /v1/gaits
+// answers exactly what an in-process repertoire.Lookup on the same
+// snapshot answers, across a daemon restart, byte for byte; that the
+// snapshot endpoint revalidates with ETag/If-None-Match; that the
+// registry paginates without skips or repeats; and that the SSE stream
+// replays a late subscriber through to the terminal event.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"leonardo/internal/gaitserve"
+	"leonardo/internal/repertoire"
+	"leonardo/internal/serve"
+)
+
+const repertoireBody = `{"kind":"repertoire","seed":5,"grid":"8x4","batch":32,"evaluations":2048}`
+
+// submitAndFinish posts a spec and waits for the run to reach done.
+func submitAndFinish(t *testing.T, url, body string) string {
+	t.Helper()
+	var info serve.Info
+	if code := postJSON(t, url+"/v1/runs", body, &info); code != http.StatusCreated {
+		t.Fatalf("submit = %d, want 201", code)
+	}
+	waitFor(t, 60*time.Second, "run "+info.ID+" to finish", func() bool {
+		var got serve.Info
+		getJSON(t, url+"/v1/runs/"+info.ID, &got)
+		return got.State == serve.StateDone
+	})
+	return info.ID
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// TestGaitsEndToEnd: the issue's acceptance scenario. A repertoire
+// evolved via POST /v1/runs must answer GET /v1/gaits with exactly the
+// elite an in-process lookup on the same snapshot returns, for every
+// occupied cell; a daemon restart on the same spool must serve the
+// identical bytes from the content-addressed store.
+func TestGaitsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second service scenario")
+	}
+	dir := t.TempDir()
+	cfg := serve.Config{Spool: dir, Workers: 2, SnapshotEvery: 10}
+	m1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(serve.NewAPI(m1))
+	id := submitAndFinish(t, srv1.URL, repertoireBody)
+
+	// The reference view: decode the served snapshot in-process.
+	code, _, snap := get(t, srv1.URL+"/v1/runs/"+id+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot = %d", code)
+	}
+	ref, err := repertoire.DecodeArchive(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ref.Grid()
+
+	// Every cell center: the endpoint and the in-process Lookup must
+	// agree — same genome, same fitness, same occupancy.
+	queryCell := func(url string, h, s int) (int, []byte) {
+		heading, stride := g.CellCenter(h, s)
+		code, _, body := get(t, fmt.Sprintf("%s/v1/gaits?run=%s&heading=%g&stride=%g", url, id, heading, stride))
+		return code, body
+	}
+	checkAgainstRef := func(url string) {
+		t.Helper()
+		for h := 0; h < g.Headings; h++ {
+			for s := 0; s < g.Strides; s++ {
+				heading, stride := g.CellCenter(h, s)
+				el, ok := ref.Lookup(heading, stride)
+				code, body := queryCell(url, h, s)
+				if !ok {
+					if code != http.StatusNotFound {
+						t.Fatalf("cell (%d,%d) is empty but GET = %d: %s", h, s, code, body)
+					}
+					continue
+				}
+				if code != http.StatusOK {
+					t.Fatalf("cell (%d,%d) GET = %d: %s", h, s, code, body)
+				}
+				var doc struct {
+					Cell struct {
+						H int `json:"h"`
+						S int `json:"s"`
+					} `json:"cell"`
+					Genome  string `json:"genome"`
+					Fitness int    `json:"fitness"`
+				}
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Fatalf("cell (%d,%d): %v in %s", h, s, err, body)
+				}
+				if doc.Cell.H != h || doc.Cell.S != s {
+					t.Fatalf("cell (%d,%d) binned as (%d,%d)", h, s, doc.Cell.H, doc.Cell.S)
+				}
+				genome, err := strconv.ParseUint(strings.TrimPrefix(doc.Genome, "0x"), 16, 64)
+				if err != nil || genome != uint64(el.Genome) {
+					t.Fatalf("cell (%d,%d) genome %q, want %#x", h, s, doc.Genome, uint64(el.Genome))
+				}
+				if doc.Fitness != el.Fitness {
+					t.Fatalf("cell (%d,%d) fitness %d, want %d", h, s, doc.Fitness, el.Fitness)
+				}
+			}
+		}
+	}
+	checkAgainstRef(srv1.URL)
+
+	// The full listing, captured for the restart comparison.
+	code, _, listing1 := get(t, srv1.URL+"/v1/gaits?run="+id)
+	if code != http.StatusOK {
+		t.Fatalf("listing = %d", code)
+	}
+
+	// Steady-state queries must be cache hits, not decodes.
+	_, _, metrics := get(t, srv1.URL+"/metrics")
+	samples := parsePrometheus(t, string(metrics))
+	if samples["leonardod_gait_cache_hits_total"] == 0 {
+		t.Fatal("no gait cache hits after a full-grid sweep")
+	}
+	if d := samples["leonardod_gait_cache_decodes_total"]; d != 1 {
+		t.Fatalf("archive decoded %v times for one run, want 1", d)
+	}
+	if samples["leonardod_gait_request_seconds_count"] == 0 {
+		t.Fatal("gait latency summary never observed a request")
+	}
+
+	srv1.Close()
+	m1.Close()
+
+	// Restart: the archive now comes out of the content-addressed
+	// store, and every byte the endpoint serves must be identical.
+	m2, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	srv2 := httptest.NewServer(serve.NewAPI(m2))
+	defer srv2.Close()
+
+	code, _, snap2 := get(t, srv2.URL+"/v1/runs/"+id+"/snapshot")
+	if code != http.StatusOK || !bytes.Equal(snap, snap2) {
+		t.Fatalf("restarted snapshot differs (code %d, %d vs %d bytes)", code, len(snap2), len(snap))
+	}
+	code, _, listing2 := get(t, srv2.URL+"/v1/gaits?run="+id)
+	if code != http.StatusOK {
+		t.Fatalf("restarted listing = %d", code)
+	}
+	if !bytes.Equal(listing1, listing2) {
+		t.Fatal("restarted listing bytes differ from the pre-restart listing")
+	}
+	checkAgainstRef(srv2.URL)
+}
+
+// TestGaitsErrors pins the error contract of the endpoint.
+func TestGaitsErrors(t *testing.T) {
+	m, err := serve.New(serve.Config{Workers: 1, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewAPI(m))
+	defer srv.Close()
+
+	if code, _, _ := get(t, srv.URL+"/v1/gaits"); code != http.StatusBadRequest {
+		t.Fatalf("no run param = %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/v1/gaits?run=r999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown run = %d, want 404", code)
+	}
+
+	// A GAP run has no archive: 400, not a decode error.
+	var info serve.Info
+	if code := postJSON(t, srv.URL+"/v1/runs", `{"kind":"gap","seed":1,"steps":7,"max_generations":50}`, &info); code != http.StatusCreated {
+		t.Fatalf("submit gap = %d", code)
+	}
+	if code, _, body := get(t, srv.URL+"/v1/gaits?run="+info.ID); code != http.StatusBadRequest {
+		t.Fatalf("gap-kind gait query = %d (%s), want 400", code, body)
+	}
+
+	id := submitAndFinish(t, srv.URL, repertoireBody)
+	if code, _, _ := get(t, srv.URL+"/v1/gaits?run="+id+"&heading=abc&stride=1"); code != http.StatusBadRequest {
+		t.Fatal("non-numeric heading accepted")
+	}
+	if code, _, _ := get(t, srv.URL+"/v1/gaits?run="+id+"&heading=0"); code != http.StatusBadRequest {
+		t.Fatal("heading without stride accepted")
+	}
+	if code, _, _ := get(t, srv.URL+"/v1/gaits?run="+id+"&heading=0&stride=1e9"); code != http.StatusNotFound {
+		t.Fatal("off-grid stride did not 404")
+	}
+}
+
+// TestSnapshotETagRevalidation: the checkpoint's content hash is its
+// entity tag; a poller revalidating with If-None-Match gets an empty
+// 304 until the run checkpoints new bytes.
+func TestSnapshotETagRevalidation(t *testing.T) {
+	m, err := serve.New(serve.Config{Workers: 1, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewAPI(m))
+	defer srv.Close()
+	id := submitAndFinish(t, srv.URL, repertoireBody)
+
+	code, hdr, body := get(t, srv.URL+"/v1/runs/"+id+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot = %d", code)
+	}
+	etag := hdr.Get("ETag")
+	if !strings.HasPrefix(etag, `"sha256-`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag %q is not a quoted sha256 tag", etag)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/runs/"+id+"/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation = %d, want 304", resp.StatusCode)
+	}
+	if len(cached) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(cached))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+
+	// A list of candidates including ours still matches; a stale
+	// candidate does not.
+	req.Header.Set("If-None-Match", `"sha256-feed", `+etag)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("multi-candidate revalidation = %d, want 304", resp.StatusCode)
+	}
+	req.Header.Set("If-None-Match", `"sha256-feed"`)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(fresh, body) {
+		t.Fatalf("stale-tag fetch = %d with %d bytes, want 200 with the full snapshot", resp.StatusCode, len(fresh))
+	}
+}
+
+// TestListPagination walks the registry in pages and proves the pages
+// tile the full listing: no skips, no repeats, stable order.
+func TestListPagination(t *testing.T) {
+	m, err := serve.New(serve.Config{Workers: 1, QueueDepth: 16, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewAPI(m))
+	defer srv.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		var info serve.Info
+		body := fmt.Sprintf(`{"kind":"gap","seed":%d,"steps":7,"max_generations":40}`, i+1)
+		if code := postJSON(t, srv.URL+"/v1/runs", body, &info); code != http.StatusCreated {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+	}
+
+	var full []serve.Info
+	if code := getJSON(t, srv.URL+"/v1/runs", &full); code != http.StatusOK || len(full) != n {
+		t.Fatalf("full list = %d runs (code %d), want %d", len(full), code, n)
+	}
+
+	var walked []serve.Info
+	after := ""
+	for {
+		url := srv.URL + "/v1/runs?limit=2"
+		if after != "" {
+			url += "&after=" + after
+		}
+		var page []serve.Info
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("page after %q = %d", after, code)
+		}
+		if len(page) == 0 {
+			break
+		}
+		if len(page) > 2 {
+			t.Fatalf("page has %d runs, limit 2", len(page))
+		}
+		walked = append(walked, page...)
+		after = page[len(page)-1].ID
+	}
+	if len(walked) != n {
+		t.Fatalf("pages walked %d runs, want %d", len(walked), n)
+	}
+	for i := range walked {
+		if walked[i].ID != full[i].ID {
+			t.Fatalf("page order diverges at %d: %s vs %s", i, walked[i].ID, full[i].ID)
+		}
+	}
+
+	if code := getJSON(t, srv.URL+"/v1/runs?limit=-1", new([]serve.Info)); code != http.StatusBadRequest {
+		t.Fatalf("negative limit = %d, want 400", code)
+	}
+	var empty []serve.Info
+	if code := getJSON(t, srv.URL+"/v1/runs?after=r999999", &empty); code != http.StatusOK || len(empty) != 0 {
+		t.Fatalf("unknown cursor = %d with %d runs, want empty 200", code, len(empty))
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id    int64
+	event string
+	data  string
+}
+
+// readSSE parses an SSE body into frames (the stream must terminate,
+// which it does for a closed run).
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	var cur sseEvent
+	cur.id = -1
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.data != "" || cur.event != "" {
+				evs = append(evs, cur)
+			}
+			cur = sseEvent{id: -1}
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseInt(line[4:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q", line)
+			}
+			cur.id = n
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+		case strings.HasPrefix(line, ":"):
+			// comment/heartbeat
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestEventsReplayLateSubscriber: a subscriber arriving after the run
+// finished replays the retained progress tail and the terminal event,
+// then the stream ends; Last-Event-ID resumes past what it saw.
+func TestEventsReplayLateSubscriber(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Spool: dir, Workers: 1, SnapshotEvery: 10}
+	m, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewAPI(m))
+	id := submitAndFinish(t, srv.URL, repertoireBody)
+
+	code, hdr, body := get(t, srv.URL+"/v1/runs/"+id+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("events = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	evs := readSSE(t, bytes.NewReader(body))
+	if len(evs) < 2 {
+		t.Fatalf("replayed %d frames, want progress + final + end", len(evs))
+	}
+	end := evs[len(evs)-1]
+	if end.event != "end" {
+		t.Fatalf("last frame is %+v, want the end event", end)
+	}
+	var last gaitserve.Progress
+	prevSeq := int64(-1)
+	for _, ev := range evs[:len(evs)-1] {
+		var p gaitserve.Progress
+		if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+			t.Fatalf("frame %q: %v", ev.data, err)
+		}
+		if ev.id != p.Seq {
+			t.Fatalf("SSE id %d != payload seq %d", ev.id, p.Seq)
+		}
+		if p.Seq <= prevSeq {
+			t.Fatalf("seq not increasing: %d after %d", p.Seq, prevSeq)
+		}
+		prevSeq = p.Seq
+		last = p
+	}
+	if !last.Final || last.State != string(serve.StateDone) {
+		t.Fatalf("terminal frame = %+v, want final done", last)
+	}
+	if last.Cells == 0 || last.Filled == 0 {
+		t.Fatalf("terminal frame carries no archive coverage: %+v", last)
+	}
+
+	// Resume: Last-Event-ID past the whole stream replays only the
+	// frames after it (here: none but the end marker).
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/runs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(last.Seq, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	tail := readSSE(t, bytes.NewReader(rest))
+	if len(tail) != 1 || tail[0].event != "end" {
+		t.Fatalf("resume past the final seq replayed %+v, want only the end event", tail)
+	}
+
+	// Restart: the stream is rebuilt with a synthesized terminal event,
+	// so even a subscriber that arrives after a reboot gets closure.
+	srv.Close()
+	m.Close()
+	m2, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	srv2 := httptest.NewServer(serve.NewAPI(m2))
+	defer srv2.Close()
+	code, _, body = get(t, srv2.URL+"/v1/runs/"+id+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart events = %d", code)
+	}
+	evs = readSSE(t, bytes.NewReader(body))
+	if len(evs) != 2 || evs[1].event != "end" {
+		t.Fatalf("post-restart stream = %+v, want one terminal frame + end", evs)
+	}
+	var p gaitserve.Progress
+	if err := json.Unmarshal([]byte(evs[0].data), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Final || p.State != string(serve.StateDone) {
+		t.Fatalf("post-restart terminal frame = %+v", p)
+	}
+
+	if code, _, _ := get(t, srv2.URL+"/v1/runs/r999999/events"); code != http.StatusNotFound {
+		t.Fatalf("events for unknown run = %d, want 404", code)
+	}
+}

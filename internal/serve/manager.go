@@ -13,6 +13,9 @@ import (
 
 	"leonardo"
 	"leonardo/internal/engine"
+	"leonardo/internal/gaitserve"
+	"leonardo/internal/repertoire"
+	"leonardo/internal/store"
 )
 
 // Registry errors. The API layer maps these onto HTTP status codes.
@@ -37,6 +40,9 @@ var (
 	// first atomic checkpoint yet (HTTP 409 on the snapshot endpoint —
 	// retryable, unlike ErrNoSnapshot).
 	ErrSnapshotPending = errors.New("serve: no checkpoint yet; retry after the first snapshot stride")
+	// ErrWrongKind rejects a gait query against a run whose kind has no
+	// archive to serve (HTTP 400).
+	ErrWrongKind = errors.New("serve: run kind has no gait archive")
 )
 
 // Config parameterizes a Manager. The zero value of every field is a
@@ -54,6 +60,13 @@ type Config struct {
 	// SnapshotEvery is the checkpoint stride in engine steps —
 	// generations, epochs, or cycle slices depending on kind (0 = 50).
 	SnapshotEvery int
+	// GaitCache caps the decoded-archive cache behind GET /v1/gaits
+	// (0 = gaitserve.DefaultCacheSize).
+	GaitCache int
+	// EventBuffer is the per-run SSE replay ring: how many progress
+	// events a late subscriber can still replay (0 = gaitserve.
+	// DefaultRingSize).
+	EventBuffer int
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 	// Cluster joins this node to a leonardod fleet; nil runs the node
@@ -70,6 +83,8 @@ type Manager struct {
 	sp      *spool // nil when persistence is disabled
 	met     *metrics
 	cluster *cluster // nil when the node is not part of a fleet
+	gaits   *gaitserve.Cache
+	hub     *gaitserve.Hub
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -99,7 +114,8 @@ type run struct {
 	state      State
 	ev         leonardo.Event
 	err        error
-	snap       []byte // latest checkpoint bytes
+	snap       []byte     // latest checkpoint bytes
+	snapHash   store.Hash // content hash of snap (zero = none yet)
 	cancel     context.CancelFunc
 	userCancel bool
 	resumed    bool
@@ -121,6 +137,7 @@ func (r *run) OnGeneration(ev leonardo.Event) {
 	r.lastGen = ev.Generation
 	r.lastEval = ev.Evaluations
 	r.ev = ev
+	state := r.state
 	r.mu.Unlock()
 	if dg > 0 {
 		r.m.met.generations.Add(int64(dg))
@@ -128,6 +145,27 @@ func (r *run) OnGeneration(ev leonardo.Event) {
 	if de > 0 {
 		r.m.met.evaluations.Add(int64(de))
 	}
+	r.m.hub.Publish(r.id, r.progress(state, ev, false))
+}
+
+// progress builds the SSE event for one engine step. Called from the
+// run's driver goroutine (the engine is between steps) or at boot, so
+// reading the runner's coverage is race-free.
+func (r *run) progress(state State, ev leonardo.Event, final bool) gaitserve.Progress {
+	p := gaitserve.Progress{
+		State:       string(state),
+		Generation:  ev.Generation,
+		Evaluations: ev.Evaluations,
+		BestFitness: ev.BestFitness,
+		MeanFitness: ev.MeanFitness,
+		Final:       final,
+	}
+	if r.runner != nil {
+		if cov, ok := r.runner.(interface{ Coverage() (int, int) }); ok {
+			p.Filled, p.Cells = cov.Coverage()
+		}
+	}
+	return p
 }
 
 // infoLocked snapshots the public view; r.mu must be held.
@@ -195,10 +233,12 @@ func New(cfg Config) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:  cfg,
-		met:  newMetrics(),
-		runs: make(map[string]*run),
-		ctx:  ctx, cancel: cancel,
+		cfg:   cfg,
+		met:   newMetrics(),
+		gaits: gaitserve.NewCache(cfg.GaitCache),
+		hub:   gaitserve.NewHub(cfg.EventBuffer),
+		runs:  make(map[string]*run),
+		ctx:   ctx, cancel: cancel,
 	}
 	// The cluster — registry, sessions, durable inbox — must exist
 	// before reload: resumed cluster runs re-enter their migration
@@ -216,7 +256,7 @@ func New(cfg Config) (*Manager, error) {
 		m.cluster = cl
 	}
 	if cfg.Spool != "" {
-		sp, err := newSpool(cfg.Spool)
+		sp, err := newSpool(cfg.Spool, cfg.Logf)
 		if err != nil {
 			m.shutdownCluster()
 			cancel()
@@ -262,8 +302,15 @@ func (m *Manager) reload() error {
 		}
 		m.runs[mt.ID] = r
 		m.order = append(m.order, mt.ID)
+		if h, ok := m.sp.snapHash(mt.ID); ok {
+			r.snapHash = h // hash only: bytes stay in the store until asked for
+		}
 		if mt.State.Terminal() {
-			continue // record only; snapshot stays on disk for GET
+			// Record only; the snapshot stays in the store for GET. The
+			// run's event stream restarts empty, so publish its terminal
+			// event — a late SSE subscriber still gets closure.
+			m.hub.Publish(mt.ID, r.progress(mt.State, mt.Event, true))
+			continue
 		}
 		if err := m.reviveLocked(r); err != nil {
 			m.cfg.Logf("serve: %s failed to resume: %v", r.id, err)
@@ -287,7 +334,7 @@ func (m *Manager) reload() error {
 // snapshot when one exists (the resumed trajectory is bit-identical to
 // an uninterrupted one), else fresh from its spec.
 func (m *Manager) reviveLocked(r *run) error {
-	snap, err := m.sp.loadSnap(r.id)
+	snap, h, err := m.sp.loadSnap(r.id)
 	if err != nil {
 		return err
 	}
@@ -312,6 +359,7 @@ func (m *Manager) reviveLocked(r *run) error {
 		r.runner = runner
 		r.resumed = true
 		r.snap = snap
+		r.snapHash = h
 	} else if r.spec.Kind == leonardo.KindCluster {
 		runner, err := m.newClusterRunner(r.spec, false)
 		if err != nil {
@@ -448,11 +496,17 @@ func (m *Manager) drive(ctx context.Context, r *run) {
 	r.err = err
 	r.finished = now()
 	r.cancel = nil
+	ev := r.ev
 	r.mu.Unlock()
 	m.persistMetaLocked(r)
 	m.active--
 	m.dispatchLocked()
 	m.mu.Unlock()
+	// The terminal event closes the run's SSE stream — except for an
+	// interrupted run, whose stream resumes after the next boot.
+	if final != StateInterrupted {
+		m.hub.Publish(r.id, r.progress(final, ev, true))
+	}
 }
 
 // runLoop steps the run in checkpoint strides until it finishes or its
@@ -479,16 +533,20 @@ func (m *Manager) runLoop(ctx context.Context, r *run) error {
 // in-memory copy is all there is and publishes immediately.
 func (m *Manager) checkpoint(r *run) {
 	snap := r.runner.Snapshot()
+	h := store.HashOf(snap)
 	if m.sp != nil {
 		t0 := now()
-		if err := m.sp.saveSnap(r.id, snap); err != nil {
+		sh, err := m.sp.saveSnap(r.id, snap)
+		if err != nil {
 			m.cfg.Logf("serve: %s checkpoint: %v", r.id, err)
 			return // keep serving the previous durable checkpoint
 		}
+		h = sh
 		m.met.snapshotObserved(len(snap), now().Sub(t0))
 	}
 	r.mu.Lock()
 	r.snap = snap
+	r.snapHash = h
 	r.mu.Unlock()
 	// A durable cluster checkpoint retires the inbox epochs it has
 	// replayed past. The epoch comes from the runner's cached barrier
@@ -557,39 +615,137 @@ func (m *Manager) List() []Info {
 	return infos
 }
 
+// ListPage returns one page of the List order: runs strictly after the
+// cursor id (empty = from the start), capped at limit (<= 0 = no cap).
+// The cursor is the last run id of the previous page; because the
+// order is total and stable, pages never skip or repeat a run that
+// existed when paging began. An unknown cursor yields an empty page —
+// the registry never deletes runs, so it can only be a client error.
+func (m *Manager) ListPage(limit int, after string) []Info {
+	infos := m.List()
+	if after != "" {
+		start := -1
+		for i := range infos {
+			if infos[i].ID == after {
+				start = i + 1
+				break
+			}
+		}
+		if start < 0 {
+			return []Info{}
+		}
+		infos = infos[start:]
+	}
+	if limit > 0 && len(infos) > limit {
+		infos = infos[:limit]
+	}
+	return infos
+}
+
 // Snapshot returns the latest complete checkpoint for a run, falling
-// back to the spool for runs reloaded as records. A live run that has
-// not reached its first checkpoint is ErrSnapshotPending (retryable,
-// HTTP 409); a terminal run that never checkpointed is ErrNoSnapshot
-// (HTTP 404). The in-memory copy is published atomically after the
-// spool write, so this never serves a torn or non-durable state.
+// back to the snapshot store for runs reloaded as records. A live run
+// that has not reached its first checkpoint is ErrSnapshotPending
+// (retryable, HTTP 409); a terminal run that never checkpointed is
+// ErrNoSnapshot (HTTP 404). The in-memory copy is published atomically
+// after the durable store write, so this never serves a torn or
+// non-durable state.
 func (m *Manager) Snapshot(id string) ([]byte, error) {
+	snap, _, err := m.snapshotHash(id)
+	return snap, err
+}
+
+// SnapshotETag is Snapshot plus the checkpoint's strong ETag — the
+// quoted sha256 of the bytes, straight from the content-addressed
+// store, so If-None-Match revalidation is an index lookup, not a read.
+func (m *Manager) SnapshotETag(id string) ([]byte, string, error) {
+	snap, h, err := m.snapshotHash(id)
+	if err != nil {
+		return nil, "", err
+	}
+	return snap, etagOf(h), nil
+}
+
+// etagOf renders a content hash as a strong HTTP entity tag.
+func etagOf(h store.Hash) string { return `"sha256-` + h.Hex() + `"` }
+
+// snapshotHash resolves a run's latest checkpoint bytes and content
+// hash under the usual pending/no-snapshot classification.
+func (m *Manager) snapshotHash(id string) ([]byte, store.Hash, error) {
+	m.mu.Lock()
+	r := m.runs[id]
+	m.mu.Unlock()
+	if r == nil {
+		return nil, store.Hash{}, ErrNotFound
+	}
+	r.mu.Lock()
+	snap, h := r.snap, r.snapHash
+	terminal := r.state.Terminal()
+	r.mu.Unlock()
+	if snap != nil {
+		return snap, h, nil
+	}
+	if m.sp != nil {
+		disk, dh, err := m.sp.loadSnap(id)
+		if err != nil {
+			return nil, store.Hash{}, err
+		}
+		if disk != nil {
+			return disk, dh, nil
+		}
+	}
+	if terminal {
+		return nil, store.Hash{}, ErrNoSnapshot
+	}
+	return nil, store.Hash{}, ErrSnapshotPending
+}
+
+// Archive returns the decoded gait archive of a repertoire run's
+// latest checkpoint — the GET /v1/gaits backend. The result comes from
+// the decoded-archive cache: the run's current snapshot hash is the
+// cache key, so a hit costs two map lookups and no disk; a miss
+// decodes once no matter how many queries stampede in (singleflight);
+// a run that checkpointed again is re-decoded on its next query.
+func (m *Manager) Archive(id string) (*repertoire.Archive, error) {
 	m.mu.Lock()
 	r := m.runs[id]
 	m.mu.Unlock()
 	if r == nil {
 		return nil, ErrNotFound
 	}
+	if r.spec.Kind != leonardo.KindRepertoire {
+		return nil, fmt.Errorf("%w (run %s is %q)", ErrWrongKind, id, r.spec.Kind)
+	}
+	// snap and hash are read under one lock, so the loader below can
+	// never pair one checkpoint's bytes with another's hash.
 	r.mu.Lock()
-	snap := r.snap
+	snap, h := r.snap, r.snapHash
 	terminal := r.state.Terminal()
 	r.mu.Unlock()
-	if snap != nil {
-		return snap, nil
-	}
-	if m.sp != nil {
-		disk, err := m.sp.loadSnap(id)
-		if err != nil {
-			return nil, err
+	if snap == nil && h == (store.Hash{}) {
+		if terminal {
+			return nil, ErrNoSnapshot
 		}
-		if disk != nil {
-			return disk, nil
+		return nil, ErrSnapshotPending
+	}
+	return m.gaits.Get(id, h.Hex(), func() ([]byte, error) {
+		if snap != nil {
+			return snap, nil
 		}
+		// Reloaded record: fetch by the exact hash the cache keys on.
+		return m.sp.loadSnapAt(id, h)
+	})
+}
+
+// Events subscribes to a run's SSE progress stream. The caller owns
+// the subscription and must Close it.
+func (m *Manager) Events(id string) (*gaitserve.Sub, error) {
+	m.mu.Lock()
+	r := m.runs[id]
+	m.mu.Unlock()
+	if r == nil {
+		return nil, ErrNotFound
 	}
-	if terminal {
-		return nil, ErrNoSnapshot
-	}
-	return nil, ErrSnapshotPending
+	return m.hub.Subscribe(id), nil
 }
 
 // Cancel stops a run: a queued run is removed from the queue and
@@ -665,6 +821,7 @@ func (m *Manager) stateCounts() (map[State]int, int) {
 func (m *Manager) WriteMetrics(w io.Writer) {
 	counts, depth := m.stateCounts()
 	m.met.writeMetrics(w, counts, depth)
+	m.met.writeGaitMetrics(w, m.gaits.Stats(), m.hub.Subscribers(), m.hub.Published())
 	if m.cluster != nil {
 		m.cluster.met.writeMetrics(w, len(m.cluster.peers))
 	}

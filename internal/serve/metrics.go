@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"leonardo/internal/gaitserve"
 )
 
 // metrics holds the daemon-wide counters behind GET /metrics. Counters
@@ -19,6 +21,8 @@ type metrics struct {
 	snapshots   atomic.Int64 // checkpoints written to the spool
 	snapBytes   atomic.Int64 // total bytes of those checkpoints
 	snapNanos   atomic.Int64 // total wall time spent writing them
+	gaitQueries atomic.Int64 // GET /v1/gaits requests answered
+	gaitNanos   atomic.Int64 // total wall time answering them
 }
 
 func newMetrics() *metrics { return &metrics{start: now()} }
@@ -28,6 +32,12 @@ func (mt *metrics) snapshotObserved(bytes int, elapsed time.Duration) {
 	mt.snapshots.Add(1)
 	mt.snapBytes.Add(int64(bytes))
 	mt.snapNanos.Add(int64(elapsed))
+}
+
+// gaitObserved records one answered gait query.
+func (mt *metrics) gaitObserved(elapsed time.Duration) {
+	mt.gaitQueries.Add(1)
+	mt.gaitNanos.Add(int64(elapsed))
 }
 
 // writeMetrics renders the Prometheus text exposition format. Run-state
@@ -76,6 +86,44 @@ func (mt *metrics) writeMetrics(w io.Writer, byState map[State]int, queueDepth i
 	fmt.Fprintf(w, "# HELP leonardod_uptime_seconds Seconds since the manager booted.\n")
 	fmt.Fprintf(w, "# TYPE leonardod_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "leonardod_uptime_seconds %g\n", uptime)
+}
+
+// writeGaitMetrics renders the gait-serving read-path counters: the
+// decoded-archive cache, the query latency summary, and the SSE fan-out
+// gauges.
+func (mt *metrics) writeGaitMetrics(w io.Writer, cs gaitserve.CacheStats, subscribers, published int64) {
+	fmt.Fprintf(w, "# HELP leonardod_gait_cache_hits_total Gait queries answered from the decoded-archive cache.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_cache_hits_total counter\n")
+	fmt.Fprintf(w, "leonardod_gait_cache_hits_total %d\n", cs.Hits)
+
+	fmt.Fprintf(w, "# HELP leonardod_gait_cache_misses_total Gait queries that had to load a snapshot.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_cache_misses_total counter\n")
+	fmt.Fprintf(w, "leonardod_gait_cache_misses_total %d\n", cs.Misses)
+
+	fmt.Fprintf(w, "# HELP leonardod_gait_cache_decodes_total Archive decodes performed (misses coalesce under singleflight).\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_cache_decodes_total counter\n")
+	fmt.Fprintf(w, "leonardod_gait_cache_decodes_total %d\n", cs.Decodes)
+
+	fmt.Fprintf(w, "# HELP leonardod_gait_cache_evictions_total Decoded archives dropped by the LRU bound.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "leonardod_gait_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(w, "# HELP leonardod_gait_cache_entries Decoded archives currently cached.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_cache_entries gauge\n")
+	fmt.Fprintf(w, "leonardod_gait_cache_entries %d\n", cs.Entries)
+
+	fmt.Fprintf(w, "# HELP leonardod_gait_request_seconds Wall time answering GET /v1/gaits.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_gait_request_seconds summary\n")
+	fmt.Fprintf(w, "leonardod_gait_request_seconds_sum %g\n", time.Duration(mt.gaitNanos.Load()).Seconds())
+	fmt.Fprintf(w, "leonardod_gait_request_seconds_count %d\n", mt.gaitQueries.Load())
+
+	fmt.Fprintf(w, "# HELP leonardod_sse_subscribers Open SSE event-stream subscriptions.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_sse_subscribers gauge\n")
+	fmt.Fprintf(w, "leonardod_sse_subscribers %d\n", subscribers)
+
+	fmt.Fprintf(w, "# HELP leonardod_sse_events_total Progress events published to run streams.\n")
+	fmt.Fprintf(w, "# TYPE leonardod_sse_events_total counter\n")
+	fmt.Fprintf(w, "leonardod_sse_events_total %d\n", published)
 }
 
 // clusterMetrics holds the per-node migration counters of a

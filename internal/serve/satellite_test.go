@@ -1,13 +1,13 @@
 package serve_test
 
 import (
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"leonardo"
 	"leonardo/internal/serve"
+	"leonardo/internal/store"
 )
 
 // assertListOrder pins the List contract: ordered by submission time,
@@ -167,10 +167,19 @@ func TestReloadStaleMetaMissingSnap(t *testing.T) {
 		_, err := m.Snapshot(info.ID)
 		return err == nil
 	})
-	m.Close() // interrupted; meta says so and a .snap exists
+	m.Close() // interrupted; meta says so and a snapshot is linked
 
-	if err := os.Remove(filepath.Join(dir, info.ID+".snap")); err != nil {
-		t.Fatalf("removing the snapshot to stale the meta: %v", err)
+	// Stale the meta: unlink the run's snapshot from the store (and let
+	// the store's GC reap the object) as if it had never been written.
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Unlink(info.ID); err != nil {
+		t.Fatalf("unlinking the snapshot to stale the meta: %v", err)
+	}
+	if _, err := st.GC(); err != nil {
+		t.Fatal(err)
 	}
 
 	m2, err := serve.New(serve.Config{Spool: dir, Workers: 1, SnapshotEvery: 25})

@@ -9,19 +9,31 @@ import (
 	"strings"
 
 	"leonardo"
+	"leonardo/internal/store"
 )
 
-// The spool is the manager's crash-safe persistence: one pair of files
-// per run under a flat directory,
+// The spool is the manager's crash-safe persistence:
 //
 //	<spool>/<id>.meta.json   registry entry (spec, state, timestamps)
-//	<spool>/<id>.snap        latest engine snapshot (LEOSNAP binary)
+//	<spool>/store/           content-addressed snapshot store
 //
-// Both are written atomically (temp file + rename on the same
-// filesystem), so a crash never leaves a half-written checkpoint: the
-// spool always holds the previous complete one. The meta file alone is
-// enough to rebuild a run that never checkpointed — the trajectory is a
-// pure function of the spec — and the snapshot, when present, wins.
+// Meta files are mutable registry records, written atomically (temp
+// file + rename) under a flat directory. Snapshots are immutable
+// artifacts and live in the store (DESIGN.md §15): each checkpoint is a
+// sha256-named object plus an index link <id> → hash, so the snapshot
+// a run serves, the one its gait cache keys on, and the one a restart
+// resumes from are provably the same bytes — the hash IS the identity.
+// A crash never loses the previous checkpoint: the object lands
+// durably before the index points at it, and the superseded object is
+// deleted only after the new link is durable.
+//
+// The meta file alone is enough to rebuild a run that never
+// checkpointed — the trajectory is a pure function of the spec — and
+// the snapshot, when present, wins.
+//
+// Spools written by earlier versions hold flat <id>.snap files; open
+// migrates them into the store (read, Put, Link, remove) so old
+// daemons upgrade in place.
 
 // meta is the persisted registry entry for one run.
 type meta struct {
@@ -36,14 +48,63 @@ type meta struct {
 	Event     leonardo.Event   `json:"event"`
 }
 
-// spool reads and writes the per-run file pairs in one directory.
-type spool struct{ dir string }
+// spool reads and writes the per-run registry files and the snapshot
+// store in one directory.
+type spool struct {
+	dir string
+	st  *store.Store
+}
 
-func newSpool(dir string) (*spool, error) {
+func newSpool(dir string, logf func(string, ...any)) (*spool, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: spool: %w", err)
 	}
-	return &spool{dir: dir}, nil
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: spool: %w", err)
+	}
+	sp := &spool{dir: dir, st: st}
+	if err := sp.migrateFlatSnaps(logf); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// migrateFlatSnaps moves legacy flat <id>.snap files into the store.
+// The flat file is removed only after its bytes are durably linked, so
+// a crash mid-migration re-migrates idempotently (Put dedups; Link to
+// the same hash is a no-op write). An unreadable flat file is skipped
+// with a log line — it is exactly as lost as it already was.
+func (s *spool) migrateFlatSnaps(logf func(string, ...any)) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".snap")
+		if !ok || id == "" || e.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logf("serve: spool: migrate %s: %v", name, err)
+			continue
+		}
+		h, err := s.st.Put(data)
+		if err != nil {
+			return fmt.Errorf("serve: spool: migrate %s: %w", name, err)
+		}
+		if err := s.st.Link(id, h); err != nil {
+			return fmt.Errorf("serve: spool: migrate %s: %w", name, err)
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("serve: spool: migrate %s: %w", name, err)
+		}
+		logf("serve: spool: migrated %s into the snapshot store (%s)", name, h.Hex()[:12])
+	}
+	return nil
 }
 
 // atomicWrite lands data at path via a temp file and rename, so readers
@@ -81,23 +142,47 @@ func (s *spool) saveMeta(m meta) error {
 	return nil
 }
 
-func (s *spool) saveSnap(id string, snap []byte) error {
-	path := filepath.Join(s.dir, id+".snap")
-	if err := s.atomicWrite(path, snap); err != nil {
-		return fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+// saveSnap lands a checkpoint in the store and points the run's name
+// at it, returning the content hash. The superseded object (if any) is
+// garbage once the new link is durable; the store deletes it.
+func (s *spool) saveSnap(id string, snap []byte) (store.Hash, error) {
+	h, err := s.st.Put(snap)
+	if err != nil {
+		return store.Hash{}, fmt.Errorf("serve: spool snapshot %s: %w", id, err)
 	}
-	return nil
+	if err := s.st.Link(id, h); err != nil {
+		return store.Hash{}, fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+	}
+	return h, nil
 }
 
-// loadSnap returns the latest checkpoint for id, or nil with no error
-// when the run never checkpointed.
-func (s *spool) loadSnap(id string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, id+".snap"))
-	if os.IsNotExist(err) {
-		return nil, nil
+// snapHash resolves a run's current checkpoint hash without touching
+// the object — an in-memory index lookup.
+func (s *spool) snapHash(id string) (store.Hash, bool) {
+	return s.st.Resolve(id)
+}
+
+// loadSnap returns the latest checkpoint for id with its content hash,
+// or nil with no error when the run never checkpointed.
+func (s *spool) loadSnap(id string) ([]byte, store.Hash, error) {
+	h, ok := s.st.Resolve(id)
+	if !ok {
+		return nil, store.Hash{}, nil
 	}
+	data, err := s.st.Get(h)
 	if err != nil {
-		return nil, fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+		return nil, store.Hash{}, fmt.Errorf("serve: spool snapshot %s: %w", id, err)
+	}
+	return data, h, nil
+}
+
+// loadSnapAt returns the checkpoint bytes for a specific content hash
+// — the gait cache's loader path: bytes fetched by hash can never
+// diverge from the hash the cache keyed on.
+func (s *spool) loadSnapAt(id string, h store.Hash) ([]byte, error) {
+	data, err := s.st.Get(h)
+	if err != nil {
+		return nil, fmt.Errorf("serve: spool snapshot %s@%s: %w", id, h.Hex()[:12], err)
 	}
 	return data, nil
 }

@@ -1,0 +1,368 @@
+// Package store is a content-addressed artifact store: the durable
+// home for finished snapshots and repertoire archives behind the serve
+// layer's read path (DESIGN.md §15). Artifacts are immutable byte
+// blobs named by their SHA-256:
+//
+//	<dir>/objects/<hh>/<hex>   one file per object, hh = hex[0:2]
+//	<dir>/index.json           name → hash links, written atomically
+//
+// The object namespace is append-only and self-verifying — Get rehashes
+// what it reads, so a corrupt or truncated object can never be served
+// as the artifact it claims to be — while mutability lives entirely in
+// the index: a link is a stable logical name ("run/r000001/snap")
+// pointing at whichever object currently backs it. Identical payloads
+// dedup to one object however many links they have.
+//
+// Garbage collection is ref-counted from the index. Relinking a name
+// drops the previous object as soon as its last link goes; a crash
+// between an object write and its index link leaves an orphan, which
+// the next GC (run at every Open) reaps. The write order makes every
+// crash window safe: object bytes land and sync before the index names
+// them, and the index forgets an object before its file is unlinked, so
+// the index never points at bytes that do not exist.
+//
+// The store never reads clocks or draws randomness, and every listing
+// it returns is sorted; it is safe to call from replay-critical code.
+//
+//leo:deterministic
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the store. ErrNotFound covers both a missing
+// object and an unlinked name.
+var (
+	// ErrNotFound reports a hash with no object or a name with no link.
+	ErrNotFound = errors.New("store: not found")
+	// ErrCorrupt reports an object file whose bytes no longer hash to
+	// its name — disk corruption, truncation, or tampering.
+	ErrCorrupt = errors.New("store: object corrupt")
+)
+
+// Hash is the SHA-256 content address of an object.
+type Hash [sha256.Size]byte
+
+// HashOf returns the content address of a payload.
+func HashOf(data []byte) Hash { return sha256.Sum256(data) }
+
+// Hex renders the address as lowercase hex — the object's file name
+// and its wire form (snapshot ETags).
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// ParseHex parses a lowercase-hex content address.
+func ParseHex(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(h) {
+		return Hash{}, fmt.Errorf("store: %q is not a sha256 address", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Store is the handle on one artifact directory. All methods are safe
+// for concurrent use; index mutations serialize on one mutex and each
+// is durable (written and renamed) before the method returns.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	names map[string]Hash // the index: logical name → object
+	refs  map[Hash]int    // links per object, derived from names
+}
+
+// Open creates (or reopens) a store rooted at dir, loads the index,
+// and reaps any orphaned objects a previous crash left behind. An
+// unreadable index is a hard error — refusing to boot beats silently
+// garbage-collecting every artifact the lost index still named.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		names: make(map[string]Hash),
+		refs:  make(map[Hash]int),
+	}
+	data, err := os.ReadFile(s.indexPath())
+	switch {
+	case os.IsNotExist(err):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("store: index: %w", err)
+	default:
+		var wire map[string]string
+		if err := json.Unmarshal(data, &wire); err != nil {
+			return nil, fmt.Errorf("store: index: %w", err)
+		}
+		// Validate in sorted order so a corrupt index always reports the
+		// same (first) offending entry, not a map-order-dependent one.
+		names := make([]string, 0, len(wire))
+		for name := range wire {
+			names = append(names, name) //leo:allow maprange keys are collected then sorted; the load order is the sort
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h, err := ParseHex(wire[name])
+			if err != nil {
+				return nil, fmt.Errorf("store: index entry %q: %w", name, err)
+			}
+			s.names[name] = h
+			s.refs[h]++
+		}
+	}
+	if _, err := s.GC(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// objectPath shards objects by the first hex byte so no single
+// directory grows unbounded.
+func (s *Store) objectPath(h Hash) string {
+	hx := h.Hex()
+	return filepath.Join(s.dir, "objects", hx[:2], hx)
+}
+
+// Put writes a payload as an object and returns its address. It is
+// idempotent — an object that already exists is not rewritten — and
+// atomic: the bytes land in a temp file, sync, and rename onto the
+// final name, so a reader or a crash never observes a partial object.
+func (s *Store) Put(data []byte) (Hash, error) {
+	h := HashOf(data)
+	path := s.objectPath(h)
+	if _, err := os.Stat(path); err == nil {
+		return h, nil // dedup: content addressing makes equality free
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return Hash{}, fmt.Errorf("store: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return Hash{}, fmt.Errorf("store: put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return Hash{}, fmt.Errorf("store: put: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return Hash{}, fmt.Errorf("store: put: %w", err)
+	}
+	return h, nil
+}
+
+// Get reads an object and verifies it still hashes to its address, so
+// a corrupt file surfaces as ErrCorrupt instead of as wrong bytes.
+func (s *Store) Get(h Hash) ([]byte, error) {
+	data, err := os.ReadFile(s.objectPath(h))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: object %s: %w", h.Hex(), ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: object %s: %w", h.Hex(), err)
+	}
+	if HashOf(data) != h {
+		return nil, fmt.Errorf("store: object %s: %w", h.Hex(), ErrCorrupt)
+	}
+	return data, nil
+}
+
+// Has reports whether the object exists on disk.
+func (s *Store) Has(h Hash) bool {
+	_, err := os.Stat(s.objectPath(h))
+	return err == nil
+}
+
+// Link points a logical name at an object, replacing any previous
+// target. The index write is atomic and durable before Link returns;
+// if the replaced object just lost its last link, its file is removed
+// afterwards (a crash in between leaves an orphan for GC, never a
+// dangling link).
+func (s *Store) Link(name string, h Hash) error {
+	if name == "" {
+		return errors.New("store: empty link name")
+	}
+	if !s.Has(h) {
+		return fmt.Errorf("store: link %s: object %s: %w", name, h.Hex(), ErrNotFound)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.names[name]
+	if had && prev == h {
+		return nil
+	}
+	s.names[name] = h
+	s.refs[h]++
+	if had {
+		s.dropRefLocked(prev)
+	}
+	if err := s.writeIndexLocked(); err != nil {
+		// Roll the in-memory index back so memory and disk agree.
+		if had {
+			s.names[name] = prev
+			s.refs[prev]++
+		} else {
+			delete(s.names, name)
+		}
+		s.refs[h]--
+		if s.refs[h] == 0 {
+			delete(s.refs, h)
+		}
+		return err
+	}
+	if had && s.refs[prev] == 0 {
+		delete(s.refs, prev)
+		os.Remove(s.objectPath(prev)) // best-effort; GC reaps stragglers
+	}
+	return nil
+}
+
+// Unlink removes a logical name; the object is deleted once nothing
+// else references it. Unlinking an unknown name is ErrNotFound.
+func (s *Store) Unlink(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.names[name]
+	if !ok {
+		return fmt.Errorf("store: link %s: %w", name, ErrNotFound)
+	}
+	delete(s.names, name)
+	s.dropRefLocked(h)
+	if err := s.writeIndexLocked(); err != nil {
+		s.names[name] = h
+		s.refs[h]++
+		return err
+	}
+	if s.refs[h] == 0 {
+		delete(s.refs, h)
+		os.Remove(s.objectPath(h))
+	}
+	return nil
+}
+
+// dropRefLocked decrements without deleting at zero — deletion happens
+// only after the index that stopped referencing the object is durable.
+func (s *Store) dropRefLocked(h Hash) { s.refs[h]-- }
+
+// Resolve returns the object a name currently links to.
+func (s *Store) Resolve(name string) (Hash, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.names[name]
+	return h, ok
+}
+
+// Names returns every linked name with the given prefix, sorted.
+//
+//leo:allow maprange keys are collected then sorted; output order is the sort, not the iteration
+func (s *Store) Names(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.names))
+	for name := range s.names {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Refs returns how many links point at an object (0 = orphan or gone).
+func (s *Store) Refs(h Hash) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[h]
+}
+
+// GC removes every object the index does not reference — the orphans a
+// crash between Put and Link (or a failed delete) leaves behind — and
+// returns how many it reaped. It walks the sorted object listing, so
+// its delete order is deterministic.
+func (s *Store) GC() (removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root := filepath.Join(s.dir, "objects")
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return 0, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		objs, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			return removed, fmt.Errorf("store: gc: %w", err)
+		}
+		for _, obj := range objs {
+			name := obj.Name()
+			if strings.HasPrefix(name, ".tmp-") {
+				// Torn temp file from a crashed Put.
+				os.Remove(filepath.Join(root, shard.Name(), name))
+				removed++
+				continue
+			}
+			h, err := ParseHex(name)
+			if err != nil {
+				continue // foreign file; leave it alone
+			}
+			if s.refs[h] > 0 {
+				continue
+			}
+			if err := os.Remove(filepath.Join(root, shard.Name(), name)); err != nil {
+				return removed, fmt.Errorf("store: gc: %w", err)
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// writeIndexLocked persists the name → hash map atomically: temp file,
+// sync, rename. JSON with sorted keys (encoding/json sorts string-keyed
+// maps) keeps the file diffable and its bytes a pure function of the
+// index contents.
+func (s *Store) writeIndexLocked() error {
+	wire := make(map[string]string, len(s.names))
+	for name, h := range s.names {
+		wire[name] = h.Hex()
+	}
+	data, err := json.MarshalIndent(wire, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".index-*")
+	if err != nil {
+		return fmt.Errorf("store: index: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: index: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: index: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"leonardo/internal/store"
+)
+
+func open(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	payload := []byte("snapshot bytes")
+	h, err := s.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != store.HashOf(payload) {
+		t.Fatalf("Put hash %s != HashOf %s", h.Hex(), store.HashOf(payload).Hex())
+	}
+	got, err := s.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	// Idempotent: same payload, same address, no error.
+	h2, err := s.Put(payload)
+	if err != nil || h2 != h {
+		t.Fatalf("second Put = (%s, %v), want (%s, nil)", h2.Hex(), err, h.Hex())
+	}
+}
+
+func TestGetMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if _, err := s.Get(store.HashOf([]byte("never stored"))); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	h, err := s.Put([]byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Link("keep", h); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the object's bytes on disk behind the store's back.
+	path := filepath.Join(dir, "objects", h.Hex()[:2], h.Hex())
+	if err := os.WriteFile(path, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(h); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("Get(corrupt) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLinkResolveSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	h, err := s.Put([]byte("archive v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Link("run/r000001/snap", h); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	got, ok := s2.Resolve("run/r000001/snap")
+	if !ok || got != h {
+		t.Fatalf("Resolve after reopen = (%s, %v), want (%s, true)", got.Hex(), ok, h.Hex())
+	}
+	data, err := s2.Get(got)
+	if err != nil || string(data) != "archive v1" {
+		t.Fatalf("Get after reopen = (%q, %v)", data, err)
+	}
+}
+
+// TestRelinkDropsUnreferencedObject is the ref-counted GC contract: a
+// name moving to new content deletes the old object — unless another
+// link still holds it.
+func TestRelinkDropsUnreferencedObject(t *testing.T) {
+	s := open(t, t.TempDir())
+	h1, _ := s.Put([]byte("v1"))
+	h2, _ := s.Put([]byte("v2"))
+	if err := s.Link("a", h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Link("b", h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Link("a", h2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(h1) {
+		t.Fatal("h1 deleted while link b still references it")
+	}
+	if err := s.Link("b", h2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(h1) {
+		t.Fatal("h1 survived losing its last link")
+	}
+	if refs := s.Refs(h2); refs != 2 {
+		t.Fatalf("h2 refs = %d, want 2", refs)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	s := open(t, t.TempDir())
+	h, _ := s.Put([]byte("short-lived"))
+	if err := s.Link("x", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unlink("x"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(h) {
+		t.Fatal("object survived its last Unlink")
+	}
+	if err := s.Unlink("x"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("second Unlink = %v, want ErrNotFound", err)
+	}
+}
+
+// TestGCReapsOrphans simulates the crash window between Put and Link:
+// the orphaned object must be reaped at the next Open, and linked
+// objects must survive.
+func TestGCReapsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	kept, _ := s.Put([]byte("linked"))
+	if err := s.Link("keep", kept); err != nil {
+		t.Fatal(err)
+	}
+	orphan, _ := s.Put([]byte("crashed before Link"))
+	// Also drop a torn temp file like an interrupted Put leaves.
+	torn := filepath.Join(dir, "objects", orphan.Hex()[:2], ".tmp-dead")
+	if err := os.WriteFile(torn, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir) // Open runs GC
+	if s2.Has(orphan) {
+		t.Fatal("orphan object survived reopen GC")
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp file survived reopen GC")
+	}
+	if !s2.Has(kept) {
+		t.Fatal("GC reaped a linked object")
+	}
+	if _, err := s2.Get(kept); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesSortedByPrefix(t *testing.T) {
+	s := open(t, t.TempDir())
+	h, _ := s.Put([]byte("x"))
+	for _, name := range []string{"run/b/snap", "run/a/snap", "other/z", "run/c/snap"} {
+		if err := s.Link(name, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Names("run/")
+	want := []string{"run/a/snap", "run/b/snap", "run/c/snap"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinkUnknownObject(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Link("x", store.HashOf([]byte("never put"))); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Link(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOpenRejectsCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	h, _ := s.Put([]byte("v"))
+	if err := s.Link("x", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt index; it must refuse rather than GC every artifact")
+	}
+}
+
+// TestConcurrentPutLink shakes the lock discipline under -race: many
+// goroutines putting, linking, and resolving disjoint and shared names.
+func TestConcurrentPutLink(t *testing.T) {
+	s := open(t, t.TempDir())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte{byte(i), byte(i >> 1), 'p'}
+			h, err := s.Put(payload)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			name := string(rune('a'+i%4)) + "/snap"
+			if err := s.Link(name, h); err != nil {
+				t.Error(err)
+				return
+			}
+			if got, ok := s.Resolve(name); !ok || !s.Has(got) {
+				t.Errorf("Resolve(%s) = (%s, %v) with missing object", name, got.Hex(), ok)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if removed, err := s.GC(); err != nil {
+		t.Fatal(err)
+	} else if removed != 0 {
+		// Relinking a shared name may orphan a loser's object before its
+		// delete lands; GC must still leave every *linked* object intact.
+		t.Logf("GC reaped %d transiently orphaned objects", removed)
+	}
+	for _, name := range s.Names("") {
+		h, _ := s.Resolve(name)
+		if _, err := s.Get(h); err != nil {
+			t.Errorf("linked object %s unreadable after GC: %v", name, err)
+		}
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	h := store.HashOf([]byte("payload"))
+	back, err := store.ParseHex(h.Hex())
+	if err != nil || back != h {
+		t.Fatalf("ParseHex round trip = (%s, %v)", back.Hex(), err)
+	}
+	for _, bad := range []string{"", "zz", "abcd", h.Hex() + "00"} {
+		if _, err := store.ParseHex(bad); err == nil {
+			t.Errorf("ParseHex(%q) accepted", bad)
+		}
+	}
+}
